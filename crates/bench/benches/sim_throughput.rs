@@ -1,0 +1,85 @@
+//! Criterion micro-benchmarks of the simulation substrate itself: trace
+//! generation, cache access, and the two execution engines. These are the
+//! performance benches of the workspace (the figure benches measure the
+//! reproduced results, not wall-clock performance).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+
+use rescache_cache::{Cache, CacheConfig, HierarchyConfig, MemoryHierarchy};
+use rescache_cpu::{CpuConfig, Simulator};
+use rescache_trace::{spec, TraceGenerator};
+
+fn bench_trace_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("trace_generation");
+    group.throughput(Throughput::Elements(50_000));
+    group.bench_function("gcc_50k_instructions", |b| {
+        b.iter(|| TraceGenerator::new(spec::gcc(), 7).generate(50_000))
+    });
+    group.finish();
+}
+
+fn bench_cache_access(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cache_access");
+    group.throughput(Throughput::Elements(10_000));
+    group.bench_function("l1_hit_stream_10k", |b| {
+        let mut cache = Cache::new(CacheConfig::l1_default(32 * 1024, 2)).unwrap();
+        cache.fill(0x1000, false);
+        b.iter(|| {
+            let mut hits = 0u64;
+            for i in 0..10_000u64 {
+                if cache.access_read(0x1000 + (i % 4) * 8).hit {
+                    hits += 1;
+                }
+            }
+            hits
+        })
+    });
+    group.bench_function("resize_cycle", |b| {
+        b.iter_batched(
+            || {
+                let mut cache = Cache::new(CacheConfig::l1_default(32 * 1024, 2)).unwrap();
+                for i in 0..1024u64 {
+                    cache.fill(i * 32, i % 2 == 0);
+                }
+                cache
+            },
+            |mut cache| {
+                cache.set_enabled_sets(64);
+                cache.set_enabled_sets(512);
+                cache
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+fn bench_engines(c: &mut Criterion) {
+    let trace = TraceGenerator::new(spec::m88ksim(), 3).generate(20_000);
+    let mut group = c.benchmark_group("engines");
+    group.throughput(Throughput::Elements(trace.len() as u64));
+    group.sample_size(20);
+    group.bench_function("out_of_order_20k", |b| {
+        b.iter_batched(
+            || MemoryHierarchy::new(HierarchyConfig::base()).unwrap(),
+            |mut h| Simulator::new(CpuConfig::base_out_of_order()).run(&trace, &mut h),
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("in_order_20k", |b| {
+        b.iter_batched(
+            || MemoryHierarchy::new(HierarchyConfig::base()).unwrap(),
+            |mut h| Simulator::new(CpuConfig::base_in_order()).run(&trace, &mut h),
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_trace_generation,
+    bench_cache_access,
+    bench_engines
+);
+criterion_main!(benches);

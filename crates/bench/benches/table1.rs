@@ -1,0 +1,58 @@
+//! Table 1 and Table 2: the hybrid resizing grid of a 32K 4-way cache with
+//! 1K subarrays, and the base system configuration.
+
+use rescache_bench::print_header;
+use rescache_cache::{CacheConfig, HierarchyConfig};
+use rescache_core::org::{hybrid_grid, ConfigSpace, Organization};
+use rescache_cpu::CpuConfig;
+
+fn main() {
+    print_header(
+        "Table 1 — enhanced resizing granularity using the hybrid organization",
+        "Sizes offered by a 32K 4-way L1 with 1 KiB subarrays under each organization.",
+    );
+
+    let config = CacheConfig::l1_default(32 * 1024, 4);
+    let grid = hybrid_grid(config).expect("hybrid applies to the 32K 4-way cache");
+    println!("{}", grid.render());
+
+    for org in Organization::ALL {
+        let space = ConfigSpace::enumerate(config, org).expect("organization applies");
+        let sizes: Vec<String> = space
+            .sizes_bytes()
+            .iter()
+            .map(|b| format!("{}K", b / 1024))
+            .collect();
+        println!("{:<16} offers: {}", org.label(), sizes.join(", "));
+    }
+
+    println!();
+    println!("Table 2 — base system configuration");
+    let cpu = CpuConfig::base_out_of_order();
+    let hier = HierarchyConfig::base();
+    println!("  issue/decode width     : {} instructions per cycle", cpu.issue_width);
+    println!("  ROB / LSQ              : {} entries / {} entries", cpu.rob_entries, cpu.lsq_entries);
+    println!("  writeback buffer / MSHR: {} entries / {} entries", hier.writeback_entries, cpu.mshr_entries);
+    println!(
+        "  L1 i-cache             : {}K {}-way; {} cycle",
+        hier.l1i.size_bytes / 1024,
+        hier.l1i.associativity,
+        hier.l1i.hit_latency
+    );
+    println!(
+        "  L1 d-cache             : {}K {}-way; {} cycle",
+        hier.l1d.size_bytes / 1024,
+        hier.l1d.associativity,
+        hier.l1d.hit_latency
+    );
+    println!(
+        "  L2 unified cache       : {}K {}-way; {} cycles",
+        hier.l2.size_bytes / 1024,
+        hier.l2.associativity,
+        hier.l2.hit_latency
+    );
+    println!(
+        "  memory access latency  : ({} + {} per 8 bytes) cycles",
+        hier.memory_base_latency, hier.memory_per_8_bytes
+    );
+}

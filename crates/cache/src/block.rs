@@ -1,0 +1,74 @@
+//! Per-block tag-store state.
+
+/// Tag-store state for one cache block frame.
+///
+/// The simulator stores the full block address rather than a truncated tag so
+/// that the same frame state is valid under any number of enabled sets; the
+/// energy model separately charges for the tag bits a real implementation
+/// would need (including the selective-sets "resizing tag bits").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct BlockState {
+    /// Whether the frame holds a valid block.
+    pub valid: bool,
+    /// Whether the block has been written since it was filled.
+    pub dirty: bool,
+    /// Block address (byte address divided by the block size).
+    pub block_addr: u64,
+    /// Replacement-policy timestamp: last-use time for LRU, fill time for
+    /// FIFO.
+    pub stamp: u64,
+}
+
+impl BlockState {
+    /// An invalid (empty) frame.
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// Fills the frame with a block.
+    pub fn fill(&mut self, block_addr: u64, dirty: bool, stamp: u64) {
+        self.valid = true;
+        self.dirty = dirty;
+        self.block_addr = block_addr;
+        self.stamp = stamp;
+    }
+
+    /// Invalidates the frame, returning `true` if it held a dirty block.
+    pub fn invalidate(&mut self) -> bool {
+        let was_dirty = self.valid && self.dirty;
+        self.valid = false;
+        self.dirty = false;
+        was_dirty
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_is_invalid() {
+        let b = BlockState::empty();
+        assert!(!b.valid);
+        assert!(!b.dirty);
+    }
+
+    #[test]
+    fn fill_and_invalidate() {
+        let mut b = BlockState::empty();
+        b.fill(0x42, true, 7);
+        assert!(b.valid && b.dirty);
+        assert_eq!(b.block_addr, 0x42);
+        assert_eq!(b.stamp, 7);
+        assert!(b.invalidate(), "invalidating a dirty block reports dirty");
+        assert!(!b.valid);
+        assert!(!b.invalidate(), "second invalidate is clean");
+    }
+
+    #[test]
+    fn clean_invalidate_reports_clean() {
+        let mut b = BlockState::empty();
+        b.fill(0x42, false, 1);
+        assert!(!b.invalidate());
+    }
+}

@@ -1,0 +1,302 @@
+//! Cache configuration and derived geometry.
+
+use std::error::Error;
+use std::fmt;
+
+/// Static configuration of one cache level.
+///
+/// Sizes are in bytes. The cache is organised as `associativity` ways, each
+/// split into subarrays of `subarray_bytes` (the resizing granule of the
+/// paper: enabling/disabling happens in whole subarrays).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size_bytes: u64,
+    /// Number of associative ways.
+    pub associativity: u32,
+    /// Cache block (line) size in bytes.
+    pub block_bytes: u64,
+    /// Subarray size in bytes (resizing granule per way).
+    pub subarray_bytes: u64,
+    /// Hit latency in cycles.
+    pub hit_latency: u64,
+}
+
+/// Errors returned when validating a [`CacheConfig`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CacheConfigError {
+    /// A size parameter was zero or not a power of two.
+    NotPowerOfTwo {
+        /// Name of the offending parameter.
+        field: &'static str,
+        /// The rejected value.
+        value: u64,
+    },
+    /// The capacity is not divisible into the requested ways and blocks.
+    Indivisible {
+        /// Human-readable description of the divisibility violation.
+        detail: String,
+    },
+    /// The subarray is larger than one way.
+    SubarrayTooLarge {
+        /// Requested subarray size in bytes.
+        subarray_bytes: u64,
+        /// Size of one way in bytes.
+        way_bytes: u64,
+    },
+}
+
+impl fmt::Display for CacheConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::NotPowerOfTwo { field, value } => {
+                write!(f, "{field} must be a non-zero power of two, got {value}")
+            }
+            Self::Indivisible { detail } => write!(f, "invalid cache geometry: {detail}"),
+            Self::SubarrayTooLarge {
+                subarray_bytes,
+                way_bytes,
+            } => write!(
+                f,
+                "subarray of {subarray_bytes} bytes exceeds way size of {way_bytes} bytes"
+            ),
+        }
+    }
+}
+
+impl Error for CacheConfigError {}
+
+impl CacheConfig {
+    /// The paper's L1 defaults: 32-byte blocks, 1 KiB subarrays, 1-cycle hit.
+    pub fn l1_default(size_bytes: u64, associativity: u32) -> Self {
+        Self {
+            size_bytes,
+            associativity,
+            block_bytes: 32,
+            subarray_bytes: 1024,
+            hit_latency: 1,
+        }
+    }
+
+    /// The paper's unified L2: 512 KiB, 4-way, 12-cycle access.
+    pub fn l2_default() -> Self {
+        Self {
+            size_bytes: 512 * 1024,
+            associativity: 4,
+            block_bytes: 32,
+            subarray_bytes: 4096,
+            hit_latency: 12,
+        }
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CacheConfigError`] if any size is zero or not a power of
+    /// two, the capacity does not divide evenly into ways and blocks, or the
+    /// subarray exceeds a way.
+    pub fn validate(&self) -> Result<(), CacheConfigError> {
+        let pow2 = |field: &'static str, value: u64| {
+            if value == 0 || !value.is_power_of_two() {
+                Err(CacheConfigError::NotPowerOfTwo { field, value })
+            } else {
+                Ok(())
+            }
+        };
+        pow2("size_bytes", self.size_bytes)?;
+        pow2("block_bytes", self.block_bytes)?;
+        pow2("subarray_bytes", self.subarray_bytes)?;
+        if self.associativity == 0 {
+            return Err(CacheConfigError::NotPowerOfTwo {
+                field: "associativity",
+                value: 0,
+            });
+        }
+        let way_bytes = self.size_bytes / u64::from(self.associativity);
+        if way_bytes * u64::from(self.associativity) != self.size_bytes {
+            return Err(CacheConfigError::Indivisible {
+                detail: format!(
+                    "size {} not divisible by associativity {}",
+                    self.size_bytes, self.associativity
+                ),
+            });
+        }
+        if way_bytes % self.block_bytes != 0 || way_bytes < self.block_bytes {
+            return Err(CacheConfigError::Indivisible {
+                detail: format!(
+                    "way size {way_bytes} not divisible by block size {}",
+                    self.block_bytes
+                ),
+            });
+        }
+        let sets = way_bytes / self.block_bytes;
+        if !sets.is_power_of_two() {
+            return Err(CacheConfigError::Indivisible {
+                detail: format!("number of sets {sets} is not a power of two"),
+            });
+        }
+        if self.subarray_bytes > way_bytes {
+            return Err(CacheConfigError::SubarrayTooLarge {
+                subarray_bytes: self.subarray_bytes,
+                way_bytes,
+            });
+        }
+        Ok(())
+    }
+
+    /// Size in bytes of one way.
+    pub fn way_bytes(&self) -> u64 {
+        self.size_bytes / u64::from(self.associativity)
+    }
+
+    /// Total number of sets at full size.
+    pub fn num_sets(&self) -> u64 {
+        self.way_bytes() / self.block_bytes
+    }
+
+    /// Number of sets contained in one subarray of one way.
+    pub fn sets_per_subarray(&self) -> u64 {
+        (self.subarray_bytes / self.block_bytes).max(1)
+    }
+
+    /// Number of subarrays per way.
+    pub fn subarrays_per_way(&self) -> u64 {
+        (self.num_sets() / self.sets_per_subarray()).max(1)
+    }
+
+    /// Total number of data subarrays at full size.
+    pub fn total_subarrays(&self) -> u64 {
+        self.subarrays_per_way() * u64::from(self.associativity)
+    }
+
+    /// Smallest number of sets reachable by set resizing: one subarray per
+    /// way.
+    pub fn min_sets(&self) -> u64 {
+        self.sets_per_subarray().min(self.num_sets())
+    }
+
+    /// Number of index bits at full size.
+    pub fn index_bits(&self) -> u32 {
+        self.num_sets().trailing_zeros()
+    }
+
+    /// Number of extra tag bits a selective-sets organization must keep to
+    /// support its smallest size (the paper's "resizing tag bits").
+    pub fn resizing_tag_bits(&self) -> u32 {
+        self.num_sets().trailing_zeros() - self.min_sets().trailing_zeros()
+    }
+
+    /// Number of tag bits for a 48-bit physical address at `enabled_sets`.
+    pub fn tag_bits(&self, enabled_sets: u64) -> u32 {
+        let offset_bits = self.block_bytes.trailing_zeros();
+        let index_bits = enabled_sets.max(1).trailing_zeros();
+        48u32.saturating_sub(offset_bits + index_bits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn base_l1_geometry() {
+        let c = CacheConfig::l1_default(32 * 1024, 2);
+        c.validate().unwrap();
+        assert_eq!(c.way_bytes(), 16 * 1024);
+        assert_eq!(c.num_sets(), 512);
+        assert_eq!(c.sets_per_subarray(), 32);
+        assert_eq!(c.subarrays_per_way(), 16);
+        assert_eq!(c.total_subarrays(), 32);
+        assert_eq!(c.min_sets(), 32);
+        assert_eq!(c.index_bits(), 9);
+        assert_eq!(c.resizing_tag_bits(), 4);
+    }
+
+    #[test]
+    fn four_way_l1_geometry() {
+        let c = CacheConfig::l1_default(32 * 1024, 4);
+        c.validate().unwrap();
+        assert_eq!(c.way_bytes(), 8 * 1024);
+        assert_eq!(c.num_sets(), 256);
+        assert_eq!(c.total_subarrays(), 32);
+        assert_eq!(c.min_sets(), 32);
+    }
+
+    #[test]
+    fn sixteen_way_l1_geometry() {
+        let c = CacheConfig::l1_default(32 * 1024, 16);
+        c.validate().unwrap();
+        assert_eq!(c.way_bytes(), 2 * 1024);
+        assert_eq!(c.num_sets(), 64);
+        assert_eq!(c.subarrays_per_way(), 2);
+    }
+
+    #[test]
+    fn l2_geometry() {
+        let c = CacheConfig::l2_default();
+        c.validate().unwrap();
+        assert_eq!(c.num_sets(), 4096);
+        assert_eq!(c.hit_latency, 12);
+    }
+
+    #[test]
+    fn rejects_non_power_of_two_size() {
+        let mut c = CacheConfig::l1_default(33 * 1024, 2);
+        assert!(matches!(
+            c.validate(),
+            Err(CacheConfigError::NotPowerOfTwo { field: "size_bytes", .. })
+        ));
+        c = CacheConfig::l1_default(0, 2);
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn rejects_zero_associativity() {
+        let c = CacheConfig::l1_default(32 * 1024, 0);
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn rejects_subarray_larger_than_way() {
+        let mut c = CacheConfig::l1_default(4 * 1024, 4);
+        c.subarray_bytes = 2048;
+        assert!(matches!(
+            c.validate(),
+            Err(CacheConfigError::SubarrayTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_non_power_of_two_sets() {
+        // 3-way of a power-of-two size gives a non-integral way size.
+        let c = CacheConfig {
+            size_bytes: 32 * 1024,
+            associativity: 3,
+            block_bytes: 32,
+            subarray_bytes: 1024,
+            hit_latency: 1,
+        };
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn tag_bits_grow_as_sets_shrink() {
+        let c = CacheConfig::l1_default(32 * 1024, 2);
+        assert_eq!(c.tag_bits(512) + 4, c.tag_bits(32));
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let err = CacheConfigError::NotPowerOfTwo {
+            field: "size_bytes",
+            value: 3,
+        };
+        assert!(err.to_string().contains("size_bytes"));
+        let err = CacheConfigError::SubarrayTooLarge {
+            subarray_bytes: 4096,
+            way_bytes: 1024,
+        };
+        assert!(err.to_string().contains("4096"));
+    }
+}

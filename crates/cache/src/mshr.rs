@@ -1,0 +1,139 @@
+//! Miss-status holding registers (MSHRs) for non-blocking caches.
+//!
+//! The out-of-order configuration of the paper uses a non-blocking d-cache:
+//! multiple misses may be outstanding, and secondary misses to a block that
+//! is already being fetched merge into the existing entry. The MSHR file
+//! bounds that concurrency (8 entries in the paper's base configuration).
+
+/// One outstanding miss.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct MshrEntry {
+    block_addr: u64,
+    ready_cycle: u64,
+}
+
+/// A file of miss-status holding registers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MshrFile {
+    capacity: usize,
+    entries: Vec<MshrEntry>,
+}
+
+impl MshrFile {
+    /// Creates an MSHR file with the given number of entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "an MSHR file needs at least one entry");
+        Self {
+            capacity,
+            entries: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Number of entries the file can hold.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of currently outstanding misses.
+    pub fn outstanding(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` if no more primary misses can be accepted.
+    pub fn is_full(&self) -> bool {
+        self.entries.len() >= self.capacity
+    }
+
+    /// Returns the completion cycle of an outstanding miss covering
+    /// `block_addr`, if any (a secondary miss merges into it).
+    pub fn lookup(&self, block_addr: u64) -> Option<u64> {
+        self.entries
+            .iter()
+            .find(|e| e.block_addr == block_addr)
+            .map(|e| e.ready_cycle)
+    }
+
+    /// Allocates an entry for a primary miss completing at `ready_cycle`.
+    ///
+    /// Returns `false` (and allocates nothing) if the file is full.
+    pub fn allocate(&mut self, block_addr: u64, ready_cycle: u64) -> bool {
+        if self.is_full() {
+            return false;
+        }
+        self.entries.push(MshrEntry {
+            block_addr,
+            ready_cycle,
+        });
+        true
+    }
+
+    /// Releases every entry whose miss has completed by `cycle`.
+    pub fn retire_completed(&mut self, cycle: u64) {
+        self.entries.retain(|e| e.ready_cycle > cycle);
+    }
+
+    /// The earliest cycle at which any outstanding miss completes, if any.
+    pub fn earliest_completion(&self) -> Option<u64> {
+        self.entries.iter().map(|e| e.ready_cycle).min()
+    }
+
+    /// Removes all entries (e.g. on a pipeline flush in simplified models).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocate_until_full() {
+        let mut m = MshrFile::new(2);
+        assert!(m.allocate(1, 10));
+        assert!(m.allocate(2, 12));
+        assert!(m.is_full());
+        assert!(!m.allocate(3, 14), "full file rejects allocation");
+        assert_eq!(m.outstanding(), 2);
+        assert_eq!(m.capacity(), 2);
+    }
+
+    #[test]
+    fn secondary_miss_merges() {
+        let mut m = MshrFile::new(4);
+        m.allocate(7, 42);
+        assert_eq!(m.lookup(7), Some(42));
+        assert_eq!(m.lookup(8), None);
+    }
+
+    #[test]
+    fn retire_frees_entries() {
+        let mut m = MshrFile::new(2);
+        m.allocate(1, 10);
+        m.allocate(2, 20);
+        m.retire_completed(15);
+        assert_eq!(m.outstanding(), 1);
+        assert_eq!(m.lookup(1), None);
+        assert_eq!(m.lookup(2), Some(20));
+        assert_eq!(m.earliest_completion(), Some(20));
+    }
+
+    #[test]
+    fn clear_empties_file() {
+        let mut m = MshrFile::new(2);
+        m.allocate(1, 10);
+        m.clear();
+        assert_eq!(m.outstanding(), 0);
+        assert_eq!(m.earliest_completion(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one entry")]
+    fn zero_capacity_panics() {
+        let _ = MshrFile::new(0);
+    }
+}

@@ -1,0 +1,151 @@
+//! One cache set: a row of block frames across the associative ways.
+
+use crate::block::BlockState;
+use crate::replacement::ReplacementPolicy;
+
+/// A cache set holding one frame per way (at full associativity).
+///
+/// Way masking is applied by the [`crate::Cache`]: lookups and fills only
+/// consider the first `enabled_ways` frames.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CacheSet {
+    frames: Vec<BlockState>,
+}
+
+impl CacheSet {
+    /// Creates an empty set with `ways` frames.
+    pub fn new(ways: usize) -> Self {
+        Self {
+            frames: vec![BlockState::empty(); ways],
+        }
+    }
+
+    /// Total number of frames (full associativity).
+    pub fn ways(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Read-only view of the frames.
+    pub fn frames(&self) -> &[BlockState] {
+        &self.frames
+    }
+
+    /// Mutable view of the frames (used by resize flushes).
+    pub fn frames_mut(&mut self) -> &mut [BlockState] {
+        &mut self.frames
+    }
+
+    /// Looks up `block_addr` among the first `enabled_ways` frames.
+    /// Returns the hit way index.
+    pub fn lookup(&self, block_addr: u64, enabled_ways: usize) -> Option<usize> {
+        self.frames
+            .iter()
+            .take(enabled_ways)
+            .position(|f| f.valid && f.block_addr == block_addr)
+    }
+
+    /// Marks a hit at `way`: updates the replacement stamp (for LRU) and
+    /// optionally the dirty bit.
+    pub fn touch(&mut self, way: usize, stamp: u64, policy: ReplacementPolicy, write: bool) {
+        let frame = &mut self.frames[way];
+        if policy.touches_on_hit() {
+            frame.stamp = stamp;
+        }
+        if write {
+            frame.dirty = true;
+        }
+    }
+
+    /// Chooses a victim frame among the first `enabled_ways`, preferring an
+    /// invalid frame.
+    pub fn choose_victim(
+        &self,
+        enabled_ways: usize,
+        policy: ReplacementPolicy,
+        counter: u64,
+    ) -> usize {
+        if let Some(idx) = self
+            .frames
+            .iter()
+            .take(enabled_ways)
+            .position(|f| !f.valid)
+        {
+            return idx;
+        }
+        let stamps: Vec<u64> = self
+            .frames
+            .iter()
+            .take(enabled_ways)
+            .map(|f| f.stamp)
+            .collect();
+        policy.choose_victim(&stamps, counter)
+    }
+
+    /// Number of valid frames among the first `enabled_ways`.
+    pub fn valid_count(&self, enabled_ways: usize) -> usize {
+        self.frames
+            .iter()
+            .take(enabled_ways)
+            .filter(|f| f.valid)
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup_respects_way_mask() {
+        let mut set = CacheSet::new(4);
+        set.frames_mut()[3].fill(0x10, false, 1);
+        assert_eq!(set.lookup(0x10, 4), Some(3));
+        assert_eq!(set.lookup(0x10, 2), None, "masked ways are invisible");
+    }
+
+    #[test]
+    fn victim_prefers_invalid_frames() {
+        let mut set = CacheSet::new(2);
+        set.frames_mut()[0].fill(0x1, false, 10);
+        assert_eq!(set.choose_victim(2, ReplacementPolicy::Lru, 0), 1);
+    }
+
+    #[test]
+    fn victim_is_lru_when_full() {
+        let mut set = CacheSet::new(2);
+        set.frames_mut()[0].fill(0x1, false, 10);
+        set.frames_mut()[1].fill(0x2, false, 4);
+        assert_eq!(set.choose_victim(2, ReplacementPolicy::Lru, 0), 1);
+    }
+
+    #[test]
+    fn victim_restricted_to_enabled_ways() {
+        let mut set = CacheSet::new(4);
+        for w in 0..4 {
+            set.frames_mut()[w].fill(w as u64, false, 10 - w as u64);
+        }
+        // Way 3 has the oldest stamp but is disabled.
+        assert_eq!(set.choose_victim(2, ReplacementPolicy::Lru, 0), 1);
+    }
+
+    #[test]
+    fn touch_updates_lru_and_dirty() {
+        let mut set = CacheSet::new(2);
+        set.frames_mut()[0].fill(0x1, false, 1);
+        set.touch(0, 99, ReplacementPolicy::Lru, true);
+        assert_eq!(set.frames()[0].stamp, 99);
+        assert!(set.frames()[0].dirty);
+        // FIFO does not update the stamp on hits.
+        set.touch(0, 150, ReplacementPolicy::Fifo, false);
+        assert_eq!(set.frames()[0].stamp, 99);
+    }
+
+    #[test]
+    fn valid_count_respects_mask() {
+        let mut set = CacheSet::new(4);
+        set.frames_mut()[0].fill(0x1, false, 1);
+        set.frames_mut()[3].fill(0x2, false, 1);
+        assert_eq!(set.valid_count(4), 2);
+        assert_eq!(set.valid_count(2), 1);
+    }
+}

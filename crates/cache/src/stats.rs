@@ -1,0 +1,203 @@
+//! Cache access and resize statistics.
+
+/// Accesses accumulated while a particular resized geometry was active.
+///
+/// The energy model charges each access according to the geometry that was
+/// enabled when it happened, so the statistics are sliced per geometry; a new
+/// slice is opened whenever the cache is resized to a geometry it is not
+/// already in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GeometrySlice {
+    /// Number of enabled sets while this slice was active.
+    pub enabled_sets: u64,
+    /// Number of enabled ways while this slice was active.
+    pub enabled_ways: u32,
+    /// Accesses (reads + writes) performed in this slice.
+    pub accesses: u64,
+    /// Fills performed in this slice (each fill reads a block from the next
+    /// level and writes it into the array).
+    pub fills: u64,
+}
+
+impl GeometrySlice {
+    /// Enabled capacity in bytes for a cache with the given block size.
+    pub fn enabled_bytes(&self, block_bytes: u64) -> u64 {
+        self.enabled_sets * u64::from(self.enabled_ways) * block_bytes
+    }
+}
+
+/// Statistics for one cache.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Total accesses (reads + writes).
+    pub accesses: u64,
+    /// Read accesses.
+    pub reads: u64,
+    /// Write accesses.
+    pub writes: u64,
+    /// Hits.
+    pub hits: u64,
+    /// Misses.
+    pub misses: u64,
+    /// Block fills (allocations) performed.
+    pub fills: u64,
+    /// Dirty blocks evicted by replacement (sent to the next level).
+    pub writebacks: u64,
+    /// Dirty blocks written back because a resize flushed them.
+    pub resize_writebacks: u64,
+    /// Blocks (clean or dirty) invalidated by a resize.
+    pub resize_invalidations: u64,
+    /// Number of resize operations that changed the geometry.
+    pub resizes: u64,
+    /// Per-geometry access slices, in activation order.
+    pub slices: Vec<GeometrySlice>,
+}
+
+impl CacheStats {
+    /// Creates empty statistics with an initial geometry slice.
+    pub fn new(enabled_sets: u64, enabled_ways: u32) -> Self {
+        Self {
+            slices: vec![GeometrySlice {
+                enabled_sets,
+                enabled_ways,
+                accesses: 0,
+                fills: 0,
+            }],
+            ..Self::default()
+        }
+    }
+
+    /// Miss ratio over all accesses (0 if there were none).
+    pub fn miss_ratio(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.accesses as f64
+        }
+    }
+
+    /// Records an access in the current geometry slice.
+    pub fn record_access(&mut self, write: bool, hit: bool) {
+        self.accesses += 1;
+        if write {
+            self.writes += 1;
+        } else {
+            self.reads += 1;
+        }
+        if hit {
+            self.hits += 1;
+        } else {
+            self.misses += 1;
+        }
+        if let Some(slice) = self.slices.last_mut() {
+            slice.accesses += 1;
+        }
+    }
+
+    /// Records a fill in the current geometry slice.
+    pub fn record_fill(&mut self) {
+        self.fills += 1;
+        if let Some(slice) = self.slices.last_mut() {
+            slice.fills += 1;
+        }
+    }
+
+    /// Opens a new geometry slice (called by the cache on resize).
+    pub fn open_slice(&mut self, enabled_sets: u64, enabled_ways: u32) {
+        self.resizes += 1;
+        self.slices.push(GeometrySlice {
+            enabled_sets,
+            enabled_ways,
+            accesses: 0,
+            fills: 0,
+        });
+    }
+
+    /// Access-weighted mean enabled capacity in bytes.
+    ///
+    /// This is the "average cache size" metric the paper's Figures 5, 7, 8
+    /// and 9 report (there expressed as a *reduction* relative to the full
+    /// size).
+    pub fn mean_enabled_bytes(&self, block_bytes: u64) -> f64 {
+        let total: u64 = self.slices.iter().map(|s| s.accesses).sum();
+        if total == 0 {
+            return self
+                .slices
+                .last()
+                .map(|s| s.enabled_bytes(block_bytes) as f64)
+                .unwrap_or(0.0);
+        }
+        self.slices
+            .iter()
+            .map(|s| s.enabled_bytes(block_bytes) as f64 * s.accesses as f64)
+            .sum::<f64>()
+            / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn miss_ratio_handles_zero_accesses() {
+        assert_eq!(CacheStats::default().miss_ratio(), 0.0);
+    }
+
+    #[test]
+    fn record_access_updates_counters_and_slice() {
+        let mut s = CacheStats::new(512, 2);
+        s.record_access(false, true);
+        s.record_access(true, false);
+        assert_eq!(s.accesses, 2);
+        assert_eq!(s.reads, 1);
+        assert_eq!(s.writes, 1);
+        assert_eq!(s.hits, 1);
+        assert_eq!(s.misses, 1);
+        assert_eq!(s.slices[0].accesses, 2);
+        assert!((s.miss_ratio() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn open_slice_partitions_accesses() {
+        let mut s = CacheStats::new(512, 2);
+        s.record_access(false, true);
+        s.open_slice(256, 2);
+        s.record_access(false, true);
+        s.record_access(false, true);
+        assert_eq!(s.resizes, 1);
+        assert_eq!(s.slices.len(), 2);
+        assert_eq!(s.slices[0].accesses, 1);
+        assert_eq!(s.slices[1].accesses, 2);
+    }
+
+    #[test]
+    fn mean_enabled_bytes_is_access_weighted() {
+        let mut s = CacheStats::new(512, 2); // 32 KiB with 32-byte blocks
+        s.record_access(false, true);
+        s.open_slice(256, 2); // 16 KiB
+        s.record_access(false, true);
+        s.record_access(false, true);
+        s.record_access(false, true);
+        let mean = s.mean_enabled_bytes(32);
+        let expected = (32.0 * 1024.0 + 3.0 * 16.0 * 1024.0) / 4.0;
+        assert!((mean - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mean_enabled_bytes_without_accesses_uses_current_geometry() {
+        let s = CacheStats::new(512, 2);
+        assert_eq!(s.mean_enabled_bytes(32), 32.0 * 1024.0);
+    }
+
+    #[test]
+    fn geometry_slice_bytes() {
+        let slice = GeometrySlice {
+            enabled_sets: 128,
+            enabled_ways: 4,
+            accesses: 0,
+            fills: 0,
+        };
+        assert_eq!(slice.enabled_bytes(32), 128 * 4 * 32);
+    }
+}

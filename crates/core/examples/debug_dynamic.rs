@@ -1,0 +1,45 @@
+//! Inspects the dynamic-resizing candidate sweep for one application,
+//! printing every candidate's parameters and outcome (used for tuning).
+
+use rescache_core::experiment::{Runner, RunnerConfig};
+use rescache_core::{Organization, ResizableCacheSide, SystemConfig};
+use rescache_trace::spec;
+
+fn main() {
+    let app_name = std::env::args().nth(1).unwrap_or_else(|| "compress".into());
+    let engine = std::env::args().nth(2).unwrap_or_else(|| "inorder".into());
+    let app = spec::profile(&app_name).expect("known app");
+    let system = if engine == "inorder" { SystemConfig::in_order() } else { SystemConfig::base() };
+    let runner = Runner::new(RunnerConfig::from_env());
+
+    let stat = runner
+        .static_best(&app, &system, Organization::SelectiveSets, ResizableCacheSide::Data)
+        .unwrap();
+    println!("base: cycles={} energy={:.3e} dmr={:.3}", stat.base.cycles, stat.base.energy_pj, stat.base.l1d_miss_ratio);
+    for (p, m) in &stat.evaluated {
+        println!(
+            "static {:>5}K: EDPred={:6.2}% slowdown={:5.2}% dmr={:.3}",
+            p.bytes(32) / 1024,
+            m.energy_delay().reduction_vs(&stat.base.energy_delay()),
+            m.energy_delay().slowdown_vs(&stat.base.energy_delay()),
+            m.l1d_miss_ratio
+        );
+    }
+    let best_bytes = stat.best.point.map(|p| p.bytes(32)).unwrap_or(32 * 1024);
+    let bounds = [best_bytes, best_bytes / 2, best_bytes / 4, 1];
+    let dyn_out = runner
+        .dynamic_best_with_size_bounds(&app, &system, Organization::SelectiveSets, ResizableCacheSide::Data, &bounds)
+        .unwrap();
+    for (p, m) in &dyn_out.candidates {
+        println!(
+            "dyn bound={:>5}K missbound={:>5}: EDPred={:6.2}% slowdown={:5.2}% meanKB={:5.1} resizes={} dmr={:.3}",
+            p.size_bound_bytes / 1024,
+            p.miss_bound,
+            m.energy_delay().reduction_vs(&stat.base.energy_delay()),
+            m.energy_delay().slowdown_vs(&stat.base.energy_delay()),
+            m.l1d_mean_bytes / 1024.0,
+            m.l1d_resizes,
+            m.l1d_miss_ratio
+        );
+    }
+}

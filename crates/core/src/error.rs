@@ -1,0 +1,85 @@
+//! Error types for the core crate.
+
+use std::error::Error;
+use std::fmt;
+
+use rescache_cache::CacheConfigError;
+
+/// Errors produced while setting up organizations, strategies or experiments.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoreError {
+    /// The underlying cache configuration was rejected.
+    Cache(CacheConfigError),
+    /// A resizing organization cannot be applied to the given cache
+    /// configuration (e.g. selective-sets on a cache with a single subarray
+    /// per way).
+    Inapplicable {
+        /// Explanation of the mismatch.
+        detail: String,
+    },
+    /// A strategy parameter was out of range.
+    InvalidParameter {
+        /// Name of the offending parameter.
+        parameter: &'static str,
+        /// Explanation of the violation.
+        detail: String,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Cache(e) => write!(f, "invalid cache configuration: {e}"),
+            CoreError::Inapplicable { detail } => {
+                write!(f, "organization not applicable: {detail}")
+            }
+            CoreError::InvalidParameter { parameter, detail } => {
+                write!(f, "invalid {parameter}: {detail}")
+            }
+        }
+    }
+}
+
+impl Error for CoreError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CoreError::Cache(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CacheConfigError> for CoreError {
+    fn from(e: CacheConfigError) -> Self {
+        CoreError::Cache(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        let e = CoreError::Inapplicable {
+            detail: "fully associative".into(),
+        };
+        assert!(e.to_string().contains("not applicable"));
+        let e = CoreError::InvalidParameter {
+            parameter: "interval",
+            detail: "must be positive".into(),
+        };
+        assert!(e.to_string().contains("interval"));
+    }
+
+    #[test]
+    fn wraps_cache_errors() {
+        let cache_err = CacheConfigError::NotPowerOfTwo {
+            field: "size_bytes",
+            value: 3,
+        };
+        let e: CoreError = cache_err.clone().into();
+        assert_eq!(e, CoreError::Cache(cache_err));
+        assert!(Error::source(&e).is_some());
+    }
+}

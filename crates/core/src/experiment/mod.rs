@@ -1,0 +1,33 @@
+//! Experiment drivers: one module per table/figure of the paper, built on a
+//! shared [`Runner`] that turns (application, system, cache setup) into a
+//! [`Measurement`].
+//!
+//! | Paper artefact | Driver |
+//! |---|---|
+//! | Table 1 (hybrid size grid) | [`crate::org::hybrid_grid`] |
+//! | Figure 4 (orgs vs. associativity) | [`org_comparison::organization_vs_associativity`] |
+//! | Figure 5 (orgs per application, 4-way) | [`org_comparison::per_app_org_comparison`] |
+//! | Figure 6 (hybrid effectiveness) | [`hybrid::hybrid_effectiveness`] |
+//! | Figure 7 (d-cache static vs. dynamic) | [`strategy_cmp::static_vs_dynamic`] |
+//! | Figure 8 (i-cache static vs. dynamic) | [`strategy_cmp::static_vs_dynamic`] |
+//! | Figure 9 (resizing both L1s) | [`dual::dual_resizing`] |
+
+pub mod dual;
+pub mod hybrid;
+pub mod org_comparison;
+pub mod parallel;
+pub mod report;
+pub mod runner;
+pub mod strategy_cmp;
+
+pub use dual::{dual_resizing, DualOutcome, DualRow};
+pub use hybrid::hybrid_effectiveness;
+pub use org_comparison::{
+    organization_vs_associativity, per_app_org_comparison, OrgAssocPoint, PerAppOrgRow,
+};
+pub use parallel::parallel_map;
+pub use report::{format_table, mean};
+pub use runner::{
+    BestSummary, DynamicOutcome, Measurement, RunSetup, Runner, RunnerConfig, StaticOutcome,
+};
+pub use strategy_cmp::{static_vs_dynamic, StrategyRow};

@@ -1,0 +1,87 @@
+//! A small work-stealing helper used to fan experiment runs out over the
+//! available cores (the figure sweeps run thousands of independent
+//! simulations).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Applies `f` to every item, in parallel, preserving the input order of the
+/// results.
+///
+/// The closure runs on `std::thread::available_parallelism()` worker threads
+/// (or fewer if there are fewer items); items are handed out through a shared
+/// counter, so uneven per-item cost balances naturally.
+pub fn parallel_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    if items.is_empty() {
+        return Vec::new();
+    }
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(items.len());
+    if workers <= 1 {
+        return items.iter().map(|item| f(item)).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let results: Mutex<Vec<Option<R>>> =
+        Mutex::new((0..items.len()).map(|_| None).collect());
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let index = next.fetch_add(1, Ordering::Relaxed);
+                if index >= items.len() {
+                    break;
+                }
+                let value = f(&items[index]);
+                results
+                    .lock()
+                    .expect("result mutex is never poisoned: workers do not panic while holding it")
+                    [index] = Some(value);
+            });
+        }
+    });
+
+    results
+        .into_inner()
+        .expect("all workers have finished")
+        .into_iter()
+        .map(|slot| slot.expect("every index was processed"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order() {
+        let items: Vec<u64> = (0..100).collect();
+        let out = parallel_map(&items, |x| x * 2);
+        assert_eq!(out, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_input_is_empty_output() {
+        let items: Vec<u64> = vec![];
+        assert!(parallel_map(&items, |x| *x).is_empty());
+    }
+
+    #[test]
+    fn single_item_runs_inline() {
+        assert_eq!(parallel_map(&[7u64], |x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn handles_non_trivial_work() {
+        let items: Vec<u64> = (0..32).collect();
+        let out = parallel_map(&items, |x| (0..=*x).sum::<u64>());
+        assert_eq!(out[31], 496);
+    }
+}

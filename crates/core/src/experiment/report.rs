@@ -1,0 +1,80 @@
+//! Plain-text table formatting shared by the benches and examples.
+
+/// Arithmetic mean of a slice (0 for an empty slice).
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        0.0
+    } else {
+        values.iter().sum::<f64>() / values.len() as f64
+    }
+}
+
+/// Formats a table with a header row, aligning every column to its widest
+/// cell. Intended for the bench harness output that mirrors the paper's
+/// figures.
+pub fn format_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let columns = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate().take(columns) {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let render_row = |cells: &[String], widths: &[usize]| -> String {
+        let mut line = String::new();
+        for (i, cell) in cells.iter().enumerate() {
+            line.push_str(&format!("{:<width$}  ", cell, width = widths[i]));
+        }
+        line.trim_end().to_string()
+    };
+    let header_cells: Vec<String> = headers.iter().map(|h| h.to_string()).collect();
+    out.push_str(&render_row(&header_cells, &widths));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * columns));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&render_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_of_values() {
+        assert_eq!(mean(&[]), 0.0);
+        assert!((mean(&[1.0, 2.0, 3.0]) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn table_alignment() {
+        let table = format_table(
+            &["app", "reduction"],
+            &[
+                vec!["ammp".into(), "12.5".into()],
+                vec!["compress".into(), "3.1".into()],
+            ],
+        );
+        let lines: Vec<&str> = table.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("app"));
+        assert!(lines[2].starts_with("ammp"));
+        assert!(lines[3].starts_with("compress"));
+        // Columns align: "reduction" starts at the same offset in all rows.
+        let offset = lines[0].find("reduction").unwrap();
+        assert_eq!(lines[2].find("12.5").unwrap(), offset);
+    }
+
+    #[test]
+    fn table_handles_wide_cells() {
+        let table = format_table(
+            &["x"],
+            &[vec!["a-very-wide-cell".into()], vec!["b".into()]],
+        );
+        assert!(table.contains("a-very-wide-cell"));
+    }
+}

@@ -1,0 +1,609 @@
+//! The shared experiment runner: simulates one application under one cache
+//! setup and reports energy, delay and cache-size statistics.
+
+use rescache_cache::MemoryHierarchy;
+use rescache_cpu::Simulator;
+use rescache_energy::{EnergyBreakdown, EnergyDelay, EnergyModel, ResizingTagOverhead};
+use rescache_trace::{AppProfile, Trace, TraceGenerator};
+
+use crate::error::CoreError;
+use crate::org::{CachePoint, ConfigSpace, Organization};
+use crate::strategy::{DynamicController, DynamicParams};
+use crate::system::{ResizableCacheSide, SystemConfig};
+
+/// Simulation lengths and seeds used by every experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunnerConfig {
+    /// Instructions executed to warm the caches before measurement begins.
+    pub warmup_instructions: usize,
+    /// Instructions executed in the measured region.
+    pub measure_instructions: usize,
+    /// Seed for trace generation (the same seed is reused for every cache
+    /// configuration so all configurations see an identical trace).
+    pub trace_seed: u64,
+    /// Interval length (in cache accesses) of the dynamic resizing
+    /// controller.
+    pub dynamic_interval: u64,
+}
+
+impl RunnerConfig {
+    /// The evaluation-quality configuration used by the benches.
+    pub fn paper() -> Self {
+        Self {
+            warmup_instructions: 200_000,
+            measure_instructions: 2_400_000,
+            trace_seed: 42,
+            dynamic_interval: 8_192,
+        }
+    }
+
+    /// A reduced configuration for unit and integration tests.
+    pub fn fast() -> Self {
+        Self {
+            warmup_instructions: 10_000,
+            measure_instructions: 30_000,
+            trace_seed: 42,
+            dynamic_interval: 256,
+        }
+    }
+
+    /// [`RunnerConfig::paper`] with overrides from the environment variables
+    /// `RESCACHE_WARMUP`, `RESCACHE_MEASURE`, `RESCACHE_SEED` and
+    /// `RESCACHE_INTERVAL` (all optional), so bench runs can be scaled
+    /// without recompiling.
+    pub fn from_env() -> Self {
+        let mut cfg = Self::paper();
+        if let Some(v) = read_env("RESCACHE_WARMUP") {
+            cfg.warmup_instructions = v as usize;
+        }
+        if let Some(v) = read_env("RESCACHE_MEASURE") {
+            cfg.measure_instructions = v as usize;
+        }
+        if let Some(v) = read_env("RESCACHE_SEED") {
+            cfg.trace_seed = v;
+        }
+        if let Some(v) = read_env("RESCACHE_INTERVAL") {
+            cfg.dynamic_interval = v.max(1);
+        }
+        cfg
+    }
+}
+
+impl Default for RunnerConfig {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+fn read_env(name: &str) -> Option<u64> {
+    std::env::var(name).ok().and_then(|v| v.parse().ok())
+}
+
+/// Everything measured from one simulation of the measured region.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Measurement {
+    /// Execution time in cycles.
+    pub cycles: u64,
+    /// Committed instructions per cycle.
+    pub ipc: f64,
+    /// Total processor energy in picojoules.
+    pub energy_pj: f64,
+    /// Per-structure energy breakdown.
+    pub breakdown: EnergyBreakdown,
+    /// Access-weighted mean enabled d-cache capacity in bytes.
+    pub l1d_mean_bytes: f64,
+    /// Access-weighted mean enabled i-cache capacity in bytes.
+    pub l1i_mean_bytes: f64,
+    /// Measured d-cache miss ratio.
+    pub l1d_miss_ratio: f64,
+    /// Measured i-cache miss ratio.
+    pub l1i_miss_ratio: f64,
+    /// d-cache resize operations during the measured region.
+    pub l1d_resizes: u64,
+    /// i-cache resize operations during the measured region.
+    pub l1i_resizes: u64,
+}
+
+impl Measurement {
+    /// The energy-delay point of this measurement.
+    pub fn energy_delay(&self) -> EnergyDelay {
+        EnergyDelay::new(self.energy_pj, self.cycles)
+    }
+}
+
+/// The cache setup of one run: static points, tag-bit overheads, and an
+/// optional dynamic controller on one side.
+#[derive(Debug, Clone, Default)]
+pub struct RunSetup {
+    /// Statically applied d-cache configuration (None = full size).
+    pub d_static: Option<CachePoint>,
+    /// Statically applied i-cache configuration (None = full size).
+    pub i_static: Option<CachePoint>,
+    /// Extra tag bits charged on every d-cache access (selective-sets/hybrid).
+    pub d_tag_bits: u32,
+    /// Extra tag bits charged on every i-cache access (selective-sets/hybrid).
+    pub i_tag_bits: u32,
+    /// Dynamic controller: which side it drives, over which configuration
+    /// space, with which parameters.
+    pub dynamic: Option<(ResizableCacheSide, ConfigSpace, DynamicParams)>,
+}
+
+/// Summary of the best configuration found for one application.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BestSummary {
+    /// The chosen static point (None for dynamic resizing).
+    pub point: Option<CachePoint>,
+    /// The measurement of the chosen configuration.
+    pub measurement: Measurement,
+    /// Reduction of the processor energy-delay product versus the
+    /// non-resizable base, in percent.
+    pub edp_reduction_percent: f64,
+    /// Reduction of the processor energy versus the base, in percent.
+    pub energy_reduction_percent: f64,
+    /// Reduction of the resized cache's mean size versus full size, in
+    /// percent.
+    pub size_reduction_percent: f64,
+    /// Execution-time increase versus the base, in percent.
+    pub slowdown_percent: f64,
+}
+
+/// Outcome of a static-resizing search for one application.
+#[derive(Debug, Clone)]
+pub struct StaticOutcome {
+    /// Application name.
+    pub app: String,
+    /// The non-resizable baseline.
+    pub base: Measurement,
+    /// Every offered point and its measurement, largest point first.
+    pub evaluated: Vec<(CachePoint, Measurement)>,
+    /// The minimum-EDP choice.
+    pub best: BestSummary,
+}
+
+/// Outcome of a dynamic-resizing parameter sweep for one application.
+#[derive(Debug, Clone)]
+pub struct DynamicOutcome {
+    /// Application name.
+    pub app: String,
+    /// The non-resizable baseline.
+    pub base: Measurement,
+    /// Every candidate parameter set and its measurement.
+    pub candidates: Vec<(DynamicParams, Measurement)>,
+    /// The minimum-EDP choice.
+    pub best: BestSummary,
+}
+
+/// Turns (application, system, cache setup) into measurements, handling
+/// trace generation, cache warm-up and energy evaluation identically for
+/// every experiment.
+#[derive(Debug, Clone)]
+pub struct Runner {
+    config: RunnerConfig,
+}
+
+impl Runner {
+    /// Creates a runner.
+    pub fn new(config: RunnerConfig) -> Self {
+        Self { config }
+    }
+
+    /// The runner configuration.
+    pub fn config(&self) -> &RunnerConfig {
+        &self.config
+    }
+
+    /// Generates the warm-up and measurement traces for an application.
+    pub fn trace(&self, app: &AppProfile) -> (Trace, Trace) {
+        let total = self.config.warmup_instructions + self.config.measure_instructions;
+        let full = TraceGenerator::new(app.clone(), self.config.trace_seed).generate(total);
+        let warm = Trace::new(
+            app.name,
+            full.records()[..self.config.warmup_instructions].to_vec(),
+        );
+        let measure = Trace::new(
+            app.name,
+            full.records()[self.config.warmup_instructions..].to_vec(),
+        );
+        (warm, measure)
+    }
+
+    /// Runs one simulation: warm-up, statistics reset, measured region.
+    pub fn run(
+        &self,
+        warm: &Trace,
+        measure: &Trace,
+        system: &SystemConfig,
+        setup: &RunSetup,
+    ) -> Measurement {
+        let mut hierarchy =
+            MemoryHierarchy::new(system.hierarchy).expect("base hierarchy configurations are valid");
+        if let Some(point) = setup.d_static {
+            let effect = point.apply(hierarchy.l1d_mut());
+            hierarchy.note_resize_flush_writebacks(effect.dirty_writebacks);
+        }
+        if let Some(point) = setup.i_static {
+            let effect = point.apply(hierarchy.l1i_mut());
+            hierarchy.note_resize_flush_writebacks(effect.dirty_writebacks);
+        }
+        let model = EnergyModel::with_overhead(
+            &system.hierarchy,
+            ResizingTagOverhead {
+                l1i_bits: setup.i_tag_bits,
+                l1d_bits: setup.d_tag_bits,
+            },
+        );
+        let sim = Simulator::new(system.cpu);
+        let mut controller = setup.dynamic.clone().map(|(side, space, params)| {
+            DynamicController::new(side, space, params)
+                .expect("dynamic parameters validated by the caller")
+        });
+
+        match controller.as_mut() {
+            Some(hook) => {
+                sim.run_with_hook(warm, &mut hierarchy, hook);
+            }
+            None => {
+                sim.run(warm, &mut hierarchy);
+            }
+        }
+        hierarchy.reset_stats();
+        let result = match controller.as_mut() {
+            Some(hook) => sim.run_with_hook(measure, &mut hierarchy, hook),
+            None => sim.run(measure, &mut hierarchy),
+        };
+
+        let breakdown = model.breakdown(&result, &hierarchy);
+        let block_d = system.hierarchy.l1d.block_bytes;
+        let block_i = system.hierarchy.l1i.block_bytes;
+        Measurement {
+            cycles: result.cycles,
+            ipc: result.ipc(),
+            energy_pj: breakdown.total_pj(),
+            breakdown,
+            l1d_mean_bytes: hierarchy.l1d().stats().mean_enabled_bytes(block_d),
+            l1i_mean_bytes: hierarchy.l1i().stats().mean_enabled_bytes(block_i),
+            l1d_miss_ratio: hierarchy.l1d().stats().miss_ratio(),
+            l1i_miss_ratio: hierarchy.l1i().stats().miss_ratio(),
+            l1d_resizes: hierarchy.l1d().stats().resizes,
+            l1i_resizes: hierarchy.l1i().stats().resizes,
+        }
+    }
+
+    /// Runs the non-resizable baseline (full-size caches, no tag overhead).
+    pub fn baseline(&self, warm: &Trace, measure: &Trace, system: &SystemConfig) -> Measurement {
+        self.run(warm, measure, system, &RunSetup::default())
+    }
+
+    fn summarise(
+        &self,
+        base: &Measurement,
+        point: Option<CachePoint>,
+        measurement: Measurement,
+        side: ResizableCacheSide,
+        system: &SystemConfig,
+    ) -> BestSummary {
+        let base_ed = base.energy_delay();
+        let ed = measurement.energy_delay();
+        let full_bytes = side.config_of(&system.hierarchy).size_bytes as f64;
+        let mean_bytes = match side {
+            ResizableCacheSide::Data => measurement.l1d_mean_bytes,
+            ResizableCacheSide::Instruction => measurement.l1i_mean_bytes,
+        };
+        BestSummary {
+            point,
+            measurement,
+            edp_reduction_percent: ed.reduction_vs(&base_ed),
+            energy_reduction_percent: ed.energy_reduction_vs(&base_ed),
+            size_reduction_percent: (1.0 - mean_bytes / full_bytes) * 100.0,
+            slowdown_percent: ed.slowdown_vs(&base_ed),
+        }
+    }
+
+    fn setup_for_point(
+        side: ResizableCacheSide,
+        point: CachePoint,
+        tag_bits: u32,
+    ) -> RunSetup {
+        match side {
+            ResizableCacheSide::Data => RunSetup {
+                d_static: Some(point),
+                d_tag_bits: tag_bits,
+                ..RunSetup::default()
+            },
+            ResizableCacheSide::Instruction => RunSetup {
+                i_static: Some(point),
+                i_tag_bits: tag_bits,
+                ..RunSetup::default()
+            },
+        }
+    }
+
+    /// Static resizing: evaluates every configuration the organization
+    /// offers for `side` and keeps the one with the lowest processor
+    /// energy-delay product (the paper's profiling-based static strategy).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the organization is not applicable to the cache
+    /// (e.g. selective-ways on a direct-mapped cache).
+    pub fn static_best(
+        &self,
+        app: &AppProfile,
+        system: &SystemConfig,
+        organization: Organization,
+        side: ResizableCacheSide,
+    ) -> Result<StaticOutcome, CoreError> {
+        let cache_cfg = side.config_of(&system.hierarchy);
+        let space = ConfigSpace::enumerate(cache_cfg, organization)?;
+        let tag_bits = if organization.needs_resizing_tag_bits() {
+            cache_cfg.resizing_tag_bits()
+        } else {
+            0
+        };
+
+        let (warm, measure) = self.trace(app);
+        let base = self.baseline(&warm, &measure, system);
+
+        let evaluated: Vec<(CachePoint, Measurement)> = space
+            .points()
+            .iter()
+            .map(|point| {
+                let setup = Self::setup_for_point(side, *point, tag_bits);
+                (*point, self.run(&warm, &measure, system, &setup))
+            })
+            .collect();
+
+        let (best_point, best_measurement) = evaluated
+            .iter()
+            .min_by(|a, b| {
+                a.1.energy_delay()
+                    .product()
+                    .partial_cmp(&b.1.energy_delay().product())
+                    .expect("energy-delay products are finite")
+            })
+            .copied()
+            .expect("config spaces offer at least two points");
+
+        let best = self.summarise(&base, Some(best_point), best_measurement, side, system);
+        Ok(StaticOutcome {
+            app: app.name.to_string(),
+            base,
+            evaluated,
+            best,
+        })
+    }
+
+    /// Dynamic resizing: sweeps the profiled parameter candidates of the
+    /// miss-ratio controller and keeps the best energy-delay product.
+    ///
+    /// The size-bound candidates default to an eighth, a quarter and half of
+    /// the full capacity; use [`Runner::dynamic_best_with_size_bounds`] to
+    /// supply bounds derived from a static profiling pass (as the
+    /// strategy-comparison experiments do).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the organization is not applicable to the cache.
+    pub fn dynamic_best(
+        &self,
+        app: &AppProfile,
+        system: &SystemConfig,
+        organization: Organization,
+        side: ResizableCacheSide,
+    ) -> Result<DynamicOutcome, CoreError> {
+        let full = side.config_of(&system.hierarchy).size_bytes;
+        self.dynamic_best_with_size_bounds(
+            app,
+            system,
+            organization,
+            side,
+            &[full / 8, full / 4, full / 2],
+        )
+    }
+
+    /// Dynamic resizing with explicit size-bound candidates (see
+    /// [`Runner::dynamic_best`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the organization is not applicable to the cache.
+    pub fn dynamic_best_with_size_bounds(
+        &self,
+        app: &AppProfile,
+        system: &SystemConfig,
+        organization: Organization,
+        side: ResizableCacheSide,
+        size_bounds: &[u64],
+    ) -> Result<DynamicOutcome, CoreError> {
+        let cache_cfg = side.config_of(&system.hierarchy);
+        let space = ConfigSpace::enumerate(cache_cfg, organization)?;
+        let tag_bits = if organization.needs_resizing_tag_bits() {
+            cache_cfg.resizing_tag_bits()
+        } else {
+            0
+        };
+
+        let (warm, measure) = self.trace(app);
+        let base = self.baseline(&warm, &measure, system);
+        let base_miss_ratio = match side {
+            ResizableCacheSide::Data => base.l1d_miss_ratio,
+            ResizableCacheSide::Instruction => base.l1i_miss_ratio,
+        };
+
+        // Clamp the requested bounds into the offered range.
+        let clamped: Vec<u64> = size_bounds
+            .iter()
+            .map(|b| (*b).clamp(space.min_bytes(), cache_cfg.size_bytes))
+            .collect();
+        let params = DynamicParams::candidates_with_bounds(
+            self.config.dynamic_interval,
+            base_miss_ratio,
+            &clamped,
+        );
+        let candidates: Vec<(DynamicParams, Measurement)> = params
+            .into_iter()
+            .map(|p| {
+                let mut setup = RunSetup {
+                    dynamic: Some((side, space.clone(), p)),
+                    ..RunSetup::default()
+                };
+                match side {
+                    ResizableCacheSide::Data => setup.d_tag_bits = tag_bits,
+                    ResizableCacheSide::Instruction => setup.i_tag_bits = tag_bits,
+                }
+                (p, self.run(&warm, &measure, system, &setup))
+            })
+            .collect();
+
+        let (_, best_measurement) = candidates
+            .iter()
+            .min_by(|a, b| {
+                a.1.energy_delay()
+                    .product()
+                    .partial_cmp(&b.1.energy_delay().product())
+                    .expect("energy-delay products are finite")
+            })
+            .copied()
+            .expect("at least one dynamic candidate");
+
+        let best = self.summarise(&base, None, best_measurement, side, system);
+        Ok(DynamicOutcome {
+            app: app.name.to_string(),
+            base,
+            candidates,
+            best,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rescache_trace::spec;
+
+    fn runner() -> Runner {
+        Runner::new(RunnerConfig::fast())
+    }
+
+    #[test]
+    fn runner_config_sources() {
+        assert_eq!(RunnerConfig::default(), RunnerConfig::paper());
+        assert!(RunnerConfig::fast().measure_instructions < RunnerConfig::paper().measure_instructions);
+        // from_env falls back to the paper configuration when unset.
+        let cfg = RunnerConfig::from_env();
+        assert!(cfg.measure_instructions > 0);
+    }
+
+    #[test]
+    fn trace_split_lengths() {
+        let r = runner();
+        let (warm, measure) = r.trace(&spec::ammp());
+        assert_eq!(warm.len(), r.config().warmup_instructions);
+        assert_eq!(measure.len(), r.config().measure_instructions);
+    }
+
+    #[test]
+    fn baseline_measurement_is_sane() {
+        let r = runner();
+        let (warm, measure) = r.trace(&spec::m88ksim());
+        let m = r.baseline(&warm, &measure, &SystemConfig::base());
+        assert!(m.cycles > 0);
+        assert!(m.energy_pj > 0.0);
+        assert_eq!(m.l1d_mean_bytes, 32.0 * 1024.0);
+        assert_eq!(m.l1i_mean_bytes, 32.0 * 1024.0);
+        assert_eq!(m.l1d_resizes, 0);
+    }
+
+    #[test]
+    fn static_point_reduces_dcache_energy_for_small_working_sets() {
+        let r = runner();
+        let (warm, measure) = r.trace(&spec::ammp());
+        let system = SystemConfig::base();
+        let base = r.baseline(&warm, &measure, &system);
+        let setup = RunSetup {
+            d_static: Some(CachePoint { sets: 64, ways: 2 }), // 4 KiB
+            d_tag_bits: 4,
+            ..RunSetup::default()
+        };
+        let small = r.run(&warm, &measure, &system, &setup);
+        assert!(small.breakdown.l1d_pj < base.breakdown.l1d_pj * 0.5);
+        assert!(small.l1d_mean_bytes < 5.0 * 1024.0);
+        // ammp's working set fits in 4K, so the slowdown must be small.
+        let slowdown = small.cycles as f64 / base.cycles as f64;
+        assert!(slowdown < 1.06, "slowdown {slowdown}");
+    }
+
+    #[test]
+    fn static_best_finds_a_saving_for_ammp() {
+        let r = runner();
+        let outcome = r
+            .static_best(
+                &spec::ammp(),
+                &SystemConfig::base(),
+                Organization::SelectiveSets,
+                ResizableCacheSide::Data,
+            )
+            .unwrap();
+        assert_eq!(outcome.evaluated.len(), 5); // 32/16/8/4/2 KiB at 2-way
+        assert!(
+            outcome.best.edp_reduction_percent > 3.0,
+            "ammp should benefit from d-cache downsizing, got {:.2}%",
+            outcome.best.edp_reduction_percent
+        );
+        assert!(outcome.best.size_reduction_percent > 50.0);
+        assert!(outcome.best.point.is_some());
+    }
+
+    #[test]
+    fn static_best_declines_to_downsize_swim() {
+        let r = runner();
+        let outcome = r
+            .static_best(
+                &spec::swim(),
+                &SystemConfig::base(),
+                Organization::SelectiveSets,
+                ResizableCacheSide::Data,
+            )
+            .unwrap();
+        // swim's working set exceeds the cache: the best point stays at (or
+        // near) the full size and the EDP reduction is small.
+        assert!(
+            outcome.best.size_reduction_percent < 55.0,
+            "swim should not shrink aggressively, got {:.1}%",
+            outcome.best.size_reduction_percent
+        );
+    }
+
+    #[test]
+    fn dynamic_best_runs_and_reports_resizes() {
+        let r = runner();
+        let outcome = r
+            .dynamic_best(
+                &spec::su2cor(),
+                &SystemConfig::in_order(),
+                Organization::SelectiveSets,
+                ResizableCacheSide::Data,
+            )
+            .unwrap();
+        // Three default size-bounds (an eighth, a quarter, half of the full
+        // size) times five miss-bound factors.
+        assert_eq!(outcome.candidates.len(), 15);
+        assert!(outcome.best.measurement.l1d_mean_bytes <= 32.0 * 1024.0);
+        assert!(outcome
+            .candidates
+            .iter()
+            .any(|(_, m)| m.l1d_resizes > 0), "at least one candidate should resize");
+    }
+
+    #[test]
+    fn inapplicable_organization_is_an_error() {
+        let r = runner();
+        let err = r.static_best(
+            &spec::ammp(),
+            &SystemConfig::with_l1(32 * 1024, 1),
+            Organization::SelectiveWays,
+            ResizableCacheSide::Data,
+        );
+        assert!(err.is_err());
+    }
+}

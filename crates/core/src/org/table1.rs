@@ -1,0 +1,153 @@
+//! The paper's Table 1: the size/associativity grid a hybrid cache offers.
+
+use rescache_cache::CacheConfig;
+
+use crate::error::CoreError;
+use crate::org::{CachePoint, ConfigSpace, Organization};
+
+/// The hybrid size grid: one row per way size (number of enabled sets), one
+/// column per associativity, each cell the resulting capacity in bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HybridGrid {
+    /// Way sizes (bytes per way) for each row, largest first.
+    pub way_bytes: Vec<u64>,
+    /// Associativities for each column, largest first.
+    pub associativities: Vec<u32>,
+    /// `cells[row][col]` = capacity in bytes at that way size and
+    /// associativity.
+    pub cells: Vec<Vec<u64>>,
+    /// `redundant[row][col]` = true when the same capacity is offered by a
+    /// higher-associativity cell (the grey cells of Table 1).
+    pub redundant: Vec<Vec<bool>>,
+}
+
+impl HybridGrid {
+    /// Renders the grid as a plain-text table (sizes in KiB), matching the
+    /// layout of the paper's Table 1.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str("way size |");
+        for a in &self.associativities {
+            out.push_str(&format!(" {a:>3}-way |"));
+        }
+        out.push('\n');
+        for (r, way) in self.way_bytes.iter().enumerate() {
+            out.push_str(&format!("{:>6}K  |", way / 1024));
+            for (c, _) in self.associativities.iter().enumerate() {
+                let kib = self.cells[r][c] / 1024;
+                let marker = if self.redundant[r][c] { "*" } else { " " };
+                out.push_str(&format!(" {kib:>4}K{marker} |"));
+            }
+            out.push('\n');
+        }
+        out.push_str("(* = redundant size, offered at a higher associativity)\n");
+        out
+    }
+}
+
+/// Builds the hybrid resizing grid (Table 1) for a cache configuration.
+///
+/// # Errors
+///
+/// Returns an error if the configuration is invalid or the hybrid
+/// organization is inapplicable to it.
+pub fn hybrid_grid(config: CacheConfig) -> Result<HybridGrid, CoreError> {
+    // Validate applicability the same way the config space does.
+    let space = ConfigSpace::enumerate(config, Organization::Hybrid)?;
+    let offered = space.points().to_vec();
+
+    let mut way_bytes = Vec::new();
+    let mut sets = config.num_sets();
+    loop {
+        way_bytes.push(sets * config.block_bytes);
+        if sets == config.min_sets() {
+            break;
+        }
+        sets /= 2;
+    }
+    let associativities: Vec<u32> = (1..=config.associativity).rev().collect();
+
+    let mut cells = Vec::new();
+    let mut redundant = Vec::new();
+    for way in &way_bytes {
+        let mut row = Vec::new();
+        let mut red_row = Vec::new();
+        for assoc in &associativities {
+            let bytes = way * u64::from(*assoc);
+            row.push(bytes);
+            // A cell is redundant when the de-duplicated offered list realises
+            // this capacity at a different (higher) associativity or with a
+            // different set count.
+            let offered_point = offered
+                .iter()
+                .find(|p| p.bytes(config.block_bytes) == bytes)
+                .copied()
+                .unwrap_or(CachePoint {
+                    sets: way / config.block_bytes,
+                    ways: *assoc,
+                });
+            red_row.push(
+                offered_point.ways != *assoc || offered_point.sets != way / config.block_bytes,
+            );
+        }
+        cells.push(row);
+        redundant.push(red_row);
+    }
+
+    Ok(HybridGrid {
+        way_bytes,
+        associativities,
+        cells,
+        redundant,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_matches_paper_table_1() {
+        let grid = hybrid_grid(CacheConfig::l1_default(32 * 1024, 4)).unwrap();
+        assert_eq!(grid.way_bytes, vec![8192, 4096, 2048, 1024]);
+        assert_eq!(grid.associativities, vec![4, 3, 2, 1]);
+        let kib: Vec<Vec<u64>> = grid
+            .cells
+            .iter()
+            .map(|row| row.iter().map(|b| b / 1024).collect())
+            .collect();
+        assert_eq!(
+            kib,
+            vec![
+                vec![32, 24, 16, 8],
+                vec![16, 12, 8, 4],
+                vec![8, 6, 4, 2],
+                vec![4, 3, 2, 1],
+            ]
+        );
+    }
+
+    #[test]
+    fn redundant_cells_are_marked() {
+        let grid = hybrid_grid(CacheConfig::l1_default(32 * 1024, 4)).unwrap();
+        // Row 0 (8K ways) holds the preferred full-associativity points.
+        assert!(!grid.redundant[0][0], "32K 4-way is canonical");
+        assert!(!grid.redundant[0][1], "24K 3-way is canonical");
+        // 16K 2-way (row 0, col 2) duplicates 16K 4-way (row 1, col 0).
+        assert!(grid.redundant[0][2]);
+        assert!(!grid.redundant[1][0]);
+        // 8K appears three times; only the 4-way variant is canonical.
+        assert!(grid.redundant[0][3]);
+        assert!(grid.redundant[1][2]);
+        assert!(!grid.redundant[2][0]);
+    }
+
+    #[test]
+    fn render_contains_all_sizes() {
+        let grid = hybrid_grid(CacheConfig::l1_default(32 * 1024, 4)).unwrap();
+        let text = grid.render();
+        for token in ["32K", "24K", "12K", "6K", "3K", "1K", "4-way", "1-way"] {
+            assert!(text.contains(token), "rendered table should contain {token}:\n{text}");
+        }
+    }
+}

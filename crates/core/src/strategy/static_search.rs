@@ -1,0 +1,107 @@
+//! The static resizing strategy: offline search over offered configurations.
+
+use crate::org::{CachePoint, ConfigSpace};
+
+/// Result of a static search.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StaticSearchResult {
+    /// The objective value of every offered point, in the order of the
+    /// configuration space (largest size first).
+    pub values: Vec<f64>,
+    /// Index of the point with the minimum objective value.
+    pub best_index: usize,
+}
+
+impl StaticSearchResult {
+    /// The best objective value.
+    pub fn best_value(&self) -> f64 {
+        self.values[self.best_index]
+    }
+}
+
+/// The static strategy: profile every offered configuration and pick the one
+/// minimising an objective (in the paper, the processor energy-delay
+/// product).
+///
+/// The search itself is simulator-agnostic: the caller supplies a closure
+/// that evaluates one [`CachePoint`] and returns the objective, which keeps
+/// this type usable with the full system simulation of the experiment runner
+/// as well as with cheap analytical objectives in tests.
+#[derive(Debug, Clone)]
+pub struct StaticSearch {
+    space: ConfigSpace,
+}
+
+impl StaticSearch {
+    /// Creates a search over the given configuration space.
+    pub fn new(space: ConfigSpace) -> Self {
+        Self { space }
+    }
+
+    /// The configuration space being searched.
+    pub fn space(&self) -> &ConfigSpace {
+        &self.space
+    }
+
+    /// Evaluates every offered point with `objective` and returns the values
+    /// plus the index of the minimum (ties resolved towards the larger
+    /// cache, i.e. the earlier index).
+    pub fn search<F>(&self, mut objective: F) -> StaticSearchResult
+    where
+        F: FnMut(&CachePoint) -> f64,
+    {
+        let values: Vec<f64> = self.space.points().iter().map(|p| objective(p)).collect();
+        let mut best_index = 0;
+        for (i, v) in values.iter().enumerate() {
+            if *v < values[best_index] {
+                best_index = i;
+            }
+        }
+        StaticSearchResult { values, best_index }
+    }
+
+    /// The point at `index` in the searched space.
+    pub fn point(&self, index: usize) -> CachePoint {
+        self.space.points()[index]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::org::Organization;
+    use rescache_cache::CacheConfig;
+
+    fn space() -> ConfigSpace {
+        ConfigSpace::enumerate(
+            CacheConfig::l1_default(32 * 1024, 4),
+            Organization::SelectiveSets,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn picks_the_minimum() {
+        let search = StaticSearch::new(space());
+        // Favour the 8K point (index 2 of 32/16/8/4).
+        let result = search.search(|p| (p.bytes(32) as f64 - 8192.0).abs());
+        assert_eq!(result.best_index, 2);
+        assert_eq!(search.point(result.best_index).bytes(32), 8 * 1024);
+        assert_eq!(result.values.len(), 4);
+        assert_eq!(result.best_value(), 0.0);
+    }
+
+    #[test]
+    fn ties_resolve_to_the_larger_cache() {
+        let search = StaticSearch::new(space());
+        let result = search.search(|_| 1.0);
+        assert_eq!(result.best_index, 0, "equal objectives keep the full size");
+    }
+
+    #[test]
+    fn space_accessor_round_trips() {
+        let s = space();
+        let search = StaticSearch::new(s.clone());
+        assert_eq!(search.space(), &s);
+    }
+}

@@ -1,0 +1,135 @@
+//! Per-structure activity counters for the energy model.
+//!
+//! Wattch charges each processor structure per access and scales by activity;
+//! these counters are the activity side of that contract. Cache accesses are
+//! counted by the caches themselves (`rescache_cache::CacheStats`), so only
+//! the core-pipeline structures appear here.
+
+/// Activity counts accumulated during one simulation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ActivityCounters {
+    /// Instructions fetched (front-end occupancy).
+    pub fetched: u64,
+    /// Instructions renamed / dispatched into the window.
+    pub dispatched: u64,
+    /// Instructions committed.
+    pub committed: u64,
+    /// Integer ALU operations executed.
+    pub int_alu_ops: u64,
+    /// Floating-point operations executed.
+    pub fp_ops: u64,
+    /// Load/store-queue accesses (one per memory operation).
+    pub lsq_accesses: u64,
+    /// Reorder-buffer accesses (dispatch, writeback and commit touches).
+    pub rob_accesses: u64,
+    /// Register-file read ports exercised.
+    pub regfile_reads: u64,
+    /// Register-file write ports exercised.
+    pub regfile_writes: u64,
+    /// Result-bus transfers (one per completing instruction).
+    pub result_bus: u64,
+    /// Branch-predictor accesses (lookup plus update).
+    pub bpred_accesses: u64,
+}
+
+impl ActivityCounters {
+    /// Records the front-end and dispatch work for one instruction with the
+    /// given number of register sources.
+    pub fn record_dispatch(&mut self, sources: u32) {
+        self.fetched += 1;
+        self.dispatched += 1;
+        self.rob_accesses += 1;
+        self.regfile_reads += u64::from(sources);
+    }
+
+    /// Records execution of one instruction.
+    pub fn record_execute(&mut self, is_fp: bool, is_mem: bool) {
+        if is_fp {
+            self.fp_ops += 1;
+        } else {
+            self.int_alu_ops += 1;
+        }
+        if is_mem {
+            self.lsq_accesses += 1;
+        }
+        self.result_bus += 1;
+        self.regfile_writes += 1;
+        self.rob_accesses += 1;
+    }
+
+    /// Records commit of one instruction.
+    pub fn record_commit(&mut self) {
+        self.committed += 1;
+        self.rob_accesses += 1;
+    }
+
+    /// Records one branch-predictor lookup-and-update pair.
+    pub fn record_branch(&mut self) {
+        self.bpred_accesses += 2;
+    }
+
+    /// Merges another set of counters into this one.
+    pub fn merge(&mut self, other: &ActivityCounters) {
+        self.fetched += other.fetched;
+        self.dispatched += other.dispatched;
+        self.committed += other.committed;
+        self.int_alu_ops += other.int_alu_ops;
+        self.fp_ops += other.fp_ops;
+        self.lsq_accesses += other.lsq_accesses;
+        self.rob_accesses += other.rob_accesses;
+        self.regfile_reads += other.regfile_reads;
+        self.regfile_writes += other.regfile_writes;
+        self.result_bus += other.result_bus;
+        self.bpred_accesses += other.bpred_accesses;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dispatch_execute_commit_sequence() {
+        let mut a = ActivityCounters::default();
+        a.record_dispatch(2);
+        a.record_execute(false, true);
+        a.record_commit();
+        assert_eq!(a.fetched, 1);
+        assert_eq!(a.dispatched, 1);
+        assert_eq!(a.committed, 1);
+        assert_eq!(a.int_alu_ops, 1);
+        assert_eq!(a.lsq_accesses, 1);
+        assert_eq!(a.rob_accesses, 3);
+        assert_eq!(a.regfile_reads, 2);
+        assert_eq!(a.regfile_writes, 1);
+    }
+
+    #[test]
+    fn fp_ops_counted_separately() {
+        let mut a = ActivityCounters::default();
+        a.record_execute(true, false);
+        assert_eq!(a.fp_ops, 1);
+        assert_eq!(a.int_alu_ops, 0);
+        assert_eq!(a.lsq_accesses, 0);
+    }
+
+    #[test]
+    fn branch_counts_lookup_and_update() {
+        let mut a = ActivityCounters::default();
+        a.record_branch();
+        assert_eq!(a.bpred_accesses, 2);
+    }
+
+    #[test]
+    fn merge_adds_fields() {
+        let mut a = ActivityCounters::default();
+        a.record_dispatch(1);
+        let mut b = ActivityCounters::default();
+        b.record_dispatch(2);
+        b.record_commit();
+        a.merge(&b);
+        assert_eq!(a.dispatched, 2);
+        assert_eq!(a.committed, 1);
+        assert_eq!(a.regfile_reads, 3);
+    }
+}

@@ -1,0 +1,115 @@
+//! Processor configuration.
+
+/// Which execution engine to simulate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EngineKind {
+    /// In-order issue with a blocking data cache: every d-cache miss stalls
+    /// the pipeline until the fill returns.
+    InOrderBlocking,
+    /// Out-of-order issue with a non-blocking data cache: misses overlap with
+    /// independent work, bounded by the ROB, LSQ and MSHRs.
+    OutOfOrderNonBlocking,
+}
+
+/// Processor configuration (Table 2 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CpuConfig {
+    /// Execution engine kind.
+    pub engine: EngineKind,
+    /// Instructions issued / decoded / committed per cycle (4 in Table 2).
+    pub issue_width: u32,
+    /// Reorder-buffer entries (64 in Table 2).
+    pub rob_entries: usize,
+    /// Load/store-queue entries (32 in Table 2).
+    pub lsq_entries: usize,
+    /// Miss-status holding registers for the non-blocking d-cache (8).
+    pub mshr_entries: usize,
+    /// Branch misprediction penalty in cycles (front-end refill).
+    pub mispredict_penalty: u64,
+    /// Execution latency of integer ALU operations.
+    pub int_latency: u64,
+    /// Execution latency of floating-point operations.
+    pub fp_latency: u64,
+}
+
+impl CpuConfig {
+    /// The paper's base configuration: four-way out-of-order issue with a
+    /// non-blocking d-cache.
+    pub fn base_out_of_order() -> Self {
+        Self {
+            engine: EngineKind::OutOfOrderNonBlocking,
+            issue_width: 4,
+            rob_entries: 64,
+            lsq_entries: 32,
+            mshr_entries: 8,
+            mispredict_penalty: 7,
+            int_latency: 1,
+            fp_latency: 3,
+        }
+    }
+
+    /// The paper's alternative configuration: in-order issue with a blocking
+    /// d-cache (Section 4.2), used to expose d-cache miss latency.
+    pub fn base_in_order() -> Self {
+        Self {
+            engine: EngineKind::InOrderBlocking,
+            ..Self::base_out_of_order()
+        }
+    }
+
+    /// Validates structural parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any width or queue size is zero.
+    pub fn assert_valid(&self) {
+        assert!(self.issue_width > 0, "issue width must be positive");
+        assert!(self.rob_entries > 0, "ROB must have entries");
+        assert!(self.lsq_entries > 0, "LSQ must have entries");
+        assert!(self.mshr_entries > 0, "MSHR file must have entries");
+    }
+}
+
+impl Default for CpuConfig {
+    fn default() -> Self {
+        Self::base_out_of_order()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn base_matches_table_2() {
+        let c = CpuConfig::base_out_of_order();
+        assert_eq!(c.issue_width, 4);
+        assert_eq!(c.rob_entries, 64);
+        assert_eq!(c.lsq_entries, 32);
+        assert_eq!(c.mshr_entries, 8);
+        assert_eq!(c.engine, EngineKind::OutOfOrderNonBlocking);
+        c.assert_valid();
+    }
+
+    #[test]
+    fn in_order_variant_differs_only_in_engine() {
+        let ooo = CpuConfig::base_out_of_order();
+        let ino = CpuConfig::base_in_order();
+        assert_eq!(ino.engine, EngineKind::InOrderBlocking);
+        assert_eq!(ino.issue_width, ooo.issue_width);
+        assert_eq!(ino.rob_entries, ooo.rob_entries);
+    }
+
+    #[test]
+    #[should_panic(expected = "issue width")]
+    fn zero_width_is_invalid() {
+        let mut c = CpuConfig::base_out_of_order();
+        c.issue_width = 0;
+        c.assert_valid();
+    }
+
+    #[test]
+    fn default_is_out_of_order() {
+        assert_eq!(CpuConfig::default().engine, EngineKind::OutOfOrderNonBlocking);
+    }
+}

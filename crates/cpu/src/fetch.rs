@@ -1,0 +1,124 @@
+//! The fetch front end shared by both engines: accesses the i-cache once per
+//! fetch group and reports stall cycles on i-cache misses.
+
+use rescache_cache::MemoryHierarchy;
+
+/// Tracks fetch-group boundaries and performs i-cache accesses.
+///
+/// The i-cache is accessed whenever a new fetch group starts — either because
+/// `fetch_width` instructions have been delivered from the previous access or
+/// because the stream crossed into a different cache block (sequential
+/// overrun or a taken branch). This mirrors Wattch's accounting, where the
+/// i-cache is read (and all its enabled subarrays precharged) once per fetch
+/// cycle rather than once per instruction.
+///
+/// An i-cache miss stalls fetch for the full miss latency — in both engine
+/// styles instruction misses sit on the critical path, which is exactly the
+/// asymmetry the paper's Section 4.2 exploits.
+#[derive(Debug, Clone)]
+pub struct FetchUnit {
+    block_bytes: u64,
+    fetch_width: u32,
+    last_block: Option<u64>,
+    delivered_in_group: u32,
+}
+
+impl FetchUnit {
+    /// Creates a fetch unit for an i-cache with the given block size and a
+    /// front end delivering `fetch_width` instructions per access.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fetch_width` is zero.
+    pub fn new(block_bytes: u64, fetch_width: u32) -> Self {
+        assert!(fetch_width > 0, "fetch width must be positive");
+        Self {
+            block_bytes: block_bytes.max(1),
+            fetch_width,
+            last_block: None,
+            delivered_in_group: 0,
+        }
+    }
+
+    /// Fetches the instruction at `pc` at the given cycle.
+    ///
+    /// Returns the number of stall cycles fetch imposes on the pipeline
+    /// (zero when the instruction comes from the current fetch group or the
+    /// access hits in the L1 i-cache).
+    pub fn fetch(&mut self, pc: u64, cycle: u64, hierarchy: &mut MemoryHierarchy) -> u64 {
+        let block = pc / self.block_bytes;
+        if self.last_block == Some(block) && self.delivered_in_group < self.fetch_width {
+            self.delivered_in_group += 1;
+            return 0;
+        }
+        self.last_block = Some(block);
+        self.delivered_in_group = 1;
+        let result = hierarchy.access_instruction(pc, cycle);
+        if result.l1_hit {
+            0
+        } else {
+            // The hit latency is pipelined away; only the miss portion stalls.
+            result
+                .latency
+                .saturating_sub(hierarchy.config().l1i.hit_latency)
+        }
+    }
+
+    /// Forgets the current fetch group (e.g. after a redirect in tests).
+    pub fn reset(&mut self) {
+        self.last_block = None;
+        self.delivered_in_group = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rescache_cache::HierarchyConfig;
+
+    #[test]
+    fn fetch_group_reuses_one_access() {
+        let mut h = MemoryHierarchy::new(HierarchyConfig::base()).unwrap();
+        let mut f = FetchUnit::new(32, 4);
+        let stall = f.fetch(0x40_0000, 0, &mut h);
+        assert!(stall > 0, "cold miss stalls");
+        assert_eq!(f.fetch(0x40_0004, 1, &mut h), 0);
+        assert_eq!(f.fetch(0x40_0008, 2, &mut h), 0);
+        assert_eq!(f.fetch(0x40_000C, 3, &mut h), 0);
+        assert_eq!(h.l1i().stats().accesses, 1);
+    }
+
+    #[test]
+    fn exhausted_group_accesses_again_even_in_same_block() {
+        let mut h = MemoryHierarchy::new(HierarchyConfig::base()).unwrap();
+        let mut f = FetchUnit::new(32, 4);
+        for i in 0..5u64 {
+            f.fetch(0x40_0000 + i * 4, i, &mut h);
+        }
+        assert_eq!(h.l1i().stats().accesses, 2, "fifth instruction starts a new group");
+    }
+
+    #[test]
+    fn new_block_accesses_icache_again() {
+        let mut h = MemoryHierarchy::new(HierarchyConfig::base()).unwrap();
+        let mut f = FetchUnit::new(32, 8);
+        f.fetch(0x40_0000, 0, &mut h);
+        f.fetch(0x40_0020, 1, &mut h);
+        assert_eq!(h.l1i().stats().accesses, 2);
+    }
+
+    #[test]
+    fn warm_blocks_do_not_stall() {
+        let mut h = MemoryHierarchy::new(HierarchyConfig::base()).unwrap();
+        let mut f = FetchUnit::new(32, 4);
+        f.fetch(0x40_0000, 0, &mut h);
+        f.reset();
+        assert_eq!(f.fetch(0x40_0000, 5, &mut h), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "fetch width")]
+    fn zero_width_panics() {
+        let _ = FetchUnit::new(32, 0);
+    }
+}

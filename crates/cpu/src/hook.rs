@@ -1,0 +1,65 @@
+//! Simulation hooks: the mechanism by which resizing controllers observe a
+//! running simulation.
+//!
+//! The dynamic resizing framework of the paper monitors the cache in
+//! fixed-length intervals measured in cache accesses and resizes it
+//! mid-execution. To keep the policy out of the processor model, the engines
+//! call a [`SimHook`] after every committed instruction with mutable access
+//! to the memory hierarchy; `rescache-core`'s controllers implement the trait.
+
+use rescache_cache::MemoryHierarchy;
+
+/// Observer invoked by the execution engines during simulation.
+pub trait SimHook {
+    /// Called after each committed instruction.
+    ///
+    /// * `committed` — number of instructions committed so far (1-based).
+    /// * `cycle` — the engine's current cycle estimate.
+    /// * `hierarchy` — the memory hierarchy, mutable so the hook may resize
+    ///   the L1 caches.
+    fn post_commit(&mut self, committed: u64, cycle: u64, hierarchy: &mut MemoryHierarchy);
+}
+
+/// A hook that does nothing (plain, non-resizing simulation).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NoopHook;
+
+impl SimHook for NoopHook {
+    fn post_commit(&mut self, _committed: u64, _cycle: u64, _hierarchy: &mut MemoryHierarchy) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rescache_cache::HierarchyConfig;
+
+    struct CountingHook {
+        calls: u64,
+        last_cycle: u64,
+    }
+
+    impl SimHook for CountingHook {
+        fn post_commit(&mut self, committed: u64, cycle: u64, _h: &mut MemoryHierarchy) {
+            self.calls = committed;
+            self.last_cycle = cycle;
+        }
+    }
+
+    #[test]
+    fn hooks_receive_progress() {
+        let mut h = MemoryHierarchy::new(HierarchyConfig::base()).unwrap();
+        let mut hook = CountingHook {
+            calls: 0,
+            last_cycle: 0,
+        };
+        hook.post_commit(10, 42, &mut h);
+        assert_eq!(hook.calls, 10);
+        assert_eq!(hook.last_cycle, 42);
+    }
+
+    #[test]
+    fn noop_hook_is_callable() {
+        let mut h = MemoryHierarchy::new(HierarchyConfig::base()).unwrap();
+        NoopHook.post_commit(1, 1, &mut h);
+    }
+}

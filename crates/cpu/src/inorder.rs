@@ -1,0 +1,253 @@
+//! The in-order issue engine with a blocking data cache.
+
+use rescache_cache::MemoryHierarchy;
+use rescache_trace::{Op, Trace};
+
+use crate::activity::ActivityCounters;
+use crate::branch::BranchPredictor;
+use crate::config::CpuConfig;
+use crate::fetch::FetchUnit;
+use crate::hook::{NoopHook, SimHook};
+use crate::result::SimResult;
+
+/// Ring-buffer size for producer completion times; must exceed the maximum
+/// dependency distance encoded in traces (63).
+const COMPLETION_RING: usize = 128;
+
+/// In-order, width-limited issue with a blocking d-cache: every data-cache
+/// miss stalls the pipeline until the fill returns, so d-cache miss latency
+/// is fully exposed to execution time.
+#[derive(Debug, Clone)]
+pub struct InOrderEngine {
+    config: CpuConfig,
+}
+
+impl InOrderEngine {
+    /// Creates the engine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration has zero-sized structures.
+    pub fn new(config: CpuConfig) -> Self {
+        config.assert_valid();
+        Self { config }
+    }
+
+    /// The configuration this engine runs with.
+    pub fn config(&self) -> &CpuConfig {
+        &self.config
+    }
+
+    /// Replays `trace` against `hierarchy` with no observer hook.
+    pub fn run(&self, trace: &Trace, hierarchy: &mut MemoryHierarchy) -> SimResult {
+        self.run_with_hook(trace, hierarchy, &mut NoopHook)
+    }
+
+    /// Replays `trace` against `hierarchy`, invoking `hook` after every
+    /// committed instruction.
+    pub fn run_with_hook(
+        &self,
+        trace: &Trace,
+        hierarchy: &mut MemoryHierarchy,
+        hook: &mut dyn SimHook,
+    ) -> SimResult {
+        let cfg = &self.config;
+        let mut cycle: u64 = 1;
+        let mut issued_this_cycle: u32 = 0;
+        let mut completion = [0u64; COMPLETION_RING];
+        let mut fetch = FetchUnit::new(hierarchy.config().l1i.block_bytes, cfg.issue_width);
+        let mut predictor = BranchPredictor::default();
+        let mut activity = ActivityCounters::default();
+        let mut max_completion: u64 = 0;
+
+        for (idx, rec) in trace.iter().enumerate() {
+            if issued_this_cycle >= cfg.issue_width {
+                cycle += 1;
+                issued_this_cycle = 0;
+            }
+
+            let fetch_stall = fetch.fetch(rec.pc, cycle, hierarchy);
+            if fetch_stall > 0 {
+                cycle += fetch_stall;
+                issued_this_cycle = 0;
+            }
+
+            // In-order issue: wait for both producers to have completed.
+            let dep_ready = producer_ready(&completion, idx, rec.dep1).max(producer_ready(
+                &completion,
+                idx,
+                rec.dep2,
+            ));
+            if dep_ready > cycle {
+                cycle = dep_ready;
+                issued_this_cycle = 0;
+            }
+
+            let sources = u32::from(rec.dep1 > 0) + u32::from(rec.dep2 > 0);
+            activity.record_dispatch(sources);
+
+            let complete = match rec.op {
+                Op::Int => cycle + cfg.int_latency,
+                Op::Fp => cycle + cfg.fp_latency,
+                Op::Load(addr) | Op::Store(addr) => {
+                    let write = rec.op.is_store();
+                    let access = hierarchy.access_data(addr, write, cycle);
+                    if access.l1_hit {
+                        cycle + access.latency
+                    } else {
+                        // Blocking cache: the whole pipeline waits for the fill.
+                        cycle += access.latency;
+                        issued_this_cycle = 0;
+                        cycle
+                    }
+                }
+                Op::Branch { taken } => {
+                    activity.record_branch();
+                    let correct = predictor.resolve(rec.pc, taken);
+                    if !correct {
+                        cycle += cfg.mispredict_penalty;
+                        issued_this_cycle = 0;
+                    }
+                    cycle + cfg.int_latency
+                }
+            };
+
+            activity.record_execute(matches!(rec.op, Op::Fp), rec.op.is_mem());
+            activity.record_commit();
+            completion[idx % COMPLETION_RING] = complete;
+            max_completion = max_completion.max(complete);
+            issued_this_cycle += 1;
+            hook.post_commit(idx as u64 + 1, cycle, hierarchy);
+        }
+
+        SimResult {
+            cycles: cycle.max(max_completion),
+            instructions: trace.len() as u64,
+            activity,
+            branch: predictor.stats(),
+        }
+    }
+}
+
+/// Completion cycle of the producer `distance` instructions before `idx`,
+/// or 0 if there is no such producer.
+fn producer_ready(completion: &[u64; COMPLETION_RING], idx: usize, distance: u8) -> u64 {
+    let distance = distance as usize;
+    if distance == 0 || distance > idx {
+        0
+    } else {
+        completion[(idx - distance) % COMPLETION_RING]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rescache_cache::HierarchyConfig;
+    use rescache_trace::{spec, InstrRecord, TraceGenerator};
+
+    fn run_trace(trace: &Trace) -> (SimResult, MemoryHierarchy) {
+        let mut hierarchy = MemoryHierarchy::new(HierarchyConfig::base()).unwrap();
+        let result = InOrderEngine::new(CpuConfig::base_in_order()).run(trace, &mut hierarchy);
+        (result, hierarchy)
+    }
+
+    #[test]
+    fn independent_alu_ops_issue_wide() {
+        let records = (0..4000)
+            .map(|i| InstrRecord::new(0x40_0000 + (i % 8) * 4, Op::Int))
+            .collect();
+        let trace = Trace::new("alu", records);
+        let (result, _) = run_trace(&trace);
+        let ipc = result.ipc();
+        assert!(ipc > 2.0, "independent ALU ops should issue wide, ipc {ipc}");
+    }
+
+    #[test]
+    fn dependent_chain_serialises() {
+        let records = (0..4000)
+            .map(|i| InstrRecord::with_deps(0x40_0000 + (i % 8) * 4, Op::Int, 1, 0))
+            .collect();
+        let trace = Trace::new("chain", records);
+        let (result, _) = run_trace(&trace);
+        assert!(
+            result.ipc() <= 1.05,
+            "a dependent chain cannot exceed 1 IPC, got {}",
+            result.ipc()
+        );
+    }
+
+    #[test]
+    fn dcache_misses_stall_the_pipeline() {
+        // Loads striding far apart so every one misses.
+        let records = (0..2000u64)
+            .map(|i| InstrRecord::new(0x40_0000, Op::Load(0x100_0000 + i * 4096)))
+            .collect();
+        let trace = Trace::new("misses", records);
+        let (result, hierarchy) = run_trace(&trace);
+        assert!(hierarchy.l1d().stats().miss_ratio() > 0.9);
+        assert!(
+            result.cpi() > 50.0,
+            "blocking misses should dominate execution, cpi {}",
+            result.cpi()
+        );
+    }
+
+    #[test]
+    fn runs_full_spec_profile() {
+        let trace = TraceGenerator::new(spec::m88ksim(), 3).generate(20_000);
+        let (result, hierarchy) = run_trace(&trace);
+        assert_eq!(result.instructions, 20_000);
+        assert!(result.cycles > 5_000);
+        assert!(result.ipc() > 0.1 && result.ipc() < 4.0);
+        assert!(hierarchy.l1d().stats().accesses > 3_000);
+        assert!(hierarchy.l1i().stats().accesses > 1_000);
+        assert_eq!(result.activity.committed, 20_000);
+    }
+
+    #[test]
+    fn branch_mispredicts_add_cycles() {
+        // Alternate predictable and random-looking branch outcomes.
+        let predictable: Vec<_> = (0..4000)
+            .map(|_| InstrRecord::new(0x40_0000, Op::Branch { taken: true }))
+            .collect();
+        let mut x = 9u64;
+        let random: Vec<_> = (0..4000)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                InstrRecord::new(0x40_0000, Op::Branch { taken: x & 1 == 1 })
+            })
+            .collect();
+        let (good, _) = run_trace(&Trace::new("predictable", predictable));
+        let (bad, _) = run_trace(&Trace::new("random", random));
+        assert!(
+            bad.cycles > good.cycles * 2,
+            "mispredictions should cost cycles: {} vs {}",
+            bad.cycles,
+            good.cycles
+        );
+        assert!(bad.branch.mispredict_ratio() > 0.3);
+        assert!(good.branch.mispredict_ratio() < 0.05);
+    }
+
+    #[test]
+    fn hook_sees_every_commit() {
+        struct Counter(u64);
+        impl SimHook for Counter {
+            fn post_commit(&mut self, committed: u64, _c: u64, _h: &mut MemoryHierarchy) {
+                self.0 = committed;
+            }
+        }
+        let trace = TraceGenerator::new(spec::ammp(), 1).generate(1_000);
+        let mut hierarchy = MemoryHierarchy::new(HierarchyConfig::base()).unwrap();
+        let mut hook = Counter(0);
+        InOrderEngine::new(CpuConfig::base_in_order()).run_with_hook(
+            &trace,
+            &mut hierarchy,
+            &mut hook,
+        );
+        assert_eq!(hook.0, 1_000);
+    }
+}

@@ -1,0 +1,100 @@
+//! A load/store queue modelled as a bounded window of in-flight memory
+//! operations.
+
+use std::collections::VecDeque;
+
+/// The load/store queue of the out-of-order engine.
+///
+/// Memory operations occupy an entry from dispatch until they complete; when
+/// the queue is full, dispatch of the next memory operation stalls until the
+/// oldest in-flight operation finishes.
+#[derive(Debug, Clone)]
+pub struct LoadStoreQueue {
+    capacity: usize,
+    completions: VecDeque<u64>,
+}
+
+impl LoadStoreQueue {
+    /// Creates a queue with `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "LSQ capacity must be positive");
+        Self {
+            capacity,
+            completions: VecDeque::with_capacity(capacity),
+        }
+    }
+
+    /// Number of in-flight memory operations at `cycle` (completed entries
+    /// are retired lazily).
+    pub fn occupancy(&mut self, cycle: u64) -> usize {
+        self.retire(cycle);
+        self.completions.len()
+    }
+
+    /// Retires every operation that has completed by `cycle`.
+    pub fn retire(&mut self, cycle: u64) {
+        while let Some(front) = self.completions.front() {
+            if *front <= cycle {
+                self.completions.pop_front();
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Reserves an entry for a memory operation dispatched at `cycle` and
+    /// completing at `completion`. Returns the cycle at which the entry
+    /// becomes available (equal to `cycle` unless the queue was full).
+    pub fn reserve(&mut self, cycle: u64, completion: u64) -> u64 {
+        self.retire(cycle);
+        let available = if self.completions.len() >= self.capacity {
+            let wait_until = *self
+                .completions
+                .front()
+                .expect("full queue has a front entry");
+            self.retire(wait_until);
+            wait_until.max(cycle)
+        } else {
+            cycle
+        };
+        self.completions.push_back(completion.max(available));
+        available
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reserve_without_pressure_is_immediate() {
+        let mut lsq = LoadStoreQueue::new(2);
+        assert_eq!(lsq.reserve(5, 10), 5);
+        assert_eq!(lsq.occupancy(5), 1);
+    }
+
+    #[test]
+    fn full_queue_delays_dispatch() {
+        let mut lsq = LoadStoreQueue::new(1);
+        lsq.reserve(0, 100);
+        assert_eq!(lsq.reserve(3, 110), 100, "must wait for the oldest entry");
+    }
+
+    #[test]
+    fn completed_entries_retire() {
+        let mut lsq = LoadStoreQueue::new(1);
+        lsq.reserve(0, 10);
+        assert_eq!(lsq.occupancy(20), 0);
+        assert_eq!(lsq.reserve(20, 30), 20);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_capacity_panics() {
+        let _ = LoadStoreQueue::new(0);
+    }
+}

@@ -1,0 +1,69 @@
+//! Simulation results.
+
+use crate::activity::ActivityCounters;
+use crate::branch::BranchStats;
+
+/// Result of replaying one trace on one engine.
+///
+/// Cache-side statistics stay on the [`rescache_cache::MemoryHierarchy`] that
+/// was passed to the engine; this struct carries the processor-side numbers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SimResult {
+    /// Total execution time in cycles.
+    pub cycles: u64,
+    /// Instructions committed (equals the trace length).
+    pub instructions: u64,
+    /// Per-structure activity for the energy model.
+    pub activity: ActivityCounters,
+    /// Branch-prediction accuracy.
+    pub branch: BranchStats,
+}
+
+impl SimResult {
+    /// Committed instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.instructions as f64 / self.cycles as f64
+        }
+    }
+
+    /// Cycles per committed instruction.
+    pub fn cpi(&self) -> f64 {
+        if self.instructions == 0 {
+            0.0
+        } else {
+            self.cycles as f64 / self.instructions as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ipc_and_cpi_are_reciprocal() {
+        let r = SimResult {
+            cycles: 500,
+            instructions: 1000,
+            activity: ActivityCounters::default(),
+            branch: BranchStats::default(),
+        };
+        assert!((r.ipc() - 2.0).abs() < 1e-12);
+        assert!((r.cpi() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_results_do_not_divide_by_zero() {
+        let r = SimResult {
+            cycles: 0,
+            instructions: 0,
+            activity: ActivityCounters::default(),
+            branch: BranchStats::default(),
+        };
+        assert_eq!(r.ipc(), 0.0);
+        assert_eq!(r.cpi(), 0.0);
+    }
+}

@@ -1,0 +1,153 @@
+//! A reorder buffer modelled as a queue of completion times with an in-order,
+//! width-limited commit stage.
+
+use std::collections::VecDeque;
+
+/// The reorder buffer of the out-of-order engine.
+///
+/// Each entry records the cycle at which its instruction finishes execution.
+/// Instructions commit strictly in order, at most `commit_width` per cycle,
+/// and never earlier than the cycle after they complete.
+#[derive(Debug, Clone)]
+pub struct ReorderBuffer {
+    capacity: usize,
+    commit_width: u32,
+    entries: VecDeque<u64>,
+    commit_cursor: u64,
+    committed_in_cursor: u32,
+    committed: u64,
+}
+
+impl ReorderBuffer {
+    /// Creates a reorder buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` or `commit_width` is zero.
+    pub fn new(capacity: usize, commit_width: u32) -> Self {
+        assert!(capacity > 0, "ROB capacity must be positive");
+        assert!(commit_width > 0, "commit width must be positive");
+        Self {
+            capacity,
+            commit_width,
+            entries: VecDeque::with_capacity(capacity),
+            commit_cursor: 0,
+            committed_in_cursor: 0,
+            committed: 0,
+        }
+    }
+
+    /// Number of occupied entries.
+    pub fn occupancy(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` if no more instructions can be dispatched.
+    pub fn is_full(&self) -> bool {
+        self.entries.len() >= self.capacity
+    }
+
+    /// Total instructions committed so far.
+    pub fn committed(&self) -> u64 {
+        self.committed
+    }
+
+    /// Dispatches an instruction that will complete execution at
+    /// `completion_cycle`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffer is full; callers must commit first.
+    pub fn dispatch(&mut self, completion_cycle: u64) {
+        assert!(!self.is_full(), "dispatch into a full ROB");
+        self.entries.push_back(completion_cycle);
+    }
+
+    /// Commits the oldest instruction, returning the cycle at which it
+    /// commits, or `None` if the buffer is empty.
+    pub fn commit_oldest(&mut self) -> Option<u64> {
+        let completion = self.entries.pop_front()?;
+        let earliest = completion + 1;
+        if earliest > self.commit_cursor {
+            self.commit_cursor = earliest;
+            self.committed_in_cursor = 0;
+        }
+        let commit_cycle = self.commit_cursor;
+        self.committed_in_cursor += 1;
+        if self.committed_in_cursor >= self.commit_width {
+            self.commit_cursor += 1;
+            self.committed_in_cursor = 0;
+        }
+        self.committed += 1;
+        Some(commit_cycle)
+    }
+
+    /// Commits everything still in flight and returns the cycle of the last
+    /// commit (or the current commit cursor if the buffer was already empty).
+    pub fn drain(&mut self) -> u64 {
+        let mut last = self.commit_cursor;
+        while let Some(cycle) = self.commit_oldest() {
+            last = cycle;
+        }
+        last
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn commit_respects_completion_time() {
+        let mut rob = ReorderBuffer::new(4, 4);
+        rob.dispatch(10);
+        assert_eq!(rob.commit_oldest(), Some(11));
+    }
+
+    #[test]
+    fn commit_width_limits_per_cycle_commits() {
+        let mut rob = ReorderBuffer::new(8, 2);
+        for _ in 0..4 {
+            rob.dispatch(0);
+        }
+        let cycles: Vec<u64> = (0..4).map(|_| rob.commit_oldest().unwrap()).collect();
+        assert_eq!(cycles, vec![1, 1, 2, 2]);
+        assert_eq!(rob.committed(), 4);
+    }
+
+    #[test]
+    fn in_order_commit_never_goes_backwards() {
+        let mut rob = ReorderBuffer::new(8, 4);
+        rob.dispatch(100);
+        rob.dispatch(5); // completes earlier but must commit after the first
+        let c1 = rob.commit_oldest().unwrap();
+        let c2 = rob.commit_oldest().unwrap();
+        assert!(c2 >= c1);
+        assert_eq!(c1, 101);
+    }
+
+    #[test]
+    fn full_and_drain() {
+        let mut rob = ReorderBuffer::new(2, 4);
+        rob.dispatch(3);
+        rob.dispatch(9);
+        assert!(rob.is_full());
+        let last = rob.drain();
+        assert_eq!(last, 10);
+        assert_eq!(rob.occupancy(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "full ROB")]
+    fn dispatch_into_full_rob_panics() {
+        let mut rob = ReorderBuffer::new(1, 1);
+        rob.dispatch(1);
+        rob.dispatch(2);
+    }
+
+    #[test]
+    fn drain_of_empty_rob_returns_cursor() {
+        let mut rob = ReorderBuffer::new(2, 1);
+        assert_eq!(rob.drain(), 0);
+    }
+}

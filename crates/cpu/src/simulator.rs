@@ -1,0 +1,96 @@
+//! The [`Simulator`] facade: picks the engine named by the configuration.
+
+use rescache_cache::MemoryHierarchy;
+use rescache_trace::Trace;
+
+use crate::config::{CpuConfig, EngineKind};
+use crate::hook::{NoopHook, SimHook};
+use crate::inorder::InOrderEngine;
+use crate::ooo::OutOfOrderEngine;
+use crate::result::SimResult;
+
+/// Runs a trace on the processor configuration's engine.
+///
+/// # Examples
+///
+/// ```
+/// use rescache_cache::{HierarchyConfig, MemoryHierarchy};
+/// use rescache_cpu::{CpuConfig, Simulator};
+/// use rescache_trace::{spec, TraceGenerator};
+///
+/// let trace = TraceGenerator::new(spec::ammp(), 7).generate(2_000);
+/// let mut hierarchy = MemoryHierarchy::new(HierarchyConfig::base()).unwrap();
+/// let result = Simulator::new(CpuConfig::base_in_order()).run(&trace, &mut hierarchy);
+/// assert_eq!(result.instructions, 2_000);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Simulator {
+    config: CpuConfig,
+}
+
+impl Simulator {
+    /// Creates a simulator for the given processor configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration has zero-sized structures.
+    pub fn new(config: CpuConfig) -> Self {
+        config.assert_valid();
+        Self { config }
+    }
+
+    /// The processor configuration.
+    pub fn config(&self) -> &CpuConfig {
+        &self.config
+    }
+
+    /// Replays `trace` against `hierarchy` with no observer hook.
+    pub fn run(&self, trace: &Trace, hierarchy: &mut MemoryHierarchy) -> SimResult {
+        self.run_with_hook(trace, hierarchy, &mut NoopHook)
+    }
+
+    /// Replays `trace` against `hierarchy`, invoking `hook` after every
+    /// committed instruction.
+    pub fn run_with_hook(
+        &self,
+        trace: &Trace,
+        hierarchy: &mut MemoryHierarchy,
+        hook: &mut dyn SimHook,
+    ) -> SimResult {
+        match self.config.engine {
+            EngineKind::InOrderBlocking => {
+                InOrderEngine::new(self.config).run_with_hook(trace, hierarchy, hook)
+            }
+            EngineKind::OutOfOrderNonBlocking => {
+                OutOfOrderEngine::new(self.config).run_with_hook(trace, hierarchy, hook)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rescache_cache::HierarchyConfig;
+    use rescache_trace::{spec, TraceGenerator};
+
+    #[test]
+    fn dispatches_to_the_configured_engine() {
+        let trace = TraceGenerator::new(spec::compress(), 9).generate(10_000);
+        let mut h1 = MemoryHierarchy::new(HierarchyConfig::base()).unwrap();
+        let mut h2 = MemoryHierarchy::new(HierarchyConfig::base()).unwrap();
+        let ooo = Simulator::new(CpuConfig::base_out_of_order()).run(&trace, &mut h1);
+        let ino = Simulator::new(CpuConfig::base_in_order()).run(&trace, &mut h2);
+        assert_eq!(ooo.instructions, ino.instructions);
+        assert_ne!(ooo.cycles, ino.cycles, "the two engines have different timing");
+    }
+
+    #[test]
+    fn results_are_deterministic() {
+        let trace = TraceGenerator::new(spec::vpr(), 1).generate(5_000);
+        let sim = Simulator::new(CpuConfig::base_out_of_order());
+        let mut h1 = MemoryHierarchy::new(HierarchyConfig::base()).unwrap();
+        let mut h2 = MemoryHierarchy::new(HierarchyConfig::base()).unwrap();
+        assert_eq!(sim.run(&trace, &mut h1), sim.run(&trace, &mut h2));
+    }
+}

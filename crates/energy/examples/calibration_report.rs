@@ -1,0 +1,36 @@
+//! Prints the per-application processor energy breakdown of the base system,
+//! used to calibrate the energy constants against the paper's reported
+//! averages (d-cache ~18.5 %, i-cache ~17.5 % of processor energy).
+
+use rescache_cache::{HierarchyConfig, MemoryHierarchy};
+use rescache_cpu::{CpuConfig, Simulator};
+use rescache_energy::EnergyModel;
+use rescache_trace::{spec, Trace, TraceGenerator};
+
+fn main() {
+    let model = EnergyModel::for_hierarchy(&HierarchyConfig::base());
+    let warmup = 40_000usize;
+    let measure = 60_000usize;
+    let mut d_sum = 0.0;
+    let mut i_sum = 0.0;
+    for app in spec::APP_NAMES {
+        let trace = TraceGenerator::new(spec::profile(app).unwrap(), 17).generate(warmup + measure);
+        let warm = Trace::new(app, trace.records()[..warmup].to_vec());
+        let meas = Trace::new(app, trace.records()[warmup..].to_vec());
+        let mut h = MemoryHierarchy::new(HierarchyConfig::base()).unwrap();
+        let sim = Simulator::new(CpuConfig::base_out_of_order());
+        sim.run(&warm, &mut h);
+        h.reset_stats();
+        let r = sim.run(&meas, &mut h);
+        let b = model.breakdown(&r, &h);
+        d_sum += b.l1d_fraction();
+        i_sum += b.l1i_fraction();
+        println!("{app:9} ipc={:.2} dmr={:.3} imr={:.3} dacc/i={:.2} iacc/i={:.2} | l1d={:5.1}% l1i={:5.1}% l2={:4.1}% mem={:4.1}% core={:4.1}% clk={:4.1}% leak={:4.1}% total/instr={:.0}pJ",
+            r.ipc(), h.l1d().stats().miss_ratio(), h.l1i().stats().miss_ratio(),
+            h.l1d().stats().accesses as f64 / measure as f64, h.l1i().stats().accesses as f64 / measure as f64,
+            100.0*b.l1d_pj/b.total_pj(), 100.0*b.l1i_pj/b.total_pj(), 100.0*b.l2_pj/b.total_pj(),
+            100.0*b.memory_pj/b.total_pj(), 100.0*b.core_pj/b.total_pj(), 100.0*b.clock_pj/b.total_pj(),
+            100.0*b.leakage_pj/b.total_pj(), b.total_pj()/measure as f64);
+    }
+    println!("AVERAGE   l1d={:.1}%  l1i={:.1}%  (paper: 18.5% / 17.5%)", 100.0*d_sum/12.0, 100.0*i_sum/12.0);
+}

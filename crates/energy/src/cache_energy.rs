@@ -1,0 +1,233 @@
+//! Per-access energy of a (possibly resized) cache.
+
+use rescache_cache::{CacheConfig, CacheStats};
+
+use crate::cacti::{leakage_pj, ArrayGeometry};
+use crate::technology::Technology;
+
+/// How the cache precharges its subarrays.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PrechargePolicy {
+    /// All *enabled* subarrays are precharged before every access (the
+    /// high-performance L1 style the paper assumes, overlapping precharge
+    /// with decode). This is what makes resizing save energy: disabling
+    /// subarrays removes their precharge.
+    AllEnabled,
+    /// Only the subarrays actually addressed are precharged (delayed
+    /// precharge, slower — the paper's suggestion for the less
+    /// latency-critical L2).
+    AccessedOnly,
+}
+
+/// Energy model of one cache.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CacheEnergyModel {
+    config: CacheConfig,
+    policy: PrechargePolicy,
+    /// Extra tag bits carried to support resizing (selective-sets/hybrid
+    /// organizations keep the tag width of their smallest size).
+    extra_tag_bits: u32,
+    tech: Technology,
+}
+
+impl CacheEnergyModel {
+    /// Creates a model for a non-resizable cache (no extra tag bits).
+    pub fn new(config: CacheConfig, policy: PrechargePolicy, tech: Technology) -> Self {
+        Self {
+            config,
+            policy,
+            extra_tag_bits: 0,
+            tech,
+        }
+    }
+
+    /// Adds resizing tag bits (used by selective-sets and hybrid
+    /// organizations, which must keep the tag width of the smallest offered
+    /// size).
+    pub fn with_extra_tag_bits(mut self, bits: u32) -> Self {
+        self.extra_tag_bits = bits;
+        self
+    }
+
+    /// The cache configuration this model describes.
+    pub fn config(&self) -> &CacheConfig {
+        &self.config
+    }
+
+    /// The extra tag bits charged on every access.
+    pub fn extra_tag_bits(&self) -> u32 {
+        self.extra_tag_bits
+    }
+
+    /// Tag width in bits at the given enabled set count (including the
+    /// resizing overhead).
+    fn tag_width_bits(&self, enabled_sets: u64) -> f64 {
+        f64::from(self.config.tag_bits(enabled_sets)) + f64::from(self.extra_tag_bits) + 2.0
+    }
+
+    /// Energy in picojoules of one access at the given enabled geometry.
+    pub fn access_energy_pj(&self, enabled_sets: u64, enabled_ways: u32) -> f64 {
+        let block_bits = self.config.block_bytes as f64 * 8.0;
+        let tag_bits = self.tag_width_bits(enabled_sets);
+        let enabled_blocks = (enabled_sets * u64::from(enabled_ways)) as f64;
+        let data_kb = enabled_blocks * self.config.block_bytes as f64 / 1024.0;
+        let tag_kb = enabled_blocks * tag_bits / 8.0 / 1024.0;
+
+        let precharged_kb = match self.policy {
+            PrechargePolicy::AllEnabled => data_kb + tag_kb,
+            PrechargePolicy::AccessedOnly => {
+                // One subarray per enabled way (data) plus its tags.
+                let accessed_blocks =
+                    (self.config.sets_per_subarray() * u64::from(enabled_ways)) as f64;
+                accessed_blocks * (self.config.block_bytes as f64 + tag_bits / 8.0) / 1024.0
+            }
+        };
+        // Every enabled way senses its tag; the selected way drives the block.
+        let sensed_bits = f64::from(enabled_ways) * tag_bits + block_bits;
+        let decoded_bits = f64::from(enabled_sets.max(1).trailing_zeros()) + 1.0;
+
+        ArrayGeometry {
+            precharged_kb,
+            sensed_bits,
+            decoded_bits,
+        }
+        .access_energy_pj(&self.tech)
+    }
+
+    /// Energy of filling one block (the incoming write of a refill).
+    pub fn fill_energy_pj(&self, enabled_sets: u64, enabled_ways: u32) -> f64 {
+        // A fill drives one block plus one tag into the array: charge the
+        // write of those bits plus a decode, but no full-array precharge.
+        let block_bits = self.config.block_bytes as f64 * 8.0;
+        let tag_bits = self.tag_width_bits(enabled_sets);
+        ArrayGeometry {
+            precharged_kb: (self.config.block_bytes as f64 + tag_bits / 8.0) / 1024.0
+                * f64::from(enabled_ways),
+            sensed_bits: block_bits + tag_bits,
+            decoded_bits: f64::from(enabled_sets.max(1).trailing_zeros()) + 1.0,
+        }
+        .access_energy_pj(&self.tech)
+    }
+
+    /// Total switching energy in picojoules implied by a set of cache
+    /// statistics (accesses and fills are charged per geometry slice).
+    pub fn switching_energy_pj(&self, stats: &CacheStats) -> f64 {
+        stats
+            .slices
+            .iter()
+            .map(|slice| {
+                slice.accesses as f64 * self.access_energy_pj(slice.enabled_sets, slice.enabled_ways)
+                    + slice.fills as f64
+                        * self.fill_energy_pj(slice.enabled_sets, slice.enabled_ways)
+            })
+            .sum()
+    }
+
+    /// Leakage energy in picojoules over `cycles` cycles given the
+    /// access-weighted mean enabled capacity recorded in `stats`.
+    pub fn leakage_energy_pj(&self, stats: &CacheStats, cycles: u64) -> f64 {
+        let mean_kb = stats.mean_enabled_bytes(self.config.block_bytes) / 1024.0;
+        leakage_pj(mean_kb, cycles, &self.tech)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn l1_model() -> CacheEnergyModel {
+        CacheEnergyModel::new(
+            CacheConfig::l1_default(32 * 1024, 2),
+            PrechargePolicy::AllEnabled,
+            Technology::default(),
+        )
+    }
+
+    #[test]
+    fn downsizing_reduces_access_energy() {
+        let m = l1_model();
+        let full = m.access_energy_pj(512, 2);
+        let half = m.access_energy_pj(256, 2);
+        let eighth = m.access_energy_pj(64, 2);
+        assert!(half < full * 0.65, "half-size access {half} vs full {full}");
+        assert!(eighth < full * 0.3, "eighth-size access {eighth} vs full {full}");
+    }
+
+    #[test]
+    fn way_downsizing_reduces_access_energy() {
+        let m = CacheEnergyModel::new(
+            CacheConfig::l1_default(32 * 1024, 4),
+            PrechargePolicy::AllEnabled,
+            Technology::default(),
+        );
+        let full = m.access_energy_pj(256, 4);
+        let three = m.access_energy_pj(256, 3);
+        let one = m.access_energy_pj(256, 1);
+        assert!(three < full);
+        assert!(one < full * 0.4);
+    }
+
+    #[test]
+    fn resizing_tag_bits_cost_energy() {
+        let plain = l1_model();
+        let resizable = l1_model().with_extra_tag_bits(4);
+        assert!(
+            resizable.access_energy_pj(512, 2) > plain.access_energy_pj(512, 2),
+            "extra tag bits must not be free"
+        );
+        // ... but the overhead is small (the paper calls it insignificant).
+        let overhead = resizable.access_energy_pj(512, 2) / plain.access_energy_pj(512, 2);
+        assert!(overhead < 1.05, "tag overhead should be a few percent, got {overhead}");
+    }
+
+    #[test]
+    fn accessed_only_precharge_is_much_cheaper_for_large_caches() {
+        let l2_all = CacheEnergyModel::new(
+            CacheConfig::l2_default(),
+            PrechargePolicy::AllEnabled,
+            Technology::default(),
+        );
+        let l2_delayed = CacheEnergyModel::new(
+            CacheConfig::l2_default(),
+            PrechargePolicy::AccessedOnly,
+            Technology::default(),
+        );
+        let sets = CacheConfig::l2_default().num_sets();
+        assert!(
+            l2_delayed.access_energy_pj(sets, 4) < l2_all.access_energy_pj(sets, 4) / 10.0,
+            "delayed precharge avoids charging the whole 512K array"
+        );
+    }
+
+    #[test]
+    fn switching_energy_accumulates_over_slices() {
+        let m = l1_model();
+        let mut stats = CacheStats::new(512, 2);
+        for _ in 0..100 {
+            stats.record_access(false, true);
+        }
+        stats.open_slice(128, 2);
+        for _ in 0..100 {
+            stats.record_access(false, true);
+        }
+        let energy = m.switching_energy_pj(&stats);
+        let full_only = 200.0 * m.access_energy_pj(512, 2);
+        assert!(energy < full_only, "time at the smaller size must save energy");
+        assert!(energy > 100.0 * m.access_energy_pj(512, 2));
+    }
+
+    #[test]
+    fn leakage_scales_with_enabled_size() {
+        let m = l1_model();
+        let full = CacheStats::new(512, 2);
+        let small = CacheStats::new(64, 2);
+        assert!(m.leakage_energy_pj(&small, 10_000) < m.leakage_energy_pj(&full, 10_000) / 4.0);
+    }
+
+    #[test]
+    fn accessors() {
+        let m = l1_model().with_extra_tag_bits(3);
+        assert_eq!(m.extra_tag_bits(), 3);
+        assert_eq!(m.config().size_bytes, 32 * 1024);
+    }
+}

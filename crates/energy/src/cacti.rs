@@ -1,0 +1,100 @@
+//! CACTI-lite: closed-form energy components for SRAM arrays.
+//!
+//! CACTI (Wilton & Jouppi) models access time and energy of cache arrays
+//! from their geometry. This module keeps only what the study needs: the
+//! energy of precharging and discharging bitlines across the subarrays that
+//! are powered, the sense-amplifier and output-driver energy of the bits that
+//! are actually read, and the decoder/wordline energy.
+
+use crate::technology::Technology;
+
+/// Geometry of one logical SRAM array access.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ArrayGeometry {
+    /// Kilobytes of array that are precharged for the access.
+    pub precharged_kb: f64,
+    /// Bits sensed and driven to the output.
+    pub sensed_bits: f64,
+    /// Index bits decoded (log2 of the rows addressed).
+    pub decoded_bits: f64,
+}
+
+impl ArrayGeometry {
+    /// Energy in picojoules of one access with this geometry.
+    pub fn access_energy_pj(&self, tech: &Technology) -> f64 {
+        assert!(
+            self.precharged_kb >= 0.0 && self.sensed_bits >= 0.0 && self.decoded_bits >= 0.0,
+            "array geometry terms must be non-negative"
+        );
+        self.precharged_kb * tech.bitline_pj_per_kb
+            + self.sensed_bits * tech.sense_pj_per_bit
+            + self.decoded_bits * tech.decode_pj_per_bit
+    }
+}
+
+/// Leakage energy in picojoules of `kb` kilobytes of powered SRAM over
+/// `cycles` cycles.
+pub fn leakage_pj(kb: f64, cycles: u64, tech: &Technology) -> f64 {
+    assert!(kb >= 0.0, "leakage capacity must be non-negative");
+    kb * cycles as f64 * tech.leak_pj_per_kb_cycle
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn energy_scales_linearly_with_precharged_capacity() {
+        let tech = Technology::default();
+        let small = ArrayGeometry {
+            precharged_kb: 4.0,
+            sensed_bits: 256.0,
+            decoded_bits: 7.0,
+        };
+        let large = ArrayGeometry {
+            precharged_kb: 32.0,
+            sensed_bits: 256.0,
+            decoded_bits: 10.0,
+        };
+        let e_small = small.access_energy_pj(&tech);
+        let e_large = large.access_energy_pj(&tech);
+        assert!(e_large > e_small * 3.0, "precharge dominates: {e_small} vs {e_large}");
+    }
+
+    #[test]
+    fn sensed_bits_contribute() {
+        let tech = Technology::default();
+        let narrow = ArrayGeometry {
+            precharged_kb: 8.0,
+            sensed_bits: 64.0,
+            decoded_bits: 8.0,
+        };
+        let wide = ArrayGeometry {
+            precharged_kb: 8.0,
+            sensed_bits: 512.0,
+            decoded_bits: 8.0,
+        };
+        assert!(wide.access_energy_pj(&tech) > narrow.access_energy_pj(&tech));
+    }
+
+    #[test]
+    fn leakage_proportional_to_size_and_time() {
+        let tech = Technology::default();
+        let a = leakage_pj(32.0, 1000, &tech);
+        let b = leakage_pj(16.0, 1000, &tech);
+        let c = leakage_pj(32.0, 2000, &tech);
+        assert!((a - 2.0 * b).abs() < 1e-9);
+        assert!((c - 2.0 * a).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_geometry_panics() {
+        let g = ArrayGeometry {
+            precharged_kb: -1.0,
+            sensed_bits: 0.0,
+            decoded_bits: 0.0,
+        };
+        let _ = g.access_energy_pj(&Technology::default());
+    }
+}

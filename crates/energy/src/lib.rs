@@ -1,0 +1,45 @@
+//! Wattch-style activity-based processor and cache energy models.
+//!
+//! The HPCA 2002 resizable-cache study uses Wattch 1.0 (on SimpleScalar) to
+//! attribute energy to processor structures and to model how a cache's
+//! switching energy scales with the number of *enabled* subarrays: modern
+//! high-performance caches precharge every subarray before each access, so
+//! disabling subarrays removes their precharge/discharge energy and their
+//! clock load. This crate provides the equivalent models for the `rescache`
+//! workspace:
+//!
+//! * [`technology`] — the 0.18 µm technology point and its energy scale.
+//! * [`cacti`] — CACTI-lite closed-form array energy components.
+//! * [`cache_energy`] — per-access energy of a (possibly resized) cache,
+//!   including the selective-sets "resizing tag bits" overhead.
+//! * [`processor`] — per-access energies of the core pipeline structures and
+//!   the clock tree.
+//! * [`model`] — [`EnergyModel`]: activity counters + cache statistics →
+//!   a per-structure [`EnergyBreakdown`].
+//! * [`metrics`] — [`EnergyDelay`] and the relative-reduction arithmetic the
+//!   paper's figures report.
+//!
+//! Absolute joules are not the point (the paper's own absolute numbers depend
+//! on Wattch's internal capacitance tables); what matters for reproducing the
+//! study is that (a) cache energy scales with enabled capacity and access
+//! count, and (b) the two L1 caches dissipate roughly the paper's share of
+//! total processor energy (≈18.5 % d-cache, ≈17.5 % i-cache on average) so
+//! that cache-size reductions translate into the same order of processor-wide
+//! energy-delay reductions.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache_energy;
+pub mod cacti;
+pub mod metrics;
+pub mod model;
+pub mod processor;
+pub mod technology;
+
+pub use cache_energy::{CacheEnergyModel, PrechargePolicy};
+pub use cacti::ArrayGeometry;
+pub use metrics::EnergyDelay;
+pub use model::{EnergyBreakdown, EnergyModel, ResizingTagOverhead};
+pub use processor::ProcessorEnergyParams;
+pub use technology::Technology;

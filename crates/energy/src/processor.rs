@@ -1,0 +1,100 @@
+//! Per-access energies of the core pipeline structures and the clock tree.
+//!
+//! These are the Wattch-style constants for everything that is *not* a cache:
+//! they exist so that the caches sit at a realistic fraction of total
+//! processor energy (the paper's activity-weighted averages are ≈18.5 % for
+//! the d-cache and ≈17.5 % for the i-cache of its base system), which is what
+//! turns a cache-energy saving into the processor-wide energy-delay numbers
+//! the figures report.
+
+/// Per-event energies (picojoules) for the non-cache processor structures.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProcessorEnergyParams {
+    /// Rename/dispatch energy per dispatched instruction.
+    pub rename_pj: f64,
+    /// Reorder-buffer energy per ROB access.
+    pub rob_pj: f64,
+    /// Load/store-queue energy per LSQ access.
+    pub lsq_pj: f64,
+    /// Register-file energy per read port access.
+    pub regfile_read_pj: f64,
+    /// Register-file energy per write port access.
+    pub regfile_write_pj: f64,
+    /// Integer ALU energy per operation.
+    pub int_alu_pj: f64,
+    /// Floating-point unit energy per operation.
+    pub fp_alu_pj: f64,
+    /// Branch predictor energy per access (lookup or update).
+    pub bpred_pj: f64,
+    /// Result bus energy per completing instruction.
+    pub result_bus_pj: f64,
+    /// Issue window wakeup/select energy per dispatched instruction.
+    pub window_pj: f64,
+    /// Clock-tree energy per cycle.
+    pub clock_pj_per_cycle: f64,
+    /// Everything else (decode, TLBs, I/O pads) per cycle.
+    pub other_pj_per_cycle: f64,
+    /// Main-memory/bus energy per off-chip access.
+    pub memory_access_pj: f64,
+}
+
+impl ProcessorEnergyParams {
+    /// The 0.18 µm defaults, calibrated so the base 32K/32K/512K system spends
+    /// roughly the paper's share of energy in the L1 caches.
+    pub fn default_180nm() -> Self {
+        Self {
+            rename_pj: 45.0,
+            rob_pj: 32.0,
+            lsq_pj: 45.0,
+            regfile_read_pj: 28.0,
+            regfile_write_pj: 34.0,
+            int_alu_pj: 90.0,
+            fp_alu_pj: 260.0,
+            bpred_pj: 38.0,
+            result_bus_pj: 48.0,
+            window_pj: 150.0,
+            clock_pj_per_cycle: 320.0,
+            other_pj_per_cycle: 80.0,
+            memory_access_pj: 2_000.0,
+        }
+    }
+}
+
+impl Default for ProcessorEnergyParams {
+    fn default() -> Self {
+        Self::default_180nm()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_positive() {
+        let p = ProcessorEnergyParams::default();
+        for v in [
+            p.rename_pj,
+            p.rob_pj,
+            p.lsq_pj,
+            p.regfile_read_pj,
+            p.regfile_write_pj,
+            p.int_alu_pj,
+            p.fp_alu_pj,
+            p.bpred_pj,
+            p.result_bus_pj,
+            p.window_pj,
+            p.clock_pj_per_cycle,
+            p.other_pj_per_cycle,
+            p.memory_access_pj,
+        ] {
+            assert!(v > 0.0);
+        }
+    }
+
+    #[test]
+    fn fp_costs_more_than_int() {
+        let p = ProcessorEnergyParams::default();
+        assert!(p.fp_alu_pj > p.int_alu_pj);
+    }
+}

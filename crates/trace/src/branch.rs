@@ -1,0 +1,84 @@
+//! Branch-behaviour parameters.
+//!
+//! The detailed *outcomes* of branches come from the code stream (loop
+//! back-edges, region transfers, in-body conditionals); this type captures the
+//! per-application knobs that shape them.
+
+/// Branch behaviour of an application.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BranchBehavior {
+    /// Probability that an in-body conditional branch is data-dependent
+    /// (outcome close to random, so the predictor misses ~half of them).
+    pub data_dependent_fraction: f64,
+    /// Bias of loop-structured conditional branches (probability taken).
+    pub structured_bias: f64,
+}
+
+impl BranchBehavior {
+    /// Creates a behaviour description.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either probability is outside `[0, 1]`.
+    pub fn new(data_dependent_fraction: f64, structured_bias: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&data_dependent_fraction),
+            "data_dependent_fraction must be a probability"
+        );
+        assert!(
+            (0.0..=1.0).contains(&structured_bias),
+            "structured_bias must be a probability"
+        );
+        Self {
+            data_dependent_fraction,
+            structured_bias,
+        }
+    }
+
+    /// Highly predictable branch behaviour (numeric loop codes).
+    pub fn predictable() -> Self {
+        Self::new(0.05, 0.95)
+    }
+
+    /// Control-heavy, harder-to-predict behaviour (`gcc`, `vpr`).
+    pub fn irregular() -> Self {
+        Self::new(0.35, 0.85)
+    }
+}
+
+impl Default for BranchBehavior {
+    fn default() -> Self {
+        Self::new(0.15, 0.90)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_probabilities() {
+        for b in [
+            BranchBehavior::predictable(),
+            BranchBehavior::irregular(),
+            BranchBehavior::default(),
+        ] {
+            assert!((0.0..=1.0).contains(&b.data_dependent_fraction));
+            assert!((0.0..=1.0).contains(&b.structured_bias));
+        }
+    }
+
+    #[test]
+    fn irregular_is_harder_than_predictable() {
+        assert!(
+            BranchBehavior::irregular().data_dependent_fraction
+                > BranchBehavior::predictable().data_dependent_fraction
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn out_of_range_panics() {
+        let _ = BranchBehavior::new(1.5, 0.5);
+    }
+}

@@ -1,0 +1,252 @@
+//! Instruction-address (PC) stream generation.
+//!
+//! Code is modelled as a set of equally sized *regions* (loop bodies /
+//! functions) covering the application's instruction footprint. Execution
+//! walks a region sequentially, repeats it `inner_iters` times (a loop), then
+//! moves to the next region — mostly round-robin, occasionally via a random
+//! jump (a call). Cycling through all regions gives the instruction stream a
+//! reuse distance equal to the footprint, which is what makes the i-cache
+//! *size* matter; the number of repeats controls how hot each region is.
+
+use crate::rng::Prng;
+use crate::working_set::WorkingSetSpec;
+
+/// Size in bytes of one instruction.
+pub const INSTR_BYTES: u64 = 4;
+
+/// One step of the PC stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PcStep {
+    /// The program counter of this instruction.
+    pub pc: u64,
+    /// Whether this instruction slot is a control-flow instruction
+    /// (loop back-edge, region-to-region transfer, or in-body conditional).
+    pub is_branch: bool,
+    /// If `is_branch`, whether the branch is taken.
+    pub taken: bool,
+    /// If `is_branch`, whether the outcome is data-dependent (hard to
+    /// predict) rather than loop-structured (easy to predict).
+    pub data_dependent: bool,
+}
+
+/// Configuration of the code-stream shape.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CodeShape {
+    /// Bytes per region (loop body / function).
+    pub region_bytes: u64,
+    /// Number of times a region body is repeated before moving on.
+    pub inner_iters: u64,
+    /// Instructions per basic block (one conditional branch terminates each).
+    pub block_len: u64,
+    /// Probability that the next region is a random jump rather than the next
+    /// region in round-robin order.
+    pub call_jump_prob: f64,
+    /// Probability that an in-body conditional branch outcome is
+    /// data-dependent (essentially unpredictable) rather than loop-structured.
+    pub data_dep_branch_prob: f64,
+}
+
+impl Default for CodeShape {
+    fn default() -> Self {
+        Self {
+            region_bytes: 1024,
+            inner_iters: 8,
+            block_len: 8,
+            call_jump_prob: 0.10,
+            data_dep_branch_prob: 0.15,
+        }
+    }
+}
+
+impl CodeShape {
+    /// A tight-loop shape: few large repeats of small regions (e.g. `swim`,
+    /// `tomcatv` numeric kernels).
+    pub fn tight_loops() -> Self {
+        Self {
+            region_bytes: 512,
+            inner_iters: 64,
+            block_len: 12,
+            call_jump_prob: 0.02,
+            data_dep_branch_prob: 0.05,
+        }
+    }
+
+    /// A call-heavy shape: many regions visited with little repetition
+    /// (e.g. `gcc`, `vortex`).
+    pub fn call_heavy() -> Self {
+        Self {
+            region_bytes: 1024,
+            inner_iters: 3,
+            block_len: 6,
+            call_jump_prob: 0.15,
+            data_dep_branch_prob: 0.30,
+        }
+    }
+}
+
+/// Generates the PC stream for a (possibly phase-varying) instruction
+/// footprint.
+#[derive(Debug, Clone)]
+pub struct CodeStream {
+    shape: CodeShape,
+    region: u64,
+    iter_in_region: u64,
+    offset: u64,
+    rng: Prng,
+}
+
+impl CodeStream {
+    /// Creates a code stream with the given shape.
+    pub fn new(shape: CodeShape, rng: Prng) -> Self {
+        Self {
+            shape,
+            region: 0,
+            iter_in_region: 0,
+            offset: 0,
+            rng,
+        }
+    }
+
+    /// Number of regions covering footprint `ws`.
+    fn region_count(&self, ws: &WorkingSetSpec) -> u64 {
+        (ws.bytes / self.shape.region_bytes).max(1)
+    }
+
+    /// Returns the next PC step for footprint `ws`.
+    pub fn next_step(&mut self, ws: &WorkingSetSpec) -> PcStep {
+        let regions = self.region_count(ws);
+        if self.region >= regions {
+            self.region %= regions;
+        }
+        let pc = ws.offset_to_address(self.region * self.shape.region_bytes + self.offset);
+
+        let at_region_end = self.offset + INSTR_BYTES >= self.shape.region_bytes;
+        let instr_index = self.offset / INSTR_BYTES;
+        let at_block_end = (instr_index + 1) % self.shape.block_len == 0;
+
+        if at_region_end {
+            // Loop back-edge or transfer to the next region.
+            let step = if self.iter_in_region + 1 < self.shape.inner_iters {
+                self.iter_in_region += 1;
+                PcStep {
+                    pc,
+                    is_branch: true,
+                    taken: true,
+                    data_dependent: false,
+                }
+            } else {
+                self.iter_in_region = 0;
+                self.region = if self.rng.chance(self.shape.call_jump_prob) {
+                    self.rng.below(regions)
+                } else {
+                    (self.region + 1) % regions
+                };
+                PcStep {
+                    pc,
+                    is_branch: true,
+                    taken: true,
+                    data_dependent: false,
+                }
+            };
+            self.offset = 0;
+            step
+        } else if at_block_end {
+            let data_dependent = self.rng.chance(self.shape.data_dep_branch_prob);
+            let taken = if data_dependent {
+                self.rng.chance(0.5)
+            } else {
+                // Loop-structured conditionals are strongly biased.
+                self.rng.chance(0.9)
+            };
+            self.offset += INSTR_BYTES;
+            PcStep {
+                pc,
+                is_branch: true,
+                taken,
+                data_dependent,
+            }
+        } else {
+            self.offset += INSTR_BYTES;
+            PcStep {
+                pc,
+                is_branch: false,
+                taken: false,
+                data_dependent: false,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    fn footprint(bytes: u64) -> WorkingSetSpec {
+        WorkingSetSpec::uniform(bytes).at_base(0x0040_0000)
+    }
+
+    #[test]
+    fn pcs_stay_within_footprint_span() {
+        let ws = footprint(4096);
+        let mut cs = CodeStream::new(CodeShape::default(), Prng::new(3));
+        for _ in 0..10_000 {
+            let step = cs.next_step(&ws);
+            assert!(step.pc >= ws.base);
+            assert!(step.pc < ws.base + ws.bytes);
+        }
+    }
+
+    #[test]
+    fn footprint_bounds_unique_blocks() {
+        let ws = footprint(2048);
+        let mut cs = CodeStream::new(CodeShape::call_heavy(), Prng::new(3));
+        let mut blocks = HashSet::new();
+        for _ in 0..20_000 {
+            blocks.insert(cs.next_step(&ws).pc / 32);
+        }
+        assert!(blocks.len() as u64 <= 2048 / 32);
+        // And a call-heavy stream should actually cover most of it.
+        assert!(blocks.len() as u64 >= 2048 / 32 / 2);
+    }
+
+    #[test]
+    fn sequential_within_block() {
+        let ws = footprint(4096);
+        let mut cs = CodeStream::new(CodeShape::default(), Prng::new(3));
+        let a = cs.next_step(&ws);
+        let b = cs.next_step(&ws);
+        assert_eq!(b.pc - a.pc, INSTR_BYTES);
+    }
+
+    #[test]
+    fn branch_density_tracks_block_len() {
+        let ws = footprint(8192);
+        let shape = CodeShape {
+            block_len: 8,
+            ..CodeShape::default()
+        };
+        let mut cs = CodeStream::new(shape, Prng::new(7));
+        let n = 40_000;
+        let branches = (0..n).filter(|_| cs.next_step(&ws).is_branch).count();
+        let frac = branches as f64 / n as f64;
+        assert!(
+            (0.10..=0.18).contains(&frac),
+            "branch fraction {frac} outside expected band"
+        );
+    }
+
+    #[test]
+    fn tight_loops_have_fewer_unique_blocks_than_call_heavy() {
+        let ws = footprint(16 * 1024);
+        let count_unique = |shape: CodeShape| {
+            let mut cs = CodeStream::new(shape, Prng::new(11));
+            let mut blocks = HashSet::new();
+            for _ in 0..10_000 {
+                blocks.insert(cs.next_step(&ws).pc / 32);
+            }
+            blocks.len()
+        };
+        assert!(count_unique(CodeShape::tight_loops()) < count_unique(CodeShape::call_heavy()));
+    }
+}

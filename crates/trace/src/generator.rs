@@ -1,0 +1,193 @@
+//! The [`TraceGenerator`]: expands an [`AppProfile`] into a [`Trace`].
+
+use crate::address::AddressStream;
+use crate::code::CodeStream;
+use crate::profile::AppProfile;
+use crate::record::{InstrRecord, Op};
+use crate::rng::Prng;
+use crate::trace::Trace;
+
+/// Deterministically expands an application profile into a dynamic
+/// instruction trace.
+///
+/// The same `(profile, seed, length)` triple always produces the same trace,
+/// which lets an experiment generate each application once and replay it under
+/// every cache configuration.
+///
+/// # Examples
+///
+/// ```
+/// use rescache_trace::{spec, TraceGenerator};
+///
+/// let trace = TraceGenerator::new(spec::ammp(), 1).generate(5_000);
+/// assert_eq!(trace.name(), "ammp");
+/// assert_eq!(trace.len(), 5_000);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TraceGenerator {
+    profile: AppProfile,
+    seed: u64,
+}
+
+impl TraceGenerator {
+    /// Creates a generator for the given profile and seed.
+    pub fn new(profile: AppProfile, seed: u64) -> Self {
+        Self { profile, seed }
+    }
+
+    /// The profile this generator expands.
+    pub fn profile(&self) -> &AppProfile {
+        &self.profile
+    }
+
+    /// Generates a trace of `instructions` dynamic instructions.
+    pub fn generate(&self, instructions: usize) -> Trace {
+        let mut rng = Prng::new(self.seed ^ hash_name(self.profile.name));
+        let mut code_shape = self.profile.code.shape;
+        code_shape.data_dep_branch_prob = self.profile.branch.data_dependent_fraction;
+
+        let mut code = CodeStream::new(code_shape, rng.fork(1));
+        let mut data = AddressStream::new(
+            self.profile.data.access_mix,
+            self.profile.data.stride,
+            rng.fork(2),
+        );
+        let mut mix_rng = rng.fork(3);
+        let mut ilp_rng = rng.fork(4);
+
+        let total = instructions as u64;
+        let mut records = Vec::with_capacity(instructions);
+        for i in 0..total {
+            let code_ws = self.profile.code.schedule.active(i, total);
+            let data_ws = self.profile.data.schedule.active(i, total);
+            let step = code.next_step(code_ws);
+
+            let op = if step.is_branch {
+                Op::Branch { taken: step.taken }
+            } else {
+                let r = mix_rng.next_f64();
+                let mix = self.profile.mix;
+                if r < mix.load {
+                    Op::Load(data.next_address(data_ws))
+                } else if r < mix.load + mix.store {
+                    Op::Store(data.next_address(data_ws))
+                } else if r < mix.load + mix.store + mix.fp {
+                    Op::Fp
+                } else {
+                    Op::Int
+                }
+            };
+
+            let (dep1, dep2) = self.profile.ilp.sample(&mut ilp_rng);
+            records.push(InstrRecord::with_deps(step.pc, op, dep1, dep2));
+        }
+
+        Trace::new(self.profile.name, records)
+    }
+}
+
+/// Stable FNV-1a hash of the application name, used to decorrelate seeds
+/// across applications.
+fn hash_name(name: &str) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for byte in name.as_bytes() {
+        hash ^= u64::from(*byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec;
+    use std::collections::HashSet;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = TraceGenerator::new(spec::gcc(), 7).generate(2_000);
+        let b = TraceGenerator::new(spec::gcc(), 7).generate(2_000);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = TraceGenerator::new(spec::gcc(), 7).generate(2_000);
+        let b = TraceGenerator::new(spec::gcc(), 8).generate(2_000);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn different_apps_differ() {
+        let a = TraceGenerator::new(spec::gcc(), 7).generate(2_000);
+        let b = TraceGenerator::new(spec::vpr(), 7).generate(2_000);
+        assert_ne!(a.records(), b.records());
+    }
+
+    #[test]
+    fn mem_fraction_tracks_mix() {
+        for p in [spec::gcc(), spec::swim(), spec::m88ksim()] {
+            let expected = p.mix.mem();
+            let trace = TraceGenerator::new(p, 3).generate(50_000);
+            let got = trace.stats().mem_fraction();
+            // Branches take ~12-16% of slots, so the observed memory fraction
+            // is slightly below the non-branch mix value.
+            assert!(
+                got > expected * 0.7 && got < expected * 1.05,
+                "{}: mem fraction {got} vs mix {expected}",
+                trace.name()
+            );
+        }
+    }
+
+    #[test]
+    fn branch_fraction_is_reasonable() {
+        let trace = TraceGenerator::new(spec::gcc(), 3).generate(50_000);
+        let frac = trace.stats().branch_fraction();
+        assert!((0.08..=0.25).contains(&frac), "branch fraction {frac}");
+    }
+
+    #[test]
+    fn data_footprint_scales_with_working_set() {
+        // Count only working-set blocks (below the streaming region) so the
+        // comparison reflects the profiles' working-set sizes.
+        let blocks = |name: &str| {
+            let trace =
+                TraceGenerator::new(spec::profile(name).unwrap(), 5).generate(100_000);
+            let mut set = HashSet::new();
+            for r in trace.iter() {
+                if let Some(addr) = r.op.address() {
+                    if addr < 0x7000_0000 {
+                        set.insert(addr / 32);
+                    }
+                }
+            }
+            set.len()
+        };
+        let small = blocks("ammp");
+        let large = blocks("swim");
+        assert!(
+            large > small * 4,
+            "swim ({large} blocks) should touch far more data than ammp ({small})"
+        );
+    }
+
+    #[test]
+    fn instruction_footprint_scales_with_code_schedule() {
+        let blocks = |name: &str| {
+            let trace =
+                TraceGenerator::new(spec::profile(name).unwrap(), 5).generate(100_000);
+            let mut set = HashSet::new();
+            for r in trace.iter() {
+                set.insert(r.pc / 32);
+            }
+            set.len()
+        };
+        let small = blocks("swim");
+        let large = blocks("gcc");
+        assert!(
+            large > small * 4,
+            "gcc ({large} i-blocks) should touch far more code than swim ({small})"
+        );
+    }
+}

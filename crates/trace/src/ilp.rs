@@ -1,0 +1,130 @@
+//! Instruction-level-parallelism behaviour: register dependency distances.
+//!
+//! The out-of-order engine can only hide d-cache miss latency if independent
+//! work exists in its window. Dependency distances — how far back the
+//! producers of each instruction sit in the dynamic stream — bound that
+//! parallelism, so they are the single knob this crate exposes for ILP.
+
+use crate::rng::Prng;
+
+/// Dependency-distance behaviour of an application.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IlpBehavior {
+    /// Mean distance (in dynamic instructions) to the first producer.
+    pub mean_distance: f64,
+    /// Probability an instruction has a second source operand.
+    pub second_source_prob: f64,
+    /// Probability an instruction has no register dependency at all.
+    pub independent_prob: f64,
+}
+
+impl IlpBehavior {
+    /// Creates an ILP behaviour description.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mean_distance < 1`, or any probability is outside `[0, 1]`.
+    pub fn new(mean_distance: f64, second_source_prob: f64, independent_prob: f64) -> Self {
+        assert!(mean_distance >= 1.0, "mean_distance must be at least 1");
+        assert!(
+            (0.0..=1.0).contains(&second_source_prob),
+            "second_source_prob must be a probability"
+        );
+        assert!(
+            (0.0..=1.0).contains(&independent_prob),
+            "independent_prob must be a probability"
+        );
+        Self {
+            mean_distance,
+            second_source_prob,
+            independent_prob,
+        }
+    }
+
+    /// Serial, pointer-chasing style code with long dependency chains.
+    pub fn serial() -> Self {
+        Self::new(2.0, 0.4, 0.10)
+    }
+
+    /// Loop-parallel numeric code with plenty of independent work.
+    pub fn parallel() -> Self {
+        Self::new(10.0, 0.5, 0.35)
+    }
+
+    /// Moderate ILP, typical of integer codes.
+    pub fn moderate() -> Self {
+        Self::new(5.0, 0.45, 0.20)
+    }
+
+    /// Samples the `(dep1, dep2)` distances for one instruction.
+    pub fn sample(&self, rng: &mut Prng) -> (u8, u8) {
+        if rng.chance(self.independent_prob) {
+            return (0, 0);
+        }
+        let d1 = rng.geometric(self.mean_distance).min(63) as u8;
+        let d2 = if rng.chance(self.second_source_prob) {
+            rng.geometric(self.mean_distance).min(63) as u8
+        } else {
+            0
+        };
+        (d1, d2)
+    }
+}
+
+impl Default for IlpBehavior {
+    fn default() -> Self {
+        Self::moderate()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sample_respects_bounds() {
+        let b = IlpBehavior::moderate();
+        let mut rng = Prng::new(1);
+        for _ in 0..10_000 {
+            let (d1, d2) = b.sample(&mut rng);
+            assert!(d1 <= 63);
+            assert!(d2 <= 63);
+        }
+    }
+
+    #[test]
+    fn serial_has_shorter_distances_than_parallel() {
+        let mut rng = Prng::new(2);
+        let mean = |b: IlpBehavior, rng: &mut Prng| {
+            let mut sum = 0u64;
+            let mut n = 0u64;
+            for _ in 0..20_000 {
+                let (d1, _) = b.sample(rng);
+                if d1 > 0 {
+                    sum += u64::from(d1);
+                    n += 1;
+                }
+            }
+            sum as f64 / n as f64
+        };
+        let serial = mean(IlpBehavior::serial(), &mut rng);
+        let parallel = mean(IlpBehavior::parallel(), &mut rng);
+        assert!(serial < parallel, "serial {serial} !< parallel {parallel}");
+    }
+
+    #[test]
+    fn independent_probability_observed() {
+        let b = IlpBehavior::new(4.0, 0.5, 0.5);
+        let mut rng = Prng::new(3);
+        let n = 20_000;
+        let independent = (0..n).filter(|_| b.sample(&mut rng) == (0, 0)).count();
+        let frac = independent as f64 / n as f64;
+        assert!((0.45..=0.55).contains(&frac));
+    }
+
+    #[test]
+    #[should_panic(expected = "mean_distance")]
+    fn invalid_mean_panics() {
+        let _ = IlpBehavior::new(0.5, 0.5, 0.5);
+    }
+}

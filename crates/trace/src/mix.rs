@@ -1,0 +1,93 @@
+//! Instruction-mix parameters (what fraction of non-branch instructions are
+//! loads, stores and floating-point operations).
+
+/// Instruction mix of an application.
+///
+/// Branch density is controlled by the code stream shape (one conditional per
+/// basic block); this mix distributes the remaining instruction slots.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InstructionMix {
+    /// Fraction of non-branch instructions that are loads.
+    pub load: f64,
+    /// Fraction of non-branch instructions that are stores.
+    pub store: f64,
+    /// Fraction of non-branch instructions that are floating-point ops.
+    pub fp: f64,
+}
+
+impl InstructionMix {
+    /// Creates a mix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any fraction is negative or the fractions sum to more
+    /// than 1.
+    pub fn new(load: f64, store: f64, fp: f64) -> Self {
+        assert!(
+            load >= 0.0 && store >= 0.0 && fp >= 0.0,
+            "mix fractions must be non-negative"
+        );
+        assert!(
+            load + store + fp <= 1.0 + 1e-9,
+            "mix fractions must sum to at most 1"
+        );
+        Self { load, store, fp }
+    }
+
+    /// A typical integer-code mix (e.g. `gcc`, `vortex`).
+    pub fn integer() -> Self {
+        Self::new(0.26, 0.12, 0.02)
+    }
+
+    /// A typical floating-point–code mix (e.g. `swim`, `tomcatv`).
+    pub fn floating_point() -> Self {
+        Self::new(0.28, 0.10, 0.30)
+    }
+
+    /// Fraction of non-branch instructions that access memory.
+    pub fn mem(&self) -> f64 {
+        self.load + self.store
+    }
+
+    /// Fraction of non-branch instructions that are plain integer ALU ops.
+    pub fn int(&self) -> f64 {
+        (1.0 - self.load - self.store - self.fp).max(0.0)
+    }
+}
+
+impl Default for InstructionMix {
+    fn default() -> Self {
+        Self::integer()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fractions_partition_unity() {
+        let m = InstructionMix::new(0.3, 0.1, 0.2);
+        assert!((m.int() + m.mem() + m.fp - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn presets_are_valid() {
+        for m in [InstructionMix::integer(), InstructionMix::floating_point()] {
+            assert!(m.mem() > 0.2 && m.mem() < 0.6);
+            assert!(m.int() >= 0.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to at most 1")]
+    fn oversubscribed_mix_panics() {
+        let _ = InstructionMix::new(0.6, 0.3, 0.3);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_mix_panics() {
+        let _ = InstructionMix::new(-0.1, 0.3, 0.3);
+    }
+}

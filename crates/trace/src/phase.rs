@@ -1,0 +1,208 @@
+//! Phase schedules: how a working set evolves over the course of execution.
+//!
+//! The paper classifies applications into three behaviours (Section 4.2.1):
+//! constant working-set size, working-set *variation* (including periodic
+//! variation), and required sizes that fall *between* offered sizes. Phase
+//! schedules express the first two directly; the third is a property of the
+//! chosen working-set sizes relative to the cache organization.
+
+use crate::working_set::WorkingSetSpec;
+
+/// One phase of execution: a working set that is active for a fraction of the
+/// total instruction count.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Phase {
+    /// Relative weight of this phase; weights are normalised over the schedule.
+    pub weight: f64,
+    /// The working set active during this phase.
+    pub spec: WorkingSetSpec,
+}
+
+impl Phase {
+    /// Creates a phase with the given relative weight.
+    pub fn new(weight: f64, spec: WorkingSetSpec) -> Self {
+        Self { weight, spec }
+    }
+}
+
+/// How the phases of a schedule are traversed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ScheduleKind {
+    /// The phases are visited once, in order, each occupying its weight
+    /// fraction of the whole trace.
+    Sequence,
+    /// The phases repeat with the given period (in instructions), each
+    /// occupying its weight fraction of the period.
+    Periodic {
+        /// Period length in dynamic instructions.
+        period: u64,
+    },
+}
+
+/// A schedule of working-set phases over a trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseSchedule {
+    kind: ScheduleKind,
+    phases: Vec<Phase>,
+}
+
+impl PhaseSchedule {
+    /// A schedule with a single, constant working set.
+    pub fn constant(spec: WorkingSetSpec) -> Self {
+        Self {
+            kind: ScheduleKind::Sequence,
+            phases: vec![Phase::new(1.0, spec)],
+        }
+    }
+
+    /// A schedule that visits each phase once, in order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `phases` is empty or all weights are non-positive.
+    pub fn sequence(phases: Vec<Phase>) -> Self {
+        assert!(!phases.is_empty(), "a schedule needs at least one phase");
+        assert!(
+            phases.iter().any(|p| p.weight > 0.0),
+            "at least one phase weight must be positive"
+        );
+        Self {
+            kind: ScheduleKind::Sequence,
+            phases,
+        }
+    }
+
+    /// A schedule that repeats the phases with the given period.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `phases` is empty, all weights are non-positive, or
+    /// `period == 0`.
+    pub fn periodic(period: u64, phases: Vec<Phase>) -> Self {
+        assert!(!phases.is_empty(), "a schedule needs at least one phase");
+        assert!(
+            phases.iter().any(|p| p.weight > 0.0),
+            "at least one phase weight must be positive"
+        );
+        assert!(period > 0, "period must be positive");
+        Self {
+            kind: ScheduleKind::Periodic { period },
+            phases,
+        }
+    }
+
+    /// The traversal mode of this schedule.
+    pub fn kind(&self) -> ScheduleKind {
+        self.kind
+    }
+
+    /// The phases of this schedule.
+    pub fn phases(&self) -> &[Phase] {
+        &self.phases
+    }
+
+    /// Returns the working set active at dynamic instruction `index` of a
+    /// trace of `total` instructions.
+    pub fn active(&self, index: u64, total: u64) -> &WorkingSetSpec {
+        let total = total.max(1);
+        let position = match self.kind {
+            ScheduleKind::Sequence => index.min(total - 1) as f64 / total as f64,
+            ScheduleKind::Periodic { period } => {
+                let period = period.max(1);
+                (index % period) as f64 / period as f64
+            }
+        };
+        let weight_sum: f64 = self.phases.iter().map(|p| p.weight.max(0.0)).sum();
+        let mut acc = 0.0;
+        for phase in &self.phases {
+            acc += phase.weight.max(0.0) / weight_sum;
+            if position < acc {
+                return &phase.spec;
+            }
+        }
+        &self.phases.last().expect("schedule is non-empty").spec
+    }
+
+    /// The instruction-weighted mean working-set size in bytes.
+    pub fn mean_bytes(&self) -> f64 {
+        let weight_sum: f64 = self.phases.iter().map(|p| p.weight.max(0.0)).sum();
+        if weight_sum <= 0.0 {
+            return 0.0;
+        }
+        self.phases
+            .iter()
+            .map(|p| p.weight.max(0.0) / weight_sum * p.spec.bytes as f64)
+            .sum()
+    }
+
+    /// The largest working-set size in bytes across all phases.
+    pub fn max_bytes(&self) -> u64 {
+        self.phases.iter().map(|p| p.spec.bytes).max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ws(bytes: u64) -> WorkingSetSpec {
+        WorkingSetSpec::uniform(bytes)
+    }
+
+    #[test]
+    fn constant_schedule_is_constant() {
+        let s = PhaseSchedule::constant(ws(4096));
+        for i in [0u64, 10, 500, 999] {
+            assert_eq!(s.active(i, 1000).bytes, 4096);
+        }
+        assert_eq!(s.mean_bytes(), 4096.0);
+        assert_eq!(s.max_bytes(), 4096);
+    }
+
+    #[test]
+    fn sequence_schedule_switches_midway() {
+        let s = PhaseSchedule::sequence(vec![Phase::new(1.0, ws(1024)), Phase::new(1.0, ws(8192))]);
+        assert_eq!(s.active(0, 1000).bytes, 1024);
+        assert_eq!(s.active(499, 1000).bytes, 1024);
+        assert_eq!(s.active(500, 1000).bytes, 8192);
+        assert_eq!(s.active(999, 1000).bytes, 8192);
+    }
+
+    #[test]
+    fn periodic_schedule_repeats() {
+        let s = PhaseSchedule::periodic(
+            100,
+            vec![Phase::new(1.0, ws(1024)), Phase::new(1.0, ws(8192))],
+        );
+        assert_eq!(s.active(0, 10_000).bytes, 1024);
+        assert_eq!(s.active(60, 10_000).bytes, 8192);
+        assert_eq!(s.active(100, 10_000).bytes, 1024);
+        assert_eq!(s.active(160, 10_000).bytes, 8192);
+    }
+
+    #[test]
+    fn mean_is_weighted() {
+        let s = PhaseSchedule::sequence(vec![Phase::new(3.0, ws(1000)), Phase::new(1.0, ws(5000))]);
+        assert!((s.mean_bytes() - 2000.0).abs() < 1e-9);
+        assert_eq!(s.max_bytes(), 5000);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one phase")]
+    fn empty_schedule_panics() {
+        let _ = PhaseSchedule::sequence(vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "period must be positive")]
+    fn zero_period_panics() {
+        let _ = PhaseSchedule::periodic(0, vec![Phase::new(1.0, ws(1024))]);
+    }
+
+    #[test]
+    fn accessors() {
+        let s = PhaseSchedule::periodic(10, vec![Phase::new(1.0, ws(1024))]);
+        assert_eq!(s.kind(), ScheduleKind::Periodic { period: 10 });
+        assert_eq!(s.phases().len(), 1);
+    }
+}

@@ -1,0 +1,128 @@
+//! Trace record types: one [`InstrRecord`] per dynamic instruction.
+
+/// The operation class of a dynamic instruction.
+///
+/// Memory operations carry the effective byte address of their access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Op {
+    /// An integer ALU operation (single-cycle).
+    Int,
+    /// A floating-point operation (multi-cycle execution latency).
+    Fp,
+    /// A load from the given effective address.
+    Load(u64),
+    /// A store to the given effective address.
+    Store(u64),
+    /// A conditional branch with its resolved direction.
+    Branch {
+        /// Whether the branch was taken.
+        taken: bool,
+    },
+}
+
+impl Op {
+    /// Returns `true` if this operation accesses the data cache.
+    pub fn is_mem(&self) -> bool {
+        matches!(self, Op::Load(_) | Op::Store(_))
+    }
+
+    /// Returns `true` if this operation is a load.
+    pub fn is_load(&self) -> bool {
+        matches!(self, Op::Load(_))
+    }
+
+    /// Returns `true` if this operation is a store.
+    pub fn is_store(&self) -> bool {
+        matches!(self, Op::Store(_))
+    }
+
+    /// Returns `true` if this operation is a conditional branch.
+    pub fn is_branch(&self) -> bool {
+        matches!(self, Op::Branch { .. })
+    }
+
+    /// Returns the effective data address, if this is a memory operation.
+    pub fn address(&self) -> Option<u64> {
+        match self {
+            Op::Load(a) | Op::Store(a) => Some(*a),
+            _ => None,
+        }
+    }
+}
+
+/// A single dynamic instruction in a trace.
+///
+/// Dependency distances point backwards in the dynamic instruction stream:
+/// `dep1 == 3` means "this instruction consumes the result produced three
+/// instructions earlier". A distance of `0` means "no register dependency".
+/// These distances are what the out-of-order model uses to bound the
+/// instruction-level parallelism it can extract.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct InstrRecord {
+    /// Program counter (byte address) of the instruction.
+    pub pc: u64,
+    /// Operation class, including memory addresses and branch outcomes.
+    pub op: Op,
+    /// Distance (in dynamic instructions) to the first source producer; 0 = none.
+    pub dep1: u8,
+    /// Distance (in dynamic instructions) to the second source producer; 0 = none.
+    pub dep2: u8,
+}
+
+impl InstrRecord {
+    /// Creates a record with no register dependencies.
+    pub fn new(pc: u64, op: Op) -> Self {
+        Self {
+            pc,
+            op,
+            dep1: 0,
+            dep2: 0,
+        }
+    }
+
+    /// Creates a record with the given dependency distances.
+    pub fn with_deps(pc: u64, op: Op, dep1: u8, dep2: u8) -> Self {
+        Self {
+            pc,
+            op,
+            dep1,
+            dep2,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn op_classification() {
+        assert!(Op::Load(0x100).is_mem());
+        assert!(Op::Store(0x100).is_mem());
+        assert!(!Op::Int.is_mem());
+        assert!(Op::Load(4).is_load());
+        assert!(!Op::Load(4).is_store());
+        assert!(Op::Store(4).is_store());
+        assert!(Op::Branch { taken: true }.is_branch());
+        assert!(!Op::Fp.is_branch());
+    }
+
+    #[test]
+    fn op_address_extraction() {
+        assert_eq!(Op::Load(0xdead).address(), Some(0xdead));
+        assert_eq!(Op::Store(0xbeef).address(), Some(0xbeef));
+        assert_eq!(Op::Int.address(), None);
+        assert_eq!(Op::Branch { taken: false }.address(), None);
+    }
+
+    #[test]
+    fn record_constructors() {
+        let r = InstrRecord::new(0x400, Op::Int);
+        assert_eq!(r.dep1, 0);
+        assert_eq!(r.dep2, 0);
+        let r = InstrRecord::with_deps(0x404, Op::Fp, 2, 5);
+        assert_eq!(r.dep1, 2);
+        assert_eq!(r.dep2, 5);
+        assert_eq!(r.pc, 0x404);
+    }
+}

@@ -1,0 +1,179 @@
+//! A small, fast, deterministic pseudo-random number generator.
+//!
+//! The simulation pipeline must be bit-for-bit reproducible across platforms
+//! and library versions, and trace generation sits on the hot path of every
+//! experiment, so this crate uses its own xorshift/SplitMix generator rather
+//! than pulling a general-purpose RNG into the simulation path.
+
+/// A deterministic pseudo-random number generator (xorshift64* seeded through
+/// SplitMix64).
+///
+/// # Examples
+///
+/// ```
+/// use rescache_trace::Prng;
+///
+/// let mut a = Prng::new(7);
+/// let mut b = Prng::new(7);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Prng {
+    state: u64,
+}
+
+impl Prng {
+    /// Creates a generator from a seed. Any seed (including zero) is valid.
+    pub fn new(seed: u64) -> Self {
+        // SplitMix64 step to spread low-entropy seeds over the state space and
+        // to guarantee a non-zero xorshift state.
+        let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        Self { state: z | 1 }
+    }
+
+    /// Returns the next 64-bit pseudo-random value.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Returns a uniformly distributed value in `[0, bound)`.
+    ///
+    /// Returns `0` when `bound == 0`.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        if bound == 0 {
+            return 0;
+        }
+        // Multiply-shift reduction; bias is negligible for simulation purposes.
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+
+    /// Returns a uniformly distributed `usize` in `[0, bound)`.
+    pub fn below_usize(&mut self, bound: usize) -> usize {
+        self.below(bound as u64) as usize
+    }
+
+    /// Returns a uniformly distributed `f64` in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Returns `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.next_f64() < p
+    }
+
+    /// Returns a geometrically distributed value with the given mean
+    /// (minimum 1). Used for dependency distances and burst lengths.
+    pub fn geometric(&mut self, mean: f64) -> u64 {
+        if mean <= 1.0 {
+            return 1;
+        }
+        let p = 1.0 / mean;
+        let u = self.next_f64().max(f64::MIN_POSITIVE);
+        let v = (u.ln() / (1.0 - p).ln()).floor() as u64;
+        v + 1
+    }
+
+    /// Derives an independent generator for a named sub-stream.
+    pub fn fork(&mut self, label: u64) -> Self {
+        Self::new(self.next_u64() ^ label.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+    }
+}
+
+impl Default for Prng {
+    fn default() -> Self {
+        Self::new(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let mut a = Prng::new(123);
+        let mut b = Prng::new(123);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = Prng::new(1);
+        let mut b = Prng::new(2);
+        let same = (0..100).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 5);
+    }
+
+    #[test]
+    fn below_respects_bound() {
+        let mut rng = Prng::new(9);
+        for bound in [1u64, 2, 3, 10, 1000] {
+            for _ in 0..200 {
+                assert!(rng.below(bound) < bound);
+            }
+        }
+    }
+
+    #[test]
+    fn below_zero_bound_is_zero() {
+        let mut rng = Prng::new(9);
+        assert_eq!(rng.below(0), 0);
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut rng = Prng::new(17);
+        for _ in 0..1000 {
+            let v = rng.next_f64();
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut rng = Prng::new(3);
+        assert!(!rng.chance(0.0));
+        assert!(rng.chance(1.1));
+    }
+
+    #[test]
+    fn geometric_mean_is_reasonable() {
+        let mut rng = Prng::new(5);
+        let n = 20_000;
+        let mean = 4.0;
+        let sum: u64 = (0..n).map(|_| rng.geometric(mean)).sum();
+        let observed = sum as f64 / n as f64;
+        assert!(
+            (observed - mean).abs() < 0.5,
+            "observed mean {observed} too far from {mean}"
+        );
+    }
+
+    #[test]
+    fn geometric_minimum_is_one() {
+        let mut rng = Prng::new(5);
+        for _ in 0..1000 {
+            assert!(rng.geometric(0.5) >= 1);
+            assert!(rng.geometric(3.0) >= 1);
+        }
+    }
+
+    #[test]
+    fn fork_is_independent() {
+        let mut rng = Prng::new(11);
+        let mut f1 = rng.fork(1);
+        let mut f2 = rng.fork(2);
+        assert_ne!(f1.next_u64(), f2.next_u64());
+    }
+}

@@ -1,0 +1,433 @@
+//! The twelve SPEC-like application profiles used by the paper's evaluation.
+//!
+//! The paper runs `ammp`, `vortex` and `vpr` from SPEC2000 and nine SPEC95
+//! applications. SPEC binaries and reference inputs are proprietary, so these
+//! profiles are synthetic stand-ins that encode the properties the paper's
+//! per-application discussion attributes to each benchmark:
+//!
+//! * the **data working-set size** and whether it is constant, varying or
+//!   periodic (Section 4.2.1 groups the applications into exactly these
+//!   classes),
+//! * the **instruction footprint** and its phase behaviour (Section 4.2.2),
+//! * **conflict-miss propensity** — how many mutually aliasing hot segments
+//!   the working set has, i.e. how much associativity the application needs
+//!   (the paper's explanation of why `apsi`, `gcc`, `su2cor`, `vortex` and
+//!   `vpr` prefer selective-sets),
+//! * whether the required size falls **between** sizes offered by an
+//!   organization (`compress`, `ijpeg` — the paper's "unavailable-size"
+//!   class),
+//! * instruction mix, branch behaviour and ILP (which determine how much of
+//!   the miss latency each processor configuration can hide).
+
+use crate::address::AccessMix;
+use crate::branch::BranchBehavior;
+use crate::code::CodeShape;
+use crate::ilp::IlpBehavior;
+use crate::mix::InstructionMix;
+use crate::phase::{Phase, PhaseSchedule};
+use crate::profile::{AppProfile, CodeBehavior, DataBehavior};
+use crate::working_set::WorkingSetSpec;
+
+/// Base address used for instruction footprints (disjoint from data).
+const CODE_BASE: u64 = 0x0040_0000;
+
+/// Period (in dynamic instructions) used by periodic phase schedules.
+const PERIOD: u64 = 800_000;
+
+const KIB: u64 = 1024;
+
+fn data_ws(bytes_kib: f64, conflict_ways: u32) -> WorkingSetSpec {
+    WorkingSetSpec::conflicting((bytes_kib * KIB as f64) as u64, conflict_ways)
+}
+
+fn code_ws(bytes_kib: f64, conflict_ways: u32) -> WorkingSetSpec {
+    WorkingSetSpec::conflicting((bytes_kib * KIB as f64) as u64, conflict_ways).at_base(CODE_BASE)
+}
+
+/// Names of all twelve applications, in the order the paper's figures use.
+pub const APP_NAMES: [&str; 12] = [
+    "ammp", "applu", "apsi", "compress", "gcc", "ijpeg", "m88ksim", "su2cor", "swim", "tomcatv",
+    "vortex", "vpr",
+];
+
+/// Returns the profile for the named application, or `None` if the name is
+/// not one of [`APP_NAMES`].
+pub fn profile(name: &str) -> Option<AppProfile> {
+    let p = match name {
+        "ammp" => ammp(),
+        "applu" => applu(),
+        "apsi" => apsi(),
+        "compress" => compress(),
+        "gcc" => gcc(),
+        "ijpeg" => ijpeg(),
+        "m88ksim" => m88ksim(),
+        "su2cor" => su2cor(),
+        "swim" => swim(),
+        "tomcatv" => tomcatv(),
+        "vortex" => vortex(),
+        "vpr" => vpr(),
+        _ => return None,
+    };
+    Some(p)
+}
+
+/// Returns all twelve profiles in the order of [`APP_NAMES`].
+pub fn all_profiles() -> Vec<AppProfile> {
+    APP_NAMES
+        .iter()
+        .map(|n| profile(n).expect("all APP_NAMES have profiles"))
+        .collect()
+}
+
+/// `ammp` (SPEC2000 FP): small, constant data working set and a tiny
+/// instruction footprint; benefits from the smallest offered sizes.
+pub fn ammp() -> AppProfile {
+    AppProfile::new(
+        "ammp",
+        DataBehavior::new(PhaseSchedule::constant(data_ws(3.0, 1)))
+            .with_access_mix(AccessMix::new(0.35, 0.62, 0.03)),
+        CodeBehavior::new(PhaseSchedule::constant(code_ws(2.0, 1)))
+            .with_shape(CodeShape::tight_loops()),
+    )
+    .with_mix(InstructionMix::new(0.27, 0.09, 0.22))
+    .with_branch(BranchBehavior::new(0.12, 0.9))
+    .with_ilp(IlpBehavior::new(3.0, 0.45, 0.15))
+}
+
+/// `applu` (SPEC95 FP): small constant data working set, periodically varying
+/// instruction footprint, highly parallel loops.
+pub fn applu() -> AppProfile {
+    AppProfile::new(
+        "applu",
+        DataBehavior::new(PhaseSchedule::constant(data_ws(3.5, 1)))
+            .with_access_mix(AccessMix::new(0.6, 0.37, 0.03))
+            .with_stride(8),
+        CodeBehavior::new(PhaseSchedule::periodic(
+            PERIOD,
+            vec![
+                Phase::new(0.55, code_ws(3.0, 1)),
+                Phase::new(0.45, code_ws(12.0, 1)),
+            ],
+        ))
+        .with_shape(CodeShape {
+            inner_iters: 24,
+            ..CodeShape::tight_loops()
+        }),
+    )
+    .with_mix(InstructionMix::floating_point())
+    .with_branch(BranchBehavior::predictable())
+    .with_ilp(IlpBehavior::parallel())
+}
+
+/// `apsi` (SPEC95 FP): medium working set with strong conflict structure
+/// (needs its associativity) and mild variation; periodic instruction
+/// footprint that also needs associativity.
+pub fn apsi() -> AppProfile {
+    AppProfile::new(
+        "apsi",
+        DataBehavior::new(PhaseSchedule::sequence(vec![
+            Phase::new(0.5, data_ws(8.0, 3)),
+            Phase::new(0.5, data_ws(12.0, 3)),
+        ]))
+        .with_access_mix(AccessMix::new(0.5, 0.47, 0.03)),
+        CodeBehavior::new(PhaseSchedule::periodic(
+            PERIOD,
+            vec![
+                Phase::new(0.5, code_ws(6.0, 3)),
+                Phase::new(0.5, code_ws(14.0, 3)),
+            ],
+        )),
+    )
+    .with_mix(InstructionMix::floating_point())
+    .with_branch(BranchBehavior::new(0.10, 0.92))
+    .with_ilp(IlpBehavior::new(7.0, 0.5, 0.3))
+}
+
+/// `compress` (SPEC95 INT): data working set of ~20 KiB, which falls between
+/// the 16 KiB and 32 KiB points offered by selective-sets but is covered by
+/// selective-ways' 24 KiB point; tiny instruction footprint.
+pub fn compress() -> AppProfile {
+    AppProfile::new(
+        "compress",
+        DataBehavior::new(PhaseSchedule::sequence(vec![
+            Phase::new(0.35, data_ws(8.0, 1)),
+            Phase::new(0.65, data_ws(20.0, 1)),
+        ]))
+        .with_access_mix(AccessMix::new(0.30, 0.66, 0.04)),
+        CodeBehavior::new(PhaseSchedule::constant(code_ws(2.0, 1)))
+            .with_shape(CodeShape::tight_loops()),
+    )
+    .with_mix(InstructionMix::new(0.28, 0.14, 0.02))
+    .with_branch(BranchBehavior::new(0.25, 0.85))
+    .with_ilp(IlpBehavior::moderate())
+}
+
+/// `gcc` (SPEC95 INT): strongly varying data working set with conflict
+/// structure, and an instruction footprint larger than the 32 KiB L1.
+pub fn gcc() -> AppProfile {
+    AppProfile::new(
+        "gcc",
+        DataBehavior::new(PhaseSchedule::sequence(vec![
+            Phase::new(0.35, data_ws(8.0, 4)),
+            Phase::new(0.35, data_ws(16.0, 4)),
+            Phase::new(0.30, data_ws(24.0, 4)),
+        ]))
+        .with_access_mix(AccessMix::new(0.35, 0.6, 0.05)),
+        CodeBehavior::new(PhaseSchedule::sequence(vec![
+            Phase::new(0.5, code_ws(36.0, 2)),
+            Phase::new(0.5, code_ws(42.0, 2)),
+        ]))
+        .with_shape(CodeShape::call_heavy()),
+    )
+    .with_mix(InstructionMix::integer())
+    .with_branch(BranchBehavior::irregular())
+    .with_ilp(IlpBehavior::new(3.5, 0.45, 0.15))
+}
+
+/// `ijpeg` (SPEC95 INT): small data working set that sits between offered
+/// sizes (~6 KiB) with conflict structure; small, periodically varying
+/// instruction footprint.
+pub fn ijpeg() -> AppProfile {
+    AppProfile::new(
+        "ijpeg",
+        DataBehavior::new(PhaseSchedule::periodic(
+            PERIOD,
+            vec![
+                Phase::new(0.5, data_ws(5.0, 2)),
+                Phase::new(0.5, data_ws(7.0, 2)),
+            ],
+        ))
+        .with_access_mix(AccessMix::new(0.55, 0.42, 0.03)),
+        CodeBehavior::new(PhaseSchedule::periodic(
+            PERIOD,
+            vec![
+                Phase::new(0.5, code_ws(3.0, 1)),
+                Phase::new(0.5, code_ws(6.0, 1)),
+            ],
+        ))
+        .with_shape(CodeShape {
+            inner_iters: 16,
+            ..CodeShape::default()
+        }),
+    )
+    .with_mix(InstructionMix::new(0.25, 0.10, 0.08))
+    .with_branch(BranchBehavior::new(0.15, 0.9))
+    .with_ilp(IlpBehavior::moderate())
+}
+
+/// `m88ksim` (SPEC95 INT): small constant data working set and instruction
+/// footprint (a CPU simulator's hot interpreter loop).
+pub fn m88ksim() -> AppProfile {
+    AppProfile::new(
+        "m88ksim",
+        DataBehavior::new(PhaseSchedule::constant(data_ws(2.5, 1)))
+            .with_access_mix(AccessMix::new(0.35, 0.63, 0.02)),
+        CodeBehavior::new(PhaseSchedule::constant(code_ws(4.0, 1))).with_shape(CodeShape {
+            inner_iters: 12,
+            ..CodeShape::default()
+        }),
+    )
+    .with_mix(InstructionMix::integer())
+    .with_branch(BranchBehavior::new(0.12, 0.9))
+    .with_ilp(IlpBehavior::moderate())
+}
+
+/// `su2cor` (SPEC95 FP): periodically varying data working set (repeating
+/// execution phases) with conflict structure; modest instruction footprint
+/// that needs associativity.
+pub fn su2cor() -> AppProfile {
+    AppProfile::new(
+        "su2cor",
+        DataBehavior::new(PhaseSchedule::periodic(
+            PERIOD,
+            vec![
+                Phase::new(0.5, data_ws(5.0, 3)),
+                Phase::new(0.5, data_ws(20.0, 3)),
+            ],
+        ))
+        .with_access_mix(AccessMix::new(0.55, 0.42, 0.03)),
+        CodeBehavior::new(PhaseSchedule::constant(code_ws(8.0, 3))),
+    )
+    .with_mix(InstructionMix::floating_point())
+    .with_branch(BranchBehavior::predictable())
+    .with_ilp(IlpBehavior::parallel())
+}
+
+/// `swim` (SPEC95 FP): data working set that just about fills the 32 KiB L1
+/// (array sweeps) — any downsizing adds a large number of misses, so the
+/// paper reports no downsizing for it; tiny instruction footprint.
+pub fn swim() -> AppProfile {
+    AppProfile::new(
+        "swim",
+        DataBehavior::new(PhaseSchedule::constant(data_ws(28.0, 1)))
+            .with_access_mix(AccessMix::new(0.50, 0.45, 0.05))
+            .with_stride(8),
+        CodeBehavior::new(PhaseSchedule::constant(code_ws(2.0, 1)))
+            .with_shape(CodeShape::tight_loops()),
+    )
+    .with_mix(InstructionMix::floating_point())
+    .with_branch(BranchBehavior::predictable())
+    .with_ilp(IlpBehavior::new(4.0, 0.5, 0.2))
+}
+
+/// `tomcatv` (SPEC95 FP): moderate constant data working set with conflict
+/// structure (vectorised mesh code); instruction footprint larger than 32 KiB.
+pub fn tomcatv() -> AppProfile {
+    AppProfile::new(
+        "tomcatv",
+        DataBehavior::new(PhaseSchedule::constant(data_ws(14.0, 3)))
+            .with_access_mix(AccessMix::new(0.6, 0.36, 0.04)),
+        CodeBehavior::new(PhaseSchedule::constant(code_ws(38.0, 2)))
+            .with_shape(CodeShape::call_heavy()),
+    )
+    .with_mix(InstructionMix::floating_point())
+    .with_branch(BranchBehavior::predictable())
+    .with_ilp(IlpBehavior::parallel())
+}
+
+/// `vortex` (SPEC2000 INT): object-database code with a varying data working
+/// set, strong conflict structure and a large, varying instruction footprint
+/// that falls between offered sizes.
+pub fn vortex() -> AppProfile {
+    AppProfile::new(
+        "vortex",
+        DataBehavior::new(PhaseSchedule::sequence(vec![
+            Phase::new(0.35, data_ws(10.0, 4)),
+            Phase::new(0.35, data_ws(18.0, 4)),
+            Phase::new(0.30, data_ws(26.0, 4)),
+        ]))
+        .with_access_mix(AccessMix::new(0.35, 0.6, 0.05)),
+        CodeBehavior::new(PhaseSchedule::sequence(vec![
+            Phase::new(0.5, code_ws(20.0, 2)),
+            Phase::new(0.5, code_ws(26.0, 2)),
+        ]))
+        .with_shape(CodeShape::call_heavy()),
+    )
+    .with_mix(InstructionMix::integer())
+    .with_branch(BranchBehavior::new(0.2, 0.88))
+    .with_ilp(IlpBehavior::moderate())
+}
+
+/// `vpr` (SPEC2000 INT): place-and-route code with a conflict-heavy working
+/// set around 12 KiB and an instruction footprint between offered sizes.
+pub fn vpr() -> AppProfile {
+    AppProfile::new(
+        "vpr",
+        DataBehavior::new(PhaseSchedule::sequence(vec![
+            Phase::new(0.5, data_ws(10.0, 3)),
+            Phase::new(0.5, data_ws(14.0, 3)),
+        ]))
+        .with_access_mix(AccessMix::new(0.4, 0.56, 0.04)),
+        CodeBehavior::new(PhaseSchedule::sequence(vec![
+            Phase::new(0.5, code_ws(12.0, 3)),
+            Phase::new(0.5, code_ws(15.0, 3)),
+        ])),
+    )
+    .with_mix(InstructionMix::integer())
+    .with_branch(BranchBehavior::irregular())
+    .with_ilp(IlpBehavior::new(3.5, 0.45, 0.15))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_names_resolve() {
+        for name in APP_NAMES {
+            let p = profile(name).expect("named profile exists");
+            assert_eq!(p.name, name);
+        }
+        assert!(profile("does-not-exist").is_none());
+    }
+
+    #[test]
+    fn all_profiles_returns_twelve() {
+        let all = all_profiles();
+        assert_eq!(all.len(), 12);
+        let names: Vec<_> = all.iter().map(|p| p.name).collect();
+        assert_eq!(names, APP_NAMES.to_vec());
+    }
+
+    #[test]
+    fn code_and_data_regions_are_disjoint() {
+        for p in all_profiles() {
+            for dp in p.data.schedule.phases() {
+                for cp in p.code.schedule.phases() {
+                    let code_end = cp.spec.base + 64 * 1024 * 1024;
+                    assert!(
+                        dp.spec.base >= code_end || dp.spec.base >= 0x1000_0000,
+                        "{}: data and code regions overlap",
+                        p.name
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn small_working_set_apps_are_small() {
+        for name in ["ammp", "applu", "m88ksim"] {
+            let p = profile(name).unwrap();
+            assert!(
+                p.mean_data_working_set() <= 4.0 * 1024.0,
+                "{name} should have a small data working set"
+            );
+        }
+    }
+
+    #[test]
+    fn swim_fills_the_l1_capacity() {
+        let ws = swim().mean_data_working_set();
+        assert!(
+            ws > 24.0 * 1024.0,
+            "swim's working set should be close to the 32K L1 so downsizing hurts, got {ws}"
+        );
+    }
+
+    #[test]
+    fn gcc_and_tomcatv_instruction_footprints_exceed_l1() {
+        assert!(gcc().mean_code_footprint() > 32.0 * 1024.0);
+        assert!(tomcatv().mean_code_footprint() > 32.0 * 1024.0);
+    }
+
+    #[test]
+    fn conflict_apps_need_associativity() {
+        for name in ["apsi", "gcc", "su2cor", "vortex", "vpr"] {
+            let p = profile(name).unwrap();
+            let max_conflict = p
+                .data
+                .schedule
+                .phases()
+                .iter()
+                .map(|ph| ph.spec.conflict_ways)
+                .max()
+                .unwrap();
+            assert!(
+                max_conflict >= 2,
+                "{name} should have conflict-heavy data references"
+            );
+        }
+    }
+
+    #[test]
+    fn compress_needs_a_size_between_sets_points_in_its_large_phase() {
+        let p = compress();
+        let max = p.data.schedule.max_bytes();
+        assert!(
+            max > 16 * 1024 && max < 32 * 1024,
+            "compress's large phase should fall between 16K and 32K, got {max}"
+        );
+        // ... while also exhibiting working-set variation (the paper lists it
+        // in both the variation and unavailable-size classes).
+        let min = p
+            .data
+            .schedule
+            .phases()
+            .iter()
+            .map(|ph| ph.spec.bytes)
+            .min()
+            .unwrap();
+        assert!(min <= 8 * 1024, "compress should also have a small phase, got {min}");
+    }
+}

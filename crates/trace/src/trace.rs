@@ -1,0 +1,168 @@
+//! The [`Trace`] container and summary statistics.
+
+use crate::record::{InstrRecord, Op};
+
+/// A dynamic instruction trace for one application.
+///
+/// A trace is generated once per application (deterministically from a seed)
+/// and then replayed under every cache configuration of an experiment, which
+/// keeps the thousands of simulations behind the paper's figures tractable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Trace {
+    name: String,
+    records: Vec<InstrRecord>,
+}
+
+impl Trace {
+    /// Creates a trace from a name and a record vector.
+    pub fn new(name: impl Into<String>, records: Vec<InstrRecord>) -> Self {
+        Self {
+            name: name.into(),
+            records,
+        }
+    }
+
+    /// The application name this trace was generated from.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The trace records, in dynamic program order.
+    pub fn records(&self) -> &[InstrRecord] {
+        &self.records
+    }
+
+    /// Number of dynamic instructions in the trace.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Returns `true` if the trace contains no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Iterates over the records in dynamic program order.
+    pub fn iter(&self) -> std::slice::Iter<'_, InstrRecord> {
+        self.records.iter()
+    }
+
+    /// Computes summary statistics over the whole trace.
+    pub fn stats(&self) -> TraceStats {
+        let mut stats = TraceStats::default();
+        for r in &self.records {
+            stats.instructions += 1;
+            match r.op {
+                Op::Int => stats.int_ops += 1,
+                Op::Fp => stats.fp_ops += 1,
+                Op::Load(_) => stats.loads += 1,
+                Op::Store(_) => stats.stores += 1,
+                Op::Branch { taken } => {
+                    stats.branches += 1;
+                    if taken {
+                        stats.taken_branches += 1;
+                    }
+                }
+            }
+        }
+        stats
+    }
+}
+
+impl<'a> IntoIterator for &'a Trace {
+    type Item = &'a InstrRecord;
+    type IntoIter = std::slice::Iter<'a, InstrRecord>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.records.iter()
+    }
+}
+
+/// Aggregate counts over a [`Trace`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TraceStats {
+    /// Total dynamic instructions.
+    pub instructions: u64,
+    /// Integer ALU operations.
+    pub int_ops: u64,
+    /// Floating-point operations.
+    pub fp_ops: u64,
+    /// Load instructions.
+    pub loads: u64,
+    /// Store instructions.
+    pub stores: u64,
+    /// Conditional branches.
+    pub branches: u64,
+    /// Taken conditional branches.
+    pub taken_branches: u64,
+}
+
+impl TraceStats {
+    /// Fraction of instructions that access memory.
+    pub fn mem_fraction(&self) -> f64 {
+        if self.instructions == 0 {
+            return 0.0;
+        }
+        (self.loads + self.stores) as f64 / self.instructions as f64
+    }
+
+    /// Fraction of instructions that are conditional branches.
+    pub fn branch_fraction(&self) -> f64 {
+        if self.instructions == 0 {
+            return 0.0;
+        }
+        self.branches as f64 / self.instructions as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Trace {
+        Trace::new(
+            "t",
+            vec![
+                InstrRecord::new(0, Op::Int),
+                InstrRecord::new(4, Op::Load(64)),
+                InstrRecord::new(8, Op::Store(128)),
+                InstrRecord::new(12, Op::Branch { taken: true }),
+                InstrRecord::new(0, Op::Branch { taken: false }),
+                InstrRecord::new(4, Op::Fp),
+            ],
+        )
+    }
+
+    #[test]
+    fn stats_counts() {
+        let s = sample().stats();
+        assert_eq!(s.instructions, 6);
+        assert_eq!(s.int_ops, 1);
+        assert_eq!(s.fp_ops, 1);
+        assert_eq!(s.loads, 1);
+        assert_eq!(s.stores, 1);
+        assert_eq!(s.branches, 2);
+        assert_eq!(s.taken_branches, 1);
+    }
+
+    #[test]
+    fn fractions() {
+        let s = sample().stats();
+        assert!((s.mem_fraction() - 2.0 / 6.0).abs() < 1e-12);
+        assert!((s.branch_fraction() - 2.0 / 6.0).abs() < 1e-12);
+        let empty = TraceStats::default();
+        assert_eq!(empty.mem_fraction(), 0.0);
+        assert_eq!(empty.branch_fraction(), 0.0);
+    }
+
+    #[test]
+    fn trace_accessors() {
+        let t = sample();
+        assert_eq!(t.name(), "t");
+        assert_eq!(t.len(), 6);
+        assert!(!t.is_empty());
+        assert_eq!(t.iter().count(), 6);
+        assert_eq!((&t).into_iter().count(), 6);
+        assert!(Trace::new("e", vec![]).is_empty());
+    }
+}

@@ -1,0 +1,119 @@
+//! Integration test: the base system's energy breakdown sits where the paper
+//! puts it, and cache energy responds to resizing the way the study assumes.
+
+use rescache::prelude::*;
+
+fn simulate(app: &str) -> (SimResult, MemoryHierarchy) {
+    let profile = spec::profile(app).expect("known application");
+    let full = TraceGenerator::new(profile, 9).generate(60_000);
+    let warm = Trace::new(app, full.records()[..20_000].to_vec());
+    let measure = Trace::new(app, full.records()[20_000..].to_vec());
+    let mut hierarchy = MemoryHierarchy::new(HierarchyConfig::base()).unwrap();
+    let sim = Simulator::new(CpuConfig::base_out_of_order());
+    sim.run(&warm, &mut hierarchy);
+    hierarchy.reset_stats();
+    let result = sim.run(&measure, &mut hierarchy);
+    (result, hierarchy)
+}
+
+/// Section 4 of the paper: on average the d-cache accounts for ~18.5 % and
+/// the i-cache for ~17.5 % of processor energy in the base configuration.
+/// The synthetic workloads must land in a band around those shares, otherwise
+/// none of the percentage reductions in the figures are comparable.
+#[test]
+fn l1_caches_take_their_share_of_processor_energy() {
+    let model = EnergyModel::for_hierarchy(&HierarchyConfig::base());
+    let mut d = 0.0;
+    let mut i = 0.0;
+    let apps = spec::APP_NAMES;
+    for app in apps {
+        let (result, hierarchy) = simulate(app);
+        let b = model.breakdown(&result, &hierarchy);
+        d += b.l1d_fraction();
+        i += b.l1i_fraction();
+    }
+    let d_mean = d / apps.len() as f64;
+    let i_mean = i / apps.len() as f64;
+    assert!(
+        (0.14..=0.25).contains(&d_mean),
+        "mean d-cache energy share {d_mean:.3} outside the calibration band (paper: 0.185)"
+    );
+    assert!(
+        (0.11..=0.22).contains(&i_mean),
+        "mean i-cache energy share {i_mean:.3} outside the calibration band (paper: 0.175)"
+    );
+    assert!(
+        (0.27..=0.45).contains(&(d_mean + i_mean)),
+        "combined L1 share {:.3} outside the calibration band (paper: 0.36)",
+        d_mean + i_mean
+    );
+}
+
+/// Disabling subarrays must reduce the resized cache's energy roughly in
+/// proportion to the disabled capacity (the precharge-all model of Section 3).
+#[test]
+fn cache_energy_scales_with_enabled_capacity() {
+    let model = EnergyModel::for_hierarchy(&HierarchyConfig::base());
+    let l1d = model.l1d_model();
+    let full = l1d.access_energy_pj(512, 2);
+    let quarter = l1d.access_energy_pj(128, 2);
+    let ratio = quarter / full;
+    assert!(
+        (0.2..=0.45).contains(&ratio),
+        "a quarter-size cache access should cost roughly a quarter to a third \
+         of a full-size access (got ratio {ratio:.2})"
+    );
+}
+
+/// The resizing tag bits of selective-sets cost a little energy — but only a
+/// little (the paper calls the overhead insignificant).
+#[test]
+fn resizing_tag_overhead_is_small_but_present() {
+    let base = EnergyModel::for_hierarchy(&HierarchyConfig::base());
+    let resizable = EnergyModel::with_overhead(
+        &HierarchyConfig::base(),
+        rescache::energy::ResizingTagOverhead {
+            l1i_bits: 4,
+            l1d_bits: 4,
+        },
+    );
+    let plain = base.l1d_model().access_energy_pj(512, 2);
+    let tagged = resizable.l1d_model().access_energy_pj(512, 2);
+    assert!(tagged > plain);
+    assert!(
+        tagged / plain < 1.05,
+        "resizing tag bits should cost only a few percent, got {:.3}",
+        tagged / plain
+    );
+}
+
+/// The whole-processor energy-delay product of a resized run is what the
+/// experiment pipeline reports: sanity-check the plumbing end to end for one
+/// application and one resized configuration.
+#[test]
+fn resizing_the_dcache_saves_processor_energy_for_a_small_working_set() {
+    let model = EnergyModel::for_hierarchy(&HierarchyConfig::base());
+    let profile = spec::ammp();
+    let trace = TraceGenerator::new(profile, 4).generate(60_000);
+    let sim = Simulator::new(CpuConfig::base_out_of_order());
+
+    let mut full = MemoryHierarchy::new(HierarchyConfig::base()).unwrap();
+    let full_result = sim.run(&trace, &mut full);
+    let full_ed = model.energy_delay(&full_result, &full);
+
+    let mut small = MemoryHierarchy::new(HierarchyConfig::base()).unwrap();
+    small.l1d_mut().set_enabled_sets(64); // 4 KiB
+    let small_result = sim.run(&trace, &mut small);
+    let small_ed = model.energy_delay(&small_result, &small);
+
+    assert!(
+        small_ed.reduction_vs(&full_ed) > 5.0,
+        "ammp with a 4K d-cache should clearly reduce processor energy-delay, got {:.1} %",
+        small_ed.reduction_vs(&full_ed)
+    );
+    assert!(
+        small_ed.slowdown_vs(&full_ed) < 6.0,
+        "the paper's savings come at <6 % slowdown; got {:.1} %",
+        small_ed.slowdown_vs(&full_ed)
+    );
+}
