@@ -1,85 +1,235 @@
-//! Criterion micro-benchmarks of the simulation substrate itself: trace
-//! generation, cache access, and the two execution engines. These are the
-//! performance benches of the workspace (the figure benches measure the
-//! reproduced results, not wall-clock performance).
+//! Throughput harness for the simulation substrate itself: measures simulated
+//! instructions (or cache accesses) per wall-clock second for the stages every
+//! experiment runs through — trace generation, the cache access path, the two
+//! execution engines, and a figure-5-style static sweep — and records the
+//! numbers in `BENCH_sim_throughput.json` at the workspace root so successive
+//! performance PRs have a tracked trajectory.
+//!
+//! Unlike the figure benches (which reproduce the paper's *results*), this
+//! bench measures the *simulator*: its unit is MIPS, millions of simulated
+//! instructions per second of wall-clock time.
+//!
+//! Run with `cargo bench --bench sim_throughput`. Set
+//! `RESCACHE_BENCH_QUICK=1` to run a fast smoke-test variant (used by CI).
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use std::time::Instant;
 
+use rescache_bench::bench_runner;
 use rescache_cache::{Cache, CacheConfig, HierarchyConfig, MemoryHierarchy};
+use rescache_core::experiment::per_app_org_comparison;
+use rescache_core::{ConfigSpace, Organization, ResizableCacheSide, SystemConfig};
 use rescache_cpu::{CpuConfig, Simulator};
 use rescache_trace::{spec, TraceGenerator};
 
-fn bench_trace_generation(c: &mut Criterion) {
-    let mut group = c.benchmark_group("trace_generation");
-    group.throughput(Throughput::Elements(50_000));
-    group.bench_function("gcc_50k_instructions", |b| {
-        b.iter(|| TraceGenerator::new(spec::gcc(), 7).generate(50_000))
-    });
-    group.finish();
+/// One measured stage of the simulation pipeline.
+struct EngineResult {
+    name: &'static str,
+    /// Work items per repetition (instructions, or cache accesses for the
+    /// pure cache stages).
+    items: u64,
+    /// Best wall-clock seconds over the measured repetitions.
+    seconds: f64,
+    /// Millions of items per second at the best repetition.
+    mips: f64,
+    /// `true` when `items` counts the sweep's *nominal* workload (runs ×
+    /// instructions as the pre-optimization kernel executed them) rather
+    /// than instructions literally simulated: memoization legitimately
+    /// skips redundant runs, so the quotient is an *equivalent* MIPS — a
+    /// figure of merit for "figure produced per second" whose before/after
+    /// ratio equals the wall-clock ratio.
+    nominal_workload: bool,
 }
 
-fn bench_cache_access(c: &mut Criterion) {
-    let mut group = c.benchmark_group("cache_access");
-    group.throughput(Throughput::Elements(10_000));
-    group.bench_function("l1_hit_stream_10k", |b| {
-        let mut cache = Cache::new(CacheConfig::l1_default(32 * 1024, 2)).unwrap();
-        cache.fill(0x1000, false);
-        b.iter(|| {
-            let mut hits = 0u64;
-            for i in 0..10_000u64 {
-                if cache.access_read(0x1000 + (i % 4) * 8).hit {
-                    hits += 1;
-                }
+/// Runs `body` `reps` times (after one untimed warm-up) and keeps the fastest
+/// repetition; `items` is the simulated work per repetition.
+fn measure(name: &'static str, items: u64, reps: usize, mut body: impl FnMut() -> u64) -> EngineResult {
+    let mut check = body(); // warm-up, also keeps the result alive
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let start = Instant::now();
+        check = check.wrapping_add(body());
+        let elapsed = start.elapsed().as_secs_f64();
+        if elapsed < best {
+            best = elapsed;
+        }
+    }
+    // Keep the accumulated check value observable so the work is not elided.
+    if check == u64::MAX {
+        eprintln!("(unreachable checksum {check})");
+    }
+    let mips = items as f64 / best / 1.0e6;
+    println!("{name:<24} {items:>10} items   {best:>9.4} s   {mips:>9.2} MIPS");
+    EngineResult {
+        name,
+        items,
+        seconds: best,
+        mips,
+        nominal_workload: false,
+    }
+}
+
+fn bench_trace_gen(scale: u64) -> EngineResult {
+    let n = (50_000 * scale) as usize;
+    measure("trace_gen", n as u64, 5, || {
+        TraceGenerator::new(spec::gcc(), 7).generate(n).len() as u64
+    })
+}
+
+fn bench_hit_stream(scale: u64) -> EngineResult {
+    let n = 200_000 * scale;
+    let mut cache = Cache::new(CacheConfig::l1_default(32 * 1024, 2)).unwrap();
+    cache.fill(0x1000, false);
+    measure("hit_stream", n, 5, move || {
+        let mut hits = 0u64;
+        for i in 0..n {
+            if cache.access_read(0x1000 + (i % 4) * 8).hit {
+                hits += 1;
             }
-            hits
-        })
-    });
-    group.bench_function("resize_cycle", |b| {
-        b.iter_batched(
-            || {
-                let mut cache = Cache::new(CacheConfig::l1_default(32 * 1024, 2)).unwrap();
-                for i in 0..1024u64 {
-                    cache.fill(i * 32, i % 2 == 0);
-                }
-                cache
-            },
-            |mut cache| {
-                cache.set_enabled_sets(64);
-                cache.set_enabled_sets(512);
-                cache
-            },
-            BatchSize::SmallInput,
-        )
-    });
-    group.finish();
+        }
+        hits
+    })
 }
 
-fn bench_engines(c: &mut Criterion) {
-    let trace = TraceGenerator::new(spec::m88ksim(), 3).generate(20_000);
-    let mut group = c.benchmark_group("engines");
-    group.throughput(Throughput::Elements(trace.len() as u64));
-    group.sample_size(20);
-    group.bench_function("out_of_order_20k", |b| {
-        b.iter_batched(
-            || MemoryHierarchy::new(HierarchyConfig::base()).unwrap(),
-            |mut h| Simulator::new(CpuConfig::base_out_of_order()).run(&trace, &mut h),
-            BatchSize::SmallInput,
-        )
-    });
-    group.bench_function("in_order_20k", |b| {
-        b.iter_batched(
-            || MemoryHierarchy::new(HierarchyConfig::base()).unwrap(),
-            |mut h| Simulator::new(CpuConfig::base_in_order()).run(&trace, &mut h),
-            BatchSize::SmallInput,
-        )
-    });
-    group.finish();
+fn bench_evict_stream(scale: u64) -> EngineResult {
+    // Aliasing addresses so every fill evicts: this is the allocation-prone
+    // miss path (choose_victim) of the pre-optimization kernel.
+    let n = 100_000 * scale;
+    let mut cache = Cache::new(CacheConfig::l1_default(32 * 1024, 4)).unwrap();
+    let way_span = 8 * 1024u64;
+    measure("evict_stream", n, 5, move || {
+        let mut evictions = 0u64;
+        for i in 0..n {
+            let addr = (i % 8) * way_span; // 8 aliases over 4 ways
+            if !cache.access_read(addr).hit && cache.fill(addr, i % 2 == 0).is_some() {
+                evictions += 1;
+            }
+        }
+        evictions
+    })
 }
 
-criterion_group!(
-    benches,
-    bench_trace_generation,
-    bench_cache_access,
-    bench_engines
-);
-criterion_main!(benches);
+fn bench_engine(name: &'static str, config: CpuConfig, scale: u64) -> EngineResult {
+    let n = (20_000 * scale) as usize;
+    let trace = TraceGenerator::new(spec::m88ksim(), 3).generate(n);
+    measure(name, n as u64, 3, move || {
+        let mut h = MemoryHierarchy::new(HierarchyConfig::base()).unwrap();
+        Simulator::new(config).run(&trace, &mut h).instructions
+    })
+}
+
+/// A figure-5-style static sweep over a subset of applications: the
+/// end-to-end path (trace cache, runner, parallel sweep) every figure bench
+/// takes. Returns total simulated instructions and the measured result.
+fn bench_fig5_sweep(scale: u64) -> EngineResult {
+    let runner = bench_runner();
+    let cfg = *runner.config();
+    let apps = [spec::ammp(), spec::m88ksim(), spec::compress(), spec::su2cor()];
+    let orgs = [Organization::SelectiveWays, Organization::SelectiveSets];
+    let side = ResizableCacheSide::Data;
+
+    // Count the simulations the sweep performs: per (app, org) one baseline
+    // plus one run per offered point, each over warm-up + measured regions.
+    let system = SystemConfig::with_l1(32 * 1024, 4);
+    let per_run = (cfg.warmup_instructions + cfg.measure_instructions) as u64;
+    let mut runs = 0u64;
+    for org in orgs {
+        let points = ConfigSpace::enumerate(side.config_of(&system.hierarchy), org)
+            .expect("both organizations apply to a 4-way cache")
+            .points()
+            .len() as u64;
+        runs += (apps.len() as u64) * (1 + points);
+    }
+    let total_instructions = runs * per_run;
+
+    let reps = if scale > 1 { 4 } else { 1 };
+    let mut result = measure("fig5_sweep", total_instructions, reps, || {
+        // Each repetition is one full figure sweep: traces stay shared (they
+        // are generated once per process in real sweeps too), but the
+        // simulation memoization starts empty so every repetition performs
+        // the sweep's full deduplicated simulation work.
+        let runner = runner.with_fresh_simulations();
+        let rows = per_app_org_comparison(&runner, &apps, 4, &orgs, side)
+            .expect("both organizations apply to a 4-way cache");
+        rows.len() as u64
+    });
+    // The sweep's item count is its nominal workload (see `EngineResult`):
+    // the runner memoizes simulations shared between sweep arms (e.g. the
+    // baseline and each organization's full-size point), so fewer
+    // instructions execute than the divisor counts, by design.
+    result.nominal_workload = true;
+    result
+}
+
+fn main() {
+    let quick = std::env::var("RESCACHE_BENCH_QUICK").is_ok();
+    // The sweep bench honours RESCACHE_WARMUP/RESCACHE_MEASURE; default to a
+    // bench-sized region so a full run finishes in minutes, not hours.
+    if std::env::var("RESCACHE_WARMUP").is_err() {
+        std::env::set_var("RESCACHE_WARMUP", "20000");
+    }
+    if std::env::var("RESCACHE_MEASURE").is_err() {
+        std::env::set_var(
+            "RESCACHE_MEASURE",
+            if quick { "30000" } else { "200000" },
+        );
+    }
+    let scale = if quick { 1 } else { 5 };
+
+    println!("=== sim_throughput: simulator wall-clock throughput ===");
+    println!(
+        "(quick={quick}, warm-up {} / measure {} instructions per sweep run)",
+        std::env::var("RESCACHE_WARMUP").unwrap(),
+        std::env::var("RESCACHE_MEASURE").unwrap()
+    );
+    println!();
+
+    let results = vec![
+        bench_trace_gen(scale),
+        bench_hit_stream(scale),
+        bench_evict_stream(scale),
+        bench_engine("in_order", CpuConfig::base_in_order(), scale),
+        bench_engine("out_of_order", CpuConfig::base_out_of_order(), scale),
+        bench_fig5_sweep(scale),
+    ];
+
+    let json = render_json(&results, quick);
+    // Quick (CI smoke) runs record to a sibling file so they never clobber
+    // the committed full-run trajectory baseline.
+    let out_path = if quick {
+        concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../BENCH_sim_throughput.quick.json"
+        )
+    } else {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_sim_throughput.json")
+    };
+    std::fs::write(out_path, &json).expect("write throughput record");
+    println!();
+    println!("wrote {out_path}");
+}
+
+/// Renders the result list as JSON by hand (the workspace builds offline and
+/// carries no serde dependency).
+fn render_json(results: &[EngineResult], quick: bool) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"schema\": \"rescache-sim-throughput/1\",\n");
+    out.push_str(&format!("  \"quick\": {quick},\n"));
+    out.push_str(&format!(
+        "  \"threads\": {},\n",
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    ));
+    out.push_str("  \"engines\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"items\": {}, \"seconds\": {:.6}, \"mips\": {:.3}, \"workload\": \"{}\"}}{}\n",
+            r.name,
+            r.items,
+            r.seconds,
+            r.mips,
+            if r.nominal_workload { "nominal" } else { "measured" },
+            if i + 1 < results.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}

@@ -122,7 +122,7 @@ impl CacheConfig {
                 ),
             });
         }
-        if way_bytes % self.block_bytes != 0 || way_bytes < self.block_bytes {
+        if !way_bytes.is_multiple_of(self.block_bytes) || way_bytes < self.block_bytes {
             return Err(CacheConfigError::Indivisible {
                 detail: format!(
                     "way size {way_bytes} not divisible by block size {}",

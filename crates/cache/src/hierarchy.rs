@@ -6,7 +6,7 @@ use crate::config::{CacheConfig, CacheConfigError};
 use crate::writeback::WritebackBuffer;
 
 /// Configuration of the whole hierarchy.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct HierarchyConfig {
     /// L1 instruction cache configuration.
     pub l1i: CacheConfig,
@@ -81,6 +81,28 @@ pub struct HierarchyStats {
     pub resize_flush_writebacks: u64,
 }
 
+/// The statistics of a hierarchy after a run, detached from the (large) tag
+/// arrays.
+///
+/// Everything the energy model and the experiment measurements consume lives
+/// here, so a finished simulation can be summarised in a few hundred bytes —
+/// which is what lets the experiment runner memoize simulations across the
+/// sweep arms that share a cache geometry without retaining whole
+/// hierarchies.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HierarchySnapshot {
+    /// L1 instruction cache statistics.
+    pub l1i: crate::stats::CacheStats,
+    /// L1 data cache statistics.
+    pub l1d: crate::stats::CacheStats,
+    /// Unified L2 statistics.
+    pub l2: crate::stats::CacheStats,
+    /// The L2 configuration (needed by the energy model's flush charging).
+    pub l2_config: CacheConfig,
+    /// Hierarchy-level counters.
+    pub stats: HierarchyStats,
+}
+
 /// The simulated memory hierarchy.
 #[derive(Debug, Clone)]
 pub struct MemoryHierarchy {
@@ -144,6 +166,18 @@ impl MemoryHierarchy {
         &self.stats
     }
 
+    /// Captures the post-run statistics of the whole hierarchy (see
+    /// [`HierarchySnapshot`]).
+    pub fn snapshot(&self) -> HierarchySnapshot {
+        HierarchySnapshot {
+            l1i: self.l1i.stats().clone(),
+            l1d: self.l1d.stats().clone(),
+            l2: self.l2.stats().clone(),
+            l2_config: self.config.l2,
+            stats: self.stats,
+        }
+    }
+
     /// Resets all statistics (cache-level and hierarchy-level), keeping
     /// contents and geometry. Used after warm-up.
     pub fn reset_stats(&mut self) {
@@ -154,6 +188,7 @@ impl MemoryHierarchy {
     }
 
     /// Fetches the block containing `pc` through the instruction path.
+    #[inline]
     pub fn access_instruction(&mut self, pc: u64, cycle: u64) -> AccessResult {
         let l1_latency = self.config.l1i.hit_latency;
         if self.l1i.access_read(pc).hit {
@@ -175,6 +210,7 @@ impl MemoryHierarchy {
     }
 
     /// Performs a data access (load if `write` is false, store otherwise).
+    #[inline]
     pub fn access_data(&mut self, addr: u64, write: bool, cycle: u64) -> AccessResult {
         let l1_latency = self.config.l1d.hit_latency;
         let outcome = if write {

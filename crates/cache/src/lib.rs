@@ -16,10 +16,9 @@
 //! # Crate map
 //!
 //! * [`config`] — [`CacheConfig`] and derived geometry.
-//! * [`block`] — per-block tag-store state.
 //! * [`replacement`] — LRU / FIFO / random replacement policies.
-//! * [`set`] — one cache set.
-//! * [`cache`] — the resizable [`Cache`], its accesses and resize operations.
+//! * [`cache`] — the resizable [`Cache`], its accesses and resize operations
+//!   (sets are rows of one flat, packed frame buffer).
 //! * [`stats`] — access and resize statistics, split per enabled geometry.
 //! * [`mshr`] — miss-status holding registers for non-blocking caches.
 //! * [`writeback`] — the write-back buffer.
@@ -39,22 +38,20 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-pub mod block;
 pub mod cache;
 pub mod config;
 pub mod hierarchy;
 pub mod mshr;
 pub mod replacement;
-pub mod set;
 pub mod stats;
 pub mod writeback;
 
-pub use block::BlockState;
 pub use cache::{AccessKind, AccessOutcome, Cache, Eviction, ResizeEffect};
 pub use config::{CacheConfig, CacheConfigError};
-pub use hierarchy::{AccessResult, HierarchyConfig, HierarchyStats, MemoryHierarchy};
+pub use hierarchy::{
+    AccessResult, HierarchyConfig, HierarchySnapshot, HierarchyStats, MemoryHierarchy,
+};
 pub use mshr::MshrFile;
 pub use replacement::ReplacementPolicy;
-pub use set::CacheSet;
 pub use stats::{CacheStats, GeometrySlice};
 pub use writeback::WritebackBuffer;

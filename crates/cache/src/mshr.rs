@@ -50,6 +50,7 @@ impl MshrFile {
 
     /// Returns the completion cycle of an outstanding miss covering
     /// `block_addr`, if any (a secondary miss merges into it).
+    #[inline]
     pub fn lookup(&self, block_addr: u64) -> Option<u64> {
         self.entries
             .iter()
@@ -72,8 +73,11 @@ impl MshrFile {
     }
 
     /// Releases every entry whose miss has completed by `cycle`.
+    #[inline]
     pub fn retire_completed(&mut self, cycle: u64) {
-        self.entries.retain(|e| e.ready_cycle > cycle);
+        if !self.entries.is_empty() {
+            self.entries.retain(|e| e.ready_cycle > cycle);
+        }
     }
 
     /// The earliest cycle at which any outstanding miss completes, if any.

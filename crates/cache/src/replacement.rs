@@ -19,25 +19,17 @@ impl ReplacementPolicy {
         matches!(self, ReplacementPolicy::Lru)
     }
 
-    /// Chooses a victim among `ways` candidates given their stamps and a
-    /// tie-breaking counter. Lower stamps are older.
-    pub fn choose_victim(&self, stamps: &[u64], counter: u64) -> usize {
-        assert!(!stamps.is_empty(), "cannot choose a victim among zero ways");
-        match self {
-            ReplacementPolicy::Lru | ReplacementPolicy::Fifo => stamps
-                .iter()
-                .enumerate()
-                .min_by_key(|(_, stamp)| **stamp)
-                .map(|(idx, _)| idx)
-                .expect("non-empty stamps"),
-            ReplacementPolicy::Random => {
-                let mut x = counter.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0x1234_5678;
-                x ^= x >> 33;
-                x = x.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
-                x ^= x >> 33;
-                (x % stamps.len() as u64) as usize
-            }
-        }
+    /// The pseudo-random way index used by [`ReplacementPolicy::Random`]
+    /// (xorshift-style mix of the access counter). The LRU/FIFO victim is
+    /// the oldest-stamp frame, chosen by the single-pass scan in
+    /// `Cache::fill`; this is the random policy's counterpart.
+    #[inline]
+    pub fn random_index(counter: u64, ways: usize) -> usize {
+        let mut x = counter.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0x1234_5678;
+        x ^= x >> 33;
+        x = x.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+        x ^= x >> 33;
+        (x % ways as u64) as usize
     }
 }
 
@@ -46,43 +38,28 @@ mod tests {
     use super::*;
 
     #[test]
-    fn lru_picks_oldest() {
-        let p = ReplacementPolicy::Lru;
-        assert_eq!(p.choose_victim(&[5, 2, 9, 4], 0), 1);
-        assert!(p.touches_on_hit());
-    }
-
-    #[test]
-    fn fifo_picks_oldest_fill() {
-        let p = ReplacementPolicy::Fifo;
-        assert_eq!(p.choose_victim(&[3, 1, 2], 0), 1);
-        assert!(!p.touches_on_hit());
+    fn touch_on_hit_is_lru_only() {
+        assert!(ReplacementPolicy::Lru.touches_on_hit());
+        assert!(!ReplacementPolicy::Fifo.touches_on_hit());
+        assert!(!ReplacementPolicy::Random.touches_on_hit());
     }
 
     #[test]
     fn random_is_in_range_and_deterministic() {
-        let p = ReplacementPolicy::Random;
         for counter in 0..100 {
-            let v = p.choose_victim(&[0, 0, 0, 0], counter);
+            let v = ReplacementPolicy::random_index(counter, 4);
             assert!(v < 4);
-            assert_eq!(v, p.choose_victim(&[0, 0, 0, 0], counter));
+            assert_eq!(v, ReplacementPolicy::random_index(counter, 4));
         }
     }
 
     #[test]
     fn random_spreads_over_ways() {
-        let p = ReplacementPolicy::Random;
         let mut seen = [false; 4];
         for counter in 0..200 {
-            seen[p.choose_victim(&[0, 0, 0, 0], counter)] = true;
+            seen[ReplacementPolicy::random_index(counter, 4)] = true;
         }
         assert!(seen.iter().all(|s| *s));
-    }
-
-    #[test]
-    #[should_panic(expected = "zero ways")]
-    fn empty_candidates_panic() {
-        ReplacementPolicy::Lru.choose_victim(&[], 0);
     }
 
     #[test]

@@ -27,18 +27,19 @@ impl GeometrySlice {
 }
 
 /// Statistics for one cache.
+///
+/// Reads and misses are derived ([`CacheStats::reads`],
+/// [`CacheStats::misses`]) rather than stored: the access path is the
+/// hottest loop of the simulator, and every counter it maintains is a
+/// read-modify-write it pays per simulated access.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct CacheStats {
     /// Total accesses (reads + writes).
     pub accesses: u64,
-    /// Read accesses.
-    pub reads: u64,
     /// Write accesses.
     pub writes: u64,
     /// Hits.
     pub hits: u64,
-    /// Misses.
-    pub misses: u64,
     /// Block fills (allocations) performed.
     pub fills: u64,
     /// Dirty blocks evicted by replacement (sent to the next level).
@@ -67,34 +68,43 @@ impl CacheStats {
         }
     }
 
+    /// Read accesses (derived: accesses minus writes).
+    pub fn reads(&self) -> u64 {
+        self.accesses - self.writes
+    }
+
+    /// Misses (derived: accesses minus hits).
+    pub fn misses(&self) -> u64 {
+        self.accesses - self.hits
+    }
+
     /// Miss ratio over all accesses (0 if there were none).
     pub fn miss_ratio(&self) -> f64 {
         if self.accesses == 0 {
             0.0
         } else {
-            self.misses as f64 / self.accesses as f64
+            self.misses() as f64 / self.accesses as f64
         }
     }
 
     /// Records an access in the current geometry slice.
+    ///
+    /// The counters are updated with unconditional arithmetic rather than
+    /// branches: `write` and `hit` follow the simulated program's data, so
+    /// branching on them is unpredictable for the host — and this runs once
+    /// per simulated cache access.
+    #[inline(always)]
     pub fn record_access(&mut self, write: bool, hit: bool) {
         self.accesses += 1;
-        if write {
-            self.writes += 1;
-        } else {
-            self.reads += 1;
-        }
-        if hit {
-            self.hits += 1;
-        } else {
-            self.misses += 1;
-        }
+        self.writes += u64::from(write);
+        self.hits += u64::from(hit);
         if let Some(slice) = self.slices.last_mut() {
             slice.accesses += 1;
         }
     }
 
     /// Records a fill in the current geometry slice.
+    #[inline]
     pub fn record_fill(&mut self) {
         self.fills += 1;
         if let Some(slice) = self.slices.last_mut() {
@@ -150,10 +160,10 @@ mod tests {
         s.record_access(false, true);
         s.record_access(true, false);
         assert_eq!(s.accesses, 2);
-        assert_eq!(s.reads, 1);
+        assert_eq!(s.reads(), 1);
         assert_eq!(s.writes, 1);
         assert_eq!(s.hits, 1);
-        assert_eq!(s.misses, 1);
+        assert_eq!(s.misses(), 1);
         assert_eq!(s.slices[0].accesses, 2);
         assert!((s.miss_ratio() - 0.5).abs() < 1e-12);
     }

@@ -1,22 +1,22 @@
 //! Property-based tests of the memory hierarchy: latency accounting,
 //! inclusion-like behaviour of repeated accesses, and resize bookkeeping.
+//! Driven by the in-repo deterministic case runner (`rescache-testutil`).
 
-use proptest::prelude::*;
 use rescache_cache::{HierarchyConfig, MemoryHierarchy};
+use rescache_testutil::{check_cases, TestRng};
 
-fn block_addresses() -> impl Strategy<Value = Vec<u64>> {
-    prop::collection::vec(0u64..2048, 1..300).prop_map(|blocks| {
-        blocks.into_iter().map(|b| 0x10_0000 + b * 32).collect()
-    })
+fn block_addresses(rng: &mut TestRng) -> Vec<u64> {
+    let len = rng.range_usize(1, 300);
+    rng.vec_of(len, |r| 0x10_0000 + r.below(2048) * 32)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Access latency is always one of the three legal values: L1 hit,
-    /// L2 hit, or memory access.
-    #[test]
-    fn latencies_are_quantised(addrs in block_addresses(), writes in prop::bool::ANY) {
+/// Access latency is always one of the three legal values: L1 hit, L2 hit, or
+/// memory access.
+#[test]
+fn latencies_are_quantised() {
+    check_cases(64, |rng| {
+        let addrs = block_addresses(rng);
+        let writes = rng.bool();
         let config = HierarchyConfig::base();
         let l1 = config.l1d.hit_latency;
         let l2 = l1 + config.l2.hit_latency;
@@ -24,51 +24,66 @@ proptest! {
         let mut h = MemoryHierarchy::new(config).unwrap();
         for (i, addr) in addrs.iter().enumerate() {
             let r = h.access_data(*addr, writes && i % 2 == 0, i as u64);
-            prop_assert!(
+            assert!(
                 r.latency == l1 || r.latency >= l2,
-                "latency {} is neither an L1 hit nor beyond", r.latency
+                "latency {} is neither an L1 hit nor beyond",
+                r.latency
             );
-            prop_assert!(r.latency <= mem + config.l2.hit_latency, "latency {} too large", r.latency);
+            assert!(
+                r.latency <= mem + config.l2.hit_latency,
+                "latency {} too large",
+                r.latency
+            );
             if r.l1_hit {
-                prop_assert_eq!(r.latency, l1);
+                assert_eq!(r.latency, l1);
             }
         }
-    }
+    });
+}
 
-    /// Re-accessing the same address immediately is always an L1 hit, no
-    /// matter what happened before.
-    #[test]
-    fn immediate_reuse_hits(addrs in block_addresses()) {
+/// Re-accessing the same address immediately is always an L1 hit, no matter
+/// what happened before.
+#[test]
+fn immediate_reuse_hits() {
+    check_cases(64, |rng| {
+        let addrs = block_addresses(rng);
         let mut h = MemoryHierarchy::new(HierarchyConfig::base()).unwrap();
         for (i, addr) in addrs.iter().enumerate() {
             h.access_data(*addr, false, i as u64);
             let again = h.access_data(*addr, false, i as u64 + 1);
-            prop_assert!(again.l1_hit);
+            assert!(again.l1_hit);
         }
-    }
+    });
+}
 
-    /// Hierarchy statistics are internally consistent: L1 misses can never
-    /// exceed L1 accesses, and memory accesses can never exceed total L2
-    /// activity (reads plus fills plus writebacks).
-    #[test]
-    fn statistics_are_consistent(addrs in block_addresses()) {
+/// Hierarchy statistics are internally consistent: L1 misses can never exceed
+/// L1 accesses, and memory accesses can never exceed total L2 activity (reads
+/// plus fills plus writebacks).
+#[test]
+fn statistics_are_consistent() {
+    check_cases(64, |rng| {
+        let addrs = block_addresses(rng);
         let mut h = MemoryHierarchy::new(HierarchyConfig::base()).unwrap();
         for (i, addr) in addrs.iter().enumerate() {
             h.access_data(*addr, i % 5 == 0, i as u64);
         }
         let l1d = h.l1d().stats();
         let l2 = h.l2().stats();
-        prop_assert!(l1d.misses <= l1d.accesses);
-        prop_assert!(l1d.hits + l1d.misses == l1d.accesses);
-        prop_assert!(l2.accesses >= l1d.misses, "every L1 miss reaches the L2");
-        prop_assert!(h.stats().memory_accesses <= l2.accesses + l2.fills + 1);
-    }
+        assert!(l1d.misses() <= l1d.accesses);
+        assert!(l1d.hits + l1d.misses() == l1d.accesses);
+        assert!(l2.accesses >= l1d.misses(), "every L1 miss reaches the L2");
+        assert!(h.stats().memory_accesses <= l2.accesses + l2.fills + 1);
+    });
+}
 
-    /// Resizing an L1 through the hierarchy preserves the invariant that the
-    /// disabled portion really is unused afterwards (enabled bytes bound the
-    /// resident blocks), and the L2 still serves the flushed blocks.
-    #[test]
-    fn resize_through_hierarchy_is_safe(addrs in block_addresses(), sets_exp in 5u32..9) {
+/// Resizing an L1 through the hierarchy preserves the invariant that the
+/// disabled portion really is unused afterwards (enabled bytes bound the
+/// resident blocks), and the L2 still serves the flushed blocks.
+#[test]
+fn resize_through_hierarchy_is_safe() {
+    check_cases(64, |rng| {
+        let addrs = block_addresses(rng);
+        let sets_exp = rng.range_u32(5, 9);
         let mut h = MemoryHierarchy::new(HierarchyConfig::base()).unwrap();
         for (i, addr) in addrs.iter().enumerate() {
             h.access_data(*addr, i % 3 == 0, i as u64);
@@ -76,14 +91,14 @@ proptest! {
         let new_sets = 1u64 << sets_exp; // 32..256 of 512 sets
         let effect = h.l1d_mut().set_enabled_sets(new_sets);
         h.note_resize_flush_writebacks(effect.dirty_writebacks);
-        prop_assert!(h.l1d().resident_blocks() * 32 <= h.l1d().enabled_bytes());
-        prop_assert_eq!(h.stats().resize_flush_writebacks, effect.dirty_writebacks);
+        assert!(h.l1d().resident_blocks() * 32 <= h.l1d().enabled_bytes());
+        assert_eq!(h.stats().resize_flush_writebacks, effect.dirty_writebacks);
         // Blocks that were flushed out of the L1 are still in the L2, so a
         // re-access is at worst an L2 hit (never main memory) for recently
         // touched addresses that fit in the L2.
         if let Some(addr) = addrs.last() {
             let r = h.access_data(*addr, false, 10_000);
-            prop_assert!(r.l1_hit || r.l2_hit);
+            assert!(r.l1_hit || r.l2_hit);
         }
-    }
+    });
 }

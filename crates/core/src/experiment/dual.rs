@@ -5,7 +5,7 @@ use rescache_trace::AppProfile;
 
 use crate::error::CoreError;
 use crate::experiment::parallel::parallel_map;
-use crate::experiment::runner::{Measurement, RunSetup, Runner};
+use crate::experiment::runner::{Measurement, Runner};
 use crate::org::{ConfigSpace, Organization};
 use crate::system::{ResizableCacheSide, SystemConfig};
 
@@ -110,16 +110,17 @@ fn evaluate_app(
         }
     };
 
-    // Run both caches together at their individually profiled best points.
-    let (warm, measure) = runner.trace(app);
-    let both_setup = RunSetup {
-        d_static: d_search.best.point,
-        i_static: i_search.best.point,
-        d_tag_bits: tag_bits(d_cfg),
-        i_tag_bits: tag_bits(i_cfg),
-        ..RunSetup::default()
-    };
-    let both = runner.run(&warm, &measure, system, &both_setup);
+    // Run both caches together at their individually profiled best points
+    // (memoized: if either side's best is the full size, this shares the
+    // single-side simulation already performed above).
+    let both = runner.run_static(
+        app,
+        system,
+        d_search.best.point,
+        i_search.best.point,
+        tag_bits(d_cfg),
+        tag_bits(i_cfg),
+    );
 
     let base_ed = base.energy_delay();
     let combined_full = (d_cfg.size_bytes + i_cfg.size_bytes) as f64;

@@ -3,7 +3,6 @@
 //! simulations).
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
 
 /// Applies `f` to every item, in parallel, preserving the input order of the
 /// results.
@@ -11,6 +10,18 @@ use std::sync::Mutex;
 /// The closure runs on `std::thread::available_parallelism()` worker threads
 /// (or fewer if there are fewer items); items are handed out through a shared
 /// counter, so uneven per-item cost balances naturally.
+///
+/// Result storage is lock-free: each worker accumulates `(index, value)`
+/// pairs in a local buffer and the buffers are merged when the workers are
+/// joined. The previous implementation funnelled every result through one
+/// `Mutex<Vec<Option<R>>>`, which serialized the workers of wide sweeps on
+/// result storage; with per-worker buffers the only shared write is the
+/// atomic item counter.
+///
+/// Calls nest safely (the figure drivers parallelize over applications while
+/// the runner parallelizes over configuration points): each call owns its
+/// worker scope, and a nested call simply adds threads that the OS scheduler
+/// multiplexes over the same cores.
 pub fn parallel_map<T, R, F>(items: &[T], f: F) -> Vec<R>
 where
     T: Sync,
@@ -25,32 +36,39 @@ where
         .unwrap_or(1)
         .min(items.len());
     if workers <= 1 {
-        return items.iter().map(|item| f(item)).collect();
+        return items.iter().map(f).collect();
     }
 
     let next = AtomicUsize::new(0);
-    let results: Mutex<Vec<Option<R>>> =
-        Mutex::new((0..items.len()).map(|_| None).collect());
+    let mut results: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
 
     std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
-                let index = next.fetch_add(1, Ordering::Relaxed);
-                if index >= items.len() {
-                    break;
-                }
-                let value = f(&items[index]);
-                results
-                    .lock()
-                    .expect("result mutex is never poisoned: workers do not panic while holding it")
-                    [index] = Some(value);
-            });
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local: Vec<(usize, R)> = Vec::new();
+                    loop {
+                        let index = next.fetch_add(1, Ordering::Relaxed);
+                        if index >= items.len() {
+                            break;
+                        }
+                        local.push((index, f(&items[index])));
+                    }
+                    local
+                })
+            })
+            .collect();
+        for handle in handles {
+            let local = handle
+                .join()
+                .expect("parallel_map workers do not panic: the closure is required not to");
+            for (index, value) in local {
+                results[index] = Some(value);
+            }
         }
     });
 
     results
-        .into_inner()
-        .expect("all workers have finished")
         .into_iter()
         .map(|slot| slot.expect("every index was processed"))
         .collect()
@@ -83,5 +101,16 @@ mod tests {
         let items: Vec<u64> = (0..32).collect();
         let out = parallel_map(&items, |x| (0..=*x).sum::<u64>());
         assert_eq!(out[31], 496);
+    }
+
+    #[test]
+    fn nested_calls_complete() {
+        let outer: Vec<u64> = (0..8).collect();
+        let out = parallel_map(&outer, |x| {
+            let inner: Vec<u64> = (0..4).collect();
+            parallel_map(&inner, |y| x * 10 + y).into_iter().sum::<u64>()
+        });
+        assert_eq!(out[1], 10 + 11 + 12 + 13);
+        assert_eq!(out.len(), 8);
     }
 }

@@ -1,12 +1,16 @@
 //! The shared experiment runner: simulates one application under one cache
 //! setup and reports energy, delay and cache-size statistics.
 
-use rescache_cache::MemoryHierarchy;
-use rescache_cpu::Simulator;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+use rescache_cache::{HierarchySnapshot, MemoryHierarchy};
+use rescache_cpu::{SimResult, Simulator};
 use rescache_energy::{EnergyBreakdown, EnergyDelay, EnergyModel, ResizingTagOverhead};
 use rescache_trace::{AppProfile, Trace, TraceGenerator};
 
 use crate::error::CoreError;
+use crate::experiment::parallel::parallel_map;
 use crate::org::{CachePoint, ConfigSpace, Organization};
 use crate::strategy::{DynamicController, DynamicParams};
 use crate::system::{ResizableCacheSide, SystemConfig};
@@ -173,18 +177,82 @@ pub struct DynamicOutcome {
     pub best: BestSummary,
 }
 
+/// Key identifying one generated (warm, measure) trace pair: application
+/// name, profile fingerprint, seed, warm-up length, measured length. The
+/// fingerprint covers the profile's full contents, so two differing profiles
+/// that happen to share a name (possible via the `AppProfile` builders)
+/// never alias in the caches.
+type TraceKey = (&'static str, u64, u64, usize, usize);
+
+/// Normalized enabled geometry of one L1 in a static run: (sets, ways).
+/// "No static point" normalizes to the full geometry, so a baseline and an
+/// explicitly-applied full-size point share a key.
+type GeometryKey = (u64, u32);
+
+/// Key identifying one static simulation: the trace, the system, and the
+/// enabled (d-cache, i-cache) geometries. Resizing-tag-bit overheads are
+/// deliberately absent — they only change the energy model, not the
+/// simulation — so sweep arms that differ only in tag accounting share one
+/// simulation.
+type SimKey = (TraceKey, SystemConfig, GeometryKey, GeometryKey);
+
+/// A finished static simulation: the engine result plus the post-run
+/// statistics snapshot (a few hundred bytes; the tag arrays are dropped).
+#[derive(Debug, Clone)]
+struct StaticSim {
+    result: SimResult,
+    snapshot: HierarchySnapshot,
+}
+
 /// Turns (application, system, cache setup) into measurements, handling
 /// trace generation, cache warm-up and energy evaluation identically for
 /// every experiment.
+///
+/// The runner memoizes two pure, deterministic computations, keyed by their
+/// full inputs:
+///
+/// * **traces** — `(profile, seed, lengths)` always expands to the same
+///   record stream, and every configuration of an experiment replays it, so
+///   it is generated once and shared copy-free (see [`Trace`]);
+/// * **static simulations** — a static run is a pure function of
+///   `(trace, system, enabled geometry)`; the baseline, the full-size point
+///   every organization offers, and sweep arms that differ only in
+///   resizing-tag-bit accounting all share one simulation, and only the
+///   (cheap) energy pricing is re-applied per arm.
+///
+/// Clones of a runner share both caches, which is what lets the parallel
+/// sweeps fan out over applications without regenerating per-worker state.
 #[derive(Debug, Clone)]
 pub struct Runner {
     config: RunnerConfig,
+    traces: MemoCache<TraceKey, (Trace, Trace)>,
+    sims: MemoCache<SimKey, StaticSim>,
 }
 
+/// A shared once-per-key memoization map: the outer mutex is held only to
+/// fetch or insert a slot, while the per-key `OnceLock` serializes (blocking)
+/// the single computation of that key's value.
+type MemoCache<K, V> = Arc<Mutex<HashMap<K, Arc<OnceLock<V>>>>>;
+
 impl Runner {
-    /// Creates a runner.
+    /// Creates a runner with empty trace and simulation caches.
     pub fn new(config: RunnerConfig) -> Self {
-        Self { config }
+        Self {
+            config,
+            traces: Arc::default(),
+            sims: Arc::default(),
+        }
+    }
+
+    /// Returns a runner sharing this runner's generated traces but with an
+    /// empty simulation cache (used by benchmarks that measure sweep
+    /// throughput and must not carry simulations across repetitions).
+    pub fn with_fresh_simulations(&self) -> Self {
+        Self {
+            config: self.config,
+            traces: Arc::clone(&self.traces),
+            sims: Arc::default(),
+        }
     }
 
     /// The runner configuration.
@@ -192,19 +260,26 @@ impl Runner {
         &self.config
     }
 
-    /// Generates the warm-up and measurement traces for an application.
+    /// Returns the warm-up and measurement traces for an application.
+    ///
+    /// The underlying full trace is generated at most once per
+    /// `(application, seed, lengths)` and split copy-free; concurrent callers
+    /// for the same application block on the one generation instead of
+    /// duplicating it, while different applications generate in parallel.
     pub fn trace(&self, app: &AppProfile) -> (Trace, Trace) {
+        let key = self.trace_key(app);
+        let slot = {
+            let mut map = self.traces.lock().expect("trace cache lock");
+            Arc::clone(map.entry(key).or_default())
+        };
+        slot.get_or_init(|| self.generate_trace(app)).clone()
+    }
+
+    /// Generates the (warm, measure) pair without consulting the cache.
+    fn generate_trace(&self, app: &AppProfile) -> (Trace, Trace) {
         let total = self.config.warmup_instructions + self.config.measure_instructions;
         let full = TraceGenerator::new(app.clone(), self.config.trace_seed).generate(total);
-        let warm = Trace::new(
-            app.name,
-            full.records()[..self.config.warmup_instructions].to_vec(),
-        );
-        let measure = Trace::new(
-            app.name,
-            full.records()[self.config.warmup_instructions..].to_vec(),
-        );
-        (warm, measure)
+        full.split_at(self.config.warmup_instructions)
     }
 
     /// Runs one simulation: warm-up, statistics reset, measured region.
@@ -215,16 +290,6 @@ impl Runner {
         system: &SystemConfig,
         setup: &RunSetup,
     ) -> Measurement {
-        let mut hierarchy =
-            MemoryHierarchy::new(system.hierarchy).expect("base hierarchy configurations are valid");
-        if let Some(point) = setup.d_static {
-            let effect = point.apply(hierarchy.l1d_mut());
-            hierarchy.note_resize_flush_writebacks(effect.dirty_writebacks);
-        }
-        if let Some(point) = setup.i_static {
-            let effect = point.apply(hierarchy.l1i_mut());
-            hierarchy.note_resize_flush_writebacks(effect.dirty_writebacks);
-        }
         let model = EnergyModel::with_overhead(
             &system.hierarchy,
             ResizingTagOverhead {
@@ -232,27 +297,77 @@ impl Runner {
                 l1d_bits: setup.d_tag_bits,
             },
         );
-        let sim = Simulator::new(system.cpu);
-        let mut controller = setup.dynamic.clone().map(|(side, space, params)| {
-            DynamicController::new(side, space, params)
-                .expect("dynamic parameters validated by the caller")
-        });
-
-        match controller.as_mut() {
-            Some(hook) => {
-                sim.run_with_hook(warm, &mut hierarchy, hook);
+        let sim = match setup.dynamic.clone() {
+            None => Self::simulate_static(warm, measure, system, setup.d_static, setup.i_static),
+            Some((side, space, params)) => {
+                let mut hierarchy = Self::static_hierarchy(system, setup.d_static, setup.i_static);
+                let mut controller = DynamicController::new(side, space, params)
+                    .expect("dynamic parameters validated by the caller");
+                let sim = Simulator::new(system.cpu);
+                sim.run_with_hook(warm, &mut hierarchy, &mut controller);
+                hierarchy.reset_stats();
+                let result = sim.run_with_hook(measure, &mut hierarchy, &mut controller);
+                StaticSim {
+                    snapshot: hierarchy.snapshot(),
+                    result,
+                }
             }
-            None => {
-                sim.run(warm, &mut hierarchy);
-            }
-        }
-        hierarchy.reset_stats();
-        let result = match controller.as_mut() {
-            Some(hook) => sim.run_with_hook(measure, &mut hierarchy, hook),
-            None => sim.run(measure, &mut hierarchy),
         };
+        Self::build_measurement(&model, &sim.result, &sim.snapshot, system)
+    }
 
-        let breakdown = model.breakdown(&result, &hierarchy);
+    /// Builds a hierarchy with the given static points applied (flush
+    /// writebacks noted, as a real pre-run resize would).
+    fn static_hierarchy(
+        system: &SystemConfig,
+        d_static: Option<CachePoint>,
+        i_static: Option<CachePoint>,
+    ) -> MemoryHierarchy {
+        let mut hierarchy =
+            MemoryHierarchy::new(system.hierarchy).expect("base hierarchy configurations are valid");
+        if let Some(point) = d_static {
+            let effect = point.apply(hierarchy.l1d_mut());
+            hierarchy.note_resize_flush_writebacks(effect.dirty_writebacks);
+        }
+        if let Some(point) = i_static {
+            let effect = point.apply(hierarchy.l1i_mut());
+            hierarchy.note_resize_flush_writebacks(effect.dirty_writebacks);
+        }
+        hierarchy
+    }
+
+    /// The one static simulation sequence (hierarchy build, point apply,
+    /// warm-up, statistics reset, measured region) shared by the uncached
+    /// [`Runner::run`] path and the memoized [`Runner::run_static`] path —
+    /// keeping them one function is what guarantees the memo key's "static
+    /// run is a pure function of (trace, system, geometry)" invariant.
+    fn simulate_static(
+        warm: &Trace,
+        measure: &Trace,
+        system: &SystemConfig,
+        d_static: Option<CachePoint>,
+        i_static: Option<CachePoint>,
+    ) -> StaticSim {
+        let mut hierarchy = Self::static_hierarchy(system, d_static, i_static);
+        let sim = Simulator::new(system.cpu);
+        sim.run(warm, &mut hierarchy);
+        hierarchy.reset_stats();
+        let result = sim.run(measure, &mut hierarchy);
+        StaticSim {
+            snapshot: hierarchy.snapshot(),
+            result,
+        }
+    }
+
+    /// Prices a finished simulation under `model` and assembles the
+    /// [`Measurement`] the experiments consume.
+    fn build_measurement(
+        model: &EnergyModel,
+        result: &SimResult,
+        snapshot: &HierarchySnapshot,
+        system: &SystemConfig,
+    ) -> Measurement {
+        let breakdown = model.breakdown_snapshot(result, snapshot);
         let block_d = system.hierarchy.l1d.block_bytes;
         let block_i = system.hierarchy.l1i.block_bytes;
         Measurement {
@@ -260,13 +375,71 @@ impl Runner {
             ipc: result.ipc(),
             energy_pj: breakdown.total_pj(),
             breakdown,
-            l1d_mean_bytes: hierarchy.l1d().stats().mean_enabled_bytes(block_d),
-            l1i_mean_bytes: hierarchy.l1i().stats().mean_enabled_bytes(block_i),
-            l1d_miss_ratio: hierarchy.l1d().stats().miss_ratio(),
-            l1i_miss_ratio: hierarchy.l1i().stats().miss_ratio(),
-            l1d_resizes: hierarchy.l1d().stats().resizes,
-            l1i_resizes: hierarchy.l1i().stats().resizes,
+            l1d_mean_bytes: snapshot.l1d.mean_enabled_bytes(block_d),
+            l1i_mean_bytes: snapshot.l1i.mean_enabled_bytes(block_i),
+            l1d_miss_ratio: snapshot.l1d.miss_ratio(),
+            l1i_miss_ratio: snapshot.l1i.miss_ratio(),
+            l1d_resizes: snapshot.l1d.resizes,
+            l1i_resizes: snapshot.l1i.resizes,
         }
+    }
+
+    /// Runs (or reuses) the static simulation of `app` on `system` with the
+    /// given L1 points applied, and prices it with the given resizing-tag-bit
+    /// overheads.
+    ///
+    /// Static runs are pure functions of `(trace, system, geometry)`, so the
+    /// simulation is memoized: the baseline (`None`/`None`), the full-size
+    /// point every organization's space offers, and arms differing only in
+    /// tag-bit accounting all resolve to one simulation. Concurrent callers
+    /// for the same geometry block on the one simulation; different
+    /// geometries simulate in parallel.
+    pub fn run_static(
+        &self,
+        app: &AppProfile,
+        system: &SystemConfig,
+        d_static: Option<CachePoint>,
+        i_static: Option<CachePoint>,
+        d_tag_bits: u32,
+        i_tag_bits: u32,
+    ) -> Measurement {
+        let normalize = |cfg: rescache_cache::CacheConfig, point: Option<CachePoint>| match point {
+            Some(p) => (p.sets, p.ways),
+            None => (cfg.num_sets(), cfg.associativity),
+        };
+        let key: SimKey = (
+            self.trace_key(app),
+            *system,
+            normalize(system.hierarchy.l1d, d_static),
+            normalize(system.hierarchy.l1i, i_static),
+        );
+        let slot = {
+            let mut map = self.sims.lock().expect("simulation cache lock");
+            Arc::clone(map.entry(key).or_default())
+        };
+        let sim = slot.get_or_init(|| {
+            let (warm, measure) = self.trace(app);
+            Self::simulate_static(&warm, &measure, system, d_static, i_static)
+        });
+        let model = EnergyModel::with_overhead(
+            &system.hierarchy,
+            ResizingTagOverhead {
+                l1i_bits: i_tag_bits,
+                l1d_bits: d_tag_bits,
+            },
+        );
+        Self::build_measurement(&model, &sim.result, &sim.snapshot, system)
+    }
+
+    /// The trace-cache key of an application under this runner's config.
+    fn trace_key(&self, app: &AppProfile) -> TraceKey {
+        (
+            app.name,
+            app.fingerprint(),
+            self.config.trace_seed,
+            self.config.warmup_instructions,
+            self.config.measure_instructions,
+        )
     }
 
     /// Runs the non-resizable baseline (full-size caches, no tag overhead).
@@ -299,25 +472,6 @@ impl Runner {
         }
     }
 
-    fn setup_for_point(
-        side: ResizableCacheSide,
-        point: CachePoint,
-        tag_bits: u32,
-    ) -> RunSetup {
-        match side {
-            ResizableCacheSide::Data => RunSetup {
-                d_static: Some(point),
-                d_tag_bits: tag_bits,
-                ..RunSetup::default()
-            },
-            ResizableCacheSide::Instruction => RunSetup {
-                i_static: Some(point),
-                i_tag_bits: tag_bits,
-                ..RunSetup::default()
-            },
-        }
-    }
-
     /// Static resizing: evaluates every configuration the organization
     /// offers for `side` and keeps the one with the lowest processor
     /// energy-delay product (the paper's profiling-based static strategy).
@@ -341,17 +495,24 @@ impl Runner {
             0
         };
 
-        let (warm, measure) = self.trace(app);
-        let base = self.baseline(&warm, &measure, system);
+        let base = self.run_static(app, system, None, None, 0, 0);
 
-        let evaluated: Vec<(CachePoint, Measurement)> = space
-            .points()
-            .iter()
-            .map(|point| {
-                let setup = Self::setup_for_point(side, *point, tag_bits);
-                (*point, self.run(&warm, &measure, system, &setup))
-            })
-            .collect();
+        // Every point replays the same shared trace on an independent
+        // hierarchy, so the static search fans out over the available cores
+        // (the outer per-application loops of the figure drivers compose with
+        // this: the work-stealing pool is per `parallel_map` call).
+        let evaluated: Vec<(CachePoint, Measurement)> =
+            parallel_map(space.points(), |point| {
+                let measurement = match side {
+                    ResizableCacheSide::Data => {
+                        self.run_static(app, system, Some(*point), None, tag_bits, 0)
+                    }
+                    ResizableCacheSide::Instruction => {
+                        self.run_static(app, system, None, Some(*point), 0, tag_bits)
+                    }
+                };
+                (*point, measurement)
+            });
 
         let (best_point, best_measurement) = evaluated
             .iter()
@@ -424,7 +585,7 @@ impl Runner {
         };
 
         let (warm, measure) = self.trace(app);
-        let base = self.baseline(&warm, &measure, system);
+        let base = self.run_static(app, system, None, None, 0, 0);
         let base_miss_ratio = match side {
             ResizableCacheSide::Data => base.l1d_miss_ratio,
             ResizableCacheSide::Instruction => base.l1i_miss_ratio,
@@ -440,20 +601,19 @@ impl Runner {
             base_miss_ratio,
             &clamped,
         );
-        let candidates: Vec<(DynamicParams, Measurement)> = params
-            .into_iter()
-            .map(|p| {
-                let mut setup = RunSetup {
-                    dynamic: Some((side, space.clone(), p)),
-                    ..RunSetup::default()
-                };
-                match side {
-                    ResizableCacheSide::Data => setup.d_tag_bits = tag_bits,
-                    ResizableCacheSide::Instruction => setup.i_tag_bits = tag_bits,
-                }
-                (p, self.run(&warm, &measure, system, &setup))
-            })
-            .collect();
+        // Parameter candidates are independent simulations over the shared
+        // trace; sweep them in parallel like the static points.
+        let candidates: Vec<(DynamicParams, Measurement)> = parallel_map(&params, |p| {
+            let mut setup = RunSetup {
+                dynamic: Some((side, space.clone(), *p)),
+                ..RunSetup::default()
+            };
+            match side {
+                ResizableCacheSide::Data => setup.d_tag_bits = tag_bits,
+                ResizableCacheSide::Instruction => setup.i_tag_bits = tag_bits,
+            }
+            (*p, self.run(&warm, &measure, system, &setup))
+        });
 
         let (_, best_measurement) = candidates
             .iter()

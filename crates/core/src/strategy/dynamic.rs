@@ -176,7 +176,7 @@ impl DynamicController {
             ResizableCacheSide::Data => hierarchy.l1d().stats(),
             ResizableCacheSide::Instruction => hierarchy.l1i().stats(),
         };
-        (stats.accesses, stats.misses)
+        (stats.accesses, stats.misses())
     }
 
     fn apply_point(&mut self, index: usize, hierarchy: &mut MemoryHierarchy) {

@@ -46,11 +46,11 @@ impl StaticSearch {
     /// Evaluates every offered point with `objective` and returns the values
     /// plus the index of the minimum (ties resolved towards the larger
     /// cache, i.e. the earlier index).
-    pub fn search<F>(&self, mut objective: F) -> StaticSearchResult
+    pub fn search<F>(&self, objective: F) -> StaticSearchResult
     where
         F: FnMut(&CachePoint) -> f64,
     {
-        let values: Vec<f64> = self.space.points().iter().map(|p| objective(p)).collect();
+        let values: Vec<f64> = self.space.points().iter().map(objective).collect();
         let mut best_index = 0;
         for (i, v) in values.iter().enumerate() {
             if *v < values[best_index] {

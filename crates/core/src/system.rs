@@ -42,7 +42,7 @@ impl std::fmt::Display for ResizableCacheSide {
 }
 
 /// A complete simulated system: processor plus memory hierarchy.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct SystemConfig {
     /// The processor configuration.
     pub cpu: CpuConfig,

@@ -33,6 +33,39 @@ pub struct ActivityCounters {
 }
 
 impl ActivityCounters {
+    /// Builds the counters for a completed run of `instructions` committed
+    /// instructions in one step.
+    ///
+    /// Every instruction is fetched, dispatched, executed and committed
+    /// exactly once in both engines, so all per-instruction counters are
+    /// derivable from the totals; the engines accumulate only the four inputs
+    /// that vary per instruction and call this once per run instead of
+    /// updating eleven counters per instruction in the hot loop. The result
+    /// is identical to calling `record_dispatch` / `record_execute` /
+    /// `record_commit` (and `record_branch` per branch) for each instruction.
+    pub fn from_run_totals(
+        instructions: u64,
+        fp_ops: u64,
+        mem_ops: u64,
+        branches: u64,
+        regfile_reads: u64,
+    ) -> Self {
+        Self {
+            fetched: instructions,
+            dispatched: instructions,
+            committed: instructions,
+            int_alu_ops: instructions - fp_ops,
+            fp_ops,
+            lsq_accesses: mem_ops,
+            // Dispatch, writeback and commit each touch the ROB once.
+            rob_accesses: 3 * instructions,
+            regfile_reads,
+            regfile_writes: instructions,
+            result_bus: instructions,
+            bpred_accesses: 2 * branches,
+        }
+    }
+
     /// Records the front-end and dispatch work for one instruction with the
     /// given number of register sources.
     pub fn record_dispatch(&mut self, sources: u32) {

@@ -41,12 +41,16 @@ fn counter_predict(counter: u8) -> bool {
     counter >= 2
 }
 
+/// Two-bit saturating-counter update.
+///
+/// Both directions are computed and the result selected: `taken` follows the
+/// simulated program, so a host branch here is unpredictable, and the
+/// combining predictor performs up to three of these per simulated branch.
+#[inline(always)]
 fn counter_update(counter: &mut u8, taken: bool) {
-    if taken {
-        *counter = (*counter + 1).min(3);
-    } else {
-        *counter = counter.saturating_sub(1);
-    }
+    let up = (*counter + 1).min(3);
+    let down = counter.saturating_sub(1);
+    *counter = if taken { up } else { down };
 }
 
 /// A branch direction predictor.
@@ -104,21 +108,39 @@ impl BranchPredictor {
         let gshare_idx = self.gshare_index(pc);
         let bimodal_pred = counter_predict(self.bimodal[bimodal_idx]);
         let gshare_pred = counter_predict(self.gshare[gshare_idx]);
-        let prediction = self.predict(pc);
+        // Combine from the component predictions already read rather than
+        // re-reading the tables through `predict` (this runs once per
+        // conditional branch of every simulation).
+        let prediction = match self.kind {
+            PredictorKind::Bimodal => bimodal_pred,
+            PredictorKind::Gshare => gshare_pred,
+            PredictorKind::Combining => {
+                if counter_predict(self.chooser[bimodal_idx]) {
+                    gshare_pred
+                } else {
+                    bimodal_pred
+                }
+            }
+        };
 
         // Chooser learns which component was right (only when they disagree).
-        if bimodal_pred != gshare_pred {
-            counter_update(&mut self.chooser[bimodal_idx], gshare_pred == taken);
-        }
+        // The no-change case stores the current value back, so the update is
+        // a select rather than a branch on simulated data.
+        let chooser_cur = self.chooser[bimodal_idx];
+        let mut chooser_new = chooser_cur;
+        counter_update(&mut chooser_new, gshare_pred == taken);
+        self.chooser[bimodal_idx] = if bimodal_pred != gshare_pred {
+            chooser_new
+        } else {
+            chooser_cur
+        };
         counter_update(&mut self.bimodal[bimodal_idx], taken);
         counter_update(&mut self.gshare[gshare_idx], taken);
         self.history = ((self.history << 1) | u64::from(taken)) & ((1 << HISTORY_BITS) - 1);
 
         self.stats.predictions += 1;
         let correct = prediction == taken;
-        if !correct {
-            self.stats.mispredictions += 1;
-        }
+        self.stats.mispredictions += u64::from(!correct);
         correct
     }
 

@@ -17,11 +17,20 @@ use rescache_cache::MemoryHierarchy;
 /// asymmetry the paper's Section 4.2 exploits.
 #[derive(Debug, Clone)]
 pub struct FetchUnit {
-    block_bytes: u64,
+    /// log2 of the i-cache block size; blocks are power-of-two sized
+    /// (validated by `CacheConfig`), so the per-instruction block computation
+    /// is a shift rather than a division.
+    block_shift: u32,
     fetch_width: u32,
-    last_block: Option<u64>,
+    /// Block address of the current fetch group, or `u64::MAX` when no group
+    /// is active (block addresses are byte addresses shifted right, so the
+    /// sentinel can never collide with a real block).
+    last_block: u64,
     delivered_in_group: u32,
 }
+
+/// Sentinel for "no active fetch group".
+const NO_BLOCK: u64 = u64::MAX;
 
 impl FetchUnit {
     /// Creates a fetch unit for an i-cache with the given block size and a
@@ -33,9 +42,9 @@ impl FetchUnit {
     pub fn new(block_bytes: u64, fetch_width: u32) -> Self {
         assert!(fetch_width > 0, "fetch width must be positive");
         Self {
-            block_bytes: block_bytes.max(1),
+            block_shift: block_bytes.max(1).trailing_zeros(),
             fetch_width,
-            last_block: None,
+            last_block: NO_BLOCK,
             delivered_in_group: 0,
         }
     }
@@ -45,13 +54,14 @@ impl FetchUnit {
     /// Returns the number of stall cycles fetch imposes on the pipeline
     /// (zero when the instruction comes from the current fetch group or the
     /// access hits in the L1 i-cache).
+    #[inline]
     pub fn fetch(&mut self, pc: u64, cycle: u64, hierarchy: &mut MemoryHierarchy) -> u64 {
-        let block = pc / self.block_bytes;
-        if self.last_block == Some(block) && self.delivered_in_group < self.fetch_width {
+        let block = pc >> self.block_shift;
+        if self.last_block == block && self.delivered_in_group < self.fetch_width {
             self.delivered_in_group += 1;
             return 0;
         }
-        self.last_block = Some(block);
+        self.last_block = block;
         self.delivered_in_group = 1;
         let result = hierarchy.access_instruction(pc, cycle);
         if result.l1_hit {
@@ -66,7 +76,7 @@ impl FetchUnit {
 
     /// Forgets the current fetch group (e.g. after a redirect in tests).
     pub fn reset(&mut self) {
-        self.last_block = None;
+        self.last_block = NO_BLOCK;
         self.delivered_in_group = 0;
     }
 }

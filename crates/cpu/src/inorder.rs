@@ -39,8 +39,11 @@ impl InOrderEngine {
     }
 
     /// Replays `trace` against `hierarchy` with no observer hook.
+    ///
+    /// This monomorphizes the engine loop over [`NoopHook`], so plain
+    /// (non-resizing) simulations pay no per-instruction virtual call.
     pub fn run(&self, trace: &Trace, hierarchy: &mut MemoryHierarchy) -> SimResult {
-        self.run_with_hook(trace, hierarchy, &mut NoopHook)
+        self.run_impl(trace, hierarchy, &mut NoopHook)
     }
 
     /// Replays `trace` against `hierarchy`, invoking `hook` after every
@@ -51,46 +54,69 @@ impl InOrderEngine {
         hierarchy: &mut MemoryHierarchy,
         hook: &mut dyn SimHook,
     ) -> SimResult {
+        self.run_impl(trace, hierarchy, hook)
+    }
+
+    fn run_impl<H: SimHook + ?Sized>(
+        &self,
+        trace: &Trace,
+        hierarchy: &mut MemoryHierarchy,
+        hook: &mut H,
+    ) -> SimResult {
         let cfg = &self.config;
         let mut cycle: u64 = 1;
         let mut issued_this_cycle: u32 = 0;
         let mut completion = [0u64; COMPLETION_RING];
         let mut fetch = FetchUnit::new(hierarchy.config().l1i.block_bytes, cfg.issue_width);
         let mut predictor = BranchPredictor::default();
-        let mut activity = ActivityCounters::default();
         let mut max_completion: u64 = 0;
+        // Activity totals are accumulated as four scalars and expanded into
+        // the full counter set once at the end (see
+        // `ActivityCounters::from_run_totals`).
+        let mut fp_ops: u64 = 0;
+        let mut mem_ops: u64 = 0;
+        let mut branches: u64 = 0;
+        let mut regfile_reads: u64 = 0;
 
         for (idx, rec) in trace.iter().enumerate() {
-            if issued_this_cycle >= cfg.issue_width {
-                cycle += 1;
+            // Width wrap and dependency waits resolve through selects where
+            // possible: both follow simulated data, so host branches here are
+            // unpredictable (this loop head runs once per instruction).
+            let wrap = issued_this_cycle >= cfg.issue_width;
+            cycle += u64::from(wrap);
+            if wrap {
                 issued_this_cycle = 0;
             }
 
-            let fetch_stall = fetch.fetch(rec.pc, cycle, hierarchy);
+            let fetch_stall = fetch.fetch(rec.pc(), cycle, hierarchy);
             if fetch_stall > 0 {
                 cycle += fetch_stall;
                 issued_this_cycle = 0;
             }
 
             // In-order issue: wait for both producers to have completed.
-            let dep_ready = producer_ready(&completion, idx, rec.dep1).max(producer_ready(
+            let dep_ready = producer_ready(&completion, idx, rec.dep1()).max(producer_ready(
                 &completion,
                 idx,
-                rec.dep2,
+                rec.dep2(),
             ));
-            if dep_ready > cycle {
-                cycle = dep_ready;
+            let waited = dep_ready > cycle;
+            cycle = cycle.max(dep_ready);
+            if waited {
                 issued_this_cycle = 0;
             }
 
-            let sources = u32::from(rec.dep1 > 0) + u32::from(rec.dep2 > 0);
-            activity.record_dispatch(sources);
+            regfile_reads += u64::from(rec.dep1() > 0) + u64::from(rec.dep2() > 0);
 
-            let complete = match rec.op {
+            let complete = match rec.op() {
                 Op::Int => cycle + cfg.int_latency,
-                Op::Fp => cycle + cfg.fp_latency,
+                Op::Fp => {
+                    fp_ops += 1;
+                    cycle + cfg.fp_latency
+                }
                 Op::Load(addr) | Op::Store(addr) => {
-                    let write = rec.op.is_store();
+                    mem_ops += 1;
+                    let write = rec.op().is_store();
                     let access = hierarchy.access_data(addr, write, cycle);
                     if access.l1_hit {
                         cycle + access.latency
@@ -102,8 +128,8 @@ impl InOrderEngine {
                     }
                 }
                 Op::Branch { taken } => {
-                    activity.record_branch();
-                    let correct = predictor.resolve(rec.pc, taken);
+                    branches += 1;
+                    let correct = predictor.resolve(rec.pc(), taken);
                     if !correct {
                         cycle += cfg.mispredict_penalty;
                         issued_this_cycle = 0;
@@ -112,8 +138,6 @@ impl InOrderEngine {
                 }
             };
 
-            activity.record_execute(matches!(rec.op, Op::Fp), rec.op.is_mem());
-            activity.record_commit();
             completion[idx % COMPLETION_RING] = complete;
             max_completion = max_completion.max(complete);
             issued_this_cycle += 1;
@@ -123,7 +147,13 @@ impl InOrderEngine {
         SimResult {
             cycles: cycle.max(max_completion),
             instructions: trace.len() as u64,
-            activity,
+            activity: ActivityCounters::from_run_totals(
+                trace.len() as u64,
+                fp_ops,
+                mem_ops,
+                branches,
+                regfile_reads,
+            ),
             branch: predictor.stats(),
         }
     }
@@ -131,12 +161,19 @@ impl InOrderEngine {
 
 /// Completion cycle of the producer `distance` instructions before `idx`,
 /// or 0 if there is no such producer.
+///
+/// The ring read is unconditional (the index is masked into range) and the
+/// no-producer case resolves through a select rather than a branch: the
+/// dependency distances follow the simulated program, so a host branch here
+/// is unpredictable, and this runs twice per simulated instruction.
+#[inline(always)]
 fn producer_ready(completion: &[u64; COMPLETION_RING], idx: usize, distance: u8) -> u64 {
     let distance = distance as usize;
+    let value = completion[idx.wrapping_sub(distance) % COMPLETION_RING];
     if distance == 0 || distance > idx {
         0
     } else {
-        completion[(idx - distance) % COMPLETION_RING]
+        value
     }
 }
 

@@ -1,17 +1,22 @@
 //! A load/store queue modelled as a bounded window of in-flight memory
 //! operations.
 
-use std::collections::VecDeque;
-
 /// The load/store queue of the out-of-order engine.
 ///
 /// Memory operations occupy an entry from dispatch until they complete; when
 /// the queue is full, dispatch of the next memory operation stalls until the
 /// oldest in-flight operation finishes.
+///
+/// Like the reorder buffer, the storage is a fixed ring over a boxed slice
+/// (one entry per in-flight operation, oldest at `head`): `reserve` runs once
+/// per simulated memory operation, so the push/retire pair stays a few
+/// arithmetic operations with no queue-growth logic.
 #[derive(Debug, Clone)]
 pub struct LoadStoreQueue {
-    capacity: usize,
-    completions: VecDeque<u64>,
+    /// Completion cycles, oldest at `head`, `len` entries in use.
+    completions: Box<[u64]>,
+    head: usize,
+    len: usize,
 }
 
 impl LoadStoreQueue {
@@ -23,8 +28,9 @@ impl LoadStoreQueue {
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "LSQ capacity must be positive");
         Self {
-            capacity,
-            completions: VecDeque::with_capacity(capacity),
+            completions: vec![0; capacity].into_boxed_slice(),
+            head: 0,
+            len: 0,
         }
     }
 
@@ -32,36 +38,41 @@ impl LoadStoreQueue {
     /// are retired lazily).
     pub fn occupancy(&mut self, cycle: u64) -> usize {
         self.retire(cycle);
-        self.completions.len()
+        self.len
     }
 
     /// Retires every operation that has completed by `cycle`.
+    #[inline]
     pub fn retire(&mut self, cycle: u64) {
-        while let Some(front) = self.completions.front() {
-            if *front <= cycle {
-                self.completions.pop_front();
-            } else {
-                break;
+        while self.len > 0 && self.completions[self.head] <= cycle {
+            self.head += 1;
+            if self.head == self.completions.len() {
+                self.head = 0;
             }
+            self.len -= 1;
         }
     }
 
     /// Reserves an entry for a memory operation dispatched at `cycle` and
     /// completing at `completion`. Returns the cycle at which the entry
     /// becomes available (equal to `cycle` unless the queue was full).
+    #[inline]
     pub fn reserve(&mut self, cycle: u64, completion: u64) -> u64 {
         self.retire(cycle);
-        let available = if self.completions.len() >= self.capacity {
-            let wait_until = *self
-                .completions
-                .front()
-                .expect("full queue has a front entry");
+        let capacity = self.completions.len();
+        let available = if self.len >= capacity {
+            let wait_until = self.completions[self.head];
             self.retire(wait_until);
             wait_until.max(cycle)
         } else {
             cycle
         };
-        self.completions.push_back(completion.max(available));
+        let mut tail = self.head + self.len;
+        if tail >= capacity {
+            tail -= capacity;
+        }
+        self.completions[tail] = completion.max(available);
+        self.len += 1;
         available
     }
 }

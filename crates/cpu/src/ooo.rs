@@ -48,8 +48,11 @@ impl OutOfOrderEngine {
     }
 
     /// Replays `trace` against `hierarchy` with no observer hook.
+    ///
+    /// This monomorphizes the engine loop over [`NoopHook`], so plain
+    /// (non-resizing) simulations pay no per-instruction virtual call.
     pub fn run(&self, trace: &Trace, hierarchy: &mut MemoryHierarchy) -> SimResult {
-        self.run_with_hook(trace, hierarchy, &mut NoopHook)
+        self.run_impl(trace, hierarchy, &mut NoopHook)
     }
 
     /// Replays `trace` against `hierarchy`, invoking `hook` after every
@@ -59,6 +62,15 @@ impl OutOfOrderEngine {
         trace: &Trace,
         hierarchy: &mut MemoryHierarchy,
         hook: &mut dyn SimHook,
+    ) -> SimResult {
+        self.run_impl(trace, hierarchy, hook)
+    }
+
+    fn run_impl<H: SimHook + ?Sized>(
+        &self,
+        trace: &Trace,
+        hierarchy: &mut MemoryHierarchy,
+        hook: &mut H,
     ) -> SimResult {
         let cfg = &self.config;
         let mut dispatch_cycle: u64 = 1;
@@ -70,22 +82,34 @@ impl OutOfOrderEngine {
         let mut mshr = MshrFile::new(cfg.mshr_entries);
         let mut fetch = FetchUnit::new(hierarchy.config().l1i.block_bytes, cfg.issue_width);
         let mut predictor = BranchPredictor::default();
-        let mut activity = ActivityCounters::default();
         let mut last_forced_commit: u64 = 0;
-        let block_bytes = hierarchy.config().l1d.block_bytes;
+        let block_shift = hierarchy.config().l1d.block_bytes.max(1).trailing_zeros();
+        let store_latency_cap = hierarchy.config().l1d.hit_latency + 1;
+        // Activity totals are accumulated as four scalars and expanded into
+        // the full counter set once at the end (see
+        // `ActivityCounters::from_run_totals`).
+        let mut fp_ops: u64 = 0;
+        let mut mem_ops: u64 = 0;
+        let mut branches: u64 = 0;
+        let mut regfile_reads: u64 = 0;
 
         for (idx, rec) in trace.iter().enumerate() {
-            if dispatched_this_cycle >= cfg.issue_width {
-                dispatch_cycle += 1;
+            // Width wrap and misprediction redirects resolve through selects:
+            // both follow simulated data, so host branches here are
+            // unpredictable (this loop head runs once per instruction).
+            let wrap = dispatched_this_cycle >= cfg.issue_width;
+            dispatch_cycle += u64::from(wrap);
+            if wrap {
                 dispatched_this_cycle = 0;
             }
-            if dispatch_cycle < fetch_resume_cycle {
-                dispatch_cycle = fetch_resume_cycle;
+            let redirected = dispatch_cycle < fetch_resume_cycle;
+            dispatch_cycle = dispatch_cycle.max(fetch_resume_cycle);
+            if redirected {
                 dispatched_this_cycle = 0;
             }
 
             // Instruction fetch: misses stall dispatch directly.
-            let fetch_stall = fetch.fetch(rec.pc, dispatch_cycle, hierarchy);
+            let fetch_stall = fetch.fetch(rec.pc(), dispatch_cycle, hierarchy);
             if fetch_stall > 0 {
                 dispatch_cycle += fetch_stall;
                 dispatched_this_cycle = 0;
@@ -96,33 +120,44 @@ impl OutOfOrderEngine {
             if rob.is_full() {
                 let commit_cycle = rob.commit_oldest().expect("full ROB is non-empty");
                 last_forced_commit = last_forced_commit.max(commit_cycle);
-                if commit_cycle > dispatch_cycle {
-                    dispatch_cycle = commit_cycle;
+                let bumped = commit_cycle > dispatch_cycle;
+                dispatch_cycle = dispatch_cycle.max(commit_cycle);
+                if bumped {
                     dispatched_this_cycle = 0;
                 }
             }
 
-            let sources = u32::from(rec.dep1 > 0) + u32::from(rec.dep2 > 0);
-            activity.record_dispatch(sources);
+            regfile_reads += u64::from(rec.dep1() > 0) + u64::from(rec.dep2() > 0);
 
             // Operands become ready when both producers have completed.
-            let dep_ready = producer_ready(&completion, idx, rec.dep1).max(producer_ready(
+            let dep_ready = producer_ready(&completion, idx, rec.dep1()).max(producer_ready(
                 &completion,
                 idx,
-                rec.dep2,
+                rec.dep2(),
             ));
             let ready = dispatch_cycle.max(dep_ready);
 
-            let complete = match rec.op {
+            let complete = match rec.op() {
                 Op::Int => ready + cfg.int_latency,
-                Op::Fp => ready + cfg.fp_latency,
+                Op::Fp => {
+                    fp_ops += 1;
+                    ready + cfg.fp_latency
+                }
                 Op::Load(addr) => {
+                    mem_ops += 1;
+                    // Retire on every load, hit or miss: `ready` is not
+                    // monotone across loads (dependency delays can push a
+                    // hit's `ready` past a later miss's), so retiring only on
+                    // misses would let a later, earlier-`ready` miss merge
+                    // with an entry an intervening hit would have retired.
+                    // The empty-file early-exit keeps the hit-path cost to
+                    // one predictable branch.
                     mshr.retire_completed(ready);
                     let access = hierarchy.access_data(addr, false, ready);
                     let finish = if access.l1_hit {
                         ready + access.latency
                     } else {
-                        let block = addr / block_bytes;
+                        let block = addr >> block_shift;
                         if let Some(outstanding) = mshr.lookup(block) {
                             // Secondary miss: merge with the in-flight fill.
                             outstanding.max(ready + 1)
@@ -146,16 +181,17 @@ impl OutOfOrderEngine {
                     finish + available.saturating_sub(ready)
                 }
                 Op::Store(addr) => {
+                    mem_ops += 1;
                     // Stores update the cache but retire through the write
                     // buffer: the pipeline only pays the L1 access.
                     let access = hierarchy.access_data(addr, true, ready);
-                    let finish = ready + access.latency.min(hierarchy.config().l1d.hit_latency + 1);
+                    let finish = ready + access.latency.min(store_latency_cap);
                     let available = lsq.reserve(ready, finish);
                     finish + available.saturating_sub(ready)
                 }
                 Op::Branch { taken } => {
-                    activity.record_branch();
-                    let correct = predictor.resolve(rec.pc, taken);
+                    branches += 1;
+                    let correct = predictor.resolve(rec.pc(), taken);
                     let finish = ready + cfg.int_latency;
                     if !correct {
                         // Fetch resumes only after the branch resolves and the
@@ -167,8 +203,6 @@ impl OutOfOrderEngine {
                 }
             };
 
-            activity.record_execute(matches!(rec.op, Op::Fp), rec.op.is_mem());
-            activity.record_commit();
             rob.dispatch(complete);
             completion[idx % COMPLETION_RING] = complete;
             dispatched_this_cycle += 1;
@@ -180,7 +214,13 @@ impl OutOfOrderEngine {
         SimResult {
             cycles,
             instructions: trace.len() as u64,
-            activity,
+            activity: ActivityCounters::from_run_totals(
+                trace.len() as u64,
+                fp_ops,
+                mem_ops,
+                branches,
+                regfile_reads,
+            ),
             branch: predictor.stats(),
         }
     }
@@ -188,12 +228,19 @@ impl OutOfOrderEngine {
 
 /// Completion cycle of the producer `distance` instructions before `idx`,
 /// or 0 if there is no such producer.
+///
+/// The ring read is unconditional (the index is masked into range) and the
+/// no-producer case resolves through a select rather than a branch: the
+/// dependency distances follow the simulated program, so a host branch here
+/// is unpredictable, and this runs twice per simulated instruction.
+#[inline(always)]
 fn producer_ready(completion: &[u64; COMPLETION_RING], idx: usize, distance: u8) -> u64 {
     let distance = distance as usize;
+    let value = completion[idx.wrapping_sub(distance) % COMPLETION_RING];
     if distance == 0 || distance > idx {
         0
     } else {
-        completion[(idx - distance) % COMPLETION_RING]
+        value
     }
 }
 

@@ -1,18 +1,24 @@
 //! A reorder buffer modelled as a queue of completion times with an in-order,
 //! width-limited commit stage.
 
-use std::collections::VecDeque;
-
 /// The reorder buffer of the out-of-order engine.
 ///
 /// Each entry records the cycle at which its instruction finishes execution.
 /// Instructions commit strictly in order, at most `commit_width` per cycle,
 /// and never earlier than the cycle after they complete.
+///
+/// The storage is a fixed ring over a boxed slice rather than a `VecDeque`:
+/// the engine dispatches into (and, once warm, commits out of) the ROB on
+/// every simulated instruction, and a ring sized exactly to the capacity
+/// keeps that per-instruction push/pop pair to a handful of arithmetic
+/// operations with no growth or spare-capacity logic.
 #[derive(Debug, Clone)]
 pub struct ReorderBuffer {
-    capacity: usize,
     commit_width: u32,
-    entries: VecDeque<u64>,
+    /// Completion cycles, oldest at `head`, `len` entries in use.
+    entries: Box<[u64]>,
+    head: usize,
+    len: usize,
     commit_cursor: u64,
     committed_in_cursor: u32,
     committed: u64,
@@ -28,9 +34,10 @@ impl ReorderBuffer {
         assert!(capacity > 0, "ROB capacity must be positive");
         assert!(commit_width > 0, "commit width must be positive");
         Self {
-            capacity,
             commit_width,
-            entries: VecDeque::with_capacity(capacity),
+            entries: vec![0; capacity].into_boxed_slice(),
+            head: 0,
+            len: 0,
             commit_cursor: 0,
             committed_in_cursor: 0,
             committed: 0,
@@ -39,12 +46,13 @@ impl ReorderBuffer {
 
     /// Number of occupied entries.
     pub fn occupancy(&self) -> usize {
-        self.entries.len()
+        self.len
     }
 
     /// Returns `true` if no more instructions can be dispatched.
+    #[inline]
     pub fn is_full(&self) -> bool {
-        self.entries.len() >= self.capacity
+        self.len >= self.entries.len()
     }
 
     /// Total instructions committed so far.
@@ -58,15 +66,31 @@ impl ReorderBuffer {
     /// # Panics
     ///
     /// Panics if the buffer is full; callers must commit first.
+    #[inline]
     pub fn dispatch(&mut self, completion_cycle: u64) {
         assert!(!self.is_full(), "dispatch into a full ROB");
-        self.entries.push_back(completion_cycle);
+        let capacity = self.entries.len();
+        let mut tail = self.head + self.len;
+        if tail >= capacity {
+            tail -= capacity;
+        }
+        self.entries[tail] = completion_cycle;
+        self.len += 1;
     }
 
     /// Commits the oldest instruction, returning the cycle at which it
     /// commits, or `None` if the buffer is empty.
+    #[inline]
     pub fn commit_oldest(&mut self) -> Option<u64> {
-        let completion = self.entries.pop_front()?;
+        if self.len == 0 {
+            return None;
+        }
+        let completion = self.entries[self.head];
+        self.head += 1;
+        if self.head == self.entries.len() {
+            self.head = 0;
+        }
+        self.len -= 1;
         let earliest = completion + 1;
         if earliest > self.commit_cursor {
             self.commit_cursor = earliest;

@@ -4,7 +4,7 @@ use rescache_cache::MemoryHierarchy;
 use rescache_trace::Trace;
 
 use crate::config::{CpuConfig, EngineKind};
-use crate::hook::{NoopHook, SimHook};
+use crate::hook::SimHook;
 use crate::inorder::InOrderEngine;
 use crate::ooo::OutOfOrderEngine;
 use crate::result::SimResult;
@@ -45,8 +45,17 @@ impl Simulator {
     }
 
     /// Replays `trace` against `hierarchy` with no observer hook.
+    ///
+    /// Dispatches to the engines' monomorphized no-hook entry points, so
+    /// plain (non-resizing) simulations pay no per-instruction virtual call
+    /// — this is the path every static sweep run takes.
     pub fn run(&self, trace: &Trace, hierarchy: &mut MemoryHierarchy) -> SimResult {
-        self.run_with_hook(trace, hierarchy, &mut NoopHook)
+        match self.config.engine {
+            EngineKind::InOrderBlocking => InOrderEngine::new(self.config).run(trace, hierarchy),
+            EngineKind::OutOfOrderNonBlocking => {
+                OutOfOrderEngine::new(self.config).run(trace, hierarchy)
+            }
+        }
     }
 
     /// Replays `trace` against `hierarchy`, invoking `hook` after every

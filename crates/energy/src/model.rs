@@ -1,7 +1,7 @@
 //! The whole-processor energy model: activity counters + cache statistics →
 //! a per-structure energy breakdown.
 
-use rescache_cache::{HierarchyConfig, MemoryHierarchy};
+use rescache_cache::{HierarchyConfig, HierarchySnapshot, MemoryHierarchy};
 use rescache_cpu::SimResult;
 
 use crate::cache_energy::{CacheEnergyModel, PrechargePolicy};
@@ -130,6 +130,20 @@ impl EnergyModel {
 
     /// Computes the per-structure energy of one simulation.
     pub fn breakdown(&self, result: &SimResult, hierarchy: &MemoryHierarchy) -> EnergyBreakdown {
+        self.breakdown_snapshot(result, &hierarchy.snapshot())
+    }
+
+    /// Computes the per-structure energy of one simulation from a detached
+    /// statistics snapshot.
+    ///
+    /// The energy model only reads statistics, never tag arrays, so a cached
+    /// [`HierarchySnapshot`] can be re-priced under different models (e.g.
+    /// with and without resizing-tag-bit overhead) without re-simulating.
+    pub fn breakdown_snapshot(
+        &self,
+        result: &SimResult,
+        snapshot: &HierarchySnapshot,
+    ) -> EnergyBreakdown {
         let p = &self.params;
         let a = &result.activity;
 
@@ -146,25 +160,24 @@ impl EnergyModel {
         let clock_pj =
             result.cycles as f64 * (p.clock_pj_per_cycle + p.other_pj_per_cycle);
 
-        let l1i_pj = self.l1i.switching_energy_pj(hierarchy.l1i().stats());
-        let l1d_pj = self.l1d.switching_energy_pj(hierarchy.l1d().stats());
+        let l1i_pj = self.l1i.switching_energy_pj(&snapshot.l1i);
+        let l1d_pj = self.l1d.switching_energy_pj(&snapshot.l1d);
 
         // L2 switching energy: regular accesses plus the dirty blocks flushed
         // into it by L1 resizes (the paper notes this traffic is minor; we
         // model it so the claim is checkable).
-        let l2_stats = hierarchy.l2().stats();
-        let l2_sets = hierarchy.l2().config().num_sets();
-        let l2_assoc = hierarchy.l2().config().associativity;
-        let l2_pj = self.l2.switching_energy_pj(l2_stats)
-            + hierarchy.stats().resize_flush_writebacks as f64
+        let l2_sets = snapshot.l2_config.num_sets();
+        let l2_assoc = snapshot.l2_config.associativity;
+        let l2_pj = self.l2.switching_energy_pj(&snapshot.l2)
+            + snapshot.stats.resize_flush_writebacks as f64
                 * self.l2.access_energy_pj(l2_sets, l2_assoc);
 
-        let memory_pj = hierarchy.stats().memory_accesses as f64 * p.memory_access_pj;
+        let memory_pj = snapshot.stats.memory_accesses as f64 * p.memory_access_pj;
 
         let leakage_pj = if self.include_leakage {
-            self.l1i.leakage_energy_pj(hierarchy.l1i().stats(), result.cycles)
-                + self.l1d.leakage_energy_pj(hierarchy.l1d().stats(), result.cycles)
-                + self.l2.leakage_energy_pj(l2_stats, result.cycles)
+            self.l1i.leakage_energy_pj(&snapshot.l1i, result.cycles)
+                + self.l1d.leakage_energy_pj(&snapshot.l1d, result.cycles)
+                + self.l2.leakage_energy_pj(&snapshot.l2, result.cycles)
         } else {
             0.0
         };

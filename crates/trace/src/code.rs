@@ -122,7 +122,7 @@ impl CodeStream {
 
         let at_region_end = self.offset + INSTR_BYTES >= self.shape.region_bytes;
         let instr_index = self.offset / INSTR_BYTES;
-        let at_block_end = (instr_index + 1) % self.shape.block_len == 0;
+        let at_block_end = (instr_index + 1).is_multiple_of(self.shape.block_len);
 
         if at_region_end {
             // Loop back-edge or transfer to the next region.

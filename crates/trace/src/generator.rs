@@ -156,7 +156,7 @@ mod tests {
                 TraceGenerator::new(spec::profile(name).unwrap(), 5).generate(100_000);
             let mut set = HashSet::new();
             for r in trace.iter() {
-                if let Some(addr) = r.op.address() {
+                if let Some(addr) = r.op().address() {
                     if addr < 0x7000_0000 {
                         set.insert(addr / 32);
                     }
@@ -179,7 +179,7 @@ mod tests {
                 TraceGenerator::new(spec::profile(name).unwrap(), 5).generate(100_000);
             let mut set = HashSet::new();
             for r in trace.iter() {
-                set.insert(r.pc / 32);
+                set.insert(r.pc() / 32);
             }
             set.len()
         };

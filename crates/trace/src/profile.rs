@@ -120,6 +120,23 @@ impl AppProfile {
         self
     }
 
+    /// A stable fingerprint of the profile's full contents (FNV-1a over the
+    /// `Debug` rendering, which covers every field including float exacts).
+    ///
+    /// Profiles are usually identified by [`AppProfile::name`], but the
+    /// builder methods allow two differing profiles to share a name; caches
+    /// keyed per profile (like the experiment runner's trace cache) include
+    /// this fingerprint so such profiles never alias.
+    pub fn fingerprint(&self) -> u64 {
+        let repr = format!("{self:?}");
+        let mut hash = 0xcbf2_9ce4_8422_2325u64;
+        for byte in repr.as_bytes() {
+            hash ^= u64::from(*byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        hash
+    }
+
     /// Instruction-weighted mean data working-set size in bytes.
     pub fn mean_data_working_set(&self) -> f64 {
         self.data.schedule.mean_bytes()

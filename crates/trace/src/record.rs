@@ -50,6 +50,14 @@ impl Op {
     }
 }
 
+/// Operation-class tags of the packed record encoding.
+const KIND_INT: u8 = 0;
+const KIND_FP: u8 = 1;
+const KIND_LOAD: u8 = 2;
+const KIND_STORE: u8 = 3;
+const KIND_BRANCH_NOT_TAKEN: u8 = 4;
+const KIND_BRANCH_TAKEN: u8 = 5;
+
 /// A single dynamic instruction in a trace.
 ///
 /// Dependency distances point backwards in the dynamic instruction stream:
@@ -57,37 +65,92 @@ impl Op {
 /// instructions earlier". A distance of `0` means "no register dependency".
 /// These distances are what the out-of-order model uses to bound the
 /// instruction-level parallelism it can extract.
+///
+/// The record is packed into 12 bytes (32-bit PC and effective address, one
+/// tag byte, two dependency bytes): a paper-length experiment streams
+/// millions of records through the engines once per cache configuration, so
+/// record size is directly memory bandwidth on the simulation hot path. The
+/// generated workloads place code below `0x1000_0000` and data below
+/// `0x8000_0000`, so 32-bit addresses lose nothing; the constructors assert
+/// this rather than truncate.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct InstrRecord {
-    /// Program counter (byte address) of the instruction.
-    pub pc: u64,
-    /// Operation class, including memory addresses and branch outcomes.
-    pub op: Op,
-    /// Distance (in dynamic instructions) to the first source producer; 0 = none.
-    pub dep1: u8,
-    /// Distance (in dynamic instructions) to the second source producer; 0 = none.
-    pub dep2: u8,
+    pc: u32,
+    addr: u32,
+    kind: u8,
+    dep1: u8,
+    dep2: u8,
 }
 
 impl InstrRecord {
     /// Creates a record with no register dependencies.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the PC or a memory address exceeds 32 bits.
     pub fn new(pc: u64, op: Op) -> Self {
-        Self {
-            pc,
-            op,
-            dep1: 0,
-            dep2: 0,
-        }
+        Self::with_deps(pc, op, 0, 0)
     }
 
     /// Creates a record with the given dependency distances.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the PC or a memory address exceeds 32 bits.
     pub fn with_deps(pc: u64, op: Op, dep1: u8, dep2: u8) -> Self {
+        assert!(pc <= u64::from(u32::MAX), "pc {pc:#x} exceeds 32 bits");
+        let (kind, addr) = match op {
+            Op::Int => (KIND_INT, 0),
+            Op::Fp => (KIND_FP, 0),
+            Op::Load(a) => (KIND_LOAD, a),
+            Op::Store(a) => (KIND_STORE, a),
+            Op::Branch { taken: false } => (KIND_BRANCH_NOT_TAKEN, 0),
+            Op::Branch { taken: true } => (KIND_BRANCH_TAKEN, 0),
+        };
+        assert!(
+            addr <= u64::from(u32::MAX),
+            "address {addr:#x} exceeds 32 bits"
+        );
         Self {
-            pc,
-            op,
+            pc: pc as u32,
+            addr: addr as u32,
+            kind,
             dep1,
             dep2,
         }
+    }
+
+    /// Program counter (byte address) of the instruction.
+    #[inline(always)]
+    pub fn pc(&self) -> u64 {
+        u64::from(self.pc)
+    }
+
+    /// Operation class, including memory addresses and branch outcomes.
+    #[inline(always)]
+    pub fn op(&self) -> Op {
+        match self.kind {
+            KIND_INT => Op::Int,
+            KIND_FP => Op::Fp,
+            KIND_LOAD => Op::Load(u64::from(self.addr)),
+            KIND_STORE => Op::Store(u64::from(self.addr)),
+            KIND_BRANCH_NOT_TAKEN => Op::Branch { taken: false },
+            _ => Op::Branch { taken: true },
+        }
+    }
+
+    /// Distance (in dynamic instructions) to the first source producer;
+    /// 0 = none.
+    #[inline(always)]
+    pub fn dep1(&self) -> u8 {
+        self.dep1
+    }
+
+    /// Distance (in dynamic instructions) to the second source producer;
+    /// 0 = none.
+    #[inline(always)]
+    pub fn dep2(&self) -> u8 {
+        self.dep2
     }
 }
 

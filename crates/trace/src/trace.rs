@@ -1,5 +1,8 @@
 //! The [`Trace`] container and summary statistics.
 
+use std::ops::Range;
+use std::sync::Arc;
+
 use crate::record::{InstrRecord, Op};
 
 /// A dynamic instruction trace for one application.
@@ -7,18 +10,32 @@ use crate::record::{InstrRecord, Op};
 /// A trace is generated once per application (deterministically from a seed)
 /// and then replayed under every cache configuration of an experiment, which
 /// keeps the thousands of simulations behind the paper's figures tractable.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// The record storage is an `Arc<[InstrRecord]>` window: cloning a trace, or
+/// slicing it into warm-up and measured regions with [`Trace::slice`] /
+/// [`Trace::split_at`], shares the underlying buffer instead of copying it.
+/// A paper-length trace is ~2.6 million records (~80 MB across twelve
+/// applications), and every experiment replays it under many cache
+/// configurations — copy-free sharing is what makes a per-application trace
+/// cache affordable.
+#[derive(Debug, Clone)]
 pub struct Trace {
-    name: String,
-    records: Vec<InstrRecord>,
+    name: Arc<str>,
+    records: Arc<[InstrRecord]>,
+    /// Window into `records` occupied by this trace view.
+    start: usize,
+    len: usize,
 }
 
 impl Trace {
     /// Creates a trace from a name and a record vector.
     pub fn new(name: impl Into<String>, records: Vec<InstrRecord>) -> Self {
+        let len = records.len();
         Self {
-            name: name.into(),
-            records,
+            name: name.into().into(),
+            records: records.into(),
+            start: 0,
+            len,
         }
     }
 
@@ -29,30 +46,60 @@ impl Trace {
 
     /// The trace records, in dynamic program order.
     pub fn records(&self) -> &[InstrRecord] {
-        &self.records
+        &self.records[self.start..self.start + self.len]
     }
 
     /// Number of dynamic instructions in the trace.
     pub fn len(&self) -> usize {
-        self.records.len()
+        self.len
     }
 
     /// Returns `true` if the trace contains no instructions.
     pub fn is_empty(&self) -> bool {
-        self.records.is_empty()
+        self.len == 0
+    }
+
+    /// Returns a copy-free sub-trace covering `range` of this trace's
+    /// records. The returned trace shares the underlying record buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds.
+    pub fn slice(&self, range: Range<usize>) -> Trace {
+        assert!(
+            range.start <= range.end && range.end <= self.len,
+            "slice {range:?} out of bounds for a trace of {} records",
+            self.len
+        );
+        Self {
+            name: Arc::clone(&self.name),
+            records: Arc::clone(&self.records),
+            start: self.start + range.start,
+            len: range.end - range.start,
+        }
+    }
+
+    /// Splits the trace into copy-free `[..mid]` and `[mid..]` sub-traces
+    /// (e.g. a warm-up region and a measured region).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mid` exceeds the trace length.
+    pub fn split_at(&self, mid: usize) -> (Trace, Trace) {
+        (self.slice(0..mid), self.slice(mid..self.len))
     }
 
     /// Iterates over the records in dynamic program order.
     pub fn iter(&self) -> std::slice::Iter<'_, InstrRecord> {
-        self.records.iter()
+        self.records().iter()
     }
 
     /// Computes summary statistics over the whole trace.
     pub fn stats(&self) -> TraceStats {
         let mut stats = TraceStats::default();
-        for r in &self.records {
+        for r in self.records() {
             stats.instructions += 1;
-            match r.op {
+            match r.op() {
                 Op::Int => stats.int_ops += 1,
                 Op::Fp => stats.fp_ops += 1,
                 Op::Load(_) => stats.loads += 1,
@@ -69,12 +116,22 @@ impl Trace {
     }
 }
 
+impl PartialEq for Trace {
+    /// Traces compare by name and visible records, so a copy-free view is
+    /// equal to an owned trace with the same contents.
+    fn eq(&self, other: &Self) -> bool {
+        self.name == other.name && self.records() == other.records()
+    }
+}
+
+impl Eq for Trace {}
+
 impl<'a> IntoIterator for &'a Trace {
     type Item = &'a InstrRecord;
     type IntoIter = std::slice::Iter<'a, InstrRecord>;
 
     fn into_iter(self) -> Self::IntoIter {
-        self.records.iter()
+        self.records().iter()
     }
 }
 
@@ -153,6 +210,28 @@ mod tests {
         let empty = TraceStats::default();
         assert_eq!(empty.mem_fraction(), 0.0);
         assert_eq!(empty.branch_fraction(), 0.0);
+    }
+
+    #[test]
+    fn slicing_is_copy_free_and_consistent() {
+        let t = sample();
+        let (warm, measure) = t.split_at(2);
+        assert_eq!(warm.len(), 2);
+        assert_eq!(measure.len(), 4);
+        assert_eq!(warm.records(), &t.records()[..2]);
+        assert_eq!(measure.records(), &t.records()[2..]);
+        assert_eq!(warm.name(), t.name());
+        // Nested slicing stays anchored to the right window.
+        let inner = measure.slice(1..3);
+        assert_eq!(inner.records(), &t.records()[3..5]);
+        // A view equals an owned trace with the same contents.
+        assert_eq!(inner, Trace::new("t", t.records()[3..5].to_vec()));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn out_of_range_slice_panics() {
+        sample().slice(3..99);
     }
 
     #[test]

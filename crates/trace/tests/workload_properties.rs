@@ -1,8 +1,9 @@
 //! Property-based tests of the workload substrate: whatever profile is
 //! thrown at the generator, the resulting trace must respect the profile's
-//! structural promises (footprints, mixes, determinism).
+//! structural promises (footprints, mixes, determinism). Driven by the
+//! in-repo deterministic case runner (`rescache-testutil`).
 
-use proptest::prelude::*;
+use rescache_testutil::{check_cases, TestRng};
 use rescache_trace::address::AccessMix;
 use rescache_trace::{
     AppProfile, CodeBehavior, DataBehavior, InstructionMix, Phase, PhaseSchedule, TraceGenerator,
@@ -13,104 +14,119 @@ use rescache_trace::{
 /// shipped SPEC-like profiles use the same convention: code low, data high).
 const CODE_BASE: u64 = 0x0040_0000;
 
-/// Strategy for a working-set size between 1 KiB and 64 KiB with 1..4
-/// aliasing segments at the given base address.
-fn working_set(base: u64) -> impl Strategy<Value = WorkingSetSpec> {
-    (1u64..64, 1u32..4)
-        .prop_map(move |(kib, ways)| WorkingSetSpec::conflicting(kib * 1024, ways).at_base(base))
+/// Draws a working-set size between 1 KiB and 64 KiB with 1..4 aliasing
+/// segments at the given base address.
+fn working_set(rng: &mut TestRng, base: u64) -> WorkingSetSpec {
+    let kib = rng.range(1, 64);
+    let ways = rng.range_u32(1, 4);
+    WorkingSetSpec::conflicting(kib * 1024, ways).at_base(base)
 }
 
-fn schedule(base: u64) -> impl Strategy<Value = PhaseSchedule> {
-    prop::collection::vec((1u64..10, working_set(base)), 1..4).prop_map(|phases| {
-        PhaseSchedule::sequence(
-            phases
-                .into_iter()
-                .map(|(w, ws)| Phase::new(w as f64, ws))
-                .collect(),
-        )
-    })
-}
-
-fn profile() -> impl Strategy<Value = AppProfile> {
-    (
-        schedule(0x1000_0000),
-        schedule(CODE_BASE),
-        0.0f64..0.4,
-        0.0f64..0.2,
+fn schedule(rng: &mut TestRng, base: u64) -> PhaseSchedule {
+    let phases = rng.range_usize(1, 4);
+    PhaseSchedule::sequence(
+        (0..phases)
+            .map(|_| {
+                let weight = rng.range(1, 10) as f64;
+                let ws = working_set(rng, base);
+                Phase::new(weight, ws)
+            })
+            .collect(),
     )
-        .prop_map(|(data, code, load, store)| {
-            AppProfile::new(
-                "prop",
-                DataBehavior::new(data).with_access_mix(AccessMix::new(0.5, 0.45, 0.05)),
-                CodeBehavior::new(code.clone()),
-            )
-            .with_mix(InstructionMix::new(load, store, 0.05))
-        })
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+fn profile(rng: &mut TestRng) -> AppProfile {
+    let data = schedule(rng, 0x1000_0000);
+    let code = schedule(rng, CODE_BASE);
+    let load = rng.f64_range(0.0, 0.4);
+    let store = rng.f64_range(0.0, 0.2);
+    AppProfile::new(
+        "prop",
+        DataBehavior::new(data).with_access_mix(AccessMix::new(0.5, 0.45, 0.05)),
+        CodeBehavior::new(code),
+    )
+    .with_mix(InstructionMix::new(load, store, 0.05))
+}
 
-    /// Generation is a pure function of (profile, seed, length).
-    #[test]
-    fn generation_is_deterministic(p in profile(), seed in 0u64..1000) {
+/// Generation is a pure function of (profile, seed, length).
+#[test]
+fn generation_is_deterministic() {
+    check_cases(48, |rng| {
+        let p = profile(rng);
+        let seed = rng.below(1000);
         let a = TraceGenerator::new(p.clone(), seed).generate(3_000);
         let b = TraceGenerator::new(p, seed).generate(3_000);
-        prop_assert_eq!(a, b);
-    }
+        assert_eq!(a, b);
+    });
+}
 
-    /// The requested length is always honoured exactly.
-    #[test]
-    fn length_is_exact(p in profile(), len in 1usize..5_000) {
-        prop_assert_eq!(TraceGenerator::new(p, 1).generate(len).len(), len);
-    }
+/// The requested length is always honoured exactly.
+#[test]
+fn length_is_exact() {
+    check_cases(48, |rng| {
+        let p = profile(rng);
+        let len = rng.range_usize(1, 5_000);
+        assert_eq!(TraceGenerator::new(p, 1).generate(len).len(), len);
+    });
+}
 
-    /// Data addresses stay within the union of the working sets plus the
-    /// dedicated streaming region; instruction addresses stay within the code
-    /// footprint region.
-    #[test]
-    fn addresses_stay_in_their_regions(p in profile()) {
+/// Data addresses stay within the union of the working sets plus the
+/// dedicated streaming region; instruction addresses stay within the code
+/// footprint region.
+#[test]
+fn addresses_stay_in_their_regions() {
+    check_cases(48, |rng| {
+        let p = profile(rng);
         let trace = TraceGenerator::new(p, 7).generate(5_000);
         for record in trace.iter() {
-            prop_assert!(record.pc < 0x1000_0000, "code addresses live below the data base");
-            if let Some(addr) = record.op.address() {
-                prop_assert!(addr >= 0x1000_0000, "data addresses live above the code region");
+            assert!(record.pc() < 0x1000_0000, "code addresses live below the data base");
+            if let Some(addr) = record.op().address() {
+                assert!(addr >= 0x1000_0000, "data addresses live above the code region");
             }
         }
-    }
+    });
+}
 
-    /// The memory-instruction share of the trace follows the requested mix
-    /// (up to the share taken by branches).
-    #[test]
-    fn memory_fraction_tracks_mix(p in profile()) {
+/// The memory-instruction share of the trace follows the requested mix (up to
+/// the share taken by branches).
+#[test]
+fn memory_fraction_tracks_mix() {
+    check_cases(48, |rng| {
+        let p = profile(rng);
         let mem_target = p.mix.mem();
-        prop_assume!(mem_target > 0.05);
+        if mem_target <= 0.05 {
+            return;
+        }
         let trace = TraceGenerator::new(p, 3).generate(20_000);
-        let stats = trace.stats();
-        let observed = stats.mem_fraction();
-        prop_assert!(
+        let observed = trace.stats().mem_fraction();
+        assert!(
             observed > mem_target * 0.6 && observed < mem_target * 1.1,
-            "observed mem fraction {} vs requested {}",
-            observed,
-            mem_target
+            "observed mem fraction {observed} vs requested {mem_target}"
         );
-    }
+    });
+}
 
-    /// Branch records always make up a plausible share of the stream: the
-    /// code stream emits one conditional per basic block.
-    #[test]
-    fn branch_fraction_is_plausible(p in profile()) {
+/// Branch records always make up a plausible share of the stream: the code
+/// stream emits one conditional per basic block.
+#[test]
+fn branch_fraction_is_plausible() {
+    check_cases(48, |rng| {
+        let p = profile(rng);
         let trace = TraceGenerator::new(p, 11).generate(20_000);
         let frac = trace.stats().branch_fraction();
-        prop_assert!((0.05..=0.3).contains(&frac), "branch fraction {}", frac);
-    }
+        assert!((0.05..=0.3).contains(&frac), "branch fraction {frac}");
+    });
+}
 
-    /// Dependency distances never exceed the 63-instruction encoding limit.
-    #[test]
-    fn dependency_distances_are_bounded(p in profile(), seed in 0u64..50) {
+/// Dependency distances never exceed the 63-instruction encoding limit.
+#[test]
+fn dependency_distances_are_bounded() {
+    check_cases(48, |rng| {
+        let p = profile(rng);
+        let seed = rng.below(50);
         let trace = TraceGenerator::new(p, seed).generate(2_000);
         for r in trace.iter() {
-            prop_assert!(r.dep1 <= 63 && r.dep2 <= 63);
+            assert!(r.dep1() <= 63 && r.dep2() <= 63);
         }
-    }
+    });
 }

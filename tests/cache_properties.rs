@@ -1,48 +1,47 @@
-//! Property-based tests of the resizable cache's invariants.
+//! Property-based tests of the resizable cache's invariants, driven by the
+//! in-repo deterministic case runner (`rescache-testutil`).
 
-use proptest::prelude::*;
 use rescache::cache::{Cache, CacheConfig};
+use rescache_testutil::{check_cases, TestRng};
 
-/// Strategy producing valid L1-style cache configurations: 4K..32K with an
-/// associativity that keeps each way at least one 1K subarray wide.
-fn cache_config() -> impl Strategy<Value = CacheConfig> {
-    (0u32..4)
-        .prop_flat_map(|size_exp| {
-            let size = 4 * 1024u64 << size_exp;
-            let max_assoc_exp = 2 + size_exp; // way size >= 1 KiB
-            (Just(size), 0u32..=max_assoc_exp)
-        })
-        .prop_map(|(size, assoc_exp)| CacheConfig::l1_default(size, 1u32 << assoc_exp))
+/// Draws a valid L1-style cache configuration: 4K..32K with an associativity
+/// that keeps each way at least one 1K subarray wide.
+fn cache_config(rng: &mut TestRng) -> CacheConfig {
+    let size_exp = rng.below(4) as u32;
+    let size = (4 * 1024u64) << size_exp;
+    let max_assoc_exp = 2 + size_exp; // way size >= 1 KiB
+    let assoc_exp = rng.range_u32(0, max_assoc_exp + 1);
+    CacheConfig::l1_default(size, 1u32 << assoc_exp)
 }
 
-/// Strategy producing a sequence of block-aligned addresses in a compact
-/// region (so sets actually collide).
-fn addresses() -> impl Strategy<Value = Vec<u64>> {
-    prop::collection::vec(0u64..4096, 1..200).prop_map(|blocks| {
-        blocks.into_iter().map(|b| b * 32).collect()
-    })
+/// Draws a sequence of block-aligned addresses in a compact region (so sets
+/// actually collide).
+fn addresses(rng: &mut TestRng) -> Vec<u64> {
+    let len = rng.range_usize(1, 200);
+    rng.vec_of(len, |r| r.below(4096) * 32)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// A filled block is resident until something evicts it, and an access to
-    /// it immediately after the fill always hits.
-    #[test]
-    fn fill_then_access_hits(config in cache_config(), addr in 0u64..1_000_000) {
+/// A filled block is resident until something evicts it, and an access to it
+/// immediately after the fill always hits.
+#[test]
+fn fill_then_access_hits() {
+    check_cases(64, |rng| {
+        let config = cache_config(rng);
+        let addr = rng.below(1_000_000);
         let mut cache = Cache::new(config).unwrap();
         cache.fill(addr, false);
-        prop_assert!(cache.access_read(addr).hit);
-    }
+        assert!(cache.access_read(addr).hit);
+    });
+}
 
-    /// The number of resident blocks never exceeds the enabled capacity,
-    /// regardless of the access pattern or the resizing sequence.
-    #[test]
-    fn occupancy_never_exceeds_enabled_capacity(
-        config in cache_config(),
-        addrs in addresses(),
-        shrink_ways in prop::bool::ANY,
-    ) {
+/// The number of resident blocks never exceeds the enabled capacity,
+/// regardless of the access pattern or the resizing sequence.
+#[test]
+fn occupancy_never_exceeds_enabled_capacity() {
+    check_cases(64, |rng| {
+        let config = cache_config(rng);
+        let addrs = addresses(rng);
+        let shrink_ways = rng.bool();
         let mut cache = Cache::new(config).unwrap();
         for (i, addr) in addrs.iter().enumerate() {
             if !cache.access_read(*addr).hit {
@@ -57,19 +56,20 @@ proptest! {
                 }
             }
             let capacity_blocks = cache.enabled_bytes() / config.block_bytes;
-            prop_assert!(cache.resident_blocks() <= capacity_blocks);
+            assert!(cache.resident_blocks() <= capacity_blocks);
         }
-    }
+    });
+}
 
-    /// Every resident block is found again when probed: resizing never leaves
-    /// a block behind in a frame the index function can no longer reach
-    /// without the cache knowing about it (the flush rules of the paper).
-    #[test]
-    fn resize_preserves_reachability(
-        config in cache_config(),
-        addrs in addresses(),
-        downsize_first in prop::bool::ANY,
-    ) {
+/// Every resident block is found again when probed: resizing never leaves a
+/// block behind in a frame the index function can no longer reach without the
+/// cache knowing about it (the flush rules of the paper).
+#[test]
+fn resize_preserves_reachability() {
+    check_cases(64, |rng| {
+        let config = cache_config(rng);
+        let addrs = addresses(rng);
+        let downsize_first = rng.bool();
         let mut cache = Cache::new(config).unwrap();
         for addr in &addrs {
             cache.fill(*addr, false);
@@ -87,25 +87,25 @@ proptest! {
         for addr in &addrs {
             let resident = cache.contains(*addr);
             let hit = cache.access_read(*addr).hit;
-            prop_assert_eq!(resident, hit);
+            assert_eq!(resident, hit);
         }
-    }
+    });
+}
 
-    /// Dirty data is never silently dropped: every dirty fill is eventually
-    /// accounted for either as a replacement writeback, a resize writeback,
-    /// a flush, or remains resident (and dirty) in the cache.
-    #[test]
-    fn dirty_blocks_are_conserved(
-        config in cache_config(),
-        addrs in addresses(),
-    ) {
+/// Dirty data is never silently dropped: every dirty fill is eventually
+/// accounted for either as a replacement writeback, a resize writeback, a
+/// flush, or remains resident (and dirty) in the cache.
+#[test]
+fn dirty_blocks_are_conserved() {
+    check_cases(64, |rng| {
+        let config = cache_config(rng);
+        let addrs = addresses(rng);
         let mut cache = Cache::new(config).unwrap();
         let mut dirty_fills = 0u64;
         for addr in &addrs {
             if !cache.access_write(*addr).hit {
-                if cache.fill(*addr, true).is_some() || true {
-                    dirty_fills += 1;
-                }
+                cache.fill(*addr, true);
+                dirty_fills += 1;
             }
         }
         if config.min_sets() < config.num_sets() {
@@ -114,22 +114,25 @@ proptest! {
         let flushed_now = cache.flush_all();
         let written_back =
             cache.stats().writebacks + cache.stats().resize_writebacks + flushed_now;
-        // Dirty blocks written back can never exceed the dirty blocks created,
-        // and together with still-resident ones they account for all of them.
-        prop_assert!(written_back <= dirty_fills);
-    }
+        // Dirty blocks written back can never exceed the dirty blocks created.
+        assert!(written_back <= dirty_fills);
+    });
+}
 
-    /// The offered geometry accessors are consistent: enabled bytes always
-    /// equals enabled_sets x enabled_ways x block size.
-    #[test]
-    fn enabled_bytes_matches_masks(config in cache_config(), halve in prop::bool::ANY) {
+/// The offered geometry accessors are consistent: enabled bytes always equals
+/// enabled_sets x enabled_ways x block size.
+#[test]
+fn enabled_bytes_matches_masks() {
+    check_cases(64, |rng| {
+        let config = cache_config(rng);
+        let halve = rng.bool();
         let mut cache = Cache::new(config).unwrap();
         if halve && config.min_sets() < config.num_sets() {
             cache.set_enabled_sets(config.num_sets() / 2);
         }
-        prop_assert_eq!(
+        assert_eq!(
             cache.enabled_bytes(),
             cache.enabled_sets() * u64::from(cache.enabled_ways()) * config.block_bytes
         );
-    }
+    });
 }

@@ -1,100 +1,113 @@
-//! Property-based tests of the organizations' configuration spaces.
+//! Property-based tests of the organizations' configuration spaces, driven by
+//! the in-repo deterministic case runner (`rescache-testutil`).
 
-use proptest::prelude::*;
 use rescache::cache::CacheConfig;
 use rescache::core::{CachePoint, ConfigSpace, Organization};
+use rescache_testutil::{check_cases, TestRng};
 
-fn l1_config() -> impl Strategy<Value = CacheConfig> {
-    (0u32..4)
-        .prop_flat_map(|size_exp| {
-            let size = 8 * 1024u64 << size_exp;
-            // Keep each way at least one 1K subarray wide and the
-            // associativity within the paper's 2..16-way range.
-            let max_assoc_exp = (3 + size_exp).min(4);
-            (Just(size), 1u32..=max_assoc_exp)
-        })
-        .prop_map(|(size, assoc_exp)| CacheConfig::l1_default(size, 1u32 << assoc_exp))
+fn l1_config(rng: &mut TestRng) -> CacheConfig {
+    let size_exp = rng.below(4) as u32;
+    let size = (8 * 1024u64) << size_exp;
+    // Keep each way at least one 1K subarray wide and the associativity
+    // within the paper's 2..16-way range.
+    let max_assoc_exp = (3 + size_exp).min(4);
+    let assoc_exp = rng.range_u32(1, max_assoc_exp + 1);
+    CacheConfig::l1_default(size, 1u32 << assoc_exp)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    /// Offered sizes are strictly decreasing, start at the full capacity, and
-    /// stay within the geometric limits of the cache.
-    #[test]
-    fn offered_sizes_are_sorted_and_bounded(config in l1_config(), org_idx in 0usize..3) {
-        let org = Organization::ALL[org_idx];
+/// Offered sizes are strictly decreasing, start at the full capacity, and
+/// stay within the geometric limits of the cache.
+#[test]
+fn offered_sizes_are_sorted_and_bounded() {
+    check_cases(128, |rng| {
+        let config = l1_config(rng);
+        let org = Organization::ALL[rng.below_usize(3)];
         if let Ok(space) = ConfigSpace::enumerate(config, org) {
             let sizes = space.sizes_bytes();
-            prop_assert_eq!(sizes[0], config.size_bytes);
+            assert_eq!(sizes[0], config.size_bytes);
             for pair in sizes.windows(2) {
-                prop_assert!(pair[0] > pair[1], "sizes must strictly decrease: {:?}", sizes);
+                assert!(pair[0] > pair[1], "sizes must strictly decrease: {sizes:?}");
             }
             for point in space.points() {
-                prop_assert!(point.ways >= 1 && point.ways <= config.associativity);
-                prop_assert!(point.sets >= config.min_sets() && point.sets <= config.num_sets());
-                prop_assert!(point.sets.is_power_of_two());
+                assert!(point.ways >= 1 && point.ways <= config.associativity);
+                assert!(point.sets >= config.min_sets() && point.sets <= config.num_sets());
+                assert!(point.sets.is_power_of_two());
             }
         }
-    }
+    });
+}
 
-    /// The hybrid organization offers a superset of the sizes offered by
-    /// selective-ways and selective-sets (the basis of the paper's claim that
-    /// it always at least matches them).
-    #[test]
-    fn hybrid_offers_a_superset(config in l1_config()) {
-        let hybrid = ConfigSpace::enumerate(config, Organization::Hybrid);
-        prop_assume!(hybrid.is_ok());
-        let hybrid_sizes = hybrid.unwrap().sizes_bytes();
+/// The hybrid organization offers a superset of the sizes offered by
+/// selective-ways and selective-sets (the basis of the paper's claim that it
+/// always at least matches them).
+#[test]
+fn hybrid_offers_a_superset() {
+    check_cases(128, |rng| {
+        let config = l1_config(rng);
+        let hybrid = match ConfigSpace::enumerate(config, Organization::Hybrid) {
+            Ok(space) => space,
+            Err(_) => return,
+        };
+        let hybrid_sizes = hybrid.sizes_bytes();
         for org in [Organization::SelectiveWays, Organization::SelectiveSets] {
             if let Ok(space) = ConfigSpace::enumerate(config, org) {
                 for size in space.sizes_bytes() {
-                    prop_assert!(hybrid_sizes.contains(&size));
+                    assert!(hybrid_sizes.contains(&size));
                 }
             }
         }
-    }
+    });
+}
 
-    /// Selective-sets always preserves the full associativity; selective-ways
-    /// always preserves the full set count.
-    #[test]
-    fn organizations_preserve_their_fixed_dimension(config in l1_config()) {
+/// Selective-sets always preserves the full associativity; selective-ways
+/// always preserves the full set count.
+#[test]
+fn organizations_preserve_their_fixed_dimension() {
+    check_cases(128, |rng| {
+        let config = l1_config(rng);
         if let Ok(space) = ConfigSpace::enumerate(config, Organization::SelectiveSets) {
-            prop_assert!(space.points().iter().all(|p| p.ways == config.associativity));
+            assert!(space.points().iter().all(|p| p.ways == config.associativity));
         }
         if let Ok(space) = ConfigSpace::enumerate(config, Organization::SelectiveWays) {
-            prop_assert!(space.points().iter().all(|p| p.sets == config.num_sets()));
+            assert!(space.points().iter().all(|p| p.sets == config.num_sets()));
         }
-    }
+    });
+}
 
-    /// Applying any offered point to a real cache yields exactly the
-    /// advertised enabled capacity, and applying the full-size point restores
-    /// the original capacity.
-    #[test]
-    fn points_apply_cleanly(config in l1_config(), org_idx in 0usize..3) {
-        let org = Organization::ALL[org_idx];
+/// Applying any offered point to a real cache yields exactly the advertised
+/// enabled capacity, and applying the full-size point restores the original
+/// capacity.
+#[test]
+fn points_apply_cleanly() {
+    check_cases(128, |rng| {
+        let config = l1_config(rng);
+        let org = Organization::ALL[rng.below_usize(3)];
         if let Ok(space) = ConfigSpace::enumerate(config, org) {
             let mut cache = rescache::cache::Cache::new(config).unwrap();
             for point in space.points() {
                 point.apply(&mut cache);
-                prop_assert_eq!(cache.enabled_bytes(), point.bytes(config.block_bytes));
+                assert_eq!(cache.enabled_bytes(), point.bytes(config.block_bytes));
             }
             CachePoint::full(&config).apply(&mut cache);
-            prop_assert_eq!(cache.enabled_bytes(), config.size_bytes);
+            assert_eq!(cache.enabled_bytes(), config.size_bytes);
         }
-    }
+    });
+}
 
-    /// `index_of_at_least` always returns a point at least as large as the
-    /// requested bound (or the smallest offered size if the bound is below
-    /// everything).
-    #[test]
-    fn size_bound_lookup_is_conservative(config in l1_config(), bound in 512u64..64*1024) {
+/// `index_of_at_least` always returns a point at least as large as the
+/// requested bound (or the smallest offered size if the bound is below
+/// everything).
+#[test]
+fn size_bound_lookup_is_conservative() {
+    check_cases(128, |rng| {
+        let config = l1_config(rng);
+        let bound = rng.range(512, 64 * 1024);
         if let Ok(space) = ConfigSpace::enumerate(config, Organization::Hybrid) {
             let idx = space.index_of_at_least(bound);
             let size = space.sizes_bytes()[idx];
             if bound <= config.size_bytes {
-                prop_assert!(size >= bound.min(space.min_bytes()));
+                assert!(size >= bound.min(space.min_bytes()));
             }
         }
-    }
+    });
 }

@@ -1,0 +1,215 @@
+//! Equivalence of the shift/mask fast indexing path against a straight
+//! div/mod reference model.
+//!
+//! The optimized [`rescache::cache::Cache`] computes block addresses with a
+//! shift and set indices with a mask (maintained across resizes) and chooses
+//! LRU victims with a single inline scan. This test drives randomized access
+//! / fill / resize sequences through the real cache and through a naive
+//! reference model that uses division, modulo and an explicit stamp sort —
+//! the arithmetic of the original kernel — and asserts the two produce
+//! identical hit/miss and eviction sequences and identical final contents.
+
+use rescache::cache::{Cache, CacheConfig};
+use rescache_testutil::{check_cases, TestRng};
+
+/// A frame of the reference model.
+#[derive(Clone, Copy, Default)]
+struct RefFrame {
+    valid: bool,
+    dirty: bool,
+    block_addr: u64,
+    stamp: u64,
+}
+
+/// A deliberately naive resizable LRU cache using div/mod indexing.
+struct RefCache {
+    config: CacheConfig,
+    sets: Vec<Vec<RefFrame>>,
+    enabled_sets: u64,
+    enabled_ways: u32,
+    clock: u64,
+}
+
+impl RefCache {
+    fn new(config: CacheConfig) -> Self {
+        let sets = (0..config.num_sets())
+            .map(|_| vec![RefFrame::default(); config.associativity as usize])
+            .collect();
+        Self {
+            config,
+            sets,
+            enabled_sets: config.num_sets(),
+            enabled_ways: config.associativity,
+            clock: 0,
+        }
+    }
+
+    fn index(&self, addr: u64) -> (usize, u64) {
+        let block_addr = addr / self.config.block_bytes;
+        ((block_addr % self.enabled_sets) as usize, block_addr)
+    }
+
+    fn access(&mut self, addr: u64, write: bool) -> bool {
+        self.clock += 1;
+        let clock = self.clock;
+        let ways = self.enabled_ways as usize;
+        let (index, block_addr) = self.index(addr);
+        for frame in self.sets[index].iter_mut().take(ways) {
+            if frame.valid && frame.block_addr == block_addr {
+                frame.stamp = clock;
+                frame.dirty |= write;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Fills a block; returns `Some((victim_block, victim_dirty))` on an
+    /// eviction, mirroring `Cache::fill`.
+    fn fill(&mut self, addr: u64, dirty: bool) -> Option<(u64, bool)> {
+        self.clock += 1;
+        let clock = self.clock;
+        let ways = self.enabled_ways as usize;
+        let (index, block_addr) = self.index(addr);
+        let set = &mut self.sets[index];
+        if let Some(frame) = set
+            .iter_mut()
+            .take(ways)
+            .find(|f| f.valid && f.block_addr == block_addr)
+        {
+            frame.stamp = clock;
+            frame.dirty |= dirty;
+            return None;
+        }
+        // Victim: first invalid frame, else the minimum stamp (explicitly
+        // collected and scanned, like the original kernel).
+        let victim_way = match set.iter().take(ways).position(|f| !f.valid) {
+            Some(way) => way,
+            None => {
+                let stamps: Vec<u64> = set.iter().take(ways).map(|f| f.stamp).collect();
+                let min = *stamps.iter().min().expect("non-empty stamp list");
+                stamps.iter().position(|s| *s == min).expect("min exists")
+            }
+        };
+        let victim = set[victim_way];
+        let eviction = victim.valid.then_some((victim.block_addr, victim.dirty));
+        set[victim_way] = RefFrame {
+            valid: true,
+            dirty,
+            block_addr,
+            stamp: clock,
+        };
+        eviction
+    }
+
+    fn set_enabled_sets(&mut self, sets: u64) {
+        if sets < self.enabled_sets {
+            for set in self.sets[(sets as usize)..(self.enabled_sets as usize)].iter_mut() {
+                for frame in set.iter_mut() {
+                    frame.valid = false;
+                    frame.dirty = false;
+                }
+            }
+        } else {
+            for (index, set) in self.sets.iter_mut().enumerate().take(self.enabled_sets as usize)
+            {
+                for frame in set.iter_mut() {
+                    if frame.valid && (frame.block_addr % sets) as usize != index {
+                        frame.valid = false;
+                        frame.dirty = false;
+                    }
+                }
+            }
+        }
+        self.enabled_sets = sets;
+    }
+
+    fn set_enabled_ways(&mut self, ways: u32) {
+        if ways < self.enabled_ways {
+            for set in self.sets.iter_mut() {
+                for frame in set
+                    .iter_mut()
+                    .take(self.enabled_ways as usize)
+                    .skip(ways as usize)
+                {
+                    frame.valid = false;
+                    frame.dirty = false;
+                }
+            }
+        }
+        self.enabled_ways = ways;
+    }
+
+    fn contains(&self, addr: u64) -> bool {
+        let (index, block_addr) = self.index(addr);
+        self.sets[index]
+            .iter()
+            .take(self.enabled_ways as usize)
+            .any(|f| f.valid && f.block_addr == block_addr)
+    }
+}
+
+fn cache_config(rng: &mut TestRng) -> CacheConfig {
+    let size_exp = rng.below(4) as u32;
+    let size = (4 * 1024u64) << size_exp;
+    let assoc_exp = rng.range_u32(0, 3 + size_exp);
+    CacheConfig::l1_default(size, 1u32 << assoc_exp)
+}
+
+/// The optimized kernel and the div/mod reference agree on every hit/miss,
+/// every eviction (victim block and dirtiness), and the final contents,
+/// across randomized access patterns interleaved with resizes.
+#[test]
+fn shift_mask_path_matches_div_mod_reference() {
+    check_cases(96, |rng| {
+        let config = cache_config(rng);
+        let mut real = Cache::new(config).unwrap();
+        let mut reference = RefCache::new(config);
+
+        let ops = rng.range_usize(50, 400);
+        let mut addrs = Vec::new();
+        for step in 0..ops {
+            // Occasionally resize both models identically.
+            if step > 0 && rng.chance(0.03) {
+                if rng.bool() && config.min_sets() < config.num_sets() {
+                    let span = config.num_sets() / config.min_sets();
+                    let factor = 1u64 << rng.below(span.trailing_zeros() as u64 + 1);
+                    let sets = config.num_sets() / factor;
+                    real.set_enabled_sets(sets);
+                    reference.set_enabled_sets(sets);
+                } else {
+                    let ways = rng.range_u32(1, config.associativity + 1);
+                    real.set_enabled_ways(ways);
+                    reference.set_enabled_ways(ways);
+                }
+            }
+
+            let addr = rng.below(4096) * 32 + rng.below(32);
+            addrs.push(addr);
+            let write = rng.chance(0.3);
+
+            let real_hit = real.access(addr, if write {
+                rescache::cache::AccessKind::Write
+            } else {
+                rescache::cache::AccessKind::Read
+            });
+            let ref_hit = reference.access(addr, write);
+            assert_eq!(real_hit.hit, ref_hit, "step {step}: hit/miss diverged");
+
+            if !real_hit.hit {
+                let real_evict = real.fill(addr, write);
+                let ref_evict = reference.fill(addr, write);
+                assert_eq!(
+                    real_evict.map(|e| (e.block_addr, e.dirty)),
+                    ref_evict,
+                    "step {step}: eviction diverged"
+                );
+            }
+        }
+
+        // Final contents agree for every touched address.
+        for addr in addrs {
+            assert_eq!(real.contains(addr), reference.contains(addr));
+        }
+    });
+}

@@ -1,0 +1,114 @@
+//! The copy-free, cached trace path produces byte-identical results to a
+//! freshly generated, owned trace.
+//!
+//! `Runner::trace` returns `Arc`-shared sub-slices of one generated buffer
+//! and memoizes them per (application, seed, lengths); these tests pin down
+//! that sharing is purely an optimization: the shared views equal owned
+//! copies record-for-record, and measurements taken through the cached path
+//! equal measurements taken from independently generated traces.
+
+use rescache::core::experiment::{RunSetup, Runner, RunnerConfig};
+use rescache::core::{CachePoint, SystemConfig};
+use rescache::trace::{spec, Trace, TraceGenerator};
+
+fn runner() -> Runner {
+    Runner::new(RunnerConfig::fast())
+}
+
+/// Generates the same regions the runner serves, as owned copies.
+fn owned_regions(config: &RunnerConfig, app: &rescache::trace::AppProfile) -> (Trace, Trace) {
+    let total = config.warmup_instructions + config.measure_instructions;
+    let full = TraceGenerator::new(app.clone(), config.trace_seed).generate(total);
+    let warm = Trace::new(app.name, full.records()[..config.warmup_instructions].to_vec());
+    let measure = Trace::new(app.name, full.records()[config.warmup_instructions..].to_vec());
+    (warm, measure)
+}
+
+#[test]
+fn shared_trace_views_equal_owned_copies() {
+    let r = runner();
+    for app in [spec::ammp(), spec::gcc(), spec::swim()] {
+        let (warm, measure) = r.trace(&app);
+        let (owned_warm, owned_measure) = owned_regions(r.config(), &app);
+        assert_eq!(warm, owned_warm, "{}: warm region", app.name);
+        assert_eq!(measure, owned_measure, "{}: measured region", app.name);
+    }
+}
+
+#[test]
+fn repeated_trace_requests_share_one_buffer() {
+    let r = runner();
+    let (warm_a, measure_a) = r.trace(&spec::vpr());
+    let (warm_b, measure_b) = r.trace(&spec::vpr());
+    // Same underlying allocation: the record slices point at the same memory.
+    assert_eq!(warm_a.records().as_ptr(), warm_b.records().as_ptr());
+    assert_eq!(measure_a.records().as_ptr(), measure_b.records().as_ptr());
+    // And a clone of the runner shares the cache.
+    let (warm_c, _) = r.clone().trace(&spec::vpr());
+    assert_eq!(warm_a.records().as_ptr(), warm_c.records().as_ptr());
+}
+
+#[test]
+fn same_named_but_different_profiles_do_not_alias() {
+    use rescache::trace::InstructionMix;
+    let r = runner();
+    let base = spec::gcc();
+    let tweaked = spec::gcc().with_mix(InstructionMix::new(0.05, 0.02, 0.01));
+    assert_ne!(base.fingerprint(), tweaked.fingerprint());
+    let (_, measure_base) = r.trace(&base);
+    let (_, measure_tweaked) = r.trace(&tweaked);
+    assert_ne!(
+        measure_base, measure_tweaked,
+        "a tweaked profile sharing a name must not be served the cached trace"
+    );
+}
+
+#[test]
+fn shared_traces_yield_identical_measurements() {
+    let r = runner();
+    let system = SystemConfig::base();
+    let app = spec::m88ksim();
+
+    let (warm, measure) = r.trace(&app);
+    let (owned_warm, owned_measure) = owned_regions(r.config(), &app);
+
+    let setup = RunSetup {
+        d_static: Some(CachePoint { sets: 128, ways: 2 }),
+        d_tag_bits: 2,
+        ..RunSetup::default()
+    };
+    let from_shared = r.run(&warm, &measure, &system, &setup);
+    let from_owned = r.run(&owned_warm, &owned_measure, &system, &setup);
+    assert_eq!(
+        from_shared, from_owned,
+        "a shared trace view must measure identically to a fresh copy"
+    );
+}
+
+#[test]
+fn memoized_static_runs_match_uncached_runs() {
+    let r = runner();
+    let system = SystemConfig::base();
+    let app = spec::su2cor();
+    let point = CachePoint { sets: 256, ways: 2 };
+
+    // Through the memoized path (twice: second hit comes from the cache).
+    let cached_first = r.run_static(&app, &system, Some(point), None, 4, 0);
+    let cached_second = r.run_static(&app, &system, Some(point), None, 4, 0);
+    assert_eq!(cached_first, cached_second);
+
+    // Through the generic uncached path with the same setup.
+    let (warm, measure) = r.trace(&app);
+    let setup = RunSetup {
+        d_static: Some(point),
+        d_tag_bits: 4,
+        ..RunSetup::default()
+    };
+    let uncached = r.run(&warm, &measure, &system, &setup);
+    assert_eq!(cached_first, uncached);
+
+    // Different tag bits share the simulation but price differently.
+    let repriced = r.run_static(&app, &system, Some(point), None, 0, 0);
+    assert_eq!(repriced.cycles, cached_first.cycles);
+    assert!(repriced.energy_pj < cached_first.energy_pj);
+}
