@@ -22,7 +22,12 @@ fn subarray_sweep(runner: &Runner, apps: &[AppProfile], subarray_bytes: u64) -> 
         .iter()
         .map(|app| {
             runner
-                .static_best(app, &system, Organization::SelectiveSets, ResizableCacheSide::Data)
+                .static_best(
+                    app,
+                    &system,
+                    Organization::SelectiveSets,
+                    ResizableCacheSide::Data,
+                )
                 .expect("selective-sets applies")
                 .best
                 .edp_reduction_percent

@@ -41,7 +41,11 @@ fn main() {
         println!(
             "{}",
             format_table(
-                &["associativity", "selective-ways EDP red. %", "selective-sets EDP red. %"],
+                &[
+                    "associativity",
+                    "selective-ways EDP red. %",
+                    "selective-sets EDP red. %"
+                ],
                 &rows
             )
         );

@@ -43,10 +43,42 @@ fn print_side(rows: &[PerAppOrgRow], label: &str) {
         .collect();
     table.push(vec![
         "AVG.".to_string(),
-        format!("{:.0}", mean(&ways_rows.iter().map(|r| r.size_reduction).collect::<Vec<_>>())),
-        format!("{:.0}", mean(&sets_rows.iter().map(|r| r.size_reduction).collect::<Vec<_>>())),
-        format!("{:.1}", mean(&ways_rows.iter().map(|r| r.edp_reduction).collect::<Vec<_>>())),
-        format!("{:.1}", mean(&sets_rows.iter().map(|r| r.edp_reduction).collect::<Vec<_>>())),
+        format!(
+            "{:.0}",
+            mean(
+                &ways_rows
+                    .iter()
+                    .map(|r| r.size_reduction)
+                    .collect::<Vec<_>>()
+            )
+        ),
+        format!(
+            "{:.0}",
+            mean(
+                &sets_rows
+                    .iter()
+                    .map(|r| r.size_reduction)
+                    .collect::<Vec<_>>()
+            )
+        ),
+        format!(
+            "{:.1}",
+            mean(
+                &ways_rows
+                    .iter()
+                    .map(|r| r.edp_reduction)
+                    .collect::<Vec<_>>()
+            )
+        ),
+        format!(
+            "{:.1}",
+            mean(
+                &sets_rows
+                    .iter()
+                    .map(|r| r.edp_reduction)
+                    .collect::<Vec<_>>()
+            )
+        ),
     ]);
     println!("{label}");
     println!(

@@ -39,7 +39,12 @@ fn main() {
         println!(
             "{}",
             format_table(
-                &["associativity", "ways EDP red. %", "sets EDP red. %", "hybrid EDP red. %"],
+                &[
+                    "associativity",
+                    "ways EDP red. %",
+                    "sets EDP red. %",
+                    "hybrid EDP red. %"
+                ],
                 &rows
             )
         );

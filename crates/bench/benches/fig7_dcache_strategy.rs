@@ -20,10 +20,42 @@ fn print_rows(rows: &[StrategyRow], label: &str) {
     }
     table.push(vec![
         "AVG.".to_string(),
-        format!("{:.0}", mean(&rows.iter().map(|r| r.static_size_reduction).collect::<Vec<_>>())),
-        format!("{:.0}", mean(&rows.iter().map(|r| r.dynamic_size_reduction).collect::<Vec<_>>())),
-        format!("{:.1}", mean(&rows.iter().map(|r| r.static_edp_reduction).collect::<Vec<_>>())),
-        format!("{:.1}", mean(&rows.iter().map(|r| r.dynamic_edp_reduction).collect::<Vec<_>>())),
+        format!(
+            "{:.0}",
+            mean(
+                &rows
+                    .iter()
+                    .map(|r| r.static_size_reduction)
+                    .collect::<Vec<_>>()
+            )
+        ),
+        format!(
+            "{:.0}",
+            mean(
+                &rows
+                    .iter()
+                    .map(|r| r.dynamic_size_reduction)
+                    .collect::<Vec<_>>()
+            )
+        ),
+        format!(
+            "{:.1}",
+            mean(
+                &rows
+                    .iter()
+                    .map(|r| r.static_edp_reduction)
+                    .collect::<Vec<_>>()
+            )
+        ),
+        format!(
+            "{:.1}",
+            mean(
+                &rows
+                    .iter()
+                    .map(|r| r.dynamic_edp_reduction)
+                    .collect::<Vec<_>>()
+            )
+        ),
         String::new(),
     ]);
     println!("{label}");
@@ -63,8 +95,13 @@ fn main() {
         static_vs_dynamic(&runner, &apps, &SystemConfig::base(), org, side)
             .expect("selective-sets applies to the 2-way d-cache")
     });
-    print_rows(&out_of_order, "(b) Out-of-order issue engine with non-blocking d-cache");
+    print_rows(
+        &out_of_order,
+        "(b) Out-of-order issue engine with non-blocking d-cache",
+    );
 
     println!("Paper reference: in-order static 5 % vs dynamic 9 %; out-of-order static 9 % vs dynamic 11 %.");
-    println!("Dynamic's advantage should be clearly larger on the in-order/blocking configuration.");
+    println!(
+        "Dynamic's advantage should be clearly larger on the in-order/blocking configuration."
+    );
 }

@@ -20,10 +20,42 @@ fn print_rows(rows: &[StrategyRow], label: &str) {
     }
     table.push(vec![
         "AVG.".to_string(),
-        format!("{:.0}", mean(&rows.iter().map(|r| r.static_size_reduction).collect::<Vec<_>>())),
-        format!("{:.0}", mean(&rows.iter().map(|r| r.dynamic_size_reduction).collect::<Vec<_>>())),
-        format!("{:.1}", mean(&rows.iter().map(|r| r.static_edp_reduction).collect::<Vec<_>>())),
-        format!("{:.1}", mean(&rows.iter().map(|r| r.dynamic_edp_reduction).collect::<Vec<_>>())),
+        format!(
+            "{:.0}",
+            mean(
+                &rows
+                    .iter()
+                    .map(|r| r.static_size_reduction)
+                    .collect::<Vec<_>>()
+            )
+        ),
+        format!(
+            "{:.0}",
+            mean(
+                &rows
+                    .iter()
+                    .map(|r| r.dynamic_size_reduction)
+                    .collect::<Vec<_>>()
+            )
+        ),
+        format!(
+            "{:.1}",
+            mean(
+                &rows
+                    .iter()
+                    .map(|r| r.static_edp_reduction)
+                    .collect::<Vec<_>>()
+            )
+        ),
+        format!(
+            "{:.1}",
+            mean(
+                &rows
+                    .iter()
+                    .map(|r| r.dynamic_edp_reduction)
+                    .collect::<Vec<_>>()
+            )
+        ),
         String::new(),
     ]);
     println!("{label}");
@@ -63,7 +95,10 @@ fn main() {
         static_vs_dynamic(&runner, &apps, &SystemConfig::base(), org, side)
             .expect("selective-sets applies to the 2-way i-cache")
     });
-    print_rows(&out_of_order, "(b) Out-of-order issue engine with non-blocking d-cache");
+    print_rows(
+        &out_of_order,
+        "(b) Out-of-order issue engine with non-blocking d-cache",
+    );
 
     println!("Paper reference: in-order static 16 % vs dynamic 18 %; out-of-order static 11 % vs dynamic 15 %.");
     println!("For the i-cache, dynamic's advantage is larger on the out-of-order configuration,");

@@ -15,8 +15,13 @@ fn main() {
     let apps = all_apps();
 
     let rows = timed("dual resizing sweep", || {
-        dual_resizing(&runner, &apps, &SystemConfig::base(), Organization::SelectiveSets)
-            .expect("selective-sets applies to both 2-way L1s")
+        dual_resizing(
+            &runner,
+            &apps,
+            &SystemConfig::base(),
+            Organization::SelectiveSets,
+        )
+        .expect("selective-sets applies to both 2-way L1s")
     });
 
     let mut size_table = Vec::new();
@@ -49,7 +54,10 @@ fn main() {
     let d_edp: Vec<f64> = rows.iter().map(|(_, r)| r.d_alone_edp_reduction).collect();
     let i_edp: Vec<f64> = rows.iter().map(|(_, r)| r.i_alone_edp_reduction).collect();
     let b_edp: Vec<f64> = rows.iter().map(|(_, r)| r.both_edp_reduction).collect();
-    let s_edp: Vec<f64> = rows.iter().map(|(_, r)| r.stacked_edp_reduction()).collect();
+    let s_edp: Vec<f64> = rows
+        .iter()
+        .map(|(_, r)| r.stacked_edp_reduction())
+        .collect();
     let slow: Vec<f64> = rows.iter().map(|(_, r)| r.both_slowdown).collect();
     edp_table.push(vec![
         "AVG.".into(),
@@ -63,7 +71,10 @@ fn main() {
     println!("(a) Cache size reduction (% of combined d+i capacity)");
     println!(
         "{}",
-        format_table(&["application", "d-cache alone", "i-cache alone", "both"], &size_table)
+        format_table(
+            &["application", "d-cache alone", "i-cache alone", "both"],
+            &size_table
+        )
     );
     println!("(b) Energy-delay reduction (%)");
     println!(
@@ -80,6 +91,8 @@ fn main() {
             &edp_table
         )
     );
-    println!("Paper reference: simultaneous resizing saves ~20 % of processor energy-delay on average,");
+    println!(
+        "Paper reference: simultaneous resizing saves ~20 % of processor energy-delay on average,"
+    );
     println!("and the combined saving is close to the sum of the individual savings (additivity).");
 }

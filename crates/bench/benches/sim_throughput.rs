@@ -16,10 +16,10 @@ use std::time::Instant;
 
 use rescache_bench::bench_runner;
 use rescache_cache::{Cache, CacheConfig, HierarchyConfig, MemoryHierarchy};
-use rescache_core::experiment::per_app_org_comparison;
+use rescache_core::experiment::{effective_workers, per_app_org_comparison};
 use rescache_core::{ConfigSpace, Organization, ResizableCacheSide, SystemConfig};
 use rescache_cpu::{CpuConfig, Simulator};
-use rescache_trace::{spec, TraceGenerator};
+use rescache_trace::{codec, spec, TraceGenerator, TraceSource, WorkloadRegistry};
 
 /// One measured stage of the simulation pipeline.
 struct EngineResult {
@@ -42,7 +42,12 @@ struct EngineResult {
 
 /// Runs `body` `reps` times (after one untimed warm-up) and keeps the fastest
 /// repetition; `items` is the simulated work per repetition.
-fn measure(name: &'static str, items: u64, reps: usize, mut body: impl FnMut() -> u64) -> EngineResult {
+fn measure(
+    name: &'static str,
+    items: u64,
+    reps: usize,
+    mut body: impl FnMut() -> u64,
+) -> EngineResult {
     let mut check = body(); // warm-up, also keeps the result alive
     let mut best = f64::INFINITY;
     for _ in 0..reps {
@@ -73,6 +78,43 @@ fn bench_trace_gen(scale: u64) -> EngineResult {
     measure("trace_gen", n as u64, 5, || {
         TraceGenerator::new(spec::gcc(), 7).generate(n).len() as u64
     })
+}
+
+/// Chunked generation through the `TraceSource` pull interface: the same
+/// record sequence as `trace_gen`, but only one `CHUNK_RECORDS` buffer ever
+/// resident — the rate a streaming (fused generate-and-simulate) run feeds
+/// its engine at.
+fn bench_trace_gen_streaming(scale: u64) -> EngineResult {
+    let n = (50_000 * scale) as usize;
+    measure("trace_gen_streaming", n as u64, 5, || {
+        let mut stream = TraceGenerator::new(spec::gcc(), 7).stream(n);
+        let mut records = 0u64;
+        loop {
+            let chunk = stream.next_chunk();
+            if chunk.is_empty() {
+                break;
+            }
+            records += chunk.len() as u64;
+        }
+        records
+    })
+}
+
+/// Replaying a persisted trace from the on-disk store (the cross-process
+/// reuse path `RESCACHE_TRACE_DIR` enables): decode, validate and
+/// materialize records at i/o-bound speed instead of regenerating.
+fn bench_trace_store_load(scale: u64) -> EngineResult {
+    let n = (50_000 * scale) as usize;
+    let dir = std::env::temp_dir().join(format!("rescache-bench-store-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create bench store dir");
+    let path = dir.join("gcc.rctrace");
+    codec::save_trace(&path, &TraceGenerator::new(spec::gcc(), 7).generate(n))
+        .expect("persist bench trace");
+    let result = measure("trace_store_load", n as u64, 5, || {
+        codec::load_trace(&path).expect("load bench trace").len() as u64
+    });
+    std::fs::remove_dir_all(&dir).ok();
+    result
 }
 
 fn bench_hit_stream(scale: u64) -> EngineResult {
@@ -117,13 +159,70 @@ fn bench_engine(name: &'static str, config: CpuConfig, scale: u64) -> EngineResu
     })
 }
 
+/// The cold-start ("trace-limited") stage every sweep pays once per
+/// application: generate a fresh trace and simulate it for the first time.
+/// `fused: false` is the pre-streaming pipeline (materialize, then replay);
+/// `fused: true` interleaves generation and simulation per chunk through
+/// `run_source`, with only one chunk buffer resident.
+fn bench_gen_plus_first_sim(name: &'static str, fused: bool, scale: u64) -> EngineResult {
+    let n = (20_000 * scale) as usize;
+    let config = CpuConfig::base_out_of_order();
+    measure(name, n as u64, 3, move || {
+        let mut h = MemoryHierarchy::new(HierarchyConfig::base()).unwrap();
+        let generator = TraceGenerator::new(spec::m88ksim(), 3);
+        if fused {
+            let mut stream = generator.stream(n);
+            Simulator::new(config)
+                .run_source(&mut stream, &mut h)
+                .instructions
+        } else {
+            let trace = generator.generate(n);
+            Simulator::new(config).run(&trace, &mut h).instructions
+        }
+    })
+}
+
+/// One out-of-order engine run per registry workload, fed through the
+/// streaming source: tracks how the engine responds to each scenario's
+/// stress pattern (quick mode covers a three-workload subset).
+fn bench_workloads(scale: u64, quick: bool) -> Vec<EngineResult> {
+    let n = (20_000 * scale) as usize;
+    let registry = WorkloadRegistry::builtin();
+    let quick_set = ["nominal", "pointer_chase", "mshr_burst"];
+    registry
+        .specs()
+        .iter()
+        .filter(|spec| !quick || quick_set.contains(&spec.name))
+        .map(|spec| {
+            let profile = spec.profile();
+            let config = CpuConfig::base_out_of_order();
+            // Registry names are 'static, but `measure` labels want a
+            // stable prefixed name; leak once per stage (bounded by the
+            // registry size).
+            let label: &'static str = Box::leak(format!("wl_{}", spec.name).into_boxed_str());
+            measure(label, n as u64, 3, move || {
+                let mut h = MemoryHierarchy::new(HierarchyConfig::base()).unwrap();
+                let mut stream = TraceGenerator::new(profile.clone(), 3).stream(n);
+                Simulator::new(config)
+                    .run_source(&mut stream, &mut h)
+                    .instructions
+            })
+        })
+        .collect()
+}
+
 /// A figure-5-style static sweep over a subset of applications: the
 /// end-to-end path (trace cache, runner, parallel sweep) every figure bench
 /// takes. Returns total simulated instructions and the measured result.
 fn bench_fig5_sweep(scale: u64) -> EngineResult {
     let runner = bench_runner();
     let cfg = *runner.config();
-    let apps = [spec::ammp(), spec::m88ksim(), spec::compress(), spec::su2cor()];
+    let apps = [
+        spec::ammp(),
+        spec::m88ksim(),
+        spec::compress(),
+        spec::su2cor(),
+    ];
     let orgs = [Organization::SelectiveWays, Organization::SelectiveSets];
     let side = ResizableCacheSide::Data;
 
@@ -168,10 +267,7 @@ fn main() {
         std::env::set_var("RESCACHE_WARMUP", "20000");
     }
     if std::env::var("RESCACHE_MEASURE").is_err() {
-        std::env::set_var(
-            "RESCACHE_MEASURE",
-            if quick { "30000" } else { "200000" },
-        );
+        std::env::set_var("RESCACHE_MEASURE", if quick { "30000" } else { "200000" });
     }
     let scale = if quick { 1 } else { 5 };
 
@@ -183,14 +279,19 @@ fn main() {
     );
     println!();
 
-    let results = vec![
+    let mut results = vec![
         bench_trace_gen(scale),
+        bench_trace_gen_streaming(scale),
+        bench_trace_store_load(scale),
         bench_hit_stream(scale),
         bench_evict_stream(scale),
         bench_engine("in_order", CpuConfig::base_in_order(), scale),
         bench_engine("out_of_order", CpuConfig::base_out_of_order(), scale),
-        bench_fig5_sweep(scale),
+        bench_gen_plus_first_sim("gen_first_sim_split", false, scale),
+        bench_gen_plus_first_sim("gen_first_sim_fused", true, scale),
     ];
+    results.extend(bench_workloads(scale, quick));
+    results.push(bench_fig5_sweep(scale));
 
     let json = render_json(&results, quick);
     // Quick (CI smoke) runs record to a sibling file so they never clobber
@@ -201,7 +302,10 @@ fn main() {
             "/../../BENCH_sim_throughput.quick.json"
         )
     } else {
-        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_sim_throughput.json")
+        concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../BENCH_sim_throughput.json"
+        )
     };
     std::fs::write(out_path, &json).expect("write throughput record");
     println!();
@@ -212,11 +316,17 @@ fn main() {
 /// carries no serde dependency).
 fn render_json(results: &[EngineResult], quick: bool) -> String {
     let mut out = String::from("{\n");
-    out.push_str("  \"schema\": \"rescache-sim-throughput/1\",\n");
+    out.push_str("  \"schema\": \"rescache-sim-throughput/2\",\n");
     out.push_str(&format!("  \"quick\": {quick},\n"));
     out.push_str(&format!(
-        "  \"threads\": {},\n",
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        "  \"host_threads\": {},\n",
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    ));
+    out.push_str(&format!(
+        "  \"effective_threads\": {},\n",
+        effective_workers()
     ));
     out.push_str("  \"engines\": [\n");
     for (i, r) in results.iter().enumerate() {

@@ -30,9 +30,18 @@ fn main() {
     println!("Table 2 — base system configuration");
     let cpu = CpuConfig::base_out_of_order();
     let hier = HierarchyConfig::base();
-    println!("  issue/decode width     : {} instructions per cycle", cpu.issue_width);
-    println!("  ROB / LSQ              : {} entries / {} entries", cpu.rob_entries, cpu.lsq_entries);
-    println!("  writeback buffer / MSHR: {} entries / {} entries", hier.writeback_entries, cpu.mshr_entries);
+    println!(
+        "  issue/decode width     : {} instructions per cycle",
+        cpu.issue_width
+    );
+    println!(
+        "  ROB / LSQ              : {} entries / {} entries",
+        cpu.rob_entries, cpu.lsq_entries
+    );
+    println!(
+        "  writeback buffer / MSHR: {} entries / {} entries",
+        hier.writeback_entries, cpu.mshr_entries
+    );
     println!(
         "  L1 i-cache             : {}K {}-way; {} cycle",
         hier.l1i.size_bytes / 1024,

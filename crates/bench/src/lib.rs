@@ -10,7 +10,7 @@
 use std::time::Instant;
 
 use rescache_core::experiment::{Runner, RunnerConfig};
-use rescache_trace::{spec, AppProfile};
+use rescache_trace::{spec, AppProfile, WorkloadRegistry};
 
 /// The runner used by every figure bench: the paper-quality configuration,
 /// overridable via `RESCACHE_WARMUP` / `RESCACHE_MEASURE` / `RESCACHE_SEED` /
@@ -22,6 +22,13 @@ pub fn bench_runner() -> Runner {
 /// The twelve applications of the paper's evaluation.
 pub fn all_apps() -> Vec<AppProfile> {
     spec::all_profiles()
+}
+
+/// The scenario workloads of the registry (see
+/// [`rescache_trace::workload`]): what the non-figure benches enumerate
+/// instead of hand-rolled profiles.
+pub fn registry_workloads() -> Vec<AppProfile> {
+    WorkloadRegistry::builtin().profiles()
 }
 
 /// Prints a standard header for a figure bench.
@@ -41,7 +48,10 @@ pub fn print_header(title: &str, detail: &str) {
 pub fn timed<T>(label: &str, body: impl FnOnce() -> T) -> T {
     let start = Instant::now();
     let value = body();
-    println!("[{label}: completed in {:.1} s]", start.elapsed().as_secs_f64());
+    println!(
+        "[{label}: completed in {:.1} s]",
+        start.elapsed().as_secs_f64()
+    );
     value
 }
 
@@ -60,5 +70,12 @@ mod tests {
     #[test]
     fn timed_returns_the_body_value() {
         assert_eq!(timed("test", || 21 * 2), 42);
+    }
+
+    #[test]
+    fn registry_workloads_are_available() {
+        let workloads = registry_workloads();
+        assert!(workloads.len() >= 8);
+        assert!(workloads.iter().any(|p| p.name == "nominal"));
     }
 }

@@ -674,7 +674,11 @@ mod tests {
         assert_eq!(c.enabled_sets(), 128);
         assert_eq!(c.enabled_ways(), 3);
         assert_eq!(c.enabled_bytes(), 12 * 1024);
-        assert_eq!(effect, ResizeEffect::default(), "empty cache flushes nothing");
+        assert_eq!(
+            effect,
+            ResizeEffect::default(),
+            "empty cache flushes nothing"
+        );
         assert_eq!(c.stats().resizes, 2);
     }
 

@@ -245,7 +245,10 @@ mod tests {
         let mut c = CacheConfig::l1_default(33 * 1024, 2);
         assert!(matches!(
             c.validate(),
-            Err(CacheConfigError::NotPowerOfTwo { field: "size_bytes", .. })
+            Err(CacheConfigError::NotPowerOfTwo {
+                field: "size_bytes",
+                ..
+            })
         ));
         c = CacheConfig::l1_default(0, 2);
         assert!(c.validate().is_err());

@@ -262,9 +262,7 @@ impl MemoryHierarchy {
     /// Pushes a dirty L1D victim into the write-back buffer and performs the
     /// L2 write. Returns stall cycles caused by a full buffer.
     fn push_writeback(&mut self, block_addr: u64, cycle: u64) -> u64 {
-        let stall = self
-            .writeback
-            .push(cycle, self.config.l2.hit_latency);
+        let stall = self.writeback.push(cycle, self.config.l2.hit_latency);
         self.stats.writeback_stall_cycles += stall;
         self.stats.l1d_writebacks_to_l2 += 1;
         let addr = block_addr * self.config.l1d.block_bytes;

@@ -9,13 +9,25 @@ fn main() {
     let app_name = std::env::args().nth(1).unwrap_or_else(|| "compress".into());
     let engine = std::env::args().nth(2).unwrap_or_else(|| "inorder".into());
     let app = spec::profile(&app_name).expect("known app");
-    let system = if engine == "inorder" { SystemConfig::in_order() } else { SystemConfig::base() };
+    let system = if engine == "inorder" {
+        SystemConfig::in_order()
+    } else {
+        SystemConfig::base()
+    };
     let runner = Runner::new(RunnerConfig::from_env());
 
     let stat = runner
-        .static_best(&app, &system, Organization::SelectiveSets, ResizableCacheSide::Data)
+        .static_best(
+            &app,
+            &system,
+            Organization::SelectiveSets,
+            ResizableCacheSide::Data,
+        )
         .unwrap();
-    println!("base: cycles={} energy={:.3e} dmr={:.3}", stat.base.cycles, stat.base.energy_pj, stat.base.l1d_miss_ratio);
+    println!(
+        "base: cycles={} energy={:.3e} dmr={:.3}",
+        stat.base.cycles, stat.base.energy_pj, stat.base.l1d_miss_ratio
+    );
     for (p, m) in &stat.evaluated {
         println!(
             "static {:>5}K: EDPred={:6.2}% slowdown={:5.2}% dmr={:.3}",
@@ -28,7 +40,13 @@ fn main() {
     let best_bytes = stat.best.point.map(|p| p.bytes(32)).unwrap_or(32 * 1024);
     let bounds = [best_bytes, best_bytes / 2, best_bytes / 4, 1];
     let dyn_out = runner
-        .dynamic_best_with_size_bounds(&app, &system, Organization::SelectiveSets, ResizableCacheSide::Data, &bounds)
+        .dynamic_best_with_size_bounds(
+            &app,
+            &system,
+            Organization::SelectiveSets,
+            ResizableCacheSide::Data,
+            &bounds,
+        )
         .unwrap();
     for (p, m) in &dyn_out.candidates {
         println!(

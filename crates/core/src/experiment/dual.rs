@@ -124,9 +124,8 @@ fn evaluate_app(
 
     let base_ed = base.energy_delay();
     let combined_full = (d_cfg.size_bytes + i_cfg.size_bytes) as f64;
-    let size_reduction = |d_bytes: f64, i_bytes: f64| {
-        (1.0 - (d_bytes + i_bytes) / combined_full) * 100.0
-    };
+    let size_reduction =
+        |d_bytes: f64, i_bytes: f64| (1.0 - (d_bytes + i_bytes) / combined_full) * 100.0;
 
     let d_alone = d_search.best.measurement;
     let i_alone = i_search.best.measurement;
@@ -176,7 +175,8 @@ mod tests {
         for (outcome, row) in &rows {
             assert!(!outcome.app.is_empty());
             assert!(
-                row.both_edp_reduction > row.d_alone_edp_reduction.max(row.i_alone_edp_reduction) - 1.0,
+                row.both_edp_reduction
+                    > row.d_alone_edp_reduction.max(row.i_alone_edp_reduction) - 1.0,
                 "{}: resizing both ({:.1}%) should beat either alone ({:.1}% / {:.1}%)",
                 outcome.app,
                 row.both_edp_reduction,

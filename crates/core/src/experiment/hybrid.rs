@@ -26,13 +26,7 @@ pub fn hybrid_effectiveness(
     associativities: &[u32],
     side: ResizableCacheSide,
 ) -> Result<Vec<OrgAssocPoint>, CoreError> {
-    organization_vs_associativity(
-        runner,
-        apps,
-        associativities,
-        &Organization::ALL,
-        side,
-    )
+    organization_vs_associativity(runner, apps, associativities, &Organization::ALL, side)
 }
 
 /// Returns, for every associativity present in `points`, the mean
@@ -76,8 +70,7 @@ mod tests {
             dynamic_interval: 1_024,
         });
         let apps = vec![spec::ammp(), spec::compress()];
-        let points =
-            hybrid_effectiveness(&runner, &apps, &[4], ResizableCacheSide::Data).unwrap();
+        let points = hybrid_effectiveness(&runner, &apps, &[4], ResizableCacheSide::Data).unwrap();
         let rows = by_associativity(&points);
         assert_eq!(rows.len(), 1);
         let (_, ways, sets, hybrid) = rows[0];

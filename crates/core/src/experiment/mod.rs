@@ -19,15 +19,17 @@ pub mod parallel;
 pub mod report;
 pub mod runner;
 pub mod strategy_cmp;
+pub mod trace_store;
 
 pub use dual::{dual_resizing, DualOutcome, DualRow};
 pub use hybrid::hybrid_effectiveness;
 pub use org_comparison::{
     organization_vs_associativity, per_app_org_comparison, OrgAssocPoint, PerAppOrgRow,
 };
-pub use parallel::parallel_map;
+pub use parallel::{effective_workers, parallel_map};
 pub use report::{format_table, mean};
 pub use runner::{
     BestSummary, DynamicOutcome, Measurement, RunSetup, Runner, RunnerConfig, StaticOutcome,
 };
 pub use strategy_cmp::{static_vs_dynamic, StrategyRow};
+pub use trace_store::TraceStore;

@@ -79,8 +79,10 @@ pub fn organization_vs_associativity(
                     .static_best(app, &system, org, side)
                     .expect("applicability checked above")
             });
-            let reductions: Vec<f64> =
-                outcomes.iter().map(|o| o.best.edp_reduction_percent).collect();
+            let reductions: Vec<f64> = outcomes
+                .iter()
+                .map(|o| o.best.edp_reduction_percent)
+                .collect();
             let sizes: Vec<f64> = outcomes
                 .iter()
                 .map(|o| o.best.size_reduction_percent)
@@ -224,7 +226,11 @@ mod tests {
             ResizableCacheSide::Data,
         )
         .unwrap();
-        assert_eq!(points.len(), 1, "only selective-sets applies to a direct-mapped cache");
+        assert_eq!(
+            points.len(),
+            1,
+            "only selective-sets applies to a direct-mapped cache"
+        );
         assert_eq!(points[0].organization, Organization::SelectiveSets);
     }
 }

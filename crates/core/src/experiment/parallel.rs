@@ -3,13 +3,38 @@
 //! simulations).
 
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+/// The number of worker threads `parallel_map` fans out over: the
+/// `RESCACHE_THREADS` environment variable if set to a positive integer,
+/// otherwise `std::thread::available_parallelism()`.
+///
+/// The override serves two audiences: scaling studies (pin the worker count
+/// and measure, instead of inheriting whatever the host offers) and shared
+/// CI/build boxes (cap the fan-out below the machine width). The value is
+/// read once per process and recorded in `BENCH_sim_throughput.json` so
+/// every trajectory entry names the parallelism it was measured at.
+pub fn effective_workers() -> usize {
+    static WORKERS: OnceLock<usize> = OnceLock::new();
+    *WORKERS.get_or_init(|| {
+        std::env::var("RESCACHE_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+            })
+    })
+}
 
 /// Applies `f` to every item, in parallel, preserving the input order of the
 /// results.
 ///
-/// The closure runs on `std::thread::available_parallelism()` worker threads
-/// (or fewer if there are fewer items); items are handed out through a shared
-/// counter, so uneven per-item cost balances naturally.
+/// The closure runs on [`effective_workers`] worker threads (or fewer if
+/// there are fewer items); items are handed out through a shared counter, so
+/// uneven per-item cost balances naturally.
 ///
 /// Result storage is lock-free: each worker accumulates `(index, value)`
 /// pairs in a local buffer and the buffers are merged when the workers are
@@ -31,10 +56,7 @@ where
     if items.is_empty() {
         return Vec::new();
     }
-    let workers = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
-        .min(items.len());
+    let workers = effective_workers().min(items.len());
     if workers <= 1 {
         return items.iter().map(f).collect();
     }
@@ -104,11 +126,22 @@ mod tests {
     }
 
     #[test]
+    fn effective_workers_is_positive_and_stable() {
+        // The value is computed once per process; with RESCACHE_THREADS unset
+        // in the test environment it falls back to the host parallelism.
+        let first = effective_workers();
+        assert!(first >= 1);
+        assert_eq!(effective_workers(), first);
+    }
+
+    #[test]
     fn nested_calls_complete() {
         let outer: Vec<u64> = (0..8).collect();
         let out = parallel_map(&outer, |x| {
             let inner: Vec<u64> = (0..4).collect();
-            parallel_map(&inner, |y| x * 10 + y).into_iter().sum::<u64>()
+            parallel_map(&inner, |y| x * 10 + y)
+                .into_iter()
+                .sum::<u64>()
         });
         assert_eq!(out[1], 10 + 11 + 12 + 13);
         assert_eq!(out.len(), 8);

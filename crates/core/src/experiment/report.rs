@@ -71,10 +71,7 @@ mod tests {
 
     #[test]
     fn table_handles_wide_cells() {
-        let table = format_table(
-            &["x"],
-            &[vec!["a-very-wide-cell".into()], vec!["b".into()]],
-        );
+        let table = format_table(&["x"], &[vec!["a-very-wide-cell".into()], vec!["b".into()]]);
         assert!(table.contains("a-very-wide-cell"));
     }
 }

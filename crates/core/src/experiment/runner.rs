@@ -7,10 +7,11 @@ use std::sync::{Arc, Mutex, OnceLock};
 use rescache_cache::{HierarchySnapshot, MemoryHierarchy};
 use rescache_cpu::{SimResult, Simulator};
 use rescache_energy::{EnergyBreakdown, EnergyDelay, EnergyModel, ResizingTagOverhead};
-use rescache_trace::{AppProfile, Trace, TraceGenerator};
+use rescache_trace::{AppProfile, Trace};
 
 use crate::error::CoreError;
 use crate::experiment::parallel::parallel_map;
+use crate::experiment::trace_store::{TraceKey, TraceStore};
 use crate::org::{CachePoint, ConfigSpace, Organization};
 use crate::strategy::{DynamicController, DynamicParams};
 use crate::system::{ResizableCacheSide, SystemConfig};
@@ -177,13 +178,6 @@ pub struct DynamicOutcome {
     pub best: BestSummary,
 }
 
-/// Key identifying one generated (warm, measure) trace pair: application
-/// name, profile fingerprint, seed, warm-up length, measured length. The
-/// fingerprint covers the profile's full contents, so two differing profiles
-/// that happen to share a name (possible via the `AppProfile` builders)
-/// never alias in the caches.
-type TraceKey = (&'static str, u64, u64, usize, usize);
-
 /// Normalized enabled geometry of one L1 in a static run: (sets, ways).
 /// "No static point" normalizes to the full geometry, so a baseline and an
 /// explicitly-applied full-size point share a key.
@@ -213,7 +207,9 @@ struct StaticSim {
 ///
 /// * **traces** — `(profile, seed, lengths)` always expands to the same
 ///   record stream, and every configuration of an experiment replays it, so
-///   it is generated once and shared copy-free (see [`Trace`]);
+///   it is generated once and shared copy-free through the [`TraceStore`]
+///   (which also persists traces across processes when `RESCACHE_TRACE_DIR`
+///   is set);
 /// * **static simulations** — a static run is a pure function of
 ///   `(trace, system, enabled geometry)`; the baseline, the full-size point
 ///   every organization offers, and sweep arms that differ only in
@@ -225,7 +221,7 @@ struct StaticSim {
 #[derive(Debug, Clone)]
 pub struct Runner {
     config: RunnerConfig,
-    traces: MemoCache<TraceKey, (Trace, Trace)>,
+    store: TraceStore,
     sims: MemoCache<SimKey, StaticSim>,
 }
 
@@ -235,11 +231,19 @@ pub struct Runner {
 type MemoCache<K, V> = Arc<Mutex<HashMap<K, Arc<OnceLock<V>>>>>;
 
 impl Runner {
-    /// Creates a runner with empty trace and simulation caches.
+    /// Creates a runner with empty trace and simulation caches. The trace
+    /// store persists to `RESCACHE_TRACE_DIR` when that is set (see
+    /// [`TraceStore::from_env`]).
     pub fn new(config: RunnerConfig) -> Self {
+        Self::with_store(config, TraceStore::from_env())
+    }
+
+    /// Creates a runner over an explicit trace store (tests and tools that
+    /// must control persistence; [`Runner::new`] reads the environment).
+    pub fn with_store(config: RunnerConfig, store: TraceStore) -> Self {
         Self {
             config,
-            traces: Arc::default(),
+            store,
             sims: Arc::default(),
         }
     }
@@ -250,7 +254,7 @@ impl Runner {
     pub fn with_fresh_simulations(&self) -> Self {
         Self {
             config: self.config,
-            traces: Arc::clone(&self.traces),
+            store: self.store.clone(),
             sims: Arc::default(),
         }
     }
@@ -260,26 +264,20 @@ impl Runner {
         &self.config
     }
 
-    /// Returns the warm-up and measurement traces for an application.
-    ///
-    /// The underlying full trace is generated at most once per
-    /// `(application, seed, lengths)` and split copy-free; concurrent callers
-    /// for the same application block on the one generation instead of
-    /// duplicating it, while different applications generate in parallel.
-    pub fn trace(&self, app: &AppProfile) -> (Trace, Trace) {
-        let key = self.trace_key(app);
-        let slot = {
-            let mut map = self.traces.lock().expect("trace cache lock");
-            Arc::clone(map.entry(key).or_default())
-        };
-        slot.get_or_init(|| self.generate_trace(app)).clone()
+    /// The trace store backing this runner.
+    pub fn trace_store(&self) -> &TraceStore {
+        &self.store
     }
 
-    /// Generates the (warm, measure) pair without consulting the cache.
-    fn generate_trace(&self, app: &AppProfile) -> (Trace, Trace) {
-        let total = self.config.warmup_instructions + self.config.measure_instructions;
-        let full = TraceGenerator::new(app.clone(), self.config.trace_seed).generate(total);
-        full.split_at(self.config.warmup_instructions)
+    /// Returns the warm-up and measurement traces for an application.
+    ///
+    /// The underlying full trace is generated (or loaded from the store's
+    /// persistence directory) at most once per `(application, seed, lengths)`
+    /// and split copy-free; concurrent callers for the same application
+    /// block on the one generation instead of duplicating it, while
+    /// different applications generate in parallel.
+    pub fn trace(&self, app: &AppProfile) -> (Trace, Trace) {
+        self.store.fetch(app, &self.config)
     }
 
     /// Runs one simulation: warm-up, statistics reset, measured region.
@@ -323,8 +321,8 @@ impl Runner {
         d_static: Option<CachePoint>,
         i_static: Option<CachePoint>,
     ) -> MemoryHierarchy {
-        let mut hierarchy =
-            MemoryHierarchy::new(system.hierarchy).expect("base hierarchy configurations are valid");
+        let mut hierarchy = MemoryHierarchy::new(system.hierarchy)
+            .expect("base hierarchy configurations are valid");
         if let Some(point) = d_static {
             let effect = point.apply(hierarchy.l1d_mut());
             hierarchy.note_resize_flush_writebacks(effect.dirty_writebacks);
@@ -431,15 +429,9 @@ impl Runner {
         Self::build_measurement(&model, &sim.result, &sim.snapshot, system)
     }
 
-    /// The trace-cache key of an application under this runner's config.
+    /// The trace-store key of an application under this runner's config.
     fn trace_key(&self, app: &AppProfile) -> TraceKey {
-        (
-            app.name,
-            app.fingerprint(),
-            self.config.trace_seed,
-            self.config.warmup_instructions,
-            self.config.measure_instructions,
-        )
+        TraceStore::key(app, &self.config)
     }
 
     /// Runs the non-resizable baseline (full-size caches, no tag overhead).
@@ -501,18 +493,17 @@ impl Runner {
         // hierarchy, so the static search fans out over the available cores
         // (the outer per-application loops of the figure drivers compose with
         // this: the work-stealing pool is per `parallel_map` call).
-        let evaluated: Vec<(CachePoint, Measurement)> =
-            parallel_map(space.points(), |point| {
-                let measurement = match side {
-                    ResizableCacheSide::Data => {
-                        self.run_static(app, system, Some(*point), None, tag_bits, 0)
-                    }
-                    ResizableCacheSide::Instruction => {
-                        self.run_static(app, system, None, Some(*point), 0, tag_bits)
-                    }
-                };
-                (*point, measurement)
-            });
+        let evaluated: Vec<(CachePoint, Measurement)> = parallel_map(space.points(), |point| {
+            let measurement = match side {
+                ResizableCacheSide::Data => {
+                    self.run_static(app, system, Some(*point), None, tag_bits, 0)
+                }
+                ResizableCacheSide::Instruction => {
+                    self.run_static(app, system, None, Some(*point), 0, tag_bits)
+                }
+            };
+            (*point, measurement)
+        });
 
         let (best_point, best_measurement) = evaluated
             .iter()
@@ -648,7 +639,9 @@ mod tests {
     #[test]
     fn runner_config_sources() {
         assert_eq!(RunnerConfig::default(), RunnerConfig::paper());
-        assert!(RunnerConfig::fast().measure_instructions < RunnerConfig::paper().measure_instructions);
+        assert!(
+            RunnerConfig::fast().measure_instructions < RunnerConfig::paper().measure_instructions
+        );
         // from_env falls back to the paper configuration when unset.
         let cfg = RunnerConfig::from_env();
         assert!(cfg.measure_instructions > 0);
@@ -749,10 +742,10 @@ mod tests {
         // size) times five miss-bound factors.
         assert_eq!(outcome.candidates.len(), 15);
         assert!(outcome.best.measurement.l1d_mean_bytes <= 32.0 * 1024.0);
-        assert!(outcome
-            .candidates
-            .iter()
-            .any(|(_, m)| m.l1d_resizes > 0), "at least one candidate should resize");
+        assert!(
+            outcome.candidates.iter().any(|(_, m)| m.l1d_resizes > 0),
+            "at least one candidate should resize"
+        );
     }
 
     #[test]

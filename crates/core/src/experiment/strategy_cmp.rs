@@ -49,10 +49,7 @@ pub fn static_vs_dynamic(
     organization: Organization,
     side: ResizableCacheSide,
 ) -> Result<Vec<StrategyRow>, CoreError> {
-    let in_order = matches!(
-        system.cpu.engine,
-        rescache_cpu::EngineKind::InOrderBlocking
-    );
+    let in_order = matches!(system.cpu.engine, rescache_cpu::EngineKind::InOrderBlocking);
     let rows: Vec<Result<StrategyRow, CoreError>> = parallel_map(apps, |app| {
         let static_outcome = runner.static_best(app, system, organization, side)?;
         // The dynamic controller's size-bound is profiled offline, like the
@@ -136,10 +133,25 @@ mod tests {
             ResizableCacheSide::Data,
         )
         .unwrap();
-        let static_mean = mean(&rows.iter().map(|r| r.static_edp_reduction).collect::<Vec<_>>());
-        let dynamic_mean =
-            mean(&rows.iter().map(|r| r.dynamic_edp_reduction).collect::<Vec<_>>());
-        assert!(static_mean > 2.0, "static should save energy-delay, got {static_mean:.1}%");
-        assert!(dynamic_mean > 0.0, "dynamic should save energy-delay, got {dynamic_mean:.1}%");
+        let static_mean = mean(
+            &rows
+                .iter()
+                .map(|r| r.static_edp_reduction)
+                .collect::<Vec<_>>(),
+        );
+        let dynamic_mean = mean(
+            &rows
+                .iter()
+                .map(|r| r.dynamic_edp_reduction)
+                .collect::<Vec<_>>(),
+        );
+        assert!(
+            static_mean > 2.0,
+            "static should save energy-delay, got {static_mean:.1}%"
+        );
+        assert!(
+            dynamic_mean > 0.0,
+            "dynamic should save energy-delay, got {dynamic_mean:.1}%"
+        );
     }
 }

@@ -1,0 +1,226 @@
+//! The shared trace store: once-per-key generation, copy-free in-process
+//! sharing, and optional on-disk persistence across processes.
+//!
+//! Every experiment replays the same `(application, seed, lengths)` trace
+//! under many cache configurations, and trace generation is the slowest
+//! single stage of a cold sweep. The store therefore memoizes the generated
+//! `(warm-up, measured)` window pair per key within a process (concurrent
+//! callers block on the one generation), and — when `RESCACHE_TRACE_DIR`
+//! names a directory — persists each generated trace with the
+//! [`rescache_trace::codec`] so later processes of a multi-app/multi-seed
+//! campaign replay from disk instead of regenerating.
+//!
+//! Disk entries are advisory: a missing, truncated, corrupt or mismatched
+//! file is silently replaced by regeneration (with a note on stderr for
+//! anything other than "not found"), so a crashed writer or a foreign file
+//! can never abort a sweep.
+
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use rescache_trace::{codec, AppProfile, Trace, TraceGenerator};
+
+use crate::experiment::runner::RunnerConfig;
+
+/// Key identifying one generated (warm, measure) trace pair: application
+/// name, profile fingerprint, seed, warm-up length, measured length. The
+/// fingerprint covers the profile's full contents, so two differing profiles
+/// that happen to share a name (possible via the `AppProfile` builders)
+/// never alias in the store.
+pub(crate) type TraceKey = (&'static str, u64, u64, usize, usize);
+
+/// A shared once-per-key memoization map: the outer mutex is held only to
+/// fetch or insert a slot, while the per-key `OnceLock` serializes (blocking)
+/// the single computation of that key's value.
+type MemoCache<K, V> = Arc<Mutex<HashMap<K, Arc<OnceLock<V>>>>>;
+
+/// The store of generated traces (see the module documentation).
+///
+/// Clones share the in-memory map, which is what lets the parallel sweeps
+/// fan out over applications without regenerating per-worker state.
+#[derive(Debug, Clone, Default)]
+pub struct TraceStore {
+    traces: MemoCache<TraceKey, (Trace, Trace)>,
+    dir: Option<PathBuf>,
+}
+
+impl TraceStore {
+    /// Creates a store persisting to `RESCACHE_TRACE_DIR` if that names a
+    /// directory (created on first write), in-memory only otherwise.
+    pub fn from_env() -> Self {
+        Self::with_dir(std::env::var_os("RESCACHE_TRACE_DIR").map(PathBuf::from))
+    }
+
+    /// Creates a store with an explicit persistence directory (`None` =
+    /// in-memory only).
+    pub fn with_dir(dir: Option<PathBuf>) -> Self {
+        Self {
+            traces: Arc::default(),
+            dir,
+        }
+    }
+
+    /// The persistence directory, if any.
+    pub fn dir(&self) -> Option<&Path> {
+        self.dir.as_deref()
+    }
+
+    /// The store key of an application under a runner configuration.
+    pub(crate) fn key(app: &AppProfile, config: &RunnerConfig) -> TraceKey {
+        (
+            app.name,
+            app.fingerprint(),
+            config.trace_seed,
+            config.warmup_instructions,
+            config.measure_instructions,
+        )
+    }
+
+    /// Returns the warm-up and measurement traces for an application,
+    /// generating (or loading from disk) at most once per key.
+    pub fn fetch(&self, app: &AppProfile, config: &RunnerConfig) -> (Trace, Trace) {
+        let key = Self::key(app, config);
+        let slot = {
+            let mut map = self.traces.lock().expect("trace store lock");
+            Arc::clone(map.entry(key).or_default())
+        };
+        slot.get_or_init(|| self.load_or_generate(app, config, &key))
+            .clone()
+    }
+
+    /// Loads the keyed trace from disk if possible, otherwise generates it
+    /// (and persists the result, best-effort).
+    fn load_or_generate(
+        &self,
+        app: &AppProfile,
+        config: &RunnerConfig,
+        key: &TraceKey,
+    ) -> (Trace, Trace) {
+        let total = config.warmup_instructions + config.measure_instructions;
+        let path = self.dir.as_ref().map(|d| d.join(Self::file_name(key)));
+
+        if let Some(path) = &path {
+            match codec::load_trace(path) {
+                Ok(full) if full.name() == app.name && full.len() == total => {
+                    return full.split_at(config.warmup_instructions);
+                }
+                Ok(full) => {
+                    // A hash collision in the file name, or a foreign file:
+                    // fall through to regeneration and overwrite.
+                    eprintln!(
+                        "rescache: trace store entry {} is for {}/{} records, expected {}/{total}; regenerating",
+                        path.display(),
+                        full.name(),
+                        full.len(),
+                        app.name,
+                    );
+                }
+                Err(codec::CodecError::Io(e)) if e.kind() == std::io::ErrorKind::NotFound => {}
+                Err(e) => {
+                    eprintln!(
+                        "rescache: trace store entry {} unreadable ({e}); regenerating",
+                        path.display()
+                    );
+                }
+            }
+        }
+
+        let full = TraceGenerator::new(app.clone(), config.trace_seed).generate(total);
+        if let Some(path) = &path {
+            if let Err(e) = self.persist(path, &full) {
+                eprintln!(
+                    "rescache: could not persist trace to {} ({e}); continuing in-memory",
+                    path.display()
+                );
+            }
+        }
+        full.split_at(config.warmup_instructions)
+    }
+
+    /// Writes `full` to `path`, creating the store directory on first use.
+    fn persist(&self, path: &Path, full: &Trace) -> std::io::Result<()> {
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        codec::save_trace(path, full)
+    }
+
+    /// File name of a store entry: application name plus every key component
+    /// that distinguishes trace contents.
+    fn file_name(key: &TraceKey) -> String {
+        let (name, fingerprint, seed, warm, measure) = key;
+        format!("{name}-{fingerprint:016x}-s{seed}-w{warm}-m{measure}.rctrace")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rescache_trace::spec;
+
+    fn temp_store(tag: &str) -> (TraceStore, PathBuf) {
+        let dir = std::env::temp_dir().join(format!("rescache-store-{tag}-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        (TraceStore::with_dir(Some(dir.clone())), dir)
+    }
+
+    fn entry_path(dir: &Path) -> PathBuf {
+        let entries: Vec<_> = std::fs::read_dir(dir)
+            .expect("store dir exists")
+            .map(|e| e.expect("dir entry").path())
+            .collect();
+        assert_eq!(entries.len(), 1, "expected one store entry: {entries:?}");
+        entries.into_iter().next().expect("one entry")
+    }
+
+    #[test]
+    fn memoizes_in_process() {
+        let store = TraceStore::with_dir(None);
+        let cfg = RunnerConfig::fast();
+        let (w1, m1) = store.fetch(&spec::ammp(), &cfg);
+        let (w2, m2) = store.fetch(&spec::ammp(), &cfg);
+        assert_eq!(w1.len(), cfg.warmup_instructions);
+        assert_eq!(m1.len(), cfg.measure_instructions);
+        // Same underlying buffer, not merely equal contents.
+        assert_eq!(w1.records().as_ptr(), w2.records().as_ptr());
+        assert_eq!(m1.records().as_ptr(), m2.records().as_ptr());
+    }
+
+    #[test]
+    fn persists_and_reloads_across_store_instances() {
+        let (store, dir) = temp_store("reload");
+        let cfg = RunnerConfig::fast();
+        let (_, m1) = store.fetch(&spec::m88ksim(), &cfg);
+        let path = entry_path(&dir);
+
+        // A fresh store (a "new process") must serve the identical trace
+        // from disk; corrupting the tag byte of the first record proves the
+        // file is actually read (the fetch falls back to regeneration).
+        let fresh = TraceStore::with_dir(Some(dir.clone()));
+        let (_, m2) = fresh.fetch(&spec::m88ksim(), &cfg);
+        assert_eq!(m1, m2);
+
+        let mut bytes = std::fs::read(&path).expect("read entry");
+        let tag_offset = 8 + 4 + "m88ksim".len() + 8 + 4 + 8;
+        bytes[tag_offset] = 0xee;
+        std::fs::write(&path, &bytes).expect("corrupt entry");
+        let corrupted = TraceStore::with_dir(Some(dir.clone()));
+        let (_, m3) = corrupted.fetch(&spec::m88ksim(), &cfg);
+        assert_eq!(m1, m3, "regeneration must reproduce the trace");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn distinct_keys_get_distinct_files() {
+        let (store, dir) = temp_store("keys");
+        let cfg = RunnerConfig::fast();
+        let mut other = cfg;
+        other.trace_seed += 1;
+        store.fetch(&spec::ammp(), &cfg);
+        store.fetch(&spec::ammp(), &other);
+        let entries = std::fs::read_dir(&dir).expect("dir").count();
+        assert_eq!(entries, 2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

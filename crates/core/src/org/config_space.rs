@@ -182,7 +182,10 @@ mod tests {
         let s = space(32, 4, Organization::SelectiveSets);
         let sizes_kib: Vec<u64> = s.sizes_bytes().iter().map(|b| b / 1024).collect();
         assert_eq!(sizes_kib, vec![32, 16, 8, 4]);
-        assert!(s.points().iter().all(|p| p.ways == 4), "associativity preserved");
+        assert!(
+            s.points().iter().all(|p| p.ways == 4),
+            "associativity preserved"
+        );
     }
 
     #[test]
@@ -205,10 +208,18 @@ mod tests {
         let sizes_kib: Vec<u64> = s.sizes_bytes().iter().map(|b| b / 1024).collect();
         assert_eq!(sizes_kib, vec![32, 24, 16, 12, 8, 6, 4, 3, 2, 1]);
         // Redundant 16K point keeps the highest associativity (4-way, not 2-way).
-        let sixteen = s.points().iter().find(|p| p.bytes(32) == 16 * 1024).unwrap();
+        let sixteen = s
+            .points()
+            .iter()
+            .find(|p| p.bytes(32) == 16 * 1024)
+            .unwrap();
         assert_eq!(sixteen.ways, 4);
         // The 24K point is the 3-way configuration.
-        let twenty_four = s.points().iter().find(|p| p.bytes(32) == 24 * 1024).unwrap();
+        let twenty_four = s
+            .points()
+            .iter()
+            .find(|p| p.bytes(32) == 24 * 1024)
+            .unwrap();
         assert_eq!(twenty_four.ways, 3);
     }
 

@@ -147,7 +147,10 @@ mod tests {
         let grid = hybrid_grid(CacheConfig::l1_default(32 * 1024, 4)).unwrap();
         let text = grid.render();
         for token in ["32K", "24K", "12K", "6K", "3K", "1K", "4-way", "1-way"] {
-            assert!(text.contains(token), "rendered table should contain {token}:\n{text}");
+            assert!(
+                text.contains(token),
+                "rendered table should contain {token}:\n{text}"
+            );
         }
     }
 }

@@ -62,11 +62,7 @@ impl DynamicParams {
         base_miss_ratio: f64,
         space: &ConfigSpace,
     ) -> Vec<DynamicParams> {
-        Self::candidates_with_bounds(
-            interval_accesses,
-            base_miss_ratio,
-            &[space.min_bytes()],
-        )
+        Self::candidates_with_bounds(interval_accesses, base_miss_ratio, &[space.min_bytes()])
     }
 
     /// Profiling candidates over an explicit set of size-bounds.
@@ -263,7 +259,11 @@ mod tests {
         for _ in 0..10 {
             drive(&mut h, &mut c, false);
         }
-        assert_eq!(c.current_point().bytes(32), 4 * 1024, "stops at the size bound");
+        assert_eq!(
+            c.current_point().bytes(32),
+            4 * 1024,
+            "stops at the size bound"
+        );
         assert!(c.resizes() >= 3);
         assert_eq!(h.l1d().enabled_bytes(), 4 * 1024);
     }
@@ -279,7 +279,11 @@ mod tests {
         for _ in 0..10 {
             drive(&mut h, &mut c, true);
         }
-        assert_eq!(c.current_point().bytes(32), 32 * 1024, "misses push back to full size");
+        assert_eq!(
+            c.current_point().bytes(32),
+            32 * 1024,
+            "misses push back to full size"
+        );
     }
 
     #[test]

@@ -108,7 +108,10 @@ mod tests {
 
     #[test]
     fn in_order_variant() {
-        assert_eq!(SystemConfig::in_order().cpu.engine, EngineKind::InOrderBlocking);
+        assert_eq!(
+            SystemConfig::in_order().cpu.engine,
+            EngineKind::InOrderBlocking
+        );
         assert_eq!(
             SystemConfig::base().into_in_order().cpu.engine,
             EngineKind::InOrderBlocking

@@ -110,6 +110,9 @@ mod tests {
 
     #[test]
     fn default_is_out_of_order() {
-        assert_eq!(CpuConfig::default().engine, EngineKind::OutOfOrderNonBlocking);
+        assert_eq!(
+            CpuConfig::default().engine,
+            EngineKind::OutOfOrderNonBlocking
+        );
     }
 }

@@ -105,7 +105,11 @@ mod tests {
         for i in 0..5u64 {
             f.fetch(0x40_0000 + i * 4, i, &mut h);
         }
-        assert_eq!(h.l1i().stats().accesses, 2, "fifth instruction starts a new group");
+        assert_eq!(
+            h.l1i().stats().accesses,
+            2,
+            "fifth instruction starts a new group"
+        );
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! The in-order issue engine with a blocking data cache.
 
 use rescache_cache::MemoryHierarchy;
-use rescache_trace::{Op, Trace};
+use rescache_trace::{Op, Trace, TraceSource};
 
 use crate::activity::ActivityCounters;
 use crate::branch::BranchPredictor;
@@ -40,10 +40,12 @@ impl InOrderEngine {
 
     /// Replays `trace` against `hierarchy` with no observer hook.
     ///
-    /// This monomorphizes the engine loop over [`NoopHook`], so plain
-    /// (non-resizing) simulations pay no per-instruction virtual call.
+    /// This monomorphizes the engine loop over [`NoopHook`] and the
+    /// materialized [`rescache_trace::TraceCursor`] source, so plain
+    /// (non-resizing) simulations pay no per-instruction virtual call and
+    /// run over one contiguous record slice.
     pub fn run(&self, trace: &Trace, hierarchy: &mut MemoryHierarchy) -> SimResult {
-        self.run_impl(trace, hierarchy, &mut NoopHook)
+        self.run_impl(&mut trace.cursor(), hierarchy, &mut NoopHook)
     }
 
     /// Replays `trace` against `hierarchy`, invoking `hook` after every
@@ -54,12 +56,34 @@ impl InOrderEngine {
         hierarchy: &mut MemoryHierarchy,
         hook: &mut dyn SimHook,
     ) -> SimResult {
-        self.run_impl(trace, hierarchy, hook)
+        self.run_impl(&mut trace.cursor(), hierarchy, hook)
     }
 
-    fn run_impl<H: SimHook + ?Sized>(
+    /// Consumes `source` chunk by chunk against `hierarchy` with no observer
+    /// hook — the streaming twin of [`InOrderEngine::run`]: a generator-backed
+    /// source simulates without ever materializing the full trace.
+    pub fn run_source<S: TraceSource>(
         &self,
-        trace: &Trace,
+        source: &mut S,
+        hierarchy: &mut MemoryHierarchy,
+    ) -> SimResult {
+        self.run_impl(source, hierarchy, &mut NoopHook)
+    }
+
+    /// Consumes `source` chunk by chunk, invoking `hook` after every
+    /// committed instruction.
+    pub fn run_source_with_hook<S: TraceSource>(
+        &self,
+        source: &mut S,
+        hierarchy: &mut MemoryHierarchy,
+        hook: &mut dyn SimHook,
+    ) -> SimResult {
+        self.run_impl(source, hierarchy, hook)
+    }
+
+    fn run_impl<S: TraceSource, H: SimHook + ?Sized>(
+        &self,
+        source: &mut S,
         hierarchy: &mut MemoryHierarchy,
         hook: &mut H,
     ) -> SimResult {
@@ -78,77 +102,85 @@ impl InOrderEngine {
         let mut branches: u64 = 0;
         let mut regfile_reads: u64 = 0;
 
-        for (idx, rec) in trace.iter().enumerate() {
-            // Width wrap and dependency waits resolve through selects where
-            // possible: both follow simulated data, so host branches here are
-            // unpredictable (this loop head runs once per instruction).
-            let wrap = issued_this_cycle >= cfg.issue_width;
-            cycle += u64::from(wrap);
-            if wrap {
-                issued_this_cycle = 0;
+        let mut idx: usize = 0;
+        loop {
+            let chunk = source.next_chunk();
+            if chunk.is_empty() {
+                break;
             }
-
-            let fetch_stall = fetch.fetch(rec.pc(), cycle, hierarchy);
-            if fetch_stall > 0 {
-                cycle += fetch_stall;
-                issued_this_cycle = 0;
-            }
-
-            // In-order issue: wait for both producers to have completed.
-            let dep_ready = producer_ready(&completion, idx, rec.dep1()).max(producer_ready(
-                &completion,
-                idx,
-                rec.dep2(),
-            ));
-            let waited = dep_ready > cycle;
-            cycle = cycle.max(dep_ready);
-            if waited {
-                issued_this_cycle = 0;
-            }
-
-            regfile_reads += u64::from(rec.dep1() > 0) + u64::from(rec.dep2() > 0);
-
-            let complete = match rec.op() {
-                Op::Int => cycle + cfg.int_latency,
-                Op::Fp => {
-                    fp_ops += 1;
-                    cycle + cfg.fp_latency
+            for rec in chunk {
+                // Width wrap and dependency waits resolve through selects where
+                // possible: both follow simulated data, so host branches here are
+                // unpredictable (this loop head runs once per instruction).
+                let wrap = issued_this_cycle >= cfg.issue_width;
+                cycle += u64::from(wrap);
+                if wrap {
+                    issued_this_cycle = 0;
                 }
-                Op::Load(addr) | Op::Store(addr) => {
-                    mem_ops += 1;
-                    let write = rec.op().is_store();
-                    let access = hierarchy.access_data(addr, write, cycle);
-                    if access.l1_hit {
-                        cycle + access.latency
-                    } else {
-                        // Blocking cache: the whole pipeline waits for the fill.
-                        cycle += access.latency;
-                        issued_this_cycle = 0;
-                        cycle
+
+                let fetch_stall = fetch.fetch(rec.pc(), cycle, hierarchy);
+                if fetch_stall > 0 {
+                    cycle += fetch_stall;
+                    issued_this_cycle = 0;
+                }
+
+                // In-order issue: wait for both producers to have completed.
+                let dep_ready = producer_ready(&completion, idx, rec.dep1()).max(producer_ready(
+                    &completion,
+                    idx,
+                    rec.dep2(),
+                ));
+                let waited = dep_ready > cycle;
+                cycle = cycle.max(dep_ready);
+                if waited {
+                    issued_this_cycle = 0;
+                }
+
+                regfile_reads += u64::from(rec.dep1() > 0) + u64::from(rec.dep2() > 0);
+
+                let complete = match rec.op() {
+                    Op::Int => cycle + cfg.int_latency,
+                    Op::Fp => {
+                        fp_ops += 1;
+                        cycle + cfg.fp_latency
                     }
-                }
-                Op::Branch { taken } => {
-                    branches += 1;
-                    let correct = predictor.resolve(rec.pc(), taken);
-                    if !correct {
-                        cycle += cfg.mispredict_penalty;
-                        issued_this_cycle = 0;
+                    Op::Load(addr) | Op::Store(addr) => {
+                        mem_ops += 1;
+                        let write = rec.op().is_store();
+                        let access = hierarchy.access_data(addr, write, cycle);
+                        if access.l1_hit {
+                            cycle + access.latency
+                        } else {
+                            // Blocking cache: the whole pipeline waits for the fill.
+                            cycle += access.latency;
+                            issued_this_cycle = 0;
+                            cycle
+                        }
                     }
-                    cycle + cfg.int_latency
-                }
-            };
+                    Op::Branch { taken } => {
+                        branches += 1;
+                        let correct = predictor.resolve(rec.pc(), taken);
+                        if !correct {
+                            cycle += cfg.mispredict_penalty;
+                            issued_this_cycle = 0;
+                        }
+                        cycle + cfg.int_latency
+                    }
+                };
 
-            completion[idx % COMPLETION_RING] = complete;
-            max_completion = max_completion.max(complete);
-            issued_this_cycle += 1;
-            hook.post_commit(idx as u64 + 1, cycle, hierarchy);
+                completion[idx % COMPLETION_RING] = complete;
+                max_completion = max_completion.max(complete);
+                issued_this_cycle += 1;
+                idx += 1;
+                hook.post_commit(idx as u64, cycle, hierarchy);
+            }
         }
 
         SimResult {
             cycles: cycle.max(max_completion),
-            instructions: trace.len() as u64,
+            instructions: idx as u64,
             activity: ActivityCounters::from_run_totals(
-                trace.len() as u64,
+                idx as u64,
                 fp_ops,
                 mem_ops,
                 branches,
@@ -197,7 +229,10 @@ mod tests {
         let trace = Trace::new("alu", records);
         let (result, _) = run_trace(&trace);
         let ipc = result.ipc();
-        assert!(ipc > 2.0, "independent ALU ops should issue wide, ipc {ipc}");
+        assert!(
+            ipc > 2.0,
+            "independent ALU ops should issue wide, ipc {ipc}"
+        );
     }
 
     #[test]

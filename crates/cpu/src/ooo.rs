@@ -1,7 +1,7 @@
 //! The out-of-order issue engine with a non-blocking data cache.
 
 use rescache_cache::{MemoryHierarchy, MshrFile};
-use rescache_trace::{Op, Trace};
+use rescache_trace::{Op, Trace, TraceSource};
 
 use crate::activity::ActivityCounters;
 use crate::branch::BranchPredictor;
@@ -49,10 +49,12 @@ impl OutOfOrderEngine {
 
     /// Replays `trace` against `hierarchy` with no observer hook.
     ///
-    /// This monomorphizes the engine loop over [`NoopHook`], so plain
-    /// (non-resizing) simulations pay no per-instruction virtual call.
+    /// This monomorphizes the engine loop over [`NoopHook`] and the
+    /// materialized [`rescache_trace::TraceCursor`] source, so plain
+    /// (non-resizing) simulations pay no per-instruction virtual call and
+    /// run over one contiguous record slice.
     pub fn run(&self, trace: &Trace, hierarchy: &mut MemoryHierarchy) -> SimResult {
-        self.run_impl(trace, hierarchy, &mut NoopHook)
+        self.run_impl(&mut trace.cursor(), hierarchy, &mut NoopHook)
     }
 
     /// Replays `trace` against `hierarchy`, invoking `hook` after every
@@ -63,12 +65,35 @@ impl OutOfOrderEngine {
         hierarchy: &mut MemoryHierarchy,
         hook: &mut dyn SimHook,
     ) -> SimResult {
-        self.run_impl(trace, hierarchy, hook)
+        self.run_impl(&mut trace.cursor(), hierarchy, hook)
     }
 
-    fn run_impl<H: SimHook + ?Sized>(
+    /// Consumes `source` chunk by chunk against `hierarchy` with no observer
+    /// hook — the streaming twin of [`OutOfOrderEngine::run`]: a
+    /// generator-backed source simulates without ever materializing the full
+    /// trace.
+    pub fn run_source<S: TraceSource>(
         &self,
-        trace: &Trace,
+        source: &mut S,
+        hierarchy: &mut MemoryHierarchy,
+    ) -> SimResult {
+        self.run_impl(source, hierarchy, &mut NoopHook)
+    }
+
+    /// Consumes `source` chunk by chunk, invoking `hook` after every
+    /// dispatched-and-eventually-committed instruction.
+    pub fn run_source_with_hook<S: TraceSource>(
+        &self,
+        source: &mut S,
+        hierarchy: &mut MemoryHierarchy,
+        hook: &mut dyn SimHook,
+    ) -> SimResult {
+        self.run_impl(source, hierarchy, hook)
+    }
+
+    fn run_impl<S: TraceSource, H: SimHook + ?Sized>(
+        &self,
+        source: &mut S,
         hierarchy: &mut MemoryHierarchy,
         hook: &mut H,
     ) -> SimResult {
@@ -93,129 +118,137 @@ impl OutOfOrderEngine {
         let mut branches: u64 = 0;
         let mut regfile_reads: u64 = 0;
 
-        for (idx, rec) in trace.iter().enumerate() {
-            // Width wrap and misprediction redirects resolve through selects:
-            // both follow simulated data, so host branches here are
-            // unpredictable (this loop head runs once per instruction).
-            let wrap = dispatched_this_cycle >= cfg.issue_width;
-            dispatch_cycle += u64::from(wrap);
-            if wrap {
-                dispatched_this_cycle = 0;
+        let mut idx: usize = 0;
+        loop {
+            let chunk = source.next_chunk();
+            if chunk.is_empty() {
+                break;
             }
-            let redirected = dispatch_cycle < fetch_resume_cycle;
-            dispatch_cycle = dispatch_cycle.max(fetch_resume_cycle);
-            if redirected {
-                dispatched_this_cycle = 0;
-            }
-
-            // Instruction fetch: misses stall dispatch directly.
-            let fetch_stall = fetch.fetch(rec.pc(), dispatch_cycle, hierarchy);
-            if fetch_stall > 0 {
-                dispatch_cycle += fetch_stall;
-                dispatched_this_cycle = 0;
-            }
-
-            // Window space: a full ROB forces the oldest instruction to
-            // commit before this one can dispatch.
-            if rob.is_full() {
-                let commit_cycle = rob.commit_oldest().expect("full ROB is non-empty");
-                last_forced_commit = last_forced_commit.max(commit_cycle);
-                let bumped = commit_cycle > dispatch_cycle;
-                dispatch_cycle = dispatch_cycle.max(commit_cycle);
-                if bumped {
+            for rec in chunk {
+                // Width wrap and misprediction redirects resolve through selects:
+                // both follow simulated data, so host branches here are
+                // unpredictable (this loop head runs once per instruction).
+                let wrap = dispatched_this_cycle >= cfg.issue_width;
+                dispatch_cycle += u64::from(wrap);
+                if wrap {
                     dispatched_this_cycle = 0;
                 }
-            }
-
-            regfile_reads += u64::from(rec.dep1() > 0) + u64::from(rec.dep2() > 0);
-
-            // Operands become ready when both producers have completed.
-            let dep_ready = producer_ready(&completion, idx, rec.dep1()).max(producer_ready(
-                &completion,
-                idx,
-                rec.dep2(),
-            ));
-            let ready = dispatch_cycle.max(dep_ready);
-
-            let complete = match rec.op() {
-                Op::Int => ready + cfg.int_latency,
-                Op::Fp => {
-                    fp_ops += 1;
-                    ready + cfg.fp_latency
+                let redirected = dispatch_cycle < fetch_resume_cycle;
+                dispatch_cycle = dispatch_cycle.max(fetch_resume_cycle);
+                if redirected {
+                    dispatched_this_cycle = 0;
                 }
-                Op::Load(addr) => {
-                    mem_ops += 1;
-                    // Retire on every load, hit or miss: `ready` is not
-                    // monotone across loads (dependency delays can push a
-                    // hit's `ready` past a later miss's), so retiring only on
-                    // misses would let a later, earlier-`ready` miss merge
-                    // with an entry an intervening hit would have retired.
-                    // The empty-file early-exit keeps the hit-path cost to
-                    // one predictable branch.
-                    mshr.retire_completed(ready);
-                    let access = hierarchy.access_data(addr, false, ready);
-                    let finish = if access.l1_hit {
-                        ready + access.latency
-                    } else {
-                        let block = addr >> block_shift;
-                        if let Some(outstanding) = mshr.lookup(block) {
-                            // Secondary miss: merge with the in-flight fill.
-                            outstanding.max(ready + 1)
-                        } else if mshr.is_full() {
-                            // All MSHRs busy: the miss waits for one to free.
-                            let free_at = mshr
-                                .earliest_completion()
-                                .expect("full MSHR file is non-empty");
-                            mshr.retire_completed(free_at);
-                            let start = free_at.max(ready);
-                            let finish = start + access.latency;
-                            mshr.allocate(block, finish);
-                            finish
-                        } else {
-                            let finish = ready + access.latency;
-                            mshr.allocate(block, finish);
-                            finish
-                        }
-                    };
-                    let available = lsq.reserve(ready, finish);
-                    finish + available.saturating_sub(ready)
+
+                // Instruction fetch: misses stall dispatch directly.
+                let fetch_stall = fetch.fetch(rec.pc(), dispatch_cycle, hierarchy);
+                if fetch_stall > 0 {
+                    dispatch_cycle += fetch_stall;
+                    dispatched_this_cycle = 0;
                 }
-                Op::Store(addr) => {
-                    mem_ops += 1;
-                    // Stores update the cache but retire through the write
-                    // buffer: the pipeline only pays the L1 access.
-                    let access = hierarchy.access_data(addr, true, ready);
-                    let finish = ready + access.latency.min(store_latency_cap);
-                    let available = lsq.reserve(ready, finish);
-                    finish + available.saturating_sub(ready)
-                }
-                Op::Branch { taken } => {
-                    branches += 1;
-                    let correct = predictor.resolve(rec.pc(), taken);
-                    let finish = ready + cfg.int_latency;
-                    if !correct {
-                        // Fetch resumes only after the branch resolves and the
-                        // front end refills.
-                        fetch_resume_cycle =
-                            fetch_resume_cycle.max(finish + cfg.mispredict_penalty);
+
+                // Window space: a full ROB forces the oldest instruction to
+                // commit before this one can dispatch.
+                if rob.is_full() {
+                    let commit_cycle = rob.commit_oldest().expect("full ROB is non-empty");
+                    last_forced_commit = last_forced_commit.max(commit_cycle);
+                    let bumped = commit_cycle > dispatch_cycle;
+                    dispatch_cycle = dispatch_cycle.max(commit_cycle);
+                    if bumped {
+                        dispatched_this_cycle = 0;
                     }
-                    finish
                 }
-            };
 
-            rob.dispatch(complete);
-            completion[idx % COMPLETION_RING] = complete;
-            dispatched_this_cycle += 1;
-            hook.post_commit(idx as u64 + 1, dispatch_cycle, hierarchy);
+                regfile_reads += u64::from(rec.dep1() > 0) + u64::from(rec.dep2() > 0);
+
+                // Operands become ready when both producers have completed.
+                let dep_ready = producer_ready(&completion, idx, rec.dep1()).max(producer_ready(
+                    &completion,
+                    idx,
+                    rec.dep2(),
+                ));
+                let ready = dispatch_cycle.max(dep_ready);
+
+                let complete = match rec.op() {
+                    Op::Int => ready + cfg.int_latency,
+                    Op::Fp => {
+                        fp_ops += 1;
+                        ready + cfg.fp_latency
+                    }
+                    Op::Load(addr) => {
+                        mem_ops += 1;
+                        // Retire on every load, hit or miss: `ready` is not
+                        // monotone across loads (dependency delays can push a
+                        // hit's `ready` past a later miss's), so retiring only on
+                        // misses would let a later, earlier-`ready` miss merge
+                        // with an entry an intervening hit would have retired.
+                        // The empty-file early-exit keeps the hit-path cost to
+                        // one predictable branch.
+                        mshr.retire_completed(ready);
+                        let access = hierarchy.access_data(addr, false, ready);
+                        let finish = if access.l1_hit {
+                            ready + access.latency
+                        } else {
+                            let block = addr >> block_shift;
+                            if let Some(outstanding) = mshr.lookup(block) {
+                                // Secondary miss: merge with the in-flight fill.
+                                outstanding.max(ready + 1)
+                            } else if mshr.is_full() {
+                                // All MSHRs busy: the miss waits for one to free.
+                                let free_at = mshr
+                                    .earliest_completion()
+                                    .expect("full MSHR file is non-empty");
+                                mshr.retire_completed(free_at);
+                                let start = free_at.max(ready);
+                                let finish = start + access.latency;
+                                mshr.allocate(block, finish);
+                                finish
+                            } else {
+                                let finish = ready + access.latency;
+                                mshr.allocate(block, finish);
+                                finish
+                            }
+                        };
+                        let available = lsq.reserve(ready, finish);
+                        finish + available.saturating_sub(ready)
+                    }
+                    Op::Store(addr) => {
+                        mem_ops += 1;
+                        // Stores update the cache but retire through the write
+                        // buffer: the pipeline only pays the L1 access.
+                        let access = hierarchy.access_data(addr, true, ready);
+                        let finish = ready + access.latency.min(store_latency_cap);
+                        let available = lsq.reserve(ready, finish);
+                        finish + available.saturating_sub(ready)
+                    }
+                    Op::Branch { taken } => {
+                        branches += 1;
+                        let correct = predictor.resolve(rec.pc(), taken);
+                        let finish = ready + cfg.int_latency;
+                        if !correct {
+                            // Fetch resumes only after the branch resolves and the
+                            // front end refills.
+                            fetch_resume_cycle =
+                                fetch_resume_cycle.max(finish + cfg.mispredict_penalty);
+                        }
+                        finish
+                    }
+                };
+
+                rob.dispatch(complete);
+                completion[idx % COMPLETION_RING] = complete;
+                dispatched_this_cycle += 1;
+                idx += 1;
+                hook.post_commit(idx as u64, dispatch_cycle, hierarchy);
+            }
         }
 
         let drained = rob.drain();
         let cycles = drained.max(last_forced_commit).max(dispatch_cycle);
         SimResult {
             cycles,
-            instructions: trace.len() as u64,
+            instructions: idx as u64,
             activity: ActivityCounters::from_run_totals(
-                trace.len() as u64,
+                idx as u64,
                 fp_ops,
                 mem_ops,
                 branches,
@@ -271,7 +304,10 @@ mod tests {
                 // 8 independent ALU ops per load give the window work to hide
                 // the miss under.
                 if i % 8 == 0 {
-                    InstrRecord::new(0x40_0000 + (i % 8) * 4, Op::Load(0x100_0000 + (i * 67 % 4096) * 4096))
+                    InstrRecord::new(
+                        0x40_0000 + (i % 8) * 4,
+                        Op::Load(0x100_0000 + (i * 67 % 4096) * 4096),
+                    )
                 } else {
                     InstrRecord::new(0x40_0000 + (i % 8) * 4, Op::Int)
                 }
@@ -343,7 +379,11 @@ mod tests {
             let trace = TraceGenerator::new(profile, 11).generate(30_000);
             let (result, hierarchy) = run_ooo(&trace);
             assert_eq!(result.instructions, 30_000, "{name}");
-            assert!(result.ipc() > 0.05 && result.ipc() < 4.0, "{name}: {}", result.ipc());
+            assert!(
+                result.ipc() > 0.05 && result.ipc() < 4.0,
+                "{name}: {}",
+                result.ipc()
+            );
             assert!(hierarchy.l1d().stats().accesses > 3_000, "{name}");
             assert_eq!(result.activity.committed, 30_000, "{name}");
         }

@@ -1,7 +1,7 @@
 //! The [`Simulator`] facade: picks the engine named by the configuration.
 
 use rescache_cache::MemoryHierarchy;
-use rescache_trace::Trace;
+use rescache_trace::{Trace, TraceSource};
 
 use crate::config::{CpuConfig, EngineKind};
 use crate::hook::SimHook;
@@ -75,6 +75,43 @@ impl Simulator {
             }
         }
     }
+
+    /// Consumes `source` chunk by chunk against `hierarchy` with no observer
+    /// hook — the streaming twin of [`Simulator::run`]. With a
+    /// [`rescache_trace::TraceStream`] source, generation and simulation
+    /// interleave per chunk and only one chunk buffer is ever resident.
+    pub fn run_source<S: TraceSource>(
+        &self,
+        source: &mut S,
+        hierarchy: &mut MemoryHierarchy,
+    ) -> SimResult {
+        match self.config.engine {
+            EngineKind::InOrderBlocking => {
+                InOrderEngine::new(self.config).run_source(source, hierarchy)
+            }
+            EngineKind::OutOfOrderNonBlocking => {
+                OutOfOrderEngine::new(self.config).run_source(source, hierarchy)
+            }
+        }
+    }
+
+    /// Consumes `source` chunk by chunk, invoking `hook` after every
+    /// committed instruction.
+    pub fn run_source_with_hook<S: TraceSource>(
+        &self,
+        source: &mut S,
+        hierarchy: &mut MemoryHierarchy,
+        hook: &mut dyn SimHook,
+    ) -> SimResult {
+        match self.config.engine {
+            EngineKind::InOrderBlocking => {
+                InOrderEngine::new(self.config).run_source_with_hook(source, hierarchy, hook)
+            }
+            EngineKind::OutOfOrderNonBlocking => {
+                OutOfOrderEngine::new(self.config).run_source_with_hook(source, hierarchy, hook)
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -91,7 +128,10 @@ mod tests {
         let ooo = Simulator::new(CpuConfig::base_out_of_order()).run(&trace, &mut h1);
         let ino = Simulator::new(CpuConfig::base_in_order()).run(&trace, &mut h2);
         assert_eq!(ooo.instructions, ino.instructions);
-        assert_ne!(ooo.cycles, ino.cycles, "the two engines have different timing");
+        assert_ne!(
+            ooo.cycles, ino.cycles,
+            "the two engines have different timing"
+        );
     }
 
     #[test]

@@ -32,5 +32,9 @@ fn main() {
             100.0*b.memory_pj/b.total_pj(), 100.0*b.core_pj/b.total_pj(), 100.0*b.clock_pj/b.total_pj(),
             100.0*b.leakage_pj/b.total_pj(), b.total_pj()/measure as f64);
     }
-    println!("AVERAGE   l1d={:.1}%  l1i={:.1}%  (paper: 18.5% / 17.5%)", 100.0*d_sum/12.0, 100.0*i_sum/12.0);
+    println!(
+        "AVERAGE   l1d={:.1}%  l1i={:.1}%  (paper: 18.5% / 17.5%)",
+        100.0 * d_sum / 12.0,
+        100.0 * i_sum / 12.0
+    );
 }

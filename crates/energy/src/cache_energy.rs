@@ -116,7 +116,8 @@ impl CacheEnergyModel {
             .slices
             .iter()
             .map(|slice| {
-                slice.accesses as f64 * self.access_energy_pj(slice.enabled_sets, slice.enabled_ways)
+                slice.accesses as f64
+                    * self.access_energy_pj(slice.enabled_sets, slice.enabled_ways)
                     + slice.fills as f64
                         * self.fill_energy_pj(slice.enabled_sets, slice.enabled_ways)
             })
@@ -150,7 +151,10 @@ mod tests {
         let half = m.access_energy_pj(256, 2);
         let eighth = m.access_energy_pj(64, 2);
         assert!(half < full * 0.65, "half-size access {half} vs full {full}");
-        assert!(eighth < full * 0.3, "eighth-size access {eighth} vs full {full}");
+        assert!(
+            eighth < full * 0.3,
+            "eighth-size access {eighth} vs full {full}"
+        );
     }
 
     #[test]
@@ -177,7 +181,10 @@ mod tests {
         );
         // ... but the overhead is small (the paper calls it insignificant).
         let overhead = resizable.access_energy_pj(512, 2) / plain.access_energy_pj(512, 2);
-        assert!(overhead < 1.05, "tag overhead should be a few percent, got {overhead}");
+        assert!(
+            overhead < 1.05,
+            "tag overhead should be a few percent, got {overhead}"
+        );
     }
 
     #[test]
@@ -212,7 +219,10 @@ mod tests {
         }
         let energy = m.switching_energy_pj(&stats);
         let full_only = 200.0 * m.access_energy_pj(512, 2);
-        assert!(energy < full_only, "time at the smaller size must save energy");
+        assert!(
+            energy < full_only,
+            "time at the smaller size must save energy"
+        );
         assert!(energy > 100.0 * m.access_energy_pj(512, 2));
     }
 

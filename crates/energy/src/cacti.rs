@@ -58,7 +58,10 @@ mod tests {
         };
         let e_small = small.access_energy_pj(&tech);
         let e_large = large.access_energy_pj(&tech);
-        assert!(e_large > e_small * 3.0, "precharge dominates: {e_small} vs {e_large}");
+        assert!(
+            e_large > e_small * 3.0,
+            "precharge dominates: {e_small} vs {e_large}"
+        );
     }
 
     #[test]

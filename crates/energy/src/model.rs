@@ -157,8 +157,7 @@ impl EnergyModel {
             + a.bpred_accesses as f64 * p.bpred_pj
             + a.result_bus as f64 * p.result_bus_pj;
 
-        let clock_pj =
-            result.cycles as f64 * (p.clock_pj_per_cycle + p.other_pj_per_cycle);
+        let clock_pj = result.cycles as f64 * (p.clock_pj_per_cycle + p.other_pj_per_cycle);
 
         let l1i_pj = self.l1i.switching_energy_pj(&snapshot.l1i);
         let l1d_pj = self.l1d.switching_energy_pj(&snapshot.l1d);
@@ -206,8 +205,7 @@ mod tests {
     use rescache_trace::{spec, TraceGenerator};
 
     fn simulate(app: &str, instructions: usize) -> (SimResult, MemoryHierarchy) {
-        let trace =
-            TraceGenerator::new(spec::profile(app).unwrap(), 17).generate(instructions);
+        let trace = TraceGenerator::new(spec::profile(app).unwrap(), 17).generate(instructions);
         let mut hierarchy = MemoryHierarchy::new(HierarchyConfig::base()).unwrap();
         let result = Simulator::new(CpuConfig::base_out_of_order()).run(&trace, &mut hierarchy);
         (result, hierarchy)

@@ -12,7 +12,7 @@
 //!   re-used (compulsory misses, e.g. `swim`'s large arrays).
 
 use crate::rng::Prng;
-use crate::working_set::WorkingSetSpec;
+use crate::working_set::{ResolvedWorkingSet, WorkingSetSpec};
 
 /// Relative weights of the address-stream components.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -56,12 +56,19 @@ impl Default for AccessMix {
 
 /// Generates a stream of data addresses for a (possibly phase-varying)
 /// working set.
+///
+/// The stream caches the resolved geometry of the most recent working set
+/// (one address is drawn per memory instruction, and the working set only
+/// changes at phase boundaries), keeping the per-address cost to the random
+/// draw plus a few adds.
 #[derive(Debug, Clone)]
 pub struct AddressStream {
     mix: AccessMix,
     stride: u64,
     cursor: u64,
     stream_ptr: u64,
+    /// Resolution of the working set the previous address used.
+    resolved: ResolvedWorkingSet,
     rng: Prng,
 }
 
@@ -78,20 +85,25 @@ impl AddressStream {
             stride: stride.max(1),
             cursor: 0,
             stream_ptr: STREAM_BASE,
+            resolved: WorkingSetSpec::default().resolve(),
             rng,
         }
     }
 
     /// Returns the next effective address for an access within `ws`.
     pub fn next_address(&mut self, ws: &WorkingSetSpec) -> u64 {
+        if *ws != self.resolved.spec {
+            self.resolved = ws.resolve();
+        }
         let r = self.rng.next_f64();
         if r < self.mix.sequential {
             self.cursor = self.cursor.wrapping_add(self.stride);
-            ws.offset_to_address(self.cursor)
+            self.resolved.offset_to_address(self.cursor)
         } else if r < self.mix.sequential + self.mix.random_in_set {
             let blocks = (ws.bytes / 64).max(1);
             let block = self.rng.below(blocks);
-            ws.offset_to_address(block * 64 + self.rng.below(64))
+            self.resolved
+                .offset_to_address(block * 64 + self.rng.below(64))
         } else {
             self.stream_ptr = self.stream_ptr.wrapping_add(64);
             self.stream_ptr

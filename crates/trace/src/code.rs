@@ -9,7 +9,7 @@
 //! *size* matter; the number of repeats controls how hot each region is.
 
 use crate::rng::Prng;
-use crate::working_set::WorkingSetSpec;
+use crate::working_set::{ResolvedWorkingSet, WorkingSetSpec};
 
 /// Size in bytes of one instruction.
 pub const INSTR_BYTES: u64 = 4;
@@ -86,43 +86,101 @@ impl CodeShape {
 
 /// Generates the PC stream for a (possibly phase-varying) instruction
 /// footprint.
+///
+/// The stream caches the resolved geometry of the most recent footprint (one
+/// `next_step` call runs per generated instruction, and the footprint only
+/// changes at phase boundaries) and tracks the intra-block position
+/// incrementally, keeping the per-step cost to a handful of adds.
 #[derive(Debug, Clone)]
 pub struct CodeStream {
     shape: CodeShape,
     region: u64,
     iter_in_region: u64,
     offset: u64,
+    /// `offset / INSTR_BYTES` modulo `shape.block_len`, maintained
+    /// incrementally.
+    block_pos: u64,
+    /// Resolution of the footprint the previous step used.
+    resolved: ResolvedWorkingSet,
+    /// Region count of the resolved footprint.
+    regions: u64,
+    /// PC of the most recent step, valid while `linear_left > 0`.
+    linear_pc: u64,
+    /// Steps whose PC is `linear_pc + INSTR_BYTES` each: the walk advances
+    /// linearly until the mapped offset crosses a segment boundary, wraps
+    /// the footprint, or the region ends — only then is the full address
+    /// mapping recomputed.
+    linear_left: u64,
     rng: Prng,
 }
 
 impl CodeStream {
     /// Creates a code stream with the given shape.
     pub fn new(shape: CodeShape, rng: Prng) -> Self {
+        let resolved = WorkingSetSpec::default().resolve();
+        let regions = Self::region_count(&shape, &resolved.spec);
         Self {
             shape,
             region: 0,
             iter_in_region: 0,
             offset: 0,
+            block_pos: 0,
+            resolved,
+            regions,
+            linear_pc: 0,
+            linear_left: 0,
             rng,
         }
     }
 
     /// Number of regions covering footprint `ws`.
-    fn region_count(&self, ws: &WorkingSetSpec) -> u64 {
-        (ws.bytes / self.shape.region_bytes).max(1)
+    fn region_count(shape: &CodeShape, ws: &WorkingSetSpec) -> u64 {
+        (ws.bytes / shape.region_bytes).max(1)
     }
 
     /// Returns the next PC step for footprint `ws`.
     pub fn next_step(&mut self, ws: &WorkingSetSpec) -> PcStep {
-        let regions = self.region_count(ws);
+        if *ws != self.resolved.spec {
+            self.resolved = ws.resolve();
+            self.regions = Self::region_count(&self.shape, ws);
+            self.linear_left = 0;
+        }
+        let regions = self.regions;
         if self.region >= regions {
             self.region %= regions;
+            self.linear_left = 0;
         }
-        let pc = ws.offset_to_address(self.region * self.shape.region_bytes + self.offset);
+        let pc = if self.linear_left > 0 {
+            self.linear_left -= 1;
+            self.linear_pc += INSTR_BYTES;
+            self.linear_pc
+        } else {
+            let global = self.region * self.shape.region_bytes + self.offset;
+            let pc = self.resolved.offset_to_address(global);
+            // Steps after this one whose PC simply advances by one
+            // instruction: until the mapped offset reaches the end of its
+            // segment or the end of the footprint (region ends reset
+            // `linear_left` below, so they need no accounting here).
+            let bytes = self.resolved.spec.bytes;
+            self.linear_left = if bytes > 0 {
+                let m = global % bytes;
+                let seg_bytes = self.resolved.segment_bytes();
+                let run_end = ((m / seg_bytes + 1) * seg_bytes).min(bytes);
+                (run_end - m - 1) / INSTR_BYTES
+            } else {
+                0
+            };
+            self.linear_pc = pc;
+            pc
+        };
 
         let at_region_end = self.offset + INSTR_BYTES >= self.shape.region_bytes;
-        let instr_index = self.offset / INSTR_BYTES;
-        let at_block_end = (instr_index + 1).is_multiple_of(self.shape.block_len);
+        let at_block_end = self.block_pos + 1 == self.shape.block_len;
+        self.block_pos = if at_block_end || at_region_end {
+            0
+        } else {
+            self.block_pos + 1
+        };
 
         if at_region_end {
             // Loop back-edge or transfer to the next region.
@@ -149,6 +207,7 @@ impl CodeStream {
                 }
             };
             self.offset = 0;
+            self.linear_left = 0;
             step
         } else if at_block_end {
             let data_dependent = self.rng.chance(self.shape.data_dep_branch_prob);
@@ -234,6 +293,131 @@ mod tests {
             (0.10..=0.18).contains(&frac),
             "branch fraction {frac} outside expected band"
         );
+    }
+
+    /// The original, division-per-step stream the optimized walk must match
+    /// step for step (including RNG consumption).
+    #[derive(Debug, Clone)]
+    struct ReferenceStream {
+        shape: CodeShape,
+        region: u64,
+        iter_in_region: u64,
+        offset: u64,
+        rng: Prng,
+    }
+
+    impl ReferenceStream {
+        fn next_step(&mut self, ws: &WorkingSetSpec) -> PcStep {
+            let regions = (ws.bytes / self.shape.region_bytes).max(1);
+            if self.region >= regions {
+                self.region %= regions;
+            }
+            let pc = ws.offset_to_address(self.region * self.shape.region_bytes + self.offset);
+            let at_region_end = self.offset + INSTR_BYTES >= self.shape.region_bytes;
+            let instr_index = self.offset / INSTR_BYTES;
+            let at_block_end = (instr_index + 1).is_multiple_of(self.shape.block_len);
+            if at_region_end {
+                let step = if self.iter_in_region + 1 < self.shape.inner_iters {
+                    self.iter_in_region += 1;
+                    PcStep {
+                        pc,
+                        is_branch: true,
+                        taken: true,
+                        data_dependent: false,
+                    }
+                } else {
+                    self.iter_in_region = 0;
+                    self.region = if self.rng.chance(self.shape.call_jump_prob) {
+                        self.rng.below(regions)
+                    } else {
+                        (self.region + 1) % regions
+                    };
+                    PcStep {
+                        pc,
+                        is_branch: true,
+                        taken: true,
+                        data_dependent: false,
+                    }
+                };
+                self.offset = 0;
+                step
+            } else if at_block_end {
+                let data_dependent = self.rng.chance(self.shape.data_dep_branch_prob);
+                let taken = if data_dependent {
+                    self.rng.chance(0.5)
+                } else {
+                    self.rng.chance(0.9)
+                };
+                self.offset += INSTR_BYTES;
+                PcStep {
+                    pc,
+                    is_branch: true,
+                    taken,
+                    data_dependent,
+                }
+            } else {
+                self.offset += INSTR_BYTES;
+                PcStep {
+                    pc,
+                    is_branch: false,
+                    taken: false,
+                    data_dependent: false,
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn optimized_stream_matches_reference_step_for_step() {
+        let footprints = [
+            WorkingSetSpec::uniform(4096).at_base(0x40_0000),
+            WorkingSetSpec::conflicting(24 * 1024, 3).at_base(0x40_0000),
+            WorkingSetSpec::conflicting(2048, 8).at_base(0x40_0000),
+            // Region size exceeding the footprint (single wrapped region).
+            WorkingSetSpec::uniform(700).at_base(0x40_0000),
+        ];
+        for shape in [
+            CodeShape::default(),
+            CodeShape::tight_loops(),
+            CodeShape::call_heavy(),
+            CodeShape {
+                block_len: 1,
+                ..CodeShape::default()
+            },
+        ] {
+            // Constant footprint.
+            for ws in &footprints {
+                let mut fast = CodeStream::new(shape, Prng::new(5));
+                let mut reference = ReferenceStream {
+                    shape,
+                    region: 0,
+                    iter_in_region: 0,
+                    offset: 0,
+                    rng: Prng::new(5),
+                };
+                for i in 0..30_000 {
+                    assert_eq!(
+                        fast.next_step(ws),
+                        reference.next_step(ws),
+                        "step {i} of {shape:?} over {ws:?}"
+                    );
+                }
+            }
+            // Footprint flipping mid-stream (phase changes), including back
+            // to a previously seen spec.
+            let mut fast = CodeStream::new(shape, Prng::new(9));
+            let mut reference = ReferenceStream {
+                shape,
+                region: 0,
+                iter_in_region: 0,
+                offset: 0,
+                rng: Prng::new(9),
+            };
+            for i in 0..30_000 {
+                let ws = &footprints[(i / 1000) % footprints.len()];
+                assert_eq!(fast.next_step(ws), reference.next_step(ws), "flip step {i}");
+            }
+        }
     }
 
     #[test]

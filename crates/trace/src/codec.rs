@@ -1,0 +1,396 @@
+//! Length-prefixed binary codec for traces: the persistence format of the
+//! experiment trace store.
+//!
+//! Trace generation is deterministic but not free (it is the slowest single
+//! stage of a cold sweep), so multi-process experiment campaigns persist
+//! generated traces under `RESCACHE_TRACE_DIR` and replay them from disk. The
+//! format is deliberately simple — no compression, no seeking:
+//!
+//! ```text
+//! magic      8 bytes   b"RCTRACE1"
+//! name_len   4 bytes   u32 LE, at most MAX_NAME_BYTES
+//! name       n bytes   UTF-8 application name
+//! records    8 bytes   u64 LE total record count
+//! chunk*                repeated until `records` records have been read:
+//!   len      4 bytes   u32 LE records in this chunk (1 ..= CHUNK_RECORDS)
+//!   data     len × 12  encoded records (see `InstrRecord::encode`)
+//! ```
+//!
+//! Readers validate everything they touch and return a [`CodecError`] —
+//! never panic — on truncated, corrupt or foreign files, so a store
+//! populated by a crashed or concurrent process degrades to regeneration
+//! rather than an aborted sweep.
+
+use std::fmt;
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use crate::record::{InstrRecord, InvalidRecord, ENCODED_RECORD_BYTES};
+use crate::source::CHUNK_RECORDS;
+use crate::trace::Trace;
+
+/// File magic identifying the trace format (and its version).
+pub const MAGIC: [u8; 8] = *b"RCTRACE1";
+
+/// Upper bound on the encoded application-name length.
+pub const MAX_NAME_BYTES: u32 = 4 * 1024;
+
+/// Error produced when decoding a persisted trace.
+#[derive(Debug)]
+pub enum CodecError {
+    /// The underlying reader failed.
+    Io(io::Error),
+    /// The file does not start with [`MAGIC`].
+    BadMagic,
+    /// The application name is over-long or not UTF-8.
+    BadName,
+    /// A chunk header is impossible (zero, over-long, or exceeding the
+    /// remaining record count).
+    BadChunk {
+        /// The rejected chunk length.
+        len: u32,
+        /// Records still expected when the chunk header was read.
+        remaining: u64,
+    },
+    /// A record payload failed to decode.
+    BadRecord(InvalidRecord),
+    /// The file ended before the promised record count was delivered.
+    Truncated {
+        /// Records promised by the header.
+        expected: u64,
+        /// Records successfully decoded before the end of the file.
+        got: u64,
+    },
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::Io(e) => write!(f, "trace codec i/o error: {e}"),
+            CodecError::BadMagic => write!(f, "not a rescache trace file (bad magic)"),
+            CodecError::BadName => write!(f, "trace file has an invalid application name"),
+            CodecError::BadChunk { len, remaining } => write!(
+                f,
+                "trace file has an invalid chunk header (len {len}, {remaining} records remaining)"
+            ),
+            CodecError::BadRecord(e) => write!(f, "trace file has a corrupt record: {e}"),
+            CodecError::Truncated { expected, got } => write!(
+                f,
+                "trace file is truncated: expected {expected} records, decoded {got}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CodecError::Io(e) => Some(e),
+            CodecError::BadRecord(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for CodecError {
+    fn from(e: io::Error) -> Self {
+        CodecError::Io(e)
+    }
+}
+
+impl From<InvalidRecord> for CodecError {
+    fn from(e: InvalidRecord) -> Self {
+        CodecError::BadRecord(e)
+    }
+}
+
+/// Writes `trace` to `w` in the format described at module level.
+///
+/// # Errors
+///
+/// Besides writer errors, returns `InvalidInput` for a trace whose name
+/// exceeds [`MAX_NAME_BYTES`] — a reader would reject such a file, so it
+/// must never be produced.
+pub fn write_trace<W: Write>(w: &mut W, trace: &Trace) -> io::Result<()> {
+    w.write_all(&MAGIC)?;
+    let name = trace.name().as_bytes();
+    if name.len() as u64 > u64::from(MAX_NAME_BYTES) {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!(
+                "trace name of {} bytes exceeds {MAX_NAME_BYTES}",
+                name.len()
+            ),
+        ));
+    }
+    w.write_all(&(name.len() as u32).to_le_bytes())?;
+    w.write_all(name)?;
+    w.write_all(&(trace.len() as u64).to_le_bytes())?;
+
+    let mut bytes = Vec::with_capacity(CHUNK_RECORDS * ENCODED_RECORD_BYTES);
+    for chunk in trace.records().chunks(CHUNK_RECORDS) {
+        w.write_all(&(chunk.len() as u32).to_le_bytes())?;
+        bytes.clear();
+        for record in chunk {
+            bytes.extend_from_slice(&record.encode());
+        }
+        w.write_all(&bytes)?;
+    }
+    Ok(())
+}
+
+/// Reads a trace from `r`, validating the format end to end.
+///
+/// # Errors
+///
+/// Returns a [`CodecError`] if the stream is not a well-formed trace file;
+/// truncation, unknown record tags and impossible chunk headers are all
+/// reported as errors rather than panics.
+pub fn read_trace<R: Read>(r: &mut R) -> Result<Trace, CodecError> {
+    let mut magic = [0u8; 8];
+    read_header(r, &mut magic, 0, 0)?;
+    if magic != MAGIC {
+        return Err(CodecError::BadMagic);
+    }
+
+    let mut len4 = [0u8; 4];
+    read_header(r, &mut len4, 0, 0)?;
+    let name_len = u32::from_le_bytes(len4);
+    if name_len > MAX_NAME_BYTES {
+        return Err(CodecError::BadName);
+    }
+    let mut name_bytes = vec![0u8; name_len as usize];
+    read_header(r, &mut name_bytes, 0, 0)?;
+    let name = String::from_utf8(name_bytes).map_err(|_| CodecError::BadName)?;
+
+    let mut len8 = [0u8; 8];
+    read_header(r, &mut len8, 0, 0)?;
+    let expected = u64::from_le_bytes(len8);
+
+    let mut records: Vec<InstrRecord> = Vec::new();
+    let mut chunk_bytes = vec![0u8; CHUNK_RECORDS * ENCODED_RECORD_BYTES];
+    let mut remaining = expected;
+    while remaining > 0 {
+        read_header(r, &mut len4, expected, expected - remaining)?;
+        let len = u32::from_le_bytes(len4);
+        if len == 0 || len as usize > CHUNK_RECORDS || u64::from(len) > remaining {
+            return Err(CodecError::BadChunk { len, remaining });
+        }
+        let byte_len = len as usize * ENCODED_RECORD_BYTES;
+        read_header(
+            r,
+            &mut chunk_bytes[..byte_len],
+            expected,
+            expected - remaining,
+        )?;
+        // Grow lazily (bounded by what the file actually delivers) so a
+        // corrupt record count cannot force an absurd up-front allocation.
+        records.reserve(len as usize);
+        for encoded in chunk_bytes[..byte_len].chunks_exact(ENCODED_RECORD_BYTES) {
+            let bytes: &[u8; ENCODED_RECORD_BYTES] = encoded
+                .try_into()
+                .expect("chunks_exact yields exact arrays");
+            records.push(InstrRecord::decode(bytes)?);
+        }
+        remaining -= u64::from(len);
+    }
+    Ok(Trace::new(name, records))
+}
+
+/// `read_exact` that maps an early end-of-file to [`CodecError::Truncated`]
+/// with the given progress context.
+fn read_header<R: Read>(
+    r: &mut R,
+    buf: &mut [u8],
+    expected: u64,
+    got: u64,
+) -> Result<(), CodecError> {
+    r.read_exact(buf).map_err(|e| {
+        if e.kind() == io::ErrorKind::UnexpectedEof {
+            CodecError::Truncated { expected, got }
+        } else {
+            CodecError::Io(e)
+        }
+    })
+}
+
+/// Writes `trace` to `path` atomically (via a same-directory temporary file
+/// and rename), so concurrent writers — processes *or* threads — sharing a
+/// trace store never expose a half-written file at the final path.
+pub fn save_trace(path: &Path, trace: &Trace) -> io::Result<()> {
+    // The temporary name must be unique per writer, not just per process:
+    // two threads saving the same store entry would otherwise share the
+    // temporary file and could rename a half-rewritten inode into place.
+    static WRITER: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+    let writer = WRITER.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    let tmp = path.with_extension(format!("tmp.{}.{writer}", std::process::id()));
+    let result = (|| {
+        let mut w = BufWriter::new(File::create(&tmp)?);
+        write_trace(&mut w, trace)?;
+        w.flush()?;
+        std::fs::rename(&tmp, path)
+    })();
+    if result.is_err() {
+        let _ = std::fs::remove_file(&tmp);
+    }
+    result
+}
+
+/// Reads a trace from `path` (see [`read_trace`]).
+///
+/// # Errors
+///
+/// Returns a [`CodecError`] if the file is missing, unreadable or malformed.
+pub fn load_trace(path: &Path) -> Result<Trace, CodecError> {
+    let mut r = BufReader::new(File::open(path)?);
+    read_trace(&mut r)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::TraceGenerator;
+    use crate::spec;
+
+    fn sample(n: usize) -> Trace {
+        TraceGenerator::new(spec::compress(), 11).generate(n)
+    }
+
+    fn encode(trace: &Trace) -> Vec<u8> {
+        let mut bytes = Vec::new();
+        write_trace(&mut bytes, trace).expect("vec writes cannot fail");
+        bytes
+    }
+
+    #[test]
+    fn round_trips_through_memory() {
+        // Cover the empty, sub-chunk and multi-chunk cases.
+        for n in [0usize, 1, 1000, CHUNK_RECORDS + 17] {
+            let trace = sample(n);
+            let decoded = read_trace(&mut encode(&trace).as_slice()).expect("round trip");
+            assert_eq!(decoded, trace, "{n} records");
+        }
+    }
+
+    #[test]
+    fn round_trips_through_a_file() {
+        let dir = std::env::temp_dir().join(format!("rescache-codec-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("create temp dir");
+        let path = dir.join("compress.rctrace");
+        let trace = sample(5_000);
+        save_trace(&path, &trace).expect("save");
+        let decoded = load_trace(&path).expect("load");
+        assert_eq!(decoded, trace);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_file_is_an_error() {
+        let err = load_trace(Path::new("/nonexistent/rescache.rctrace")).unwrap_err();
+        assert!(matches!(err, CodecError::Io(_)));
+    }
+
+    #[test]
+    fn bad_magic_is_an_error() {
+        let mut bytes = encode(&sample(100));
+        bytes[0] ^= 0xff;
+        assert!(matches!(
+            read_trace(&mut bytes.as_slice()),
+            Err(CodecError::BadMagic)
+        ));
+    }
+
+    #[test]
+    fn truncation_is_an_error_not_a_panic() {
+        let bytes = encode(&sample(1000));
+        // Cut the file at every structurally interesting prefix length.
+        for cut in [0, 4, 8, 10, 20, 30, bytes.len() / 2, bytes.len() - 1] {
+            let err = read_trace(&mut &bytes[..cut]).unwrap_err();
+            assert!(
+                matches!(err, CodecError::Truncated { .. }),
+                "cut {cut}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn corrupt_record_tag_is_an_error() {
+        let trace = sample(100);
+        let mut bytes = encode(&trace);
+        // Locate the first record's tag byte: magic(8) + name_len(4) +
+        // name + count(8) + chunk_len(4) + 8 bytes into the record.
+        let offset = 8 + 4 + trace.name().len() + 8 + 4 + 8;
+        bytes[offset] = 0xee;
+        assert!(matches!(
+            read_trace(&mut bytes.as_slice()),
+            Err(CodecError::BadRecord(_))
+        ));
+    }
+
+    #[test]
+    fn impossible_chunk_header_is_an_error() {
+        let trace = sample(100);
+        let mut bytes = encode(&trace);
+        let chunk_header = 8 + 4 + trace.name().len() + 8;
+        bytes[chunk_header..chunk_header + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            read_trace(&mut bytes.as_slice()),
+            Err(CodecError::BadChunk { .. })
+        ));
+    }
+
+    #[test]
+    fn over_long_name_is_rejected_at_write_time() {
+        use crate::record::{InstrRecord, Op};
+        let trace = Trace::new(
+            "n".repeat(MAX_NAME_BYTES as usize + 1),
+            vec![InstrRecord::new(0x400, Op::Int)],
+        );
+        let mut bytes = Vec::new();
+        let err = write_trace(&mut bytes, &trace).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+    }
+
+    #[test]
+    fn concurrent_saves_of_one_entry_never_expose_a_torn_file() {
+        let dir = std::env::temp_dir().join(format!("rescache-codec-race-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("create temp dir");
+        let path = dir.join("entry.rctrace");
+        let trace = sample(2_000);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for _ in 0..8 {
+                        save_trace(&path, &trace).expect("save");
+                        let loaded = load_trace(&path).expect("load during races");
+                        assert_eq!(loaded, trace);
+                    }
+                });
+            }
+        });
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn oversized_name_is_an_error() {
+        let mut bytes = encode(&sample(10));
+        bytes[8..12].copy_from_slice(&(MAX_NAME_BYTES + 1).to_le_bytes());
+        assert!(matches!(
+            read_trace(&mut bytes.as_slice()),
+            Err(CodecError::BadName)
+        ));
+    }
+
+    #[test]
+    fn errors_format_and_chain() {
+        let err = CodecError::from(io::Error::other("boom"));
+        assert!(err.to_string().contains("boom"));
+        assert!(std::error::Error::source(&err).is_some());
+        let err = CodecError::Truncated {
+            expected: 10,
+            got: 3,
+        };
+        assert!(err.to_string().contains("truncated"));
+    }
+}

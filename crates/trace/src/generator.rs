@@ -1,10 +1,14 @@
-//! The [`TraceGenerator`]: expands an [`AppProfile`] into a [`Trace`].
+//! The [`TraceGenerator`]: expands an [`AppProfile`] into records, either as
+//! a materialized [`Trace`] or as a resumable chunked [`TraceStream`].
 
 use crate::address::AddressStream;
 use crate::code::CodeStream;
+use crate::ilp::DistanceSampler;
+use crate::phase::ScheduleCursor;
 use crate::profile::AppProfile;
 use crate::record::{InstrRecord, Op};
 use crate::rng::Prng;
+use crate::source::{TraceSource, CHUNK_RECORDS};
 use crate::trace::Trace;
 
 /// Deterministically expands an application profile into a dynamic
@@ -12,7 +16,10 @@ use crate::trace::Trace;
 ///
 /// The same `(profile, seed, length)` triple always produces the same trace,
 /// which lets an experiment generate each application once and replay it under
-/// every cache configuration.
+/// every cache configuration. [`TraceGenerator::generate`] materializes the
+/// whole trace; [`TraceGenerator::stream`] returns a resumable
+/// [`TraceStream`] that produces the identical record sequence chunk by
+/// chunk, for consumers that never need the full trace resident at once.
 ///
 /// # Examples
 ///
@@ -42,47 +49,130 @@ impl TraceGenerator {
 
     /// Generates a trace of `instructions` dynamic instructions.
     pub fn generate(&self, instructions: usize) -> Trace {
+        // Drive the stream's single-record step directly into the final
+        // vector: same record sequence as pulling chunks, without staging
+        // each chunk through the stream's internal buffer.
+        let mut stream = self.stream(instructions);
+        let mut records = Vec::with_capacity(instructions);
+        for _ in 0..instructions {
+            let record = stream.step();
+            records.push(record);
+        }
+        Trace::new(self.profile.name, records)
+    }
+
+    /// Returns a resumable stream over the same `instructions`-long record
+    /// sequence [`TraceGenerator::generate`] would materialize.
+    ///
+    /// The stream carries the full generator state (code walk, address walk,
+    /// RNG sub-streams, phase-schedule cursors) between chunks, so pulling
+    /// all of its chunks performs exactly the work of one `generate` call
+    /// while keeping only [`CHUNK_RECORDS`] records resident.
+    pub fn stream(&self, instructions: usize) -> TraceStream {
         let mut rng = Prng::new(self.seed ^ hash_name(self.profile.name));
         let mut code_shape = self.profile.code.shape;
         code_shape.data_dep_branch_prob = self.profile.branch.data_dependent_fraction;
 
-        let mut code = CodeStream::new(code_shape, rng.fork(1));
-        let mut data = AddressStream::new(
+        let code = CodeStream::new(code_shape, rng.fork(1));
+        let data = AddressStream::new(
             self.profile.data.access_mix,
             self.profile.data.stride,
             rng.fork(2),
         );
-        let mut mix_rng = rng.fork(3);
-        let mut ilp_rng = rng.fork(4);
+        let mix_rng = rng.fork(3);
+        let ilp_rng = rng.fork(4);
 
-        let total = instructions as u64;
-        let mut records = Vec::with_capacity(instructions);
-        for i in 0..total {
-            let code_ws = self.profile.code.schedule.active(i, total);
-            let data_ws = self.profile.data.schedule.active(i, total);
-            let step = code.next_step(code_ws);
-
-            let op = if step.is_branch {
-                Op::Branch { taken: step.taken }
-            } else {
-                let r = mix_rng.next_f64();
-                let mix = self.profile.mix;
-                if r < mix.load {
-                    Op::Load(data.next_address(data_ws))
-                } else if r < mix.load + mix.store {
-                    Op::Store(data.next_address(data_ws))
-                } else if r < mix.load + mix.store + mix.fp {
-                    Op::Fp
-                } else {
-                    Op::Int
-                }
-            };
-
-            let (dep1, dep2) = self.profile.ilp.sample(&mut ilp_rng);
-            records.push(InstrRecord::with_deps(step.pc, op, dep1, dep2));
+        TraceStream {
+            ilp: self.profile.ilp.sampler(),
+            profile: self.profile.clone(),
+            total: instructions as u64,
+            pos: 0,
+            code,
+            data,
+            mix_rng,
+            ilp_rng,
+            code_cursor: ScheduleCursor::new(),
+            data_cursor: ScheduleCursor::new(),
+            buf: Vec::with_capacity(CHUNK_RECORDS.min(instructions)),
         }
+    }
+}
 
-        Trace::new(self.profile.name, records)
+/// A resumable, chunked producer of one application's record sequence (see
+/// [`TraceGenerator::stream`]).
+#[derive(Debug, Clone)]
+pub struct TraceStream {
+    profile: AppProfile,
+    total: u64,
+    pos: u64,
+    code: CodeStream,
+    data: AddressStream,
+    mix_rng: Prng,
+    ilp_rng: Prng,
+    ilp: DistanceSampler,
+    code_cursor: ScheduleCursor,
+    data_cursor: ScheduleCursor,
+    buf: Vec<InstrRecord>,
+}
+
+impl TraceStream {
+    /// Number of records already produced.
+    pub fn position(&self) -> u64 {
+        self.pos
+    }
+
+    /// Generates the next record; the caller guarantees `pos < total`.
+    #[inline]
+    fn step(&mut self) -> InstrRecord {
+        let i = self.pos;
+        let code_ws = *self
+            .code_cursor
+            .active(&self.profile.code.schedule, i, self.total);
+        let data_ws = *self
+            .data_cursor
+            .active(&self.profile.data.schedule, i, self.total);
+        let step = self.code.next_step(&code_ws);
+
+        let op = if step.is_branch {
+            Op::Branch { taken: step.taken }
+        } else {
+            let r = self.mix_rng.next_f64();
+            let mix = self.profile.mix;
+            if r < mix.load {
+                Op::Load(self.data.next_address(&data_ws))
+            } else if r < mix.load + mix.store {
+                Op::Store(self.data.next_address(&data_ws))
+            } else if r < mix.load + mix.store + mix.fp {
+                Op::Fp
+            } else {
+                Op::Int
+            }
+        };
+
+        let (dep1, dep2) = self.ilp.sample(&mut self.ilp_rng);
+        self.pos = i + 1;
+        InstrRecord::with_deps(step.pc, op, dep1, dep2)
+    }
+}
+
+impl TraceSource for TraceStream {
+    fn name(&self) -> &str {
+        self.profile.name
+    }
+
+    fn total_records(&self) -> usize {
+        self.total as usize
+    }
+
+    fn next_chunk(&mut self) -> &[InstrRecord] {
+        let remaining = self.total - self.pos;
+        let n = (CHUNK_RECORDS as u64).min(remaining) as usize;
+        self.buf.clear();
+        for _ in 0..n {
+            let record = self.step();
+            self.buf.push(record);
+        }
+        &self.buf
     }
 }
 
@@ -125,6 +215,39 @@ mod tests {
     }
 
     #[test]
+    fn stream_matches_generate_record_for_record() {
+        // Cover all three schedule kinds (constant, sequence, periodic) and a
+        // length that is not a chunk multiple.
+        for profile in [spec::ammp(), spec::gcc(), spec::su2cor()] {
+            let name = profile.name;
+            let n = 2 * CHUNK_RECORDS + 777;
+            let generator = TraceGenerator::new(profile, 5);
+            let materialized = generator.generate(n);
+            let mut stream = generator.stream(n);
+            let mut streamed = Vec::with_capacity(n);
+            loop {
+                let chunk = stream.next_chunk();
+                if chunk.is_empty() {
+                    break;
+                }
+                assert!(chunk.len() <= CHUNK_RECORDS, "{name}: oversized chunk");
+                streamed.extend_from_slice(chunk);
+            }
+            assert_eq!(stream.position(), n as u64, "{name}");
+            assert_eq!(streamed, materialized.records(), "{name}");
+            // Exhausted streams keep returning empty chunks.
+            assert!(stream.next_chunk().is_empty(), "{name}");
+        }
+    }
+
+    #[test]
+    fn stream_reports_identity() {
+        let stream = TraceGenerator::new(spec::vpr(), 3).stream(100);
+        assert_eq!(stream.name(), "vpr");
+        assert_eq!(stream.total_records(), 100);
+    }
+
+    #[test]
     fn mem_fraction_tracks_mix() {
         for p in [spec::gcc(), spec::swim(), spec::m88ksim()] {
             let expected = p.mix.mem();
@@ -152,8 +275,7 @@ mod tests {
         // Count only working-set blocks (below the streaming region) so the
         // comparison reflects the profiles' working-set sizes.
         let blocks = |name: &str| {
-            let trace =
-                TraceGenerator::new(spec::profile(name).unwrap(), 5).generate(100_000);
+            let trace = TraceGenerator::new(spec::profile(name).unwrap(), 5).generate(100_000);
             let mut set = HashSet::new();
             for r in trace.iter() {
                 if let Some(addr) = r.op().address() {
@@ -175,8 +297,7 @@ mod tests {
     #[test]
     fn instruction_footprint_scales_with_code_schedule() {
         let blocks = |name: &str| {
-            let trace =
-                TraceGenerator::new(spec::profile(name).unwrap(), 5).generate(100_000);
+            let trace = TraceGenerator::new(spec::profile(name).unwrap(), 5).generate(100_000);
             let mut set = HashSet::new();
             for r in trace.iter() {
                 set.insert(r.pc() / 32);

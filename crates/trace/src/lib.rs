@@ -15,6 +15,8 @@
 //!
 //! * [`record`] — the [`InstrRecord`]/[`Op`] trace record types.
 //! * [`trace`] — the [`Trace`] container and [`TraceStats`] summary.
+//! * [`source`] — [`TraceSource`]: pull-based chunked record delivery.
+//! * [`codec`] — length-prefixed binary persistence for traces.
 //! * [`rng`] — a small deterministic pseudo-random number generator.
 //! * [`phase`] — [`PhaseSchedule`]: how a working set evolves over time.
 //! * [`working_set`] — [`WorkingSetSpec`]: size, aliasing segments, locality.
@@ -25,7 +27,9 @@
 //! * [`ilp`] — dependency-distance (ILP) behaviour.
 //! * [`profile`] — [`AppProfile`]: everything needed to generate one app.
 //! * [`spec`] — the twelve SPEC-like application profiles used by the paper.
-//! * [`generator`] — [`TraceGenerator`]: expands a profile into a [`Trace`].
+//! * [`workload`] — [`WorkloadRegistry`]: named scenario workloads.
+//! * [`generator`] — [`TraceGenerator`]: expands a profile into a [`Trace`]
+//!   or a resumable chunked [`TraceStream`].
 //!
 //! # Example
 //!
@@ -45,6 +49,7 @@
 pub mod address;
 pub mod branch;
 pub mod code;
+pub mod codec;
 pub mod generator;
 pub mod ilp;
 pub mod mix;
@@ -52,19 +57,24 @@ pub mod phase;
 pub mod profile;
 pub mod record;
 pub mod rng;
+pub mod source;
 pub mod spec;
 pub mod trace;
 pub mod working_set;
+pub mod workload;
 
 pub use address::AddressStream;
 pub use branch::BranchBehavior;
 pub use code::CodeStream;
-pub use generator::TraceGenerator;
+pub use codec::CodecError;
+pub use generator::{TraceGenerator, TraceStream};
 pub use ilp::IlpBehavior;
 pub use mix::InstructionMix;
-pub use phase::{Phase, PhaseSchedule, ScheduleKind};
+pub use phase::{Phase, PhaseSchedule, ScheduleCursor, ScheduleKind};
 pub use profile::{AppProfile, CodeBehavior, DataBehavior};
 pub use record::{InstrRecord, Op};
 pub use rng::Prng;
+pub use source::{TraceCursor, TraceSource, CHUNK_RECORDS};
 pub use trace::{Trace, TraceStats};
 pub use working_set::WorkingSetSpec;
+pub use workload::{WorkloadRegistry, WorkloadSpec};

@@ -104,6 +104,18 @@ impl PhaseSchedule {
     /// Returns the working set active at dynamic instruction `index` of a
     /// trace of `total` instructions.
     pub fn active(&self, index: u64, total: u64) -> &WorkingSetSpec {
+        &self.phases[self.active_index(index, total)].spec
+    }
+
+    /// Returns the index (into [`PhaseSchedule::phases`]) of the phase active
+    /// at dynamic instruction `index` of a trace of `total` instructions.
+    ///
+    /// Within one traversal of the schedule (the whole trace for
+    /// [`ScheduleKind::Sequence`], one period for
+    /// [`ScheduleKind::Periodic`]) the returned index is non-decreasing in
+    /// `index`, which is what lets [`ScheduleCursor`] locate phase
+    /// boundaries by binary search.
+    pub fn active_index(&self, index: u64, total: u64) -> usize {
         let total = total.max(1);
         let position = match self.kind {
             ScheduleKind::Sequence => index.min(total - 1) as f64 / total as f64,
@@ -114,13 +126,13 @@ impl PhaseSchedule {
         };
         let weight_sum: f64 = self.phases.iter().map(|p| p.weight.max(0.0)).sum();
         let mut acc = 0.0;
-        for phase in &self.phases {
+        for (i, phase) in self.phases.iter().enumerate() {
             acc += phase.weight.max(0.0) / weight_sum;
             if position < acc {
-                return &phase.spec;
+                return i;
             }
         }
-        &self.phases.last().expect("schedule is non-empty").spec
+        self.phases.len() - 1
     }
 
     /// The instruction-weighted mean working-set size in bytes.
@@ -138,6 +150,80 @@ impl PhaseSchedule {
     /// The largest working-set size in bytes across all phases.
     pub fn max_bytes(&self) -> u64 {
         self.phases.iter().map(|p| p.spec.bytes).max().unwrap_or(0)
+    }
+}
+
+/// An amortized-O(1) reader of a [`PhaseSchedule`] for monotonically
+/// increasing instruction indices.
+///
+/// [`PhaseSchedule::active`] scans the phase weights on every call — two such
+/// calls per generated record made the schedule lookup the single largest
+/// cost of trace generation. The cursor instead resolves the active phase
+/// once per *segment*: on a miss it asks the schedule for the current phase,
+/// then binary-searches (using [`PhaseSchedule::active_index`] as the oracle,
+/// so the segmentation is exactly the schedule's own) for the first index at
+/// which the phase changes, and serves every index up to that boundary from
+/// the cached copy.
+#[derive(Debug, Clone)]
+pub struct ScheduleCursor {
+    spec: WorkingSetSpec,
+    /// First index at which `spec` is no longer known to be active.
+    valid_until: u64,
+}
+
+impl ScheduleCursor {
+    /// Creates a cursor; the first [`ScheduleCursor::active`] call resolves
+    /// the initial phase.
+    pub fn new() -> Self {
+        Self {
+            spec: WorkingSetSpec::default(),
+            valid_until: 0,
+        }
+    }
+
+    /// Returns the working set active at instruction `index` of a trace of
+    /// `total` instructions — equal to `schedule.active(index, total)` for
+    /// every input, provided `index` never decreases between calls against
+    /// the same `(schedule, total)`.
+    #[inline]
+    pub fn active(&mut self, schedule: &PhaseSchedule, index: u64, total: u64) -> &WorkingSetSpec {
+        if index >= self.valid_until {
+            self.refresh(schedule, index, total);
+        }
+        &self.spec
+    }
+
+    /// Re-resolves the active phase at `index` and the segment it extends to.
+    fn refresh(&mut self, schedule: &PhaseSchedule, index: u64, total: u64) {
+        let phase = schedule.active_index(index, total);
+        self.spec = schedule.phases()[phase].spec;
+        // The phase index is non-decreasing up to the end of the current
+        // schedule traversal, so the first change point is binary-searchable
+        // in (index, limit]; `limit` itself stands for "end of traversal".
+        let limit = match schedule.kind() {
+            ScheduleKind::Sequence => total.max(index + 1),
+            ScheduleKind::Periodic { period } => {
+                let period = period.max(1);
+                (index - index % period).saturating_add(period)
+            }
+        };
+        let mut same = index; // highest index known to share `phase`
+        let mut changed = limit; // lowest index known (or assumed) to differ
+        while same + 1 < changed {
+            let mid = same + (changed - same) / 2;
+            if schedule.active_index(mid, total) == phase {
+                same = mid;
+            } else {
+                changed = mid;
+            }
+        }
+        self.valid_until = changed;
+    }
+}
+
+impl Default for ScheduleCursor {
+    fn default() -> Self {
+        Self::new()
     }
 }
 
@@ -204,5 +290,39 @@ mod tests {
         let s = PhaseSchedule::periodic(10, vec![Phase::new(1.0, ws(1024))]);
         assert_eq!(s.kind(), ScheduleKind::Periodic { period: 10 });
         assert_eq!(s.phases().len(), 1);
+    }
+
+    #[test]
+    fn cursor_matches_direct_lookup_exactly() {
+        // Include a repeated spec (1024 ... 1024) so the cursor must track
+        // phase identity, not spec equality, across the A-B-A pattern.
+        let schedules = [
+            PhaseSchedule::constant(ws(4096)),
+            PhaseSchedule::sequence(vec![
+                Phase::new(0.3, ws(1024)),
+                Phase::new(0.4, ws(8192)),
+                Phase::new(0.3, ws(1024)),
+            ]),
+            PhaseSchedule::periodic(
+                997,
+                vec![
+                    Phase::new(0.5, ws(2048)),
+                    Phase::new(0.25, ws(16384)),
+                    Phase::new(0.25, ws(2048)),
+                ],
+            ),
+        ];
+        for schedule in &schedules {
+            for total in [1u64, 10, 997, 10_000] {
+                let mut cursor = ScheduleCursor::new();
+                for i in 0..total {
+                    assert_eq!(
+                        cursor.active(schedule, i, total),
+                        schedule.active(i, total),
+                        "index {i} of {total}"
+                    );
+                }
+            }
+        }
     }
 }

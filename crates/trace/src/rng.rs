@@ -77,8 +77,20 @@ impl Prng {
             return 1;
         }
         let p = 1.0 / mean;
+        self.geometric_with_ln((1.0 - p).ln())
+    }
+
+    /// [`Prng::geometric`] with the constant denominator `ln(1 - 1/mean)`
+    /// precomputed by the caller.
+    ///
+    /// The trace generator draws one or two geometric distances per
+    /// instruction; hoisting the denominator's `ln` out of the per-record
+    /// loop (see [`crate::ilp::DistanceSampler`]) removes half of the
+    /// transcendental math from the generation hot path while producing
+    /// bit-identical values.
+    pub fn geometric_with_ln(&mut self, ln_one_minus_p: f64) -> u64 {
         let u = self.next_f64().max(f64::MIN_POSITIVE);
-        let v = (u.ln() / (1.0 - p).ln()).floor() as u64;
+        let v = (u.ln() / ln_one_minus_p).floor() as u64;
         v + 1
     }
 

@@ -1,0 +1,124 @@
+//! The [`TraceSource`] abstraction: pull-based, chunked record delivery.
+//!
+//! Every consumer of a trace — the in-order engine, the out-of-order engine,
+//! summary statistics — iterates records in dynamic program order exactly
+//! once. `TraceSource` captures that contract as a pull-based chunk stream,
+//! which admits two very different producers behind one monomorphized
+//! interface:
+//!
+//! * [`TraceCursor`] — a window over an already-materialized
+//!   [`Trace`](crate::Trace) (`Arc<[InstrRecord]>` storage). It yields the
+//!   whole window as a single chunk, so the engines' hot loops run over one
+//!   contiguous slice exactly as they did before this abstraction existed;
+//!   memoization and copy-free trace sharing are untouched.
+//! * [`TraceStream`](crate::TraceStream) — a resumable generator that
+//!   expands an [`AppProfile`](crate::AppProfile) chunk by chunk on demand,
+//!   so a simulation over a fresh trace needs only one fixed-size chunk
+//!   buffer resident instead of the full record array.
+
+use crate::record::InstrRecord;
+use crate::trace::Trace;
+
+/// Number of records per chunk used by streaming sources.
+///
+/// 8 Ki records × 12 bytes = 96 KiB per chunk: large enough that the
+/// per-chunk dispatch cost vanishes against per-record simulation work, small
+/// enough to stay L2-resident on any host.
+pub const CHUNK_RECORDS: usize = 8 * 1024;
+
+/// A pull-based source of trace records, delivered in program order as
+/// chunks.
+///
+/// Implementations hand out successive chunks until the trace is exhausted,
+/// at which point [`TraceSource::next_chunk`] returns an empty slice (and
+/// continues to do so on further calls). Consumers are expected to be
+/// generic over `S: TraceSource`, so both the materialized and the streaming
+/// paths monomorphize down to a plain slice loop.
+pub trait TraceSource {
+    /// The application name the records were generated from.
+    fn name(&self) -> &str;
+
+    /// Total number of records this source yields over its lifetime.
+    fn total_records(&self) -> usize;
+
+    /// Returns the next chunk of records, or an empty slice when the source
+    /// is exhausted.
+    fn next_chunk(&mut self) -> &[InstrRecord];
+}
+
+/// A [`TraceSource`] over a materialized [`Trace`] window.
+///
+/// Cloning the underlying trace is an `Arc` bump, so a cursor is cheap to
+/// create per simulation; the single chunk it yields is the trace's full
+/// record slice, keeping the consuming loop identical to direct slice
+/// iteration.
+#[derive(Debug, Clone)]
+pub struct TraceCursor {
+    trace: Trace,
+    exhausted: bool,
+}
+
+impl TraceCursor {
+    /// Creates a cursor over (a copy-free clone of) the given trace window.
+    pub fn new(trace: Trace) -> Self {
+        Self {
+            trace,
+            exhausted: false,
+        }
+    }
+}
+
+impl TraceSource for TraceCursor {
+    fn name(&self) -> &str {
+        self.trace.name()
+    }
+
+    fn total_records(&self) -> usize {
+        self.trace.len()
+    }
+
+    fn next_chunk(&mut self) -> &[InstrRecord] {
+        if self.exhausted {
+            return &[];
+        }
+        self.exhausted = true;
+        self.trace.records()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::Op;
+
+    fn sample() -> Trace {
+        Trace::new(
+            "s",
+            vec![
+                InstrRecord::new(0, Op::Int),
+                InstrRecord::new(4, Op::Load(64)),
+                InstrRecord::new(8, Op::Branch { taken: true }),
+            ],
+        )
+    }
+
+    #[test]
+    fn cursor_yields_the_window_once() {
+        let trace = sample();
+        let mut cursor = TraceCursor::new(trace.clone());
+        assert_eq!(cursor.name(), "s");
+        assert_eq!(cursor.total_records(), 3);
+        assert_eq!(cursor.next_chunk(), trace.records());
+        assert!(cursor.next_chunk().is_empty());
+        assert!(cursor.next_chunk().is_empty());
+    }
+
+    #[test]
+    fn cursor_respects_window_slicing() {
+        let trace = sample();
+        let (_, tail) = trace.split_at(1);
+        let mut cursor = TraceCursor::new(tail);
+        assert_eq!(cursor.next_chunk(), &trace.records()[1..]);
+        assert!(cursor.next_chunk().is_empty());
+    }
+}

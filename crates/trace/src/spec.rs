@@ -428,6 +428,9 @@ mod tests {
             .map(|ph| ph.spec.bytes)
             .min()
             .unwrap();
-        assert!(min <= 8 * 1024, "compress should also have a small phase, got {min}");
+        assert!(
+            min <= 8 * 1024,
+            "compress should also have a small phase, got {min}"
+        );
     }
 }

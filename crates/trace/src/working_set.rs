@@ -95,6 +95,55 @@ impl WorkingSetSpec {
         let within = offset % seg_bytes;
         self.base + seg * self.segment_stride() + within
     }
+
+    /// Precomputes the derived geometry (segment size, stride, way count)
+    /// for repeated [`ResolvedWorkingSet::offset_to_address`] calls.
+    ///
+    /// Address mapping runs once or twice per generated record, and almost
+    /// every mapping re-derives the same segment geometry: the generator's
+    /// streams cache one resolution per phase instead of paying the
+    /// division chain per record.
+    pub fn resolve(&self) -> ResolvedWorkingSet {
+        ResolvedWorkingSet {
+            spec: *self,
+            seg_bytes: self.segment_bytes(),
+            stride: self.segment_stride(),
+            ways: u64::from(self.conflict_ways.max(1)),
+        }
+    }
+}
+
+/// A [`WorkingSetSpec`] with its derived segment geometry precomputed (see
+/// [`WorkingSetSpec::resolve`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ResolvedWorkingSet {
+    /// The specification this resolution was derived from.
+    pub spec: WorkingSetSpec,
+    seg_bytes: u64,
+    stride: u64,
+    ways: u64,
+}
+
+impl ResolvedWorkingSet {
+    /// Size in bytes of each segment (see [`WorkingSetSpec::segment_bytes`]).
+    pub fn segment_bytes(&self) -> u64 {
+        self.seg_bytes
+    }
+
+    /// See [`WorkingSetSpec::offset_to_address`]; produces identical
+    /// addresses with the segment geometry amortized.
+    #[inline]
+    pub fn offset_to_address(&self, offset: u64) -> u64 {
+        let offset = if self.spec.bytes == 0 {
+            0
+        } else {
+            offset % self.spec.bytes.max(1)
+        };
+        let q = offset / self.seg_bytes;
+        let seg = q % self.ways;
+        let within = offset - q * self.seg_bytes;
+        self.spec.base + seg * self.stride + within
+    }
 }
 
 impl Default for WorkingSetSpec {
@@ -173,5 +222,26 @@ mod tests {
     fn wraps_offsets_beyond_size() {
         let ws = WorkingSetSpec::uniform(1024);
         assert_eq!(ws.offset_to_address(0), ws.offset_to_address(1024));
+    }
+
+    #[test]
+    fn resolved_mapping_matches_spec_mapping() {
+        let specs = [
+            WorkingSetSpec::uniform(4096),
+            WorkingSetSpec::conflicting(24 * 1024, 3),
+            WorkingSetSpec::conflicting(160 * 1024, 8).at_base(0x40_0000),
+            WorkingSetSpec::uniform(0),
+        ];
+        for spec in specs {
+            let resolved = spec.resolve();
+            assert_eq!(resolved.spec, spec);
+            for offset in [0u64, 1, 63, 64, 4095, 4096, 30_000, 1 << 40] {
+                assert_eq!(
+                    resolved.offset_to_address(offset),
+                    spec.offset_to_address(offset),
+                    "{spec:?} at {offset}"
+                );
+            }
+        }
     }
 }

@@ -1,0 +1,375 @@
+//! The declarative workload registry: named, reusable scenario definitions.
+//!
+//! The twelve [`crate::spec`] profiles stand in for the paper's SPEC
+//! evaluation; the registry complements them with *scenario* workloads —
+//! stress patterns (pointer chasing, streaming scans, MSHR-saturating burst
+//! traffic, phase-alternating working sets, …) that probe one mechanism of
+//! the simulated machine each. Examples, benches and sweeps enumerate
+//! [`WorkloadRegistry::builtin`] instead of hand-rolling ad-hoc
+//! [`AppProfile`]s, so a new scenario added here is picked up by every
+//! harness at once.
+
+use crate::address::AccessMix;
+use crate::branch::BranchBehavior;
+use crate::code::CodeShape;
+use crate::ilp::IlpBehavior;
+use crate::mix::InstructionMix;
+use crate::phase::{Phase, PhaseSchedule};
+use crate::profile::{AppProfile, CodeBehavior, DataBehavior};
+use crate::working_set::WorkingSetSpec;
+
+/// Base address used for instruction footprints (disjoint from data; matches
+/// [`crate::spec`]).
+const CODE_BASE: u64 = 0x0040_0000;
+
+const KIB: u64 = 1024;
+
+/// One named workload scenario: a human intent plus the profile that
+/// realizes it.
+#[derive(Debug, Clone, Copy)]
+pub struct WorkloadSpec {
+    /// Registry name (also the [`AppProfile::name`] of the built profile).
+    pub name: &'static str,
+    /// One-line description of what the scenario stresses.
+    pub intent: &'static str,
+    build: fn() -> AppProfile,
+}
+
+impl WorkloadSpec {
+    /// Builds the application profile realizing this scenario.
+    pub fn profile(&self) -> AppProfile {
+        let profile = (self.build)();
+        debug_assert_eq!(profile.name, self.name, "workload profile name mismatch");
+        profile
+    }
+}
+
+/// The registry of named workload scenarios.
+///
+/// # Examples
+///
+/// ```
+/// use rescache_trace::WorkloadRegistry;
+///
+/// let registry = WorkloadRegistry::builtin();
+/// assert!(registry.len() >= 8);
+/// let nominal = registry.get("nominal").expect("nominal is registered");
+/// assert_eq!(nominal.profile().name, "nominal");
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct WorkloadRegistry {
+    specs: &'static [WorkloadSpec],
+}
+
+impl WorkloadRegistry {
+    /// The built-in scenario registry.
+    pub fn builtin() -> Self {
+        Self { specs: BUILTIN }
+    }
+
+    /// All registered workload specs, in registry order.
+    pub fn specs(&self) -> &[WorkloadSpec] {
+        self.specs
+    }
+
+    /// Looks a workload up by name.
+    pub fn get(&self, name: &str) -> Option<&WorkloadSpec> {
+        self.specs.iter().find(|s| s.name == name)
+    }
+
+    /// The registered workload names, in registry order.
+    pub fn names(&self) -> impl Iterator<Item = &'static str> + '_ {
+        self.specs.iter().map(|s| s.name)
+    }
+
+    /// Builds every registered profile, in registry order.
+    pub fn profiles(&self) -> Vec<AppProfile> {
+        self.specs.iter().map(|s| s.profile()).collect()
+    }
+
+    /// Number of registered workloads.
+    pub fn len(&self) -> usize {
+        self.specs.len()
+    }
+
+    /// Returns `true` if the registry is empty (the built-in one never is).
+    pub fn is_empty(&self) -> bool {
+        self.specs.is_empty()
+    }
+}
+
+/// The built-in scenarios. Keep intents honest: each entry should name the
+/// one mechanism it stresses.
+static BUILTIN: &[WorkloadSpec] = &[
+    WorkloadSpec {
+        name: "nominal",
+        intent: "balanced integer mix, L1-friendly working sets; the all-round baseline scenario",
+        build: nominal,
+    },
+    WorkloadSpec {
+        name: "tight_kernel",
+        intent: "tiny loop and data footprint, everything L1-resident; the hit-path upper bound",
+        build: tight_kernel,
+    },
+    WorkloadSpec {
+        name: "pointer_chase",
+        intent: "serial dependent loads over a 64 KiB set; exposes full miss latency, defeats MLP",
+        build: pointer_chase,
+    },
+    WorkloadSpec {
+        name: "stream_scan",
+        intent:
+            "streaming array sweeps with no reuse; compulsory misses, prefetch-friendly strides",
+        build: stream_scan,
+    },
+    WorkloadSpec {
+        name: "phase_flip",
+        intent:
+            "working set alternating 4 KiB / 28 KiB each phase; the dynamic-resizing target case",
+        build: phase_flip,
+    },
+    WorkloadSpec {
+        name: "branch_hostile",
+        intent: "short blocks, half the conditionals data-dependent; mispredict-bound execution",
+        build: branch_hostile,
+    },
+    WorkloadSpec {
+        name: "mshr_burst",
+        intent: "independent load bursts over 256 KiB; saturates the 8 MSHRs, delayed-hits traffic",
+        build: mshr_burst,
+    },
+    WorkloadSpec {
+        name: "conflict_storm",
+        intent: "8 mutually aliasing hot segments; conflict misses punish low associativity",
+        build: conflict_storm,
+    },
+    WorkloadSpec {
+        name: "icache_walker",
+        intent: "call-heavy 56 KiB instruction footprint; i-cache misses dominate, d-side idle",
+        build: icache_walker,
+    },
+];
+
+fn data_ws(bytes_kib: u64) -> WorkingSetSpec {
+    WorkingSetSpec::uniform(bytes_kib * KIB)
+}
+
+fn code_ws(bytes_kib: u64) -> WorkingSetSpec {
+    WorkingSetSpec::uniform(bytes_kib * KIB).at_base(CODE_BASE)
+}
+
+/// Balanced integer workload with comfortable L1 fit — the scenario the
+/// throughput benches treat as "typical".
+fn nominal() -> AppProfile {
+    AppProfile::new(
+        "nominal",
+        DataBehavior::new(PhaseSchedule::constant(data_ws(8)))
+            .with_access_mix(AccessMix::new(0.5, 0.45, 0.05)),
+        CodeBehavior::new(PhaseSchedule::constant(code_ws(4))),
+    )
+    .with_mix(InstructionMix::integer())
+    .with_branch(BranchBehavior::default())
+    .with_ilp(IlpBehavior::moderate())
+}
+
+/// Everything hot: 2 KiB data in a 512-byte loop; measures the simulator's
+/// (and the machine's) hit path with essentially no misses.
+fn tight_kernel() -> AppProfile {
+    AppProfile::new(
+        "tight_kernel",
+        DataBehavior::new(PhaseSchedule::constant(data_ws(2)))
+            .with_access_mix(AccessMix::new(0.7, 0.28, 0.02)),
+        CodeBehavior::new(PhaseSchedule::constant(
+            WorkingSetSpec::uniform(512).at_base(CODE_BASE),
+        ))
+        .with_shape(CodeShape::tight_loops()),
+    )
+    .with_mix(InstructionMix::new(0.30, 0.10, 0.05))
+    .with_branch(BranchBehavior::predictable())
+    .with_ilp(IlpBehavior::parallel())
+}
+
+/// Linked-structure traversal: almost every load depends on the previous
+/// one, over a working set twice the L1 — misses serialize end to end.
+fn pointer_chase() -> AppProfile {
+    AppProfile::new(
+        "pointer_chase",
+        DataBehavior::new(PhaseSchedule::constant(data_ws(64)))
+            .with_access_mix(AccessMix::new(0.02, 0.95, 0.03)),
+        CodeBehavior::new(PhaseSchedule::constant(code_ws(1))).with_shape(CodeShape::tight_loops()),
+    )
+    .with_mix(InstructionMix::new(0.45, 0.05, 0.02))
+    .with_branch(BranchBehavior::predictable())
+    .with_ilp(IlpBehavior::new(1.5, 0.30, 0.02))
+}
+
+/// Pure array sweeps: most references stream through never-reused memory, so
+/// every capacity point sees the same (compulsory) miss traffic.
+fn stream_scan() -> AppProfile {
+    AppProfile::new(
+        "stream_scan",
+        DataBehavior::new(PhaseSchedule::constant(data_ws(4)))
+            .with_access_mix(AccessMix::new(0.35, 0.05, 0.60))
+            .with_stride(8),
+        CodeBehavior::new(PhaseSchedule::constant(code_ws(1))).with_shape(CodeShape::tight_loops()),
+    )
+    .with_mix(InstructionMix::floating_point())
+    .with_branch(BranchBehavior::predictable())
+    .with_ilp(IlpBehavior::parallel())
+}
+
+/// Working set flipping between far-apart sizes each phase: the scenario
+/// where a dynamic controller should beat any single static point.
+fn phase_flip() -> AppProfile {
+    AppProfile::new(
+        "phase_flip",
+        DataBehavior::new(PhaseSchedule::periodic(
+            400_000,
+            vec![Phase::new(0.5, data_ws(4)), Phase::new(0.5, data_ws(28))],
+        ))
+        .with_access_mix(AccessMix::new(0.45, 0.5, 0.05)),
+        CodeBehavior::new(PhaseSchedule::constant(code_ws(4))),
+    )
+    .with_mix(InstructionMix::integer())
+    .with_branch(BranchBehavior::default())
+    .with_ilp(IlpBehavior::moderate())
+}
+
+/// Short basic blocks and a coin-flip outcome on half of them: execution
+/// time is set by the mispredict penalty, not the caches.
+fn branch_hostile() -> AppProfile {
+    AppProfile::new(
+        "branch_hostile",
+        DataBehavior::new(PhaseSchedule::constant(data_ws(8)))
+            .with_access_mix(AccessMix::new(0.4, 0.55, 0.05)),
+        CodeBehavior::new(PhaseSchedule::constant(code_ws(16))).with_shape(CodeShape {
+            region_bytes: 512,
+            inner_iters: 4,
+            block_len: 4,
+            call_jump_prob: 0.20,
+            data_dep_branch_prob: 0.50, // overwritten from the branch behaviour
+        }),
+    )
+    .with_mix(InstructionMix::new(0.22, 0.10, 0.02))
+    .with_branch(BranchBehavior::new(0.50, 0.75))
+    .with_ilp(IlpBehavior::moderate())
+}
+
+/// Bursts of independent loads over a footprint far beyond the L1: the
+/// out-of-order window issues misses faster than fills return, so the MSHR
+/// file (8 entries) becomes the throughput limiter — the delayed-hits regime.
+fn mshr_burst() -> AppProfile {
+    AppProfile::new(
+        "mshr_burst",
+        DataBehavior::new(PhaseSchedule::constant(data_ws(256)))
+            .with_access_mix(AccessMix::new(0.15, 0.80, 0.05))
+            .with_stride(64),
+        CodeBehavior::new(PhaseSchedule::constant(code_ws(2))).with_shape(CodeShape::tight_loops()),
+    )
+    .with_mix(InstructionMix::new(0.50, 0.05, 0.05))
+    .with_branch(BranchBehavior::predictable())
+    .with_ilp(IlpBehavior::new(16.0, 0.30, 0.50))
+}
+
+/// Eight mutually aliasing hot segments over a modest total footprint:
+/// misses are conflict, not capacity, so associativity (selective-ways'
+/// casualty) is what matters.
+fn conflict_storm() -> AppProfile {
+    AppProfile::new(
+        "conflict_storm",
+        DataBehavior::new(PhaseSchedule::constant(WorkingSetSpec::conflicting(
+            24 * KIB,
+            8,
+        )))
+        .with_access_mix(AccessMix::new(0.30, 0.68, 0.02)),
+        CodeBehavior::new(PhaseSchedule::constant(code_ws(4))),
+    )
+    .with_mix(InstructionMix::integer())
+    .with_branch(BranchBehavior::default())
+    .with_ilp(IlpBehavior::moderate())
+}
+
+/// A call-heavy instruction footprint well past the 32 KiB L1I with a tiny
+/// data side: isolates the i-cache resizing trade-off.
+fn icache_walker() -> AppProfile {
+    AppProfile::new(
+        "icache_walker",
+        DataBehavior::new(PhaseSchedule::constant(data_ws(4)))
+            .with_access_mix(AccessMix::new(0.5, 0.45, 0.05)),
+        CodeBehavior::new(PhaseSchedule::constant(code_ws(56))).with_shape(CodeShape::call_heavy()),
+    )
+    .with_mix(InstructionMix::integer())
+    .with_branch(BranchBehavior::new(0.25, 0.85))
+    .with_ilp(IlpBehavior::moderate())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::TraceGenerator;
+    use std::collections::HashSet;
+
+    #[test]
+    fn registry_has_at_least_eight_distinct_workloads() {
+        let registry = WorkloadRegistry::builtin();
+        assert!(registry.len() >= 8, "only {} workloads", registry.len());
+        assert!(!registry.is_empty());
+        let names: HashSet<_> = registry.names().collect();
+        assert_eq!(names.len(), registry.len(), "duplicate workload names");
+    }
+
+    #[test]
+    fn every_workload_builds_and_generates() {
+        for spec in WorkloadRegistry::builtin().specs() {
+            let profile = spec.profile();
+            assert_eq!(profile.name, spec.name);
+            assert!(!spec.intent.is_empty());
+            let trace = TraceGenerator::new(profile, 1).generate(5_000);
+            assert_eq!(trace.len(), 5_000, "{}", spec.name);
+            let stats = trace.stats();
+            assert!(stats.loads + stats.stores > 0, "{}", spec.name);
+        }
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        let registry = WorkloadRegistry::builtin();
+        assert!(registry.get("pointer_chase").is_some());
+        assert!(registry.get("does-not-exist").is_none());
+        assert_eq!(registry.profiles().len(), registry.len());
+    }
+
+    #[test]
+    fn workload_fingerprints_are_distinct() {
+        let profiles = WorkloadRegistry::builtin().profiles();
+        let fingerprints: HashSet<_> = profiles.iter().map(|p| p.fingerprint()).collect();
+        assert_eq!(fingerprints.len(), profiles.len());
+    }
+
+    #[test]
+    fn scenarios_have_their_advertised_shape() {
+        let registry = WorkloadRegistry::builtin();
+        let ws = |name: &str| {
+            registry
+                .get(name)
+                .unwrap()
+                .profile()
+                .mean_data_working_set()
+        };
+        // tight_kernel and stream_scan stay L1-resident; mshr_burst and
+        // pointer_chase far exceed the 32 KiB L1.
+        assert!(ws("tight_kernel") <= 4.0 * 1024.0);
+        assert!(ws("stream_scan") <= 8.0 * 1024.0);
+        assert!(ws("pointer_chase") >= 48.0 * 1024.0);
+        assert!(ws("mshr_burst") >= 128.0 * 1024.0);
+        // icache_walker's code footprint exceeds the L1I.
+        let icache = registry.get("icache_walker").unwrap().profile();
+        assert!(icache.mean_code_footprint() > 32.0 * 1024.0);
+        // conflict_storm needs more ways than the base 2-way d-cache offers.
+        let storm = registry.get("conflict_storm").unwrap().profile();
+        assert!(storm.data.schedule.phases()[0].spec.conflict_ways >= 8);
+        // phase_flip actually alternates.
+        let flip = registry.get("phase_flip").unwrap().profile();
+        assert!(flip.data.schedule.phases().len() >= 2);
+    }
+}

@@ -79,9 +79,15 @@ fn addresses_stay_in_their_regions() {
         let p = profile(rng);
         let trace = TraceGenerator::new(p, 7).generate(5_000);
         for record in trace.iter() {
-            assert!(record.pc() < 0x1000_0000, "code addresses live below the data base");
+            assert!(
+                record.pc() < 0x1000_0000,
+                "code addresses live below the data base"
+            );
             if let Some(addr) = record.op().address() {
-                assert!(addr >= 0x1000_0000, "data addresses live above the code region");
+                assert!(
+                    addr >= 0x1000_0000,
+                    "data addresses live above the code region"
+                );
             }
         }
     });

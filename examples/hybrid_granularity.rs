@@ -34,11 +34,7 @@ fn main() -> Result<(), CoreError> {
     println!("static resizing of the d-cache for ijpeg (working set between offered sizes):");
     for org in Organization::ALL {
         let outcome = runner.static_best(&spec::ijpeg(), &system, org, ResizableCacheSide::Data)?;
-        let best_kib = outcome
-            .best
-            .point
-            .map(|p| p.bytes(32) / 1024)
-            .unwrap_or(32);
+        let best_kib = outcome.best.point.map(|p| p.bytes(32) / 1024).unwrap_or(32);
         println!(
             "  {:<15} best size {:>2} KiB, energy-delay reduction {:>5.1} %",
             org.label(),

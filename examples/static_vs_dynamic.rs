@@ -25,7 +25,12 @@ fn report(
         system,
         org,
         side,
-        &[static_best_bytes, static_best_bytes / 2, static_best_bytes / 4, 1],
+        &[
+            static_best_bytes,
+            static_best_bytes / 2,
+            static_best_bytes / 4,
+            1,
+        ],
     )?;
     println!("{label}:");
     println!(

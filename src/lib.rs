@@ -53,12 +53,14 @@ pub use rescache_trace as trace;
 /// The most commonly used types, re-exported flat for convenience.
 pub mod prelude {
     pub use rescache_cache::{Cache, CacheConfig, HierarchyConfig, MemoryHierarchy};
-    pub use rescache_core::experiment::{Runner, RunnerConfig};
+    pub use rescache_core::experiment::{Runner, RunnerConfig, TraceStore};
     pub use rescache_core::{
         CachePoint, ConfigSpace, CoreError, DynamicController, DynamicParams, Organization,
         ResizableCacheSide, StaticSearch, SystemConfig,
     };
-    pub use rescache_cpu::{CpuConfig, EngineKind, SimResult, Simulator};
+    pub use rescache_cpu::{CpuConfig, EngineKind, SimHook, SimResult, Simulator};
     pub use rescache_energy::{EnergyBreakdown, EnergyDelay, EnergyModel};
-    pub use rescache_trace::{spec, AppProfile, Trace, TraceGenerator};
+    pub use rescache_trace::{
+        spec, AppProfile, Trace, TraceGenerator, TraceSource, TraceStream, WorkloadRegistry,
+    };
 }

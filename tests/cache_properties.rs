@@ -112,8 +112,7 @@ fn dirty_blocks_are_conserved() {
             cache.set_enabled_sets(config.min_sets());
         }
         let flushed_now = cache.flush_all();
-        let written_back =
-            cache.stats().writebacks + cache.stats().resize_writebacks + flushed_now;
+        let written_back = cache.stats().writebacks + cache.stats().resize_writebacks + flushed_now;
         // Dirty blocks written back can never exceed the dirty blocks created.
         assert!(written_back <= dirty_fills);
     });

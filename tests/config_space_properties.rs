@@ -66,7 +66,10 @@ fn organizations_preserve_their_fixed_dimension() {
     check_cases(128, |rng| {
         let config = l1_config(rng);
         if let Ok(space) = ConfigSpace::enumerate(config, Organization::SelectiveSets) {
-            assert!(space.points().iter().all(|p| p.ways == config.associativity));
+            assert!(space
+                .points()
+                .iter()
+                .all(|p| p.ways == config.associativity));
         }
         if let Ok(space) = ConfigSpace::enumerate(config, Organization::SelectiveWays) {
             assert!(space.points().iter().all(|p| p.sets == config.num_sets()));

@@ -2,7 +2,9 @@
 //! (the full-scale numbers are produced by `cargo bench` and recorded in
 //! EXPERIMENTS.md).
 
-use rescache::core::experiment::{dual_resizing, organization_vs_associativity, Runner, RunnerConfig};
+use rescache::core::experiment::{
+    dual_resizing, organization_vs_associativity, Runner, RunnerConfig,
+};
 use rescache::prelude::*;
 use rescache::trace::AppProfile;
 

@@ -111,7 +111,11 @@ impl RefCache {
                 }
             }
         } else {
-            for (index, set) in self.sets.iter_mut().enumerate().take(self.enabled_sets as usize)
+            for (index, set) in self
+                .sets
+                .iter_mut()
+                .enumerate()
+                .take(self.enabled_sets as usize)
             {
                 for frame in set.iter_mut() {
                     if frame.valid && (frame.block_addr % sets) as usize != index {
@@ -188,11 +192,14 @@ fn shift_mask_path_matches_div_mod_reference() {
             addrs.push(addr);
             let write = rng.chance(0.3);
 
-            let real_hit = real.access(addr, if write {
-                rescache::cache::AccessKind::Write
-            } else {
-                rescache::cache::AccessKind::Read
-            });
+            let real_hit = real.access(
+                addr,
+                if write {
+                    rescache::cache::AccessKind::Write
+                } else {
+                    rescache::cache::AccessKind::Read
+                },
+            );
             let ref_hit = reference.access(addr, write);
             assert_eq!(real_hit.hit, ref_hit, "step {step}: hit/miss diverged");
 

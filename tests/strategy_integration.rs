@@ -70,7 +70,11 @@ fn controllers_only_touch_their_own_cache() {
     };
     let m = r.run(&warm, &measure, &system, &setup);
     assert!(m.l1i_mean_bytes < 16.0 * 1024.0, "i-cache should shrink");
-    assert_eq!(m.l1d_mean_bytes, 32.0 * 1024.0, "d-cache must stay at full size");
+    assert_eq!(
+        m.l1d_mean_bytes,
+        32.0 * 1024.0,
+        "d-cache must stay at full size"
+    );
     assert_eq!(m.l1d_resizes, 0);
 }
 
@@ -82,7 +86,7 @@ fn static_points_on_both_sides_compose() {
     let system = SystemConfig::base();
     let (warm, measure) = r.trace(&spec::ammp());
     let setup = RunSetup {
-        d_static: Some(CachePoint { sets: 64, ways: 2 }),  // 4 KiB
+        d_static: Some(CachePoint { sets: 64, ways: 2 }), // 4 KiB
         i_static: Some(CachePoint { sets: 128, ways: 2 }), // 8 KiB
         d_tag_bits: 4,
         i_tag_bits: 4,

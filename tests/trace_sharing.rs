@@ -19,8 +19,14 @@ fn runner() -> Runner {
 fn owned_regions(config: &RunnerConfig, app: &rescache::trace::AppProfile) -> (Trace, Trace) {
     let total = config.warmup_instructions + config.measure_instructions;
     let full = TraceGenerator::new(app.clone(), config.trace_seed).generate(total);
-    let warm = Trace::new(app.name, full.records()[..config.warmup_instructions].to_vec());
-    let measure = Trace::new(app.name, full.records()[config.warmup_instructions..].to_vec());
+    let warm = Trace::new(
+        app.name,
+        full.records()[..config.warmup_instructions].to_vec(),
+    );
+    let measure = Trace::new(
+        app.name,
+        full.records()[config.warmup_instructions..].to_vec(),
+    );
     (warm, measure)
 }
 
