@@ -16,8 +16,10 @@ use std::time::Instant;
 
 use rescache_bench::bench_runner;
 use rescache_cache::{Cache, CacheConfig, HierarchyConfig, MemoryHierarchy};
-use rescache_core::experiment::{effective_workers, per_app_org_comparison};
-use rescache_core::{ConfigSpace, Organization, ResizableCacheSide, SystemConfig};
+use rescache_core::experiment::{
+    effective_workers, per_app_org_comparison, RunSetup, Runner, RunnerConfig, TraceStore,
+};
+use rescache_core::{ConfigSpace, DynamicParams, Organization, ResizableCacheSide, SystemConfig};
 use rescache_cpu::{CpuConfig, Simulator};
 use rescache_trace::{codec, spec, TraceGenerator, TraceSource, WorkloadRegistry};
 
@@ -211,6 +213,58 @@ fn bench_workloads(scale: u64, quick: bool) -> Vec<EngineResult> {
         .collect()
 }
 
+/// One dynamic-controller run (warm-up + measured region with the miss-ratio
+/// resizing hook attached), either through the classic materialized path
+/// (`Runner::run` over pre-split traces) or through the streamed store path
+/// (`Runner::run_dynamic` replaying a persisted entry chunk by chunk, with
+/// no full-length trace resident). The pair tracks what the streamed dynamic
+/// pipeline costs/saves against the in-memory replay rate.
+fn bench_dynamic(name: &'static str, streamed: bool, scale: u64) -> EngineResult {
+    let warm_len = (4_000 * scale) as usize;
+    let measure_len = (16_000 * scale) as usize;
+    let cfg = RunnerConfig {
+        warmup_instructions: warm_len,
+        measure_instructions: measure_len,
+        trace_seed: 42,
+        dynamic_interval: 1_024,
+    };
+    let dir = std::env::temp_dir().join(format!(
+        "rescache-bench-dyn-{}-{}",
+        name,
+        std::process::id()
+    ));
+    std::fs::remove_dir_all(&dir).ok();
+    let store = TraceStore::with_dir(streamed.then(|| dir.clone()));
+    let runner = Runner::with_store(cfg, store);
+    let app = spec::su2cor();
+    let system = SystemConfig::base();
+    let space = ConfigSpace::enumerate(
+        ResizableCacheSide::Data.config_of(&system.hierarchy),
+        Organization::SelectiveSets,
+    )
+    .expect("selective-sets applies to the base d-cache");
+    let params = DynamicParams::new(cfg.dynamic_interval, 8, space.min_bytes()).expect("params");
+    let setup = RunSetup {
+        dynamic: Some((ResizableCacheSide::Data, space, params)),
+        d_tag_bits: 4,
+        ..RunSetup::default()
+    };
+    // `measure`'s untimed warm-up call populates the store (generate-to-disk
+    // for the streamed variant, materialize-and-memoize for the baseline),
+    // so the timed repetitions measure steady-state replay.
+    let result = measure(name, (warm_len + measure_len) as u64, 3, move || {
+        let m = if streamed {
+            runner.run_dynamic(&app, &system, &setup)
+        } else {
+            let (warm_trace, measure_trace) = runner.trace(&app);
+            runner.run(&warm_trace, &measure_trace, &system, &setup)
+        };
+        m.l1d_resizes + m.cycles
+    });
+    std::fs::remove_dir_all(&dir).ok();
+    result
+}
+
 /// A figure-5-style static sweep over a subset of applications: the
 /// end-to-end path (trace cache, runner, parallel sweep) every figure bench
 /// takes. Returns total simulated instructions and the measured result.
@@ -289,6 +343,8 @@ fn main() {
         bench_engine("out_of_order", CpuConfig::base_out_of_order(), scale),
         bench_gen_plus_first_sim("gen_first_sim_split", false, scale),
         bench_gen_plus_first_sim("gen_first_sim_fused", true, scale),
+        bench_dynamic("dyn_materialized", false, scale),
+        bench_dynamic("dyn_streamed", true, scale),
     ];
     results.extend(bench_workloads(scale, quick));
     results.push(bench_fig5_sweep(scale));
@@ -316,7 +372,7 @@ fn main() {
 /// carries no serde dependency).
 fn render_json(results: &[EngineResult], quick: bool) -> String {
     let mut out = String::from("{\n");
-    out.push_str("  \"schema\": \"rescache-sim-throughput/2\",\n");
+    out.push_str("  \"schema\": \"rescache-sim-throughput/3\",\n");
     out.push_str(&format!("  \"quick\": {quick},\n"));
     out.push_str(&format!(
         "  \"host_threads\": {},\n",

@@ -32,4 +32,4 @@ pub use runner::{
     BestSummary, DynamicOutcome, Measurement, RunSetup, Runner, RunnerConfig, StaticOutcome,
 };
 pub use strategy_cmp::{static_vs_dynamic, StrategyRow};
-pub use trace_store::TraceStore;
+pub use trace_store::{StoreSource, StoreSourceKind, TraceStore};

@@ -5,13 +5,13 @@ use std::collections::HashMap;
 use std::sync::{Arc, Mutex, OnceLock};
 
 use rescache_cache::{HierarchySnapshot, MemoryHierarchy};
-use rescache_cpu::{SimResult, Simulator};
+use rescache_cpu::{SimHook, SimResult, Simulator};
 use rescache_energy::{EnergyBreakdown, EnergyDelay, EnergyModel, ResizingTagOverhead};
-use rescache_trace::{AppProfile, Trace};
+use rescache_trace::{AppProfile, Trace, TraceGenerator, TraceSource};
 
 use crate::error::CoreError;
 use crate::experiment::parallel::parallel_map;
-use crate::experiment::trace_store::{TraceKey, TraceStore};
+use crate::experiment::trace_store::{StoreSource, TraceKey, TraceStore};
 use crate::org::{CachePoint, ConfigSpace, Organization};
 use crate::strategy::{DynamicController, DynamicParams};
 use crate::system::{ResizableCacheSide, SystemConfig};
@@ -357,6 +357,94 @@ impl Runner {
         }
     }
 
+    /// Runs `simulate` over a store-served source, retrying once from a
+    /// fresh generator stream (wrapped in the same [`StoreSource`] type) if
+    /// the store entry faults or under-delivers mid-run — a corrupt or
+    /// concurrently-replaced persisted trace must degrade to regeneration,
+    /// never to a silently short simulation. The faulted entry is dropped
+    /// from the store so later runs re-persist a fresh one. `simulate` must
+    /// build any per-run hook state itself: it is invoked afresh on retry.
+    fn with_streamed_source(
+        &self,
+        app: &AppProfile,
+        mut simulate: impl FnMut(&mut StoreSource) -> StaticSim,
+    ) -> StaticSim {
+        let cfg = &self.config;
+        let mut source = self.store.source(app, cfg);
+        let sim = simulate(&mut source);
+        if source.fault().is_none() && sim.result.instructions == cfg.measure_instructions as u64 {
+            return sim;
+        }
+        eprintln!(
+            "rescache: store-served run of {} under-delivered ({}); regenerating",
+            app.name,
+            source
+                .fault()
+                .map(|e| e.to_string())
+                .unwrap_or_else(|| "short stream".into()),
+        );
+        if let StoreSource::Disk(file) = &source {
+            self.store.invalidate_disk_entry(file.path(), app, cfg);
+        }
+        let total = cfg.warmup_instructions + cfg.measure_instructions;
+        let mut retry = StoreSource::Generated(Box::new(
+            TraceGenerator::new(app.clone(), cfg.trace_seed).stream(total),
+        ));
+        simulate(&mut retry)
+    }
+
+    /// The static experiment sequence over one pull-based source —
+    /// bit-identical to [`Runner::simulate_static`] over pre-split traces of
+    /// the same records (asserted by `tests/dynamic_streaming_equivalence.rs`)
+    /// and equally free of per-instruction hook dispatch, but with only one
+    /// chunk buffer resident when the source streams.
+    fn simulate_static_source<S: TraceSource>(
+        &self,
+        source: &mut S,
+        system: &SystemConfig,
+        d_static: Option<CachePoint>,
+        i_static: Option<CachePoint>,
+    ) -> StaticSim {
+        let mut hierarchy = Self::static_hierarchy(system, d_static, i_static);
+        let sim = Simulator::new(system.cpu);
+        let result = sim.run_warm_measure(
+            source,
+            self.config.warmup_instructions,
+            self.config.measure_instructions,
+            &mut hierarchy,
+        );
+        StaticSim {
+            snapshot: hierarchy.snapshot(),
+            result,
+        }
+    }
+
+    /// The hooked experiment sequence over one pull-based source: how a
+    /// dynamic controller rides a streamed run (hook state carries across
+    /// the warm/measure boundary, as in the materialized path).
+    fn simulate_hooked_source<S: TraceSource>(
+        &self,
+        source: &mut S,
+        system: &SystemConfig,
+        d_static: Option<CachePoint>,
+        i_static: Option<CachePoint>,
+        hook: &mut dyn SimHook,
+    ) -> StaticSim {
+        let mut hierarchy = Self::static_hierarchy(system, d_static, i_static);
+        let sim = Simulator::new(system.cpu);
+        let result = sim.run_warm_measure_with_hook(
+            source,
+            self.config.warmup_instructions,
+            self.config.measure_instructions,
+            &mut hierarchy,
+            hook,
+        );
+        StaticSim {
+            snapshot: hierarchy.snapshot(),
+            result,
+        }
+    }
+
     /// Prices a finished simulation under `model` and assembles the
     /// [`Measurement`] the experiments consume.
     fn build_measurement(
@@ -401,6 +489,28 @@ impl Runner {
         d_tag_bits: u32,
         i_tag_bits: u32,
     ) -> Measurement {
+        self.run_static_impl(
+            app, system, d_static, i_static, d_tag_bits, i_tag_bits, false,
+        )
+    }
+
+    /// [`Runner::run_static`] with a choice of how a memo *miss* obtains its
+    /// records: `streamed = false` materializes the shared trace (right for
+    /// static sweeps, which replay it for every geometry), `streamed = true`
+    /// pulls a store source (right when the caller — the dynamic experiments
+    /// — wants nothing fully resident). Both initializers are bit-identical,
+    /// so the memoized result is the same whichever call populates it.
+    #[allow(clippy::too_many_arguments)]
+    fn run_static_impl(
+        &self,
+        app: &AppProfile,
+        system: &SystemConfig,
+        d_static: Option<CachePoint>,
+        i_static: Option<CachePoint>,
+        d_tag_bits: u32,
+        i_tag_bits: u32,
+        streamed: bool,
+    ) -> Measurement {
         let normalize = |cfg: rescache_cache::CacheConfig, point: Option<CachePoint>| match point {
             Some(p) => (p.sets, p.ways),
             None => (cfg.num_sets(), cfg.associativity),
@@ -416,8 +526,14 @@ impl Runner {
             Arc::clone(map.entry(key).or_default())
         };
         let sim = slot.get_or_init(|| {
-            let (warm, measure) = self.trace(app);
-            Self::simulate_static(&warm, &measure, system, d_static, i_static)
+            if streamed {
+                self.with_streamed_source(app, |source| {
+                    self.simulate_static_source(source, system, d_static, i_static)
+                })
+            } else {
+                let (warm, measure) = self.trace(app);
+                Self::simulate_static(&warm, &measure, system, d_static, i_static)
+            }
         });
         let model = EnergyModel::with_overhead(
             &system.hierarchy,
@@ -426,6 +542,59 @@ impl Runner {
                 l1d_bits: d_tag_bits,
             },
         );
+        Self::build_measurement(&model, &sim.result, &sim.snapshot, system)
+    }
+
+    /// Runs one simulation of `setup` with the records pulled from the trace
+    /// store as a stream: the streamed twin of [`Runner::run`], and the path
+    /// every dynamic-controller experiment takes.
+    ///
+    /// The warm and measured regions come from **one** store-served source —
+    /// a resident cursor when the trace is already materialized in this
+    /// process, a chunk-by-chunk on-disk reader when the store persists to a
+    /// directory (nothing fully resident; the measure region's stream
+    /// continues straight out of the warm prefix's chunks), or a resumable
+    /// generator otherwise. Results are bit-identical to the materialized
+    /// path (asserted by `tests/dynamic_streaming_equivalence.rs`). A static
+    /// setup (no controller) delegates to the memoized [`Runner::run_static`]
+    /// with a streaming initializer.
+    pub fn run_dynamic(
+        &self,
+        app: &AppProfile,
+        system: &SystemConfig,
+        setup: &RunSetup,
+    ) -> Measurement {
+        let Some((side, space, params)) = setup.dynamic.clone() else {
+            return self.run_static_impl(
+                app,
+                system,
+                setup.d_static,
+                setup.i_static,
+                setup.d_tag_bits,
+                setup.i_tag_bits,
+                true,
+            );
+        };
+        let model = EnergyModel::with_overhead(
+            &system.hierarchy,
+            ResizingTagOverhead {
+                l1i_bits: setup.i_tag_bits,
+                l1d_bits: setup.d_tag_bits,
+            },
+        );
+        let sim = self.with_streamed_source(app, |source| {
+            // A fresh controller per attempt: a retried run must not see the
+            // aborted attempt's interval state.
+            let mut controller = DynamicController::new(side, space.clone(), params)
+                .expect("dynamic parameters validated by the caller");
+            self.simulate_hooked_source(
+                source,
+                system,
+                setup.d_static,
+                setup.i_static,
+                &mut controller,
+            )
+        });
         Self::build_measurement(&model, &sim.result, &sim.snapshot, system)
     }
 
@@ -556,6 +725,12 @@ impl Runner {
     /// Dynamic resizing with explicit size-bound candidates (see
     /// [`Runner::dynamic_best`]).
     ///
+    /// The whole sweep is streamed: the baseline (on a memo miss) and every
+    /// candidate pull their records from the trace store as chunked sources,
+    /// so a store with a persistence directory runs the sweep with no
+    /// materialized full-length trace — one chunk buffer per in-flight
+    /// simulation.
+    ///
     /// # Errors
     ///
     /// Returns an error if the organization is not applicable to the cache.
@@ -575,22 +750,22 @@ impl Runner {
             0
         };
 
-        let (warm, measure) = self.trace(app);
-        let base = self.run_static(app, system, None, None, 0, 0);
+        // The baseline also seeds the store: on a cold key with a
+        // persistence directory this generates the entry straight to disk,
+        // so the parallel candidate sweep below replays it chunk by chunk.
+        let base = self.run_static_impl(app, system, None, None, 0, 0, true);
         let base_miss_ratio = match side {
             ResizableCacheSide::Data => base.l1d_miss_ratio,
             ResizableCacheSide::Instruction => base.l1i_miss_ratio,
         };
 
-        // Clamp the requested bounds into the offered range.
-        let clamped: Vec<u64> = size_bounds
-            .iter()
-            .map(|b| (*b).clamp(space.min_bytes(), cache_cfg.size_bytes))
-            .collect();
-        let params = DynamicParams::candidates_with_bounds(
+        // Candidates over the requested bounds, snapped to offered
+        // capacities (unreachable floors would waste or break simulations).
+        let params = DynamicParams::candidates_for_space(
             self.config.dynamic_interval,
             base_miss_ratio,
-            &clamped,
+            &space,
+            size_bounds,
         );
         // Parameter candidates are independent simulations over the shared
         // trace; sweep them in parallel like the static points.
@@ -603,7 +778,7 @@ impl Runner {
                 ResizableCacheSide::Data => setup.d_tag_bits = tag_bits,
                 ResizableCacheSide::Instruction => setup.i_tag_bits = tag_bits,
             }
-            (*p, self.run(&warm, &measure, system, &setup))
+            (*p, self.run_dynamic(app, system, &setup))
         });
 
         let (_, best_measurement) = candidates

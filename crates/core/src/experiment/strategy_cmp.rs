@@ -53,8 +53,11 @@ pub fn static_vs_dynamic(
     let rows: Vec<Result<StrategyRow, CoreError>> = parallel_map(apps, |app| {
         let static_outcome = runner.static_best(app, system, organization, side)?;
         // The dynamic controller's size-bound is profiled offline, like the
-        // paper's: offer the static best size, half of it, and the smallest
-        // offered size as candidates.
+        // paper's: offer the static best size, half of it, a quarter, and the
+        // smallest offered size (the `1` floor). The runner snaps each bound
+        // to an offered capacity and collapses duplicates, so fractions that
+        // fall between (or below) offered sizes never waste a simulation —
+        // and the candidate sweep itself streams from the trace store.
         let full = side.config_of(&system.hierarchy).size_bytes;
         let static_best_bytes = static_outcome
             .best

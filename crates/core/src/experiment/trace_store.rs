@@ -1,34 +1,64 @@
 //! The shared trace store: once-per-key generation, copy-free in-process
-//! sharing, and optional on-disk persistence across processes.
+//! sharing, chunk-granular prefix sharing, optional on-disk persistence, and
+//! streamed (never-materialized) serving for replay-once consumers.
 //!
 //! Every experiment replays the same `(application, seed, lengths)` trace
 //! under many cache configurations, and trace generation is the slowest
-//! single stage of a cold sweep. The store therefore memoizes the generated
-//! `(warm-up, measured)` window pair per key within a process (concurrent
-//! callers block on the one generation), and — when `RESCACHE_TRACE_DIR`
-//! names a directory — persists each generated trace with the
-//! [`rescache_trace::codec`] so later processes of a multi-app/multi-seed
-//! campaign replay from disk instead of regenerating.
+//! single stage of a cold sweep. The store therefore keeps one *full*
+//! generated trace per `(application, seed, total length)` within a process
+//! (concurrent callers block on the one generation; warm/measure splits are
+//! copy-free views, so two runner configurations whose totals agree share one
+//! buffer) and — when `RESCACHE_TRACE_DIR` names a directory — persists each
+//! generated trace with the [`rescache_trace::codec`] so later processes of a
+//! multi-app/multi-seed campaign replay from disk instead of regenerating.
 //!
-//! Disk entries are advisory: a missing, truncated, corrupt or mismatched
-//! file is silently replaced by regeneration (with a note on stderr for
-//! anything other than "not found"), so a crashed writer or a foreign file
-//! can never abort a sweep.
+//! Two access patterns get two serving modes:
+//!
+//! * [`TraceStore::fetch`] **materializes** (and memoizes) the full trace —
+//!   right for the static sweeps, whose memoized simulations replay the same
+//!   records dozens of times per process.
+//! * [`TraceStore::source`] serves a **pull-based [`TraceSource`]** without
+//!   materializing when it can: a copy-free cursor if the trace is already
+//!   resident, otherwise a chunk-by-chunk on-disk reader
+//!   ([`rescache_trace::TraceFileSource`]), otherwise (directory configured
+//!   but entry missing) a streaming generate-to-disk followed by on-disk
+//!   replay. Only when no directory is configured does it fall back to the
+//!   materialized path. This is what lets the dynamic-controller experiments
+//!   run with a single chunk buffer resident.
+//!
+//! Persisted entries are keyed by *total* length and shared chunk-granularly
+//! between overlapping requests: a request is served from a longer entry's
+//! leading chunks when the profile is
+//! [`length-invariant`](AppProfile::length_invariant) (generation is
+//! prefix-stable), and two warm/measure splits of the same total always
+//! share one entry. Disk entries are advisory: a missing, truncated, corrupt
+//! or mismatched file is silently replaced by regeneration (with a note on
+//! stderr for anything other than "not found"), so a crashed writer or a
+//! foreign file can never abort a sweep.
 
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex, OnceLock};
 
-use rescache_trace::{codec, AppProfile, Trace, TraceGenerator};
+use rescache_trace::{
+    codec, AppProfile, InstrRecord, Trace, TraceCursor, TraceFileSource, TraceGenerator,
+    TraceSource, TraceStream,
+};
 
 use crate::experiment::runner::RunnerConfig;
 
-/// Key identifying one generated (warm, measure) trace pair: application
-/// name, profile fingerprint, seed, warm-up length, measured length. The
+/// Key identifying one (warm, measure) trace request: application name,
+/// profile fingerprint, seed, warm-up length, measured length. The
 /// fingerprint covers the profile's full contents, so two differing profiles
 /// that happen to share a name (possible via the `AppProfile` builders)
-/// never alias in the store.
+/// never alias. Simulation memo keys embed this type — the split matters to
+/// a simulation even though the underlying records only depend on the total.
 pub(crate) type TraceKey = (&'static str, u64, u64, usize, usize);
+
+/// Key of one full generated trace in the store: application name, profile
+/// fingerprint, seed, total length. Requests whose totals agree share the
+/// entry and split it at fetch time.
+type StoreKey = (&'static str, u64, u64, usize);
 
 /// A shared once-per-key memoization map: the outer mutex is held only to
 /// fetch or insert a slot, while the per-key `OnceLock` serializes (blocking)
@@ -37,12 +67,114 @@ type MemoCache<K, V> = Arc<Mutex<HashMap<K, Arc<OnceLock<V>>>>>;
 
 /// The store of generated traces (see the module documentation).
 ///
-/// Clones share the in-memory map, which is what lets the parallel sweeps
+/// Clones share the in-memory maps, which is what lets the parallel sweeps
 /// fan out over applications without regenerating per-worker state.
 #[derive(Debug, Clone, Default)]
 pub struct TraceStore {
-    traces: MemoCache<TraceKey, (Trace, Trace)>,
+    traces: MemoCache<StoreKey, Trace>,
+    /// Once-per-process streaming persists (value: whether the entry is now
+    /// on disk), so a parallel candidate sweep hitting a cold key performs
+    /// one generate-to-disk pass instead of one per worker.
+    persists: MemoCache<StoreKey, bool>,
     dir: Option<PathBuf>,
+}
+
+/// How a [`StoreSource`] produces its records (observable so tests and
+/// benches can assert which path a run took).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StoreSourceKind {
+    /// A copy-free cursor over a trace materialized in this process.
+    Resident,
+    /// A chunk-by-chunk decoder over a persisted entry; one chunk resident.
+    Disk,
+    /// A resumable generator stream; one chunk resident, records are
+    /// produced on the fly.
+    Generated,
+}
+
+/// A [`TraceSource`] served by [`TraceStore::source`]: one of the three
+/// producers behind a single monomorphizable type. The generator variant is
+/// boxed: a `TraceStream` carries the whole expansion state (~0.7 KB), and
+/// one `StoreSource` exists per in-flight simulation, not per record.
+#[derive(Debug)]
+pub enum StoreSource {
+    /// See [`StoreSourceKind::Resident`].
+    Resident(TraceCursor),
+    /// See [`StoreSourceKind::Disk`].
+    Disk(TraceFileSource),
+    /// See [`StoreSourceKind::Generated`].
+    Generated(Box<TraceStream>),
+}
+
+impl StoreSource {
+    /// Which producer is behind this source.
+    pub fn kind(&self) -> StoreSourceKind {
+        match self {
+            StoreSource::Resident(_) => StoreSourceKind::Resident,
+            StoreSource::Disk(_) => StoreSourceKind::Disk,
+            StoreSource::Generated(_) => StoreSourceKind::Generated,
+        }
+    }
+
+    /// The decode fault that interrupted an on-disk source, if any: a faulted
+    /// source under-delivered, and the consuming simulation must be retried
+    /// from another producer (the runner regenerates).
+    pub fn fault(&self) -> Option<&codec::CodecError> {
+        match self {
+            StoreSource::Disk(d) => d.fault(),
+            _ => None,
+        }
+    }
+}
+
+impl TraceSource for StoreSource {
+    fn name(&self) -> &str {
+        match self {
+            StoreSource::Resident(s) => s.name(),
+            StoreSource::Disk(s) => s.name(),
+            StoreSource::Generated(s) => s.name(),
+        }
+    }
+
+    fn total_records(&self) -> usize {
+        match self {
+            StoreSource::Resident(s) => s.total_records(),
+            StoreSource::Disk(s) => s.total_records(),
+            StoreSource::Generated(s) => s.total_records(),
+        }
+    }
+
+    fn next_chunk(&mut self) -> &[InstrRecord] {
+        match self {
+            StoreSource::Resident(s) => s.next_chunk(),
+            StoreSource::Disk(s) => s.next_chunk(),
+            StoreSource::Generated(s) => s.next_chunk(),
+        }
+    }
+
+    fn position(&self) -> usize {
+        match self {
+            StoreSource::Resident(s) => s.position(),
+            StoreSource::Disk(s) => s.position(),
+            StoreSource::Generated(s) => s.position(),
+        }
+    }
+
+    fn split_at(&mut self, at: usize) {
+        match self {
+            StoreSource::Resident(s) => s.split_at(at),
+            StoreSource::Disk(s) => s.split_at(at),
+            StoreSource::Generated(s) => s.split_at(at),
+        }
+    }
+
+    fn skip(&mut self, n: usize) {
+        match self {
+            StoreSource::Resident(s) => s.skip(n),
+            StoreSource::Disk(s) => s.skip(n),
+            StoreSource::Generated(s) => s.skip(n),
+        }
+    }
 }
 
 impl TraceStore {
@@ -57,6 +189,7 @@ impl TraceStore {
     pub fn with_dir(dir: Option<PathBuf>) -> Self {
         Self {
             traces: Arc::default(),
+            persists: Arc::default(),
             dir,
         }
     }
@@ -77,65 +210,272 @@ impl TraceStore {
         )
     }
 
+    /// The full-trace key of an application under a runner configuration.
+    fn store_key(app: &AppProfile, config: &RunnerConfig) -> StoreKey {
+        (
+            app.name,
+            app.fingerprint(),
+            config.trace_seed,
+            config.warmup_instructions + config.measure_instructions,
+        )
+    }
+
+    /// Number of full traces currently materialized in this process — the
+    /// observable the streamed experiment paths are measured against ("no
+    /// materialized full-length trace" means this stays at zero).
+    pub fn resident_full_traces(&self) -> usize {
+        self.traces
+            .lock()
+            .expect("trace store lock")
+            .values()
+            .filter(|slot| slot.get().is_some())
+            .count()
+    }
+
     /// Returns the warm-up and measurement traces for an application,
     /// generating (or loading from disk) at most once per key.
     pub fn fetch(&self, app: &AppProfile, config: &RunnerConfig) -> (Trace, Trace) {
-        let key = Self::key(app, config);
+        self.fetch_full(app, config)
+            .split_at(config.warmup_instructions)
+    }
+
+    /// Returns the full (warm + measure) trace for an application,
+    /// materializing at most once per `(application, seed, total)`.
+    fn fetch_full(&self, app: &AppProfile, config: &RunnerConfig) -> Trace {
+        let key = Self::store_key(app, config);
         let slot = {
             let mut map = self.traces.lock().expect("trace store lock");
             Arc::clone(map.entry(key).or_default())
         };
-        slot.get_or_init(|| self.load_or_generate(app, config, &key))
+        slot.get_or_init(|| self.load_or_generate(app, &key))
             .clone()
     }
 
-    /// Loads the keyed trace from disk if possible, otherwise generates it
-    /// (and persists the result, best-effort).
-    fn load_or_generate(
-        &self,
-        app: &AppProfile,
-        config: &RunnerConfig,
-        key: &TraceKey,
-    ) -> (Trace, Trace) {
-        let total = config.warmup_instructions + config.measure_instructions;
-        let path = self.dir.as_ref().map(|d| d.join(Self::file_name(key)));
+    /// Serves the full (warm + measure) record sequence as a pull-based
+    /// source, preferring producers that keep at most one chunk resident
+    /// (see the module documentation for the exact policy).
+    pub fn source(&self, app: &AppProfile, config: &RunnerConfig) -> StoreSource {
+        let key = Self::store_key(app, config);
+        let total = key.3;
 
-        if let Some(path) = &path {
-            match codec::load_trace(path) {
-                Ok(full) if full.name() == app.name && full.len() == total => {
-                    return full.split_at(config.warmup_instructions);
-                }
-                Ok(full) => {
-                    // A hash collision in the file name, or a foreign file:
-                    // fall through to regeneration and overwrite.
-                    eprintln!(
-                        "rescache: trace store entry {} is for {}/{} records, expected {}/{total}; regenerating",
-                        path.display(),
-                        full.name(),
-                        full.len(),
-                        app.name,
-                    );
-                }
-                Err(codec::CodecError::Io(e)) if e.kind() == std::io::ErrorKind::NotFound => {}
-                Err(e) => {
-                    eprintln!(
-                        "rescache: trace store entry {} unreadable ({e}); regenerating",
-                        path.display()
-                    );
-                }
-            }
+        // Already materialized in this process (exactly, or as a longer
+        // prefix-stable trace): replaying the resident buffer is free.
+        if let Some(full) = self.resident_prefix(app, &key) {
+            return StoreSource::Resident(full.cursor());
         }
 
-        let full = TraceGenerator::new(app.clone(), config.trace_seed).generate(total);
-        if let Some(path) = &path {
-            if let Err(e) = self.persist(path, &full) {
+        if self.dir.is_some() {
+            if let Some(source) = self.disk_source(app, &key) {
+                return StoreSource::Disk(source);
+            }
+            // Cold key: persist a streaming-generated entry (once per
+            // process — parallel sweeps block on the one writer) and replay
+            // it from disk. Nothing is ever fully resident.
+            if self.ensure_persisted(app, &key) {
+                if let Some(source) = self.disk_source(app, &key) {
+                    return StoreSource::Disk(source);
+                }
+            }
+            // The directory is unusable (e.g. not writable): generate on
+            // the fly rather than fail — still nothing materialized.
+            return StoreSource::Generated(Box::new(
+                TraceGenerator::new(app.clone(), key.2).stream(total),
+            ));
+        }
+
+        // In-memory-only store: replay-heavy consumers dominate here, so
+        // materialize once (memoized, shared) and serve cursors.
+        StoreSource::Resident(self.fetch_full(app, config).cursor())
+    }
+
+    /// A resident full trace covering `key` — exact, or a copy-free prefix
+    /// view of a longer resident trace when the profile is prefix-stable.
+    fn resident_prefix(&self, app: &AppProfile, key: &StoreKey) -> Option<Trace> {
+        let map = self.traces.lock().expect("trace store lock");
+        if let Some(trace) = map.get(key).and_then(|slot| slot.get()) {
+            return Some(trace.clone());
+        }
+        if !app.length_invariant() {
+            return None;
+        }
+        let (name, fingerprint, seed, total) = *key;
+        map.iter()
+            .filter(|((n, f, s, t), _)| *n == name && *f == fingerprint && *s == seed && *t > total)
+            .filter_map(|(k, slot)| slot.get().map(|t| (k.3, t)))
+            .min_by_key(|(t, _)| *t)
+            .map(|(_, trace)| trace.slice(0..total))
+    }
+
+    /// Opens a chunked on-disk source for `key`: the exact-total entry, or a
+    /// prefix of a longer entry when the profile is prefix-stable. The
+    /// directory scan for a longer candidate runs only when the exact entry
+    /// is absent or unusable — the hot path is one `open`.
+    fn disk_source(&self, app: &AppProfile, key: &StoreKey) -> Option<TraceFileSource> {
+        let total = key.3;
+        if let Some(source) = self.open_entry(app, &self.entry_path(key)?, total, total) {
+            return Some(source);
+        }
+        if app.length_invariant() {
+            if let Some((path, file_total)) = self.find_longer_entry(key) {
+                return self.open_entry(app, &path, total, file_total);
+            }
+        }
+        None
+    }
+
+    /// Opens one candidate entry serving `take` records, validating the
+    /// header's application name and record count against what the *file
+    /// name* promises (`file_total`) — a header that disagrees marks a
+    /// foreign, stale or hash-colliding file, which must be ignored, never
+    /// prefix-served.
+    fn open_entry(
+        &self,
+        app: &AppProfile,
+        path: &Path,
+        take: usize,
+        file_total: usize,
+    ) -> Option<TraceFileSource> {
+        match TraceFileSource::open(path, Some(take)) {
+            Ok(source) if source.name() == app.name && source.file_records() == file_total => {
+                Some(source)
+            }
+            Ok(source) => {
+                eprintln!(
+                    "rescache: trace store entry {} is for {}/{} records, expected {}/{file_total}; ignoring",
+                    path.display(),
+                    source.name(),
+                    source.file_records(),
+                    app.name,
+                );
+                None
+            }
+            Err(codec::CodecError::Io(e)) if e.kind() == std::io::ErrorKind::NotFound => None,
+            Err(e) => {
+                eprintln!(
+                    "rescache: trace store entry {} unreadable ({e}); ignoring",
+                    path.display()
+                );
+                None
+            }
+        }
+    }
+
+    /// Drops a faulted persisted entry (best-effort) and forgets that it was
+    /// persisted, so the next [`TraceStore::source`] for its key re-persists
+    /// a fresh entry instead of re-reading the corrupt one forever.
+    ///
+    /// The faulted file may be the requesting key's exact entry *or* a
+    /// longer shared entry, so the persist memo is cleared for both the
+    /// requesting key and the key the file's own name claims.
+    pub(crate) fn invalidate_disk_entry(
+        &self,
+        path: &Path,
+        app: &AppProfile,
+        config: &RunnerConfig,
+    ) {
+        let _ = std::fs::remove_file(path);
+        let (name, fingerprint, seed, _) = Self::store_key(app, config);
+        let mut map = self.persists.lock().expect("trace store persist lock");
+        map.remove(&Self::store_key(app, config));
+        if let Some(file_total) = Self::entry_total_from_path(path, name, fingerprint, seed) {
+            map.remove(&(name, fingerprint, seed, file_total));
+        }
+    }
+
+    /// Parses the total-record count a store entry's file name claims, if
+    /// the name matches the given (application, fingerprint, seed).
+    fn entry_total_from_path(
+        path: &Path,
+        name: &str,
+        fingerprint: u64,
+        seed: u64,
+    ) -> Option<usize> {
+        let file_name = path.file_name()?.to_str()?;
+        let prefix = format!("{name}-{fingerprint:016x}-s{seed}-t");
+        file_name
+            .strip_prefix(&prefix)?
+            .strip_suffix(".rctrace")?
+            .parse()
+            .ok()
+    }
+
+    /// Persists the keyed trace by draining a generator stream to disk (no
+    /// materialization), once per process. Returns whether an entry exists.
+    fn ensure_persisted(&self, app: &AppProfile, key: &StoreKey) -> bool {
+        let Some(dir) = self.dir.clone() else {
+            return false;
+        };
+        let slot = {
+            let mut map = self.persists.lock().expect("trace store persist lock");
+            Arc::clone(map.entry(*key).or_default())
+        };
+        *slot.get_or_init(|| {
+            let path = dir.join(Self::file_name(key));
+            let result = (|| {
+                std::fs::create_dir_all(&dir)?;
+                let mut stream = TraceGenerator::new(app.clone(), key.2).stream(key.3);
+                codec::save_source(&path, &mut stream)
+            })();
+            if let Err(e) = &result {
+                eprintln!(
+                    "rescache: could not persist trace to {} ({e}); streaming in-memory",
+                    path.display()
+                );
+            }
+            result.is_ok()
+        })
+    }
+
+    /// Loads the keyed full trace from disk if possible, otherwise generates
+    /// it (and persists the result, best-effort).
+    fn load_or_generate(&self, app: &AppProfile, key: &StoreKey) -> Trace {
+        let (_, _, seed, total) = *key;
+
+        // A longer prefix-stable trace already resident in this process
+        // serves the request as a copy-free view — the same sharing
+        // `source()` applies (the exact key can't be resident: this runs
+        // inside its one-time initializer).
+        if let Some(prefix) = self.resident_prefix(app, key) {
+            return prefix;
+        }
+
+        // One disk-serving policy for both access modes: `disk_source`
+        // locates and validates the entry (exact total, or a longer entry's
+        // prefix when the profile is prefix-stable — chunk-granular, so
+        // corruption beyond the prefix is never even read) and this path
+        // merely materializes what it streams.
+        if let Some(mut source) = self.disk_source(app, key) {
+            let mut records: Vec<InstrRecord> = Vec::with_capacity(total);
+            loop {
+                let chunk = source.next_chunk();
+                if chunk.is_empty() {
+                    break;
+                }
+                records.extend_from_slice(chunk);
+            }
+            if source.fault().is_none() && records.len() == total {
+                return Trace::new(app.name, records);
+            }
+            eprintln!(
+                "rescache: trace store entry {} unreadable ({}); regenerating",
+                source.path().display(),
+                source
+                    .fault()
+                    .map(|e| e.to_string())
+                    .unwrap_or_else(|| "short stream".into()),
+            );
+        }
+
+        let full = TraceGenerator::new(app.clone(), seed).generate(total);
+        if let Some(path) = self.entry_path(key) {
+            if let Err(e) = self.persist(&path, &full) {
                 eprintln!(
                     "rescache: could not persist trace to {} ({e}); continuing in-memory",
                     path.display()
                 );
             }
         }
-        full.split_at(config.warmup_instructions)
+        full
     }
 
     /// Writes `full` to `path`, creating the store directory on first use.
@@ -146,11 +486,48 @@ impl TraceStore {
         codec::save_trace(path, full)
     }
 
+    /// The on-disk path of a key's exact-total entry, if a directory is set.
+    fn entry_path(&self, key: &StoreKey) -> Option<PathBuf> {
+        self.dir.as_ref().map(|d| d.join(Self::file_name(key)))
+    }
+
+    /// Finds the smallest persisted entry for the same (application,
+    /// fingerprint, seed) whose total exceeds the key's — the candidate for
+    /// prefix serving. Returns the path and the total its file name claims.
+    fn find_longer_entry(&self, key: &StoreKey) -> Option<(PathBuf, usize)> {
+        let dir = self.dir.as_ref()?;
+        let (name, fingerprint, seed, total) = *key;
+        let prefix = format!("{name}-{fingerprint:016x}-s{seed}-t");
+        let mut best: Option<(PathBuf, usize)> = None;
+        for entry in std::fs::read_dir(dir).ok()? {
+            let Ok(entry) = entry else { continue };
+            let file_name = entry.file_name();
+            let Some(file_name) = file_name.to_str() else {
+                continue;
+            };
+            let Some(rest) = file_name
+                .strip_prefix(&prefix)
+                .and_then(|r| r.strip_suffix(".rctrace"))
+            else {
+                continue;
+            };
+            let Ok(entry_total) = rest.parse::<usize>() else {
+                continue;
+            };
+            if entry_total > total && best.as_ref().is_none_or(|(_, t)| entry_total < *t) {
+                best = Some((entry.path(), entry_total));
+            }
+        }
+        best
+    }
+
     /// File name of a store entry: application name plus every key component
-    /// that distinguishes trace contents.
-    fn file_name(key: &TraceKey) -> String {
-        let (name, fingerprint, seed, warm, measure) = key;
-        format!("{name}-{fingerprint:016x}-s{seed}-w{warm}-m{measure}.rctrace")
+    /// that distinguishes trace contents. Entries are keyed by *total*
+    /// length — the warm/measure split is a property of the request, not of
+    /// the records — so overlapping requests share files.
+    fn file_name(key: &StoreKey) -> String {
+        let (name, fingerprint, seed, total) = key;
+        format!("{name}-{fingerprint:016x}-s{seed}-t{total}.rctrace")
     }
 }
 
@@ -174,6 +551,18 @@ mod tests {
         entries.into_iter().next().expect("one entry")
     }
 
+    fn drain(source: &mut StoreSource) -> Vec<InstrRecord> {
+        let mut records = Vec::new();
+        loop {
+            let chunk = source.next_chunk();
+            if chunk.is_empty() {
+                break;
+            }
+            records.extend_from_slice(chunk);
+        }
+        records
+    }
+
     #[test]
     fn memoizes_in_process() {
         let store = TraceStore::with_dir(None);
@@ -185,6 +574,22 @@ mod tests {
         // Same underlying buffer, not merely equal contents.
         assert_eq!(w1.records().as_ptr(), w2.records().as_ptr());
         assert_eq!(m1.records().as_ptr(), m2.records().as_ptr());
+        assert_eq!(store.resident_full_traces(), 1);
+    }
+
+    #[test]
+    fn same_total_different_split_shares_one_trace() {
+        let store = TraceStore::with_dir(None);
+        let cfg = RunnerConfig::fast();
+        let mut shifted = cfg;
+        shifted.warmup_instructions += 1_000;
+        shifted.measure_instructions -= 1_000;
+        let (w1, _) = store.fetch(&spec::gcc(), &cfg);
+        let (w2, _) = store.fetch(&spec::gcc(), &shifted);
+        assert_eq!(w2.len(), cfg.warmup_instructions + 1_000);
+        // One materialization serves both splits.
+        assert_eq!(store.resident_full_traces(), 1);
+        assert_eq!(w1.records(), &w2.records()[..w1.len()]);
     }
 
     #[test]
@@ -222,5 +627,189 @@ mod tests {
         let entries = std::fs::read_dir(&dir).expect("dir").count();
         assert_eq!(entries, 2);
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn longer_entry_serves_a_shorter_request_without_regeneration() {
+        let (store, dir) = temp_store("prefix");
+        let cfg = RunnerConfig::fast();
+        // ammp is length-invariant (constant schedules): persist the long
+        // trace, then ask a fresh store for a shorter one.
+        assert!(spec::ammp().length_invariant());
+        let (w_long, m_long) = store.fetch(&spec::ammp(), &cfg);
+        let long_path = entry_path(&dir);
+
+        let mut short = cfg;
+        short.measure_instructions /= 2;
+        let fresh = TraceStore::with_dir(Some(dir.clone()));
+        let (w_short, m_short) = fresh.fetch(&spec::ammp(), &short);
+        assert_eq!(w_short, w_long);
+        let long_records: Vec<_> = w_long
+            .records()
+            .iter()
+            .chain(m_long.records())
+            .copied()
+            .collect();
+        assert_eq!(
+            m_short.records(),
+            &long_records
+                [short.warmup_instructions..short.warmup_instructions + short.measure_instructions]
+        );
+        // Served from the longer entry: no new file appeared.
+        assert_eq!(std::fs::read_dir(&dir).expect("dir").count(), 1);
+
+        // A corrupt chunk *inside* the requested prefix falls back to
+        // regeneration (which writes the exact-total entry).
+        let mut bytes = std::fs::read(&long_path).expect("read entry");
+        let first_record = 8 + 4 + "ammp".len() + 8 + 4 + 8;
+        bytes[first_record] = 0xee;
+        std::fs::write(&long_path, &bytes).expect("corrupt entry");
+        let corrupted = TraceStore::with_dir(Some(dir.clone()));
+        let (w_regen, m_regen) = corrupted.fetch(&spec::ammp(), &short);
+        assert_eq!(w_regen, w_short, "regeneration reproduces the prefix");
+        assert_eq!(m_regen, m_short);
+        assert_eq!(
+            std::fs::read_dir(&dir).expect("dir").count(),
+            2,
+            "regeneration persisted the exact-total entry"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn length_varying_profiles_never_share_prefixes() {
+        let (store, dir) = temp_store("noprefix");
+        let cfg = RunnerConfig::fast();
+        // gcc's multi-phase sequence schedules scale with the total: a
+        // shorter request must regenerate, not reuse the longer entry.
+        assert!(!spec::gcc().length_invariant());
+        store.fetch(&spec::gcc(), &cfg);
+
+        let mut short = cfg;
+        short.measure_instructions /= 2;
+        let fresh = TraceStore::with_dir(Some(dir.clone()));
+        let (_, m_short) = fresh.fetch(&spec::gcc(), &short);
+        let expected = TraceGenerator::new(spec::gcc(), cfg.trace_seed)
+            .generate(short.warmup_instructions + short.measure_instructions);
+        assert_eq!(
+            m_short.records(),
+            &expected.records()[short.warmup_instructions..]
+        );
+        assert_eq!(
+            std::fs::read_dir(&dir).expect("dir").count(),
+            2,
+            "the shorter gcc trace gets its own entry"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn mislabeled_entry_is_ignored_not_prefix_served() {
+        // A file whose header promises more records than its *name* claims
+        // is foreign or stale: serving its prefix would silently diverge for
+        // length-varying profiles. Both the materialized and the streamed
+        // paths must regenerate instead.
+        let (_, dir) = temp_store("mislabel");
+        std::fs::create_dir_all(&dir).expect("create dir");
+        let cfg = RunnerConfig::fast();
+        let mut short = cfg;
+        short.measure_instructions /= 2;
+        let short_total = short.warmup_instructions + short.measure_instructions;
+        // Masquerade a long trace as the short entry (gcc is NOT
+        // length-invariant, so no honest sharing path exists).
+        let short_name = TraceStore::file_name(&TraceStore::store_key(&spec::gcc(), &short));
+        let long_trace = TraceGenerator::new(spec::gcc(), cfg.trace_seed)
+            .generate(cfg.warmup_instructions + cfg.measure_instructions);
+        codec::save_trace(&dir.join(&short_name), &long_trace).expect("plant mislabeled entry");
+
+        let expected = TraceGenerator::new(spec::gcc(), cfg.trace_seed).generate(short_total);
+
+        // Materialized path regenerates (and overwrites the bad entry).
+        let fresh = TraceStore::with_dir(Some(dir.clone()));
+        let (w, m) = fresh.fetch(&spec::gcc(), &short);
+        assert_eq!(
+            w.records(),
+            &expected.records()[..short.warmup_instructions]
+        );
+        assert_eq!(
+            m.records(),
+            &expected.records()[short.warmup_instructions..]
+        );
+
+        // Streamed path on a separate planted copy: must not serve the
+        // mislabeled header either.
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).expect("recreate dir");
+        codec::save_trace(&dir.join(&short_name), &long_trace).expect("plant again");
+        let fresh = TraceStore::with_dir(Some(dir.clone()));
+        let mut source = fresh.source(&spec::gcc(), &short);
+        assert_eq!(drain(&mut source), expected.records());
+        assert!(source.fault().is_none());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn source_prefers_disk_and_never_materializes_with_a_dir() {
+        let (store, dir) = temp_store("source");
+        let cfg = RunnerConfig::fast();
+        let total = cfg.warmup_instructions + cfg.measure_instructions;
+        let reference = TraceGenerator::new(spec::su2cor(), cfg.trace_seed).generate(total);
+
+        // Cold key with a directory: generate-to-disk, then serve from disk.
+        let mut source = store.source(&spec::su2cor(), &cfg);
+        assert_eq!(source.kind(), StoreSourceKind::Disk);
+        assert_eq!(source.total_records(), total);
+        assert_eq!(drain(&mut source), reference.records());
+        assert_eq!(store.resident_full_traces(), 0, "nothing materialized");
+        assert_eq!(std::fs::read_dir(&dir).expect("dir").count(), 1);
+
+        // Second source replays the persisted entry.
+        let mut source = store.source(&spec::su2cor(), &cfg);
+        assert_eq!(source.kind(), StoreSourceKind::Disk);
+        assert_eq!(drain(&mut source), reference.records());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn source_serves_resident_traces_and_in_memory_stores() {
+        let store = TraceStore::with_dir(None);
+        let cfg = RunnerConfig::fast();
+        let total = cfg.warmup_instructions + cfg.measure_instructions;
+
+        // In-memory-only store: the source materializes once and replays.
+        let mut source = store.source(&spec::ammp(), &cfg);
+        assert_eq!(source.kind(), StoreSourceKind::Resident);
+        assert_eq!(drain(&mut source).len(), total);
+        assert_eq!(store.resident_full_traces(), 1);
+
+        // A shorter request for a length-invariant profile is a copy-free
+        // prefix view of the resident trace — still one materialization.
+        let mut short = cfg;
+        short.measure_instructions /= 2;
+        let source = store.source(&spec::ammp(), &short);
+        assert_eq!(source.kind(), StoreSourceKind::Resident);
+        assert_eq!(
+            source.total_records(),
+            short.warmup_instructions + short.measure_instructions
+        );
+        assert_eq!(store.resident_full_traces(), 1);
+    }
+
+    #[test]
+    fn source_survives_an_unwritable_directory() {
+        let dir =
+            std::env::temp_dir().join(format!("rescache-store-not-a-dir-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::remove_file(&dir).ok();
+        // Make the "directory" a file so create_dir_all fails.
+        std::fs::write(&dir, b"occupied").expect("occupy path");
+        let store = TraceStore::with_dir(Some(dir.clone()));
+        let cfg = RunnerConfig::fast();
+        let total = cfg.warmup_instructions + cfg.measure_instructions;
+        let mut source = store.source(&spec::vpr(), &cfg);
+        assert_eq!(source.kind(), StoreSourceKind::Generated);
+        assert_eq!(drain(&mut source).len(), total);
+        assert_eq!(store.resident_full_traces(), 0);
+        std::fs::remove_file(&dir).ok();
     }
 }

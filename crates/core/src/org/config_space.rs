@@ -146,6 +146,20 @@ impl ConfigSpace {
         *self.sizes_bytes().last().expect("non-empty space")
     }
 
+    /// Snaps a requested size-bound to the capacity the controller would
+    /// actually be floored at: the smallest offered capacity that is at
+    /// least `bytes`, with bounds beyond the full size clamped to the full
+    /// size.
+    ///
+    /// Sweeping un-snapped bounds silently wastes simulations — two bounds
+    /// that fall between the same pair of offered sizes behave identically —
+    /// and a bound above the full capacity would be rejected outright by
+    /// [`crate::strategy::DynamicController::new`]; snapping makes both
+    /// cases explicit (see `DynamicParams::candidates_for_space`).
+    pub fn snap_size_bound(&self, bytes: u64) -> u64 {
+        self.sizes_bytes()[self.index_of_at_least(bytes)]
+    }
+
     /// Index of the smallest offered point whose capacity is at least
     /// `bytes` (used to translate a size-bound into a point index).
     pub fn index_of_at_least(&self, bytes: u64) -> usize {
@@ -280,6 +294,19 @@ mod tests {
         assert_eq!(s.index_of_at_least(16 * 1024), 1);
         assert_eq!(s.index_of_at_least(5 * 1024), 2, "8K is the smallest >= 5K");
         assert_eq!(s.index_of_at_least(1024), 3);
+    }
+
+    #[test]
+    fn snap_size_bound_lands_on_offered_capacities() {
+        let s = space(32, 4, Organization::SelectiveSets); // 32, 16, 8, 4 KiB
+        assert_eq!(s.snap_size_bound(16 * 1024), 16 * 1024, "offered: exact");
+        assert_eq!(s.snap_size_bound(5 * 1024), 8 * 1024, "between: rounds up");
+        assert_eq!(s.snap_size_bound(1), 4 * 1024, "below: smallest offered");
+        assert_eq!(
+            s.snap_size_bound(64 * 1024),
+            32 * 1024,
+            "beyond full: clamped to the full size"
+        );
     }
 
     #[test]

@@ -62,7 +62,36 @@ impl DynamicParams {
         base_miss_ratio: f64,
         space: &ConfigSpace,
     ) -> Vec<DynamicParams> {
-        Self::candidates_with_bounds(interval_accesses, base_miss_ratio, &[space.min_bytes()])
+        Self::candidates_for_space(
+            interval_accesses,
+            base_miss_ratio,
+            space,
+            &[space.min_bytes()],
+        )
+    }
+
+    /// Profiling candidates over requested size-bounds, validated against
+    /// the organization's offered configuration space.
+    ///
+    /// Every requested bound is snapped to the capacity the controller would
+    /// actually floor at ([`ConfigSpace::snap_size_bound`]): a bound between
+    /// two offered sizes rounds up to the next offered size, and a bound
+    /// beyond the full capacity clamps to the full size, instead of silently
+    /// sweeping an unreachable floor (which previously either duplicated a
+    /// neighbouring candidate's simulation or made [`DynamicController::new`]
+    /// reject the parameters outright). Bounds that snap to the same
+    /// capacity collapse to one candidate.
+    pub fn candidates_for_space(
+        interval_accesses: u64,
+        base_miss_ratio: f64,
+        space: &ConfigSpace,
+        size_bounds: &[u64],
+    ) -> Vec<DynamicParams> {
+        let snapped: Vec<u64> = size_bounds
+            .iter()
+            .map(|b| space.snap_size_bound(*b))
+            .collect();
+        Self::candidates_with_bounds(interval_accesses, base_miss_ratio, &snapped)
     }
 
     /// Profiling candidates over an explicit set of size-bounds.
@@ -330,6 +359,38 @@ mod tests {
         assert_eq!(c.len(), 10);
         assert!(c.iter().any(|p| p.size_bound_bytes == 4 * 1024));
         assert!(c.iter().any(|p| p.size_bound_bytes == 16 * 1024));
+    }
+
+    #[test]
+    fn candidates_for_space_snap_unoffered_bounds() {
+        // Regression: a size-bound the space does not offer used to survive
+        // into the sweep — a bound above the full capacity made controller
+        // construction fail, and in-between bounds duplicated the
+        // neighbouring candidate's simulation under a different label.
+        let s = space(); // selective-sets 32K 2-way: 32/16/8/4/2 KiB
+        let c = DynamicParams::candidates_for_space(
+            1000,
+            0.05,
+            &s,
+            &[64 * 1024, 5 * 1024, 8 * 1024, 1],
+        );
+        // 64K clamps to 32K, 5K rounds up to 8K (collapsing with the
+        // explicit 8K), 1 floors at the smallest offered 2K: 3 distinct
+        // bounds x 5 miss factors.
+        assert_eq!(c.len(), 15);
+        for p in &c {
+            assert!(
+                s.sizes_bytes().contains(&p.size_bound_bytes),
+                "bound {} not offered",
+                p.size_bound_bytes
+            );
+            // Every candidate must construct a controller.
+            DynamicController::new(ResizableCacheSide::Data, s.clone(), *p)
+                .expect("snapped bounds are always valid");
+        }
+        assert!(c.iter().any(|p| p.size_bound_bytes == 32 * 1024));
+        assert!(c.iter().any(|p| p.size_bound_bytes == 8 * 1024));
+        assert!(c.iter().any(|p| p.size_bound_bytes == 2 * 1024));
     }
 
     #[test]

@@ -112,6 +112,55 @@ impl Simulator {
             }
         }
     }
+
+    /// The experiment sequence over one source on the configured engine with
+    /// no observer hook: runs the next `warm` records (the warm-up region),
+    /// resets the hierarchy statistics, then runs the following `measure`
+    /// records and returns that region's result.
+    ///
+    /// Each region is a fresh engine invocation (pipeline, predictor, window
+    /// and fetch state restart; cache state carries over), exactly as the
+    /// materialized two-trace path behaves — so a streamed warm/measure run
+    /// is bit-identical to splitting the trace up front (asserted by
+    /// `tests/dynamic_streaming_equivalence.rs`). With a
+    /// [`rescache_trace::TraceStream`] or an on-disk
+    /// [`rescache_trace::TraceFileSource`] only one chunk buffer is resident,
+    /// and like [`Simulator::run_source`] the engine loops monomorphize over
+    /// the no-op hook — no per-instruction virtual call.
+    pub fn run_warm_measure<S: TraceSource>(
+        &self,
+        source: &mut S,
+        warm: usize,
+        measure: usize,
+        hierarchy: &mut MemoryHierarchy,
+    ) -> SimResult {
+        let start = source.position();
+        source.split_at(start + warm);
+        self.run_source(source, hierarchy);
+        hierarchy.reset_stats();
+        source.split_at(start + warm + measure);
+        self.run_source(source, hierarchy)
+    }
+
+    /// [`Simulator::run_warm_measure`] with `hook` invoked after every
+    /// committed instruction of both regions (hook state carries across the
+    /// warm/measure boundary — this is how the dynamic resizing controller
+    /// rides a streamed experiment).
+    pub fn run_warm_measure_with_hook<S: TraceSource>(
+        &self,
+        source: &mut S,
+        warm: usize,
+        measure: usize,
+        hierarchy: &mut MemoryHierarchy,
+        hook: &mut dyn SimHook,
+    ) -> SimResult {
+        let start = source.position();
+        source.split_at(start + warm);
+        self.run_source_with_hook(source, hierarchy, hook);
+        hierarchy.reset_stats();
+        source.split_at(start + warm + measure);
+        self.run_source_with_hook(source, hierarchy, hook)
+    }
 }
 
 #[cfg(test)]
@@ -132,6 +181,44 @@ mod tests {
             ooo.cycles, ino.cycles,
             "the two engines have different timing"
         );
+    }
+
+    #[test]
+    fn warm_measure_split_matches_the_two_trace_sequence() {
+        use crate::hook::NoopHook;
+        let warm = 3_000;
+        let measure = 9_000;
+        let generator = TraceGenerator::new(spec::su2cor(), 5);
+        let full = generator.generate(warm + measure);
+        let (warm_trace, measure_trace) = full.split_at(warm);
+
+        for config in [CpuConfig::base_in_order(), CpuConfig::base_out_of_order()] {
+            let sim = Simulator::new(config);
+
+            let mut h_mat = MemoryHierarchy::new(HierarchyConfig::base()).unwrap();
+            sim.run(&warm_trace, &mut h_mat);
+            h_mat.reset_stats();
+            let materialized = sim.run(&measure_trace, &mut h_mat);
+
+            let mut stream = generator.stream(warm + measure);
+            let mut h_stream = MemoryHierarchy::new(HierarchyConfig::base()).unwrap();
+            let streamed = sim.run_warm_measure(&mut stream, warm, measure, &mut h_stream);
+
+            let mut stream = generator.stream(warm + measure);
+            let mut h_hook = MemoryHierarchy::new(HierarchyConfig::base()).unwrap();
+            let hooked = sim.run_warm_measure_with_hook(
+                &mut stream,
+                warm,
+                measure,
+                &mut h_hook,
+                &mut NoopHook,
+            );
+
+            assert_eq!(materialized, streamed, "{config:?}");
+            assert_eq!(materialized, hooked, "{config:?}");
+            assert_eq!(h_mat.snapshot(), h_stream.snapshot(), "{config:?}");
+            assert_eq!(h_mat.snapshot(), h_hook.snapshot(), "{config:?}");
+        }
     }
 
     #[test]

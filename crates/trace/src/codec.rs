@@ -20,6 +20,14 @@
 //! never panic — on truncated, corrupt or foreign files, so a store
 //! populated by a crashed or concurrent process degrades to regeneration
 //! rather than an aborted sweep.
+//!
+//! The per-chunk framing is what makes the store's streaming and sharing
+//! features chunk-granular: [`ChunkedTraceReader`] decodes one chunk at a
+//! time (nothing else resident), [`TraceFileSource`] adapts that reader to
+//! the [`TraceSource`] pull interface so simulations replay straight from
+//! disk (including serving only a leading prefix of a longer entry), and
+//! [`save_source`] persists a streaming generator without ever holding the
+//! full record array.
 
 use std::fmt;
 use std::fs::File;
@@ -27,7 +35,7 @@ use std::io::{self, BufReader, BufWriter, Read, Write};
 use std::path::Path;
 
 use crate::record::{InstrRecord, InvalidRecord, ENCODED_RECORD_BYTES};
-use crate::source::CHUNK_RECORDS;
+use crate::source::{TraceSource, CHUNK_RECORDS};
 use crate::trace::Trace;
 
 /// File magic identifying the trace format (and its version).
@@ -140,6 +148,115 @@ pub fn write_trace<W: Write>(w: &mut W, trace: &Trace) -> io::Result<()> {
     Ok(())
 }
 
+/// An incremental reader over the persisted trace format: the header is
+/// validated on construction, then [`ChunkedTraceReader::next_chunk`] decodes
+/// one chunk at a time into an internal buffer, so a consumer that never
+/// needs the whole trace resident (the store's streaming replay path) keeps
+/// at most [`CHUNK_RECORDS`] decoded records alive.
+#[derive(Debug)]
+pub struct ChunkedTraceReader<R: Read> {
+    r: R,
+    name: String,
+    total: u64,
+    delivered: u64,
+    buf: Vec<InstrRecord>,
+    raw: Vec<u8>,
+}
+
+impl<R: Read> ChunkedTraceReader<R> {
+    /// Reads and validates the stream header.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CodecError`] for a missing magic, an invalid name, or a
+    /// reader failure.
+    pub fn new(mut r: R) -> Result<Self, CodecError> {
+        let mut magic = [0u8; 8];
+        read_exact_or_truncated(&mut r, &mut magic, 0, 0)?;
+        if magic != MAGIC {
+            return Err(CodecError::BadMagic);
+        }
+
+        let mut len4 = [0u8; 4];
+        read_exact_or_truncated(&mut r, &mut len4, 0, 0)?;
+        let name_len = u32::from_le_bytes(len4);
+        if name_len > MAX_NAME_BYTES {
+            return Err(CodecError::BadName);
+        }
+        let mut name_bytes = vec![0u8; name_len as usize];
+        read_exact_or_truncated(&mut r, &mut name_bytes, 0, 0)?;
+        let name = String::from_utf8(name_bytes).map_err(|_| CodecError::BadName)?;
+
+        let mut len8 = [0u8; 8];
+        read_exact_or_truncated(&mut r, &mut len8, 0, 0)?;
+        let total = u64::from_le_bytes(len8);
+
+        Ok(Self {
+            r,
+            name,
+            total,
+            delivered: 0,
+            buf: Vec::new(),
+            raw: Vec::new(),
+        })
+    }
+
+    /// The application name recorded in the header.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The total record count promised by the header.
+    pub fn total_records(&self) -> u64 {
+        self.total
+    }
+
+    /// Records decoded so far.
+    pub fn delivered(&self) -> u64 {
+        self.delivered
+    }
+
+    /// Decodes the next chunk, or returns an empty slice once every promised
+    /// record has been delivered.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CodecError`] on truncation, an impossible chunk header or
+    /// a corrupt record; the reader must not be used further after an error.
+    pub fn next_chunk(&mut self) -> Result<&[InstrRecord], CodecError> {
+        let remaining = self.total - self.delivered;
+        if remaining == 0 {
+            return Ok(&[]);
+        }
+        let mut len4 = [0u8; 4];
+        read_exact_or_truncated(&mut self.r, &mut len4, self.total, self.delivered)?;
+        let len = u32::from_le_bytes(len4);
+        if len == 0 || len as usize > CHUNK_RECORDS || u64::from(len) > remaining {
+            return Err(CodecError::BadChunk { len, remaining });
+        }
+        let byte_len = len as usize * ENCODED_RECORD_BYTES;
+        // Allocate lazily (bounded by what the file actually delivers) so a
+        // corrupt record count cannot force an absurd up-front allocation.
+        self.raw.resize(byte_len.max(self.raw.len()), 0);
+        read_exact_or_truncated(
+            &mut self.r,
+            &mut self.raw[..byte_len],
+            self.total,
+            self.delivered,
+        )?;
+        self.buf.clear();
+        self.buf.reserve(len as usize);
+        for encoded in self.raw[..byte_len].chunks_exact(ENCODED_RECORD_BYTES) {
+            let bytes: &[u8; ENCODED_RECORD_BYTES] = encoded
+                .try_into()
+                .expect("chunks_exact yields exact arrays");
+            self.buf.push(InstrRecord::decode(bytes)?);
+        }
+        self.delivered += u64::from(len);
+        Ok(&self.buf)
+    }
+}
+
 /// Reads a trace from `r`, validating the format end to end.
 ///
 /// # Errors
@@ -148,59 +265,173 @@ pub fn write_trace<W: Write>(w: &mut W, trace: &Trace) -> io::Result<()> {
 /// truncation, unknown record tags and impossible chunk headers are all
 /// reported as errors rather than panics.
 pub fn read_trace<R: Read>(r: &mut R) -> Result<Trace, CodecError> {
-    let mut magic = [0u8; 8];
-    read_header(r, &mut magic, 0, 0)?;
-    if magic != MAGIC {
-        return Err(CodecError::BadMagic);
-    }
-
-    let mut len4 = [0u8; 4];
-    read_header(r, &mut len4, 0, 0)?;
-    let name_len = u32::from_le_bytes(len4);
-    if name_len > MAX_NAME_BYTES {
-        return Err(CodecError::BadName);
-    }
-    let mut name_bytes = vec![0u8; name_len as usize];
-    read_header(r, &mut name_bytes, 0, 0)?;
-    let name = String::from_utf8(name_bytes).map_err(|_| CodecError::BadName)?;
-
-    let mut len8 = [0u8; 8];
-    read_header(r, &mut len8, 0, 0)?;
-    let expected = u64::from_le_bytes(len8);
-
+    let mut reader = ChunkedTraceReader::new(r)?;
     let mut records: Vec<InstrRecord> = Vec::new();
-    let mut chunk_bytes = vec![0u8; CHUNK_RECORDS * ENCODED_RECORD_BYTES];
-    let mut remaining = expected;
-    while remaining > 0 {
-        read_header(r, &mut len4, expected, expected - remaining)?;
-        let len = u32::from_le_bytes(len4);
-        if len == 0 || len as usize > CHUNK_RECORDS || u64::from(len) > remaining {
-            return Err(CodecError::BadChunk { len, remaining });
+    loop {
+        let chunk = reader.next_chunk()?;
+        if chunk.is_empty() {
+            break;
         }
-        let byte_len = len as usize * ENCODED_RECORD_BYTES;
-        read_header(
-            r,
-            &mut chunk_bytes[..byte_len],
-            expected,
-            expected - remaining,
-        )?;
-        // Grow lazily (bounded by what the file actually delivers) so a
-        // corrupt record count cannot force an absurd up-front allocation.
-        records.reserve(len as usize);
-        for encoded in chunk_bytes[..byte_len].chunks_exact(ENCODED_RECORD_BYTES) {
-            let bytes: &[u8; ENCODED_RECORD_BYTES] = encoded
-                .try_into()
-                .expect("chunks_exact yields exact arrays");
-            records.push(InstrRecord::decode(bytes)?);
-        }
-        remaining -= u64::from(len);
+        records.extend_from_slice(chunk);
     }
-    Ok(Trace::new(name, records))
+    Ok(Trace::new(reader.name().to_string(), records))
+}
+
+/// A [`TraceSource`] replaying a persisted trace chunk by chunk from disk:
+/// the streaming twin of [`load_trace`], keeping one decoded chunk resident
+/// instead of the whole record array. Opening with a `take` shorter than the
+/// file is chunk-granular prefix serving — decoding stops with the chunk
+/// that covers the request, so corruption *beyond* the prefix is never even
+/// read; this is how the experiment trace store serves a short trace request
+/// from a longer persisted entry.
+///
+/// The pull interface has no error channel, so a decode failure mid-stream
+/// (a truncated or corrupted store entry) is recorded in
+/// [`TraceFileSource::fault`] and the source reports exhaustion; callers
+/// that must be robust check the fault after the run and fall back to
+/// regeneration (as the experiment runner does).
+#[derive(Debug)]
+pub struct TraceFileSource {
+    path: std::path::PathBuf,
+    reader: ChunkedTraceReader<BufReader<File>>,
+    /// Records of the file this source serves (a prefix of the file when the
+    /// entry is longer than the request).
+    take: usize,
+    pos: usize,
+    fence: usize,
+    chunk: Vec<InstrRecord>,
+    chunk_pos: usize,
+    fault: Option<CodecError>,
+}
+
+impl TraceFileSource {
+    /// Opens the trace at `path`, serving its first `take` records (`None` =
+    /// the whole file).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CodecError`] if the file cannot be opened, its header is
+    /// invalid, or it promises fewer than `take` records.
+    pub fn open(path: &Path, take: Option<usize>) -> Result<Self, CodecError> {
+        let reader = ChunkedTraceReader::new(BufReader::new(File::open(path)?))?;
+        let take = take.unwrap_or(reader.total_records() as usize);
+        if (take as u64) > reader.total_records() {
+            return Err(CodecError::Truncated {
+                expected: take as u64,
+                got: reader.total_records(),
+            });
+        }
+        Ok(Self {
+            path: path.to_path_buf(),
+            reader,
+            take,
+            pos: 0,
+            fence: take,
+            chunk: Vec::new(),
+            chunk_pos: 0,
+            fault: None,
+        })
+    }
+
+    /// The file this source replays (callers that detect a fault use it to
+    /// invalidate the entry).
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// The record count the file's header promises — the whole entry, not
+    /// the served prefix ([`TraceSource::total_records`] reports `take`).
+    /// Store-layer callers compare this against the count implied by the
+    /// entry's key to reject foreign or stale files.
+    pub fn file_records(&self) -> usize {
+        self.reader.total_records() as usize
+    }
+
+    /// The decode error that interrupted this source, if any. When a fault is
+    /// set the source under-delivers: the simulation that consumed it must be
+    /// discarded and retried from another producer.
+    pub fn fault(&self) -> Option<&CodecError> {
+        self.fault.as_ref()
+    }
+
+    /// Refills the staging chunk from the reader; false on fault/end.
+    fn refill(&mut self) -> bool {
+        match self.reader.next_chunk() {
+            Ok([]) => {
+                // `take` was validated against the header, so running dry
+                // early means the file lied; record it as truncation.
+                self.fault = Some(CodecError::Truncated {
+                    expected: self.take as u64,
+                    got: self.pos as u64,
+                });
+                false
+            }
+            Ok(chunk) => {
+                self.chunk.clear();
+                self.chunk.extend_from_slice(chunk);
+                self.chunk_pos = 0;
+                true
+            }
+            Err(e) => {
+                self.fault = Some(e);
+                false
+            }
+        }
+    }
+}
+
+impl TraceSource for TraceFileSource {
+    fn name(&self) -> &str {
+        self.reader.name()
+    }
+
+    fn total_records(&self) -> usize {
+        self.take
+    }
+
+    fn next_chunk(&mut self) -> &[InstrRecord] {
+        let limit = self.fence.min(self.take);
+        if self.fault.is_some() || self.pos >= limit {
+            return &[];
+        }
+        if self.chunk_pos >= self.chunk.len() && !self.refill() {
+            return &[];
+        }
+        // A file chunk that straddles the fence (or the prefix end) is
+        // delivered piecewise: the remainder stays staged for the next
+        // region, which is what makes the split chunk-boundary-agnostic.
+        let n = (self.chunk.len() - self.chunk_pos).min(limit - self.pos);
+        let start = self.chunk_pos;
+        self.chunk_pos += n;
+        self.pos += n;
+        &self.chunk[start..start + n]
+    }
+
+    fn position(&self) -> usize {
+        self.pos
+    }
+
+    fn split_at(&mut self, at: usize) {
+        self.fence = at.clamp(self.pos, self.take);
+    }
+
+    fn skip(&mut self, n: usize) {
+        let target = self.pos.saturating_add(n).min(self.take);
+        while self.pos < target && self.fault.is_none() {
+            if self.chunk_pos >= self.chunk.len() && !self.refill() {
+                break;
+            }
+            let step = (self.chunk.len() - self.chunk_pos).min(target - self.pos);
+            self.chunk_pos += step;
+            self.pos += step;
+        }
+        self.fence = self.fence.max(self.pos);
+    }
 }
 
 /// `read_exact` that maps an early end-of-file to [`CodecError::Truncated`]
 /// with the given progress context.
-fn read_header<R: Read>(
+fn read_exact_or_truncated<R: Read>(
     r: &mut R,
     buf: &mut [u8],
     expected: u64,
@@ -215,10 +446,13 @@ fn read_header<R: Read>(
     })
 }
 
-/// Writes `trace` to `path` atomically (via a same-directory temporary file
-/// and rename), so concurrent writers — processes *or* threads — sharing a
-/// trace store never expose a half-written file at the final path.
-pub fn save_trace(path: &Path, trace: &Trace) -> io::Result<()> {
+/// Writes to `path` atomically (via a same-directory temporary file and
+/// rename), so concurrent writers — processes *or* threads — sharing a trace
+/// store never expose a half-written file at the final path.
+fn atomic_save(
+    path: &Path,
+    write: impl FnOnce(&mut BufWriter<File>) -> io::Result<()>,
+) -> io::Result<()> {
     // The temporary name must be unique per writer, not just per process:
     // two threads saving the same store entry would otherwise share the
     // temporary file and could rename a half-rewritten inode into place.
@@ -227,7 +461,7 @@ pub fn save_trace(path: &Path, trace: &Trace) -> io::Result<()> {
     let tmp = path.with_extension(format!("tmp.{}.{writer}", std::process::id()));
     let result = (|| {
         let mut w = BufWriter::new(File::create(&tmp)?);
-        write_trace(&mut w, trace)?;
+        write(&mut w)?;
         w.flush()?;
         std::fs::rename(&tmp, path)
     })();
@@ -235,6 +469,69 @@ pub fn save_trace(path: &Path, trace: &Trace) -> io::Result<()> {
         let _ = std::fs::remove_file(&tmp);
     }
     result
+}
+
+/// Writes `trace` to `path` atomically (see [`atomic_save`]).
+pub fn save_trace(path: &Path, trace: &Trace) -> io::Result<()> {
+    atomic_save(path, |w| write_trace(w, trace))
+}
+
+/// Drains `source` to `path` atomically, chunk by chunk: the streaming twin
+/// of [`save_trace`], persisting (for example) a resumable
+/// [`TraceStream`](crate::TraceStream) without ever materializing the full
+/// record array. Oversized producer chunks (a materialized cursor yields its
+/// whole window as one chunk) are re-framed to the format's
+/// [`CHUNK_RECORDS`] bound.
+///
+/// # Errors
+///
+/// Besides writer errors, returns `InvalidData` if the source delivers fewer
+/// records than [`TraceSource::total_records`] promised (the partial file is
+/// discarded, never renamed into place), and `InvalidInput` for an over-long
+/// name as [`write_trace`] does.
+pub fn save_source<S: TraceSource>(path: &Path, source: &mut S) -> io::Result<()> {
+    atomic_save(path, |w| {
+        w.write_all(&MAGIC)?;
+        let name = source.name().as_bytes().to_vec();
+        if name.len() as u64 > u64::from(MAX_NAME_BYTES) {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!(
+                    "trace name of {} bytes exceeds {MAX_NAME_BYTES}",
+                    name.len()
+                ),
+            ));
+        }
+        w.write_all(&(name.len() as u32).to_le_bytes())?;
+        w.write_all(&name)?;
+        let promised = source.total_records() as u64;
+        w.write_all(&promised.to_le_bytes())?;
+
+        let mut written = 0u64;
+        let mut bytes = Vec::with_capacity(CHUNK_RECORDS * ENCODED_RECORD_BYTES);
+        loop {
+            let chunk = source.next_chunk();
+            if chunk.is_empty() {
+                break;
+            }
+            for frame in chunk.chunks(CHUNK_RECORDS) {
+                w.write_all(&(frame.len() as u32).to_le_bytes())?;
+                bytes.clear();
+                for record in frame {
+                    bytes.extend_from_slice(&record.encode());
+                }
+                w.write_all(&bytes)?;
+                written += frame.len() as u64;
+            }
+        }
+        if written != promised {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("source promised {promised} records but delivered {written}"),
+            ));
+        }
+        Ok(())
+    })
 }
 
 /// Reads a trace from `path` (see [`read_trace`]).
@@ -380,6 +677,192 @@ mod tests {
             read_trace(&mut bytes.as_slice()),
             Err(CodecError::BadName)
         ));
+    }
+
+    #[test]
+    fn chunked_reader_delivers_the_exact_sequence() {
+        let trace = sample(2 * CHUNK_RECORDS + 321);
+        let bytes = encode(&trace);
+        let mut reader = ChunkedTraceReader::new(bytes.as_slice()).expect("header");
+        assert_eq!(reader.name(), trace.name());
+        assert_eq!(reader.total_records(), trace.len() as u64);
+        let mut records = Vec::new();
+        loop {
+            let chunk = reader.next_chunk().expect("chunk");
+            if chunk.is_empty() {
+                break;
+            }
+            assert!(chunk.len() <= CHUNK_RECORDS);
+            records.extend_from_slice(chunk);
+        }
+        assert_eq!(records, trace.records());
+        assert_eq!(reader.delivered(), trace.len() as u64);
+        // Exhausted readers keep returning empty chunks.
+        assert!(reader.next_chunk().expect("past end").is_empty());
+    }
+
+    #[test]
+    fn prefix_serving_is_chunk_granular() {
+        let dir =
+            std::env::temp_dir().join(format!("rescache-codec-prefix-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("create temp dir");
+        let path = dir.join("compress.rctrace");
+        let trace = sample(2 * CHUNK_RECORDS + 100);
+        save_trace(&path, &trace).expect("save");
+
+        let drain_prefix = |n: usize| {
+            let mut source = TraceFileSource::open(&path, Some(n)).expect("open prefix");
+            let mut records = Vec::with_capacity(n);
+            loop {
+                let chunk = source.next_chunk();
+                if chunk.is_empty() {
+                    break;
+                }
+                records.extend_from_slice(chunk);
+            }
+            assert!(source.fault().is_none(), "{:?}", source.fault());
+            records
+        };
+
+        // A mid-chunk prefix delivers exactly the requested records.
+        let n = CHUNK_RECORDS + 17;
+        assert_eq!(drain_prefix(n), &trace.records()[..n]);
+
+        // Corruption *beyond* the requested prefix is never read: flip a
+        // record tag in the last chunk and the prefix still serves cleanly.
+        let mut bytes = std::fs::read(&path).expect("read");
+        let tail_record = bytes.len() - ENCODED_RECORD_BYTES + 8;
+        bytes[tail_record] = 0xee;
+        std::fs::write(&path, &bytes).expect("corrupt tail");
+        assert_eq!(drain_prefix(n), &trace.records()[..n]);
+        // ... but the full load now fails.
+        assert!(matches!(load_trace(&path), Err(CodecError::BadRecord(_))));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn file_source_replays_and_splits_across_chunk_boundaries() {
+        let dir = std::env::temp_dir().join(format!("rescache-codec-fsrc-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("create temp dir");
+        let path = dir.join("compress.rctrace");
+        let trace = sample(2 * CHUNK_RECORDS + 50);
+        save_trace(&path, &trace).expect("save");
+
+        // Whole-file replay.
+        let mut src = TraceFileSource::open(&path, None).expect("open");
+        assert_eq!(src.name(), trace.name());
+        assert_eq!(src.total_records(), trace.len());
+        let mut records = Vec::new();
+        loop {
+            let chunk = src.next_chunk();
+            if chunk.is_empty() {
+                break;
+            }
+            records.extend_from_slice(chunk);
+        }
+        assert_eq!(records, trace.records());
+        assert!(src.fault().is_none());
+
+        // Prefix serving plus a split point that lands mid-chunk: the two
+        // regions concatenate to the exact prefix.
+        let take = CHUNK_RECORDS + 300;
+        let split = CHUNK_RECORDS / 2 + 3;
+        let mut src = TraceFileSource::open(&path, Some(take)).expect("open prefix");
+        assert_eq!(src.total_records(), take);
+        src.split_at(split);
+        let mut records = Vec::new();
+        loop {
+            let chunk = src.next_chunk();
+            if chunk.is_empty() {
+                break;
+            }
+            records.extend_from_slice(chunk);
+        }
+        assert_eq!(src.position(), split);
+        src.split_at(take);
+        loop {
+            let chunk = src.next_chunk();
+            if chunk.is_empty() {
+                break;
+            }
+            records.extend_from_slice(chunk);
+        }
+        assert_eq!(records, &trace.records()[..take]);
+
+        // skip() drops records and keeps delivering the right suffix.
+        let mut src = TraceFileSource::open(&path, None).expect("open for skip");
+        src.skip(split);
+        assert_eq!(src.next_chunk()[0], trace.records()[split]);
+
+        // A request longer than the file is rejected at open time.
+        assert!(matches!(
+            TraceFileSource::open(&path, Some(trace.len() + 1)),
+            Err(CodecError::Truncated { .. })
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn file_source_records_a_fault_instead_of_panicking() {
+        let dir = std::env::temp_dir().join(format!("rescache-codec-fault-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("create temp dir");
+        let path = dir.join("compress.rctrace");
+        let trace = sample(2 * CHUNK_RECORDS);
+        save_trace(&path, &trace).expect("save");
+
+        // Corrupt a record tag in the second chunk: the source delivers the
+        // first chunk, then faults and under-delivers.
+        let mut bytes = std::fs::read(&path).expect("read");
+        let second_chunk_record =
+            8 + 4 + trace.name().len() + 8 + 4 + CHUNK_RECORDS * ENCODED_RECORD_BYTES + 4 + 8;
+        bytes[second_chunk_record] = 0xee;
+        std::fs::write(&path, &bytes).expect("corrupt");
+
+        let mut src = TraceFileSource::open(&path, None).expect("header is intact");
+        let mut delivered = 0;
+        loop {
+            let chunk = src.next_chunk();
+            if chunk.is_empty() {
+                break;
+            }
+            delivered += chunk.len();
+        }
+        assert_eq!(delivered, CHUNK_RECORDS, "only the intact chunk arrives");
+        assert!(matches!(src.fault(), Some(CodecError::BadRecord(_))));
+        // Once faulted, the source stays exhausted.
+        assert!(src.next_chunk().is_empty());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn save_source_streams_a_generator_to_the_identical_file_contents() {
+        let dir =
+            std::env::temp_dir().join(format!("rescache-codec-savesrc-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("create temp dir");
+        let n = CHUNK_RECORDS + 999;
+        let generator = TraceGenerator::new(spec::compress(), 11);
+
+        let streamed_path = dir.join("streamed.rctrace");
+        let mut stream = generator.stream(n);
+        save_source(&streamed_path, &mut stream).expect("stream to disk");
+
+        let materialized_path = dir.join("materialized.rctrace");
+        save_trace(&materialized_path, &generator.generate(n)).expect("save");
+
+        assert_eq!(
+            std::fs::read(&streamed_path).expect("streamed bytes"),
+            std::fs::read(&materialized_path).expect("materialized bytes"),
+            "byte-identical persistence either way"
+        );
+
+        // An under-delivering source (fenced short) must not produce a file.
+        let missing = dir.join("underdelivered.rctrace");
+        let mut fenced = generator.stream(n);
+        fenced.split_at(100);
+        let err = save_source(&missing, &mut fenced).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(!missing.exists(), "partial file never renamed into place");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -87,6 +87,7 @@ impl TraceGenerator {
             profile: self.profile.clone(),
             total: instructions as u64,
             pos: 0,
+            fence: instructions as u64,
             code,
             data,
             mix_rng,
@@ -105,6 +106,9 @@ pub struct TraceStream {
     profile: AppProfile,
     total: u64,
     pos: u64,
+    /// Absolute record index delivery is fenced at (see
+    /// [`TraceSource::split_at`]).
+    fence: u64,
     code: CodeStream,
     data: AddressStream,
     mix_rng: Prng,
@@ -116,11 +120,6 @@ pub struct TraceStream {
 }
 
 impl TraceStream {
-    /// Number of records already produced.
-    pub fn position(&self) -> u64 {
-        self.pos
-    }
-
     /// Generates the next record; the caller guarantees `pos < total`.
     #[inline]
     fn step(&mut self) -> InstrRecord {
@@ -165,7 +164,7 @@ impl TraceSource for TraceStream {
     }
 
     fn next_chunk(&mut self) -> &[InstrRecord] {
-        let remaining = self.total - self.pos;
+        let remaining = self.fence - self.pos;
         let n = (CHUNK_RECORDS as u64).min(remaining) as usize;
         self.buf.clear();
         for _ in 0..n {
@@ -173,6 +172,24 @@ impl TraceSource for TraceStream {
             self.buf.push(record);
         }
         &self.buf
+    }
+
+    fn position(&self) -> usize {
+        self.pos as usize
+    }
+
+    fn split_at(&mut self, at: usize) {
+        self.fence = (at as u64).clamp(self.pos, self.total);
+    }
+
+    fn skip(&mut self, n: usize) {
+        // A generator cannot jump: the RNG sub-streams and walk state advance
+        // per record, so skipped records are produced and discarded.
+        let n = (n as u64).min(self.total - self.pos);
+        for _ in 0..n {
+            let _ = self.step();
+        }
+        self.fence = self.fence.max(self.pos);
     }
 }
 
@@ -233,7 +250,7 @@ mod tests {
                 assert!(chunk.len() <= CHUNK_RECORDS, "{name}: oversized chunk");
                 streamed.extend_from_slice(chunk);
             }
-            assert_eq!(stream.position(), n as u64, "{name}");
+            assert_eq!(stream.position(), n, "{name}");
             assert_eq!(streamed, materialized.records(), "{name}");
             // Exhausted streams keep returning empty chunks.
             assert!(stream.next_chunk().is_empty(), "{name}");
@@ -245,6 +262,89 @@ mod tests {
         let stream = TraceGenerator::new(spec::vpr(), 3).stream(100);
         assert_eq!(stream.name(), "vpr");
         assert_eq!(stream.total_records(), 100);
+    }
+
+    #[test]
+    fn stream_split_resumes_mid_chunk() {
+        // A split point that is neither 0 nor a chunk multiple: the fenced
+        // stream must deliver the identical concatenated sequence.
+        let n = CHUNK_RECORDS + 500;
+        let split = CHUNK_RECORDS / 2 + 7;
+        let generator = TraceGenerator::new(spec::su2cor(), 11);
+        let reference = generator.generate(n);
+
+        let mut stream = generator.stream(n);
+        stream.split_at(split);
+        let mut records = Vec::with_capacity(n);
+        loop {
+            let chunk = stream.next_chunk();
+            if chunk.is_empty() {
+                break;
+            }
+            records.extend_from_slice(chunk);
+        }
+        assert_eq!(records.len(), split);
+        assert_eq!(stream.position(), split);
+        stream.split_at(n);
+        loop {
+            let chunk = stream.next_chunk();
+            if chunk.is_empty() {
+                break;
+            }
+            records.extend_from_slice(chunk);
+        }
+        assert_eq!(records, reference.records());
+    }
+
+    #[test]
+    fn stream_skip_advances_the_generator_state() {
+        let n = 5_000;
+        let skip = 1_234;
+        let generator = TraceGenerator::new(spec::gcc(), 4);
+        let reference = generator.generate(n);
+
+        let mut stream = generator.stream(n);
+        stream.skip(skip);
+        assert_eq!(stream.position(), skip);
+        let mut records = Vec::new();
+        loop {
+            let chunk = stream.next_chunk();
+            if chunk.is_empty() {
+                break;
+            }
+            records.extend_from_slice(chunk);
+        }
+        assert_eq!(records, &reference.records()[skip..]);
+        // Skipping past the end clamps and stays exhausted.
+        stream.skip(10);
+        assert_eq!(stream.position(), n);
+        assert!(stream.next_chunk().is_empty());
+    }
+
+    #[test]
+    fn length_invariant_profiles_generate_prefix_stable_traces() {
+        // The store's cross-length prefix sharing is sound exactly when
+        // `AppProfile::length_invariant` holds: verify the guarantee on the
+        // shipped profiles that claim it, and that some profiles do claim it.
+        let invariant: Vec<_> = spec::all_profiles()
+            .into_iter()
+            .filter(|p| p.length_invariant())
+            .collect();
+        assert!(
+            invariant.len() >= 4,
+            "several paper profiles have constant/periodic schedules"
+        );
+        for profile in [spec::ammp(), spec::su2cor(), spec::m88ksim()] {
+            assert!(profile.length_invariant(), "{}", profile.name);
+            let long = TraceGenerator::new(profile.clone(), 9).generate(12_000);
+            let short = TraceGenerator::new(profile, 9).generate(5_000);
+            assert_eq!(short.records(), &long.records()[..5_000]);
+        }
+        // A multi-phase sequence schedule scales with the total: not a prefix.
+        assert!(!spec::gcc().length_invariant());
+        let long = TraceGenerator::new(spec::gcc(), 9).generate(12_000);
+        let short = TraceGenerator::new(spec::gcc(), 9).generate(5_000);
+        assert_ne!(short.records(), &long.records()[..5_000]);
     }
 
     #[test]

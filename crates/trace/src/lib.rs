@@ -66,7 +66,7 @@ pub mod workload;
 pub use address::AddressStream;
 pub use branch::BranchBehavior;
 pub use code::CodeStream;
-pub use codec::CodecError;
+pub use codec::{ChunkedTraceReader, CodecError, TraceFileSource};
 pub use generator::{TraceGenerator, TraceStream};
 pub use ilp::IlpBehavior;
 pub use mix::InstructionMix;
