@@ -10,7 +10,17 @@
 //! instructions per second of wall-clock time.
 //!
 //! Run with `cargo bench --bench sim_throughput`. Set
-//! `RESCACHE_BENCH_QUICK=1` to run a fast smoke-test variant (used by CI).
+//! `RESCACHE_BENCH_QUICK=1` to run a fast smoke-test variant (used by CI;
+//! `0`, `false` and the empty string count as unset). Quick runs only ever
+//! write the `.quick.json` sibling — the committed full-run trajectory file
+//! is never touched in quick mode.
+//!
+//! The store-backed stages (`trace_store_load`, `dyn_streamed`) exercise the
+//! persistent-store replay path and therefore need `RESCACHE_TRACE_DIR`;
+//! when it is not set they are skipped — recorded in the JSON with
+//! `"status": "skipped"` — rather than silently writing into a fabricated
+//! temp directory or failing. Each run uses (and removes) a
+//! `bench-<stage>-<pid>` subdirectory so a real store is never polluted.
 
 use std::time::Instant;
 
@@ -40,6 +50,36 @@ struct EngineResult {
     /// figure of merit for "figure produced per second" whose before/after
     /// ratio equals the wall-clock ratio.
     nominal_workload: bool,
+    /// `true` when the stage did not run (missing `RESCACHE_TRACE_DIR`);
+    /// recorded in the JSON as `"status": "skipped"` with zeroed values so
+    /// trajectory consumers can tell "not measured" from "measured as 0".
+    skipped: bool,
+}
+
+/// The record for a stage that was skipped because its prerequisite
+/// environment (the trace-store directory) is absent.
+fn skipped(name: &'static str) -> EngineResult {
+    println!("{name:<24} skipped (RESCACHE_TRACE_DIR not set)");
+    EngineResult {
+        name,
+        items: 0,
+        seconds: 0.0,
+        mips: 0.0,
+        nominal_workload: false,
+        skipped: true,
+    }
+}
+
+/// A per-stage scratch subdirectory under `RESCACHE_TRACE_DIR`, or `None`
+/// (skip the stage) when the variable is unset or empty. The subdirectory is
+/// namespaced by stage and pid so concurrent runs cannot collide and a real
+/// store's entries are never touched; callers remove it when done.
+fn store_scratch_dir(stage: &str) -> Option<std::path::PathBuf> {
+    let root = std::env::var("RESCACHE_TRACE_DIR").ok()?;
+    if root.trim().is_empty() {
+        return None;
+    }
+    Some(std::path::Path::new(&root).join(format!("bench-{stage}-{}", std::process::id())))
 }
 
 /// Runs `body` `reps` times (after one untimed warm-up) and keeps the fastest
@@ -72,6 +112,7 @@ fn measure(
         seconds: best,
         mips,
         nominal_workload: false,
+        skipped: false,
     }
 }
 
@@ -107,7 +148,9 @@ fn bench_trace_gen_streaming(scale: u64) -> EngineResult {
 /// materialize records at i/o-bound speed instead of regenerating.
 fn bench_trace_store_load(scale: u64) -> EngineResult {
     let n = (50_000 * scale) as usize;
-    let dir = std::env::temp_dir().join(format!("rescache-bench-store-{}", std::process::id()));
+    let Some(dir) = store_scratch_dir("store-load") else {
+        return skipped("trace_store_load");
+    };
     std::fs::create_dir_all(&dir).expect("create bench store dir");
     let path = dir.join("gcc.rctrace");
     codec::save_trace(&path, &TraceGenerator::new(spec::gcc(), 7).generate(n))
@@ -155,7 +198,12 @@ fn bench_evict_stream(scale: u64) -> EngineResult {
 fn bench_engine(name: &'static str, config: CpuConfig, scale: u64) -> EngineResult {
     let n = (20_000 * scale) as usize;
     let trace = TraceGenerator::new(spec::m88ksim(), 3).generate(n);
-    measure(name, n as u64, 3, move || {
+    // These stages finish in ~2 ms, so on a shared host a best-of-3 is
+    // regularly inflated by scheduler interference; 15 repetitions (still
+    // ~30 ms per stage) land the best-of reliably near the true minimum.
+    // More repetitions can only tighten the same statistic, so engine values
+    // stay comparable with the earlier best-of-3 trajectory entries.
+    measure(name, n as u64, 15, move || {
         let mut h = MemoryHierarchy::new(HierarchyConfig::base()).unwrap();
         Simulator::new(config).run(&trace, &mut h).instructions
     })
@@ -228,11 +276,15 @@ fn bench_dynamic(name: &'static str, streamed: bool, scale: u64) -> EngineResult
         trace_seed: 42,
         dynamic_interval: 1_024,
     };
-    let dir = std::env::temp_dir().join(format!(
-        "rescache-bench-dyn-{}-{}",
-        name,
-        std::process::id()
-    ));
+    let dir = if streamed {
+        match store_scratch_dir(name) {
+            Some(dir) => dir,
+            None => return skipped(name),
+        }
+    } else {
+        // The materialized baseline replays resident traces; no store.
+        std::path::PathBuf::new()
+    };
     std::fs::remove_dir_all(&dir).ok();
     let store = TraceStore::with_dir(streamed.then(|| dir.clone()));
     let runner = Runner::with_store(cfg, store);
@@ -314,7 +366,12 @@ fn bench_fig5_sweep(scale: u64) -> EngineResult {
 }
 
 fn main() {
-    let quick = std::env::var("RESCACHE_BENCH_QUICK").is_ok();
+    // "0", "false" and the empty string count as unset, so e.g.
+    // `RESCACHE_BENCH_QUICK=0` runs the full bench as intended rather than
+    // silently selecting quick mode.
+    let quick = std::env::var("RESCACHE_BENCH_QUICK")
+        .map(|v| !matches!(v.trim(), "" | "0" | "false"))
+        .unwrap_or(false);
     // The sweep bench honours RESCACHE_WARMUP/RESCACHE_MEASURE; default to a
     // bench-sized region so a full run finishes in minutes, not hours.
     if std::env::var("RESCACHE_WARMUP").is_err() {
@@ -372,7 +429,7 @@ fn main() {
 /// carries no serde dependency).
 fn render_json(results: &[EngineResult], quick: bool) -> String {
     let mut out = String::from("{\n");
-    out.push_str("  \"schema\": \"rescache-sim-throughput/3\",\n");
+    out.push_str("  \"schema\": \"rescache-sim-throughput/4\",\n");
     out.push_str(&format!("  \"quick\": {quick},\n"));
     out.push_str(&format!(
         "  \"host_threads\": {},\n",
@@ -387,8 +444,9 @@ fn render_json(results: &[EngineResult], quick: bool) -> String {
     out.push_str("  \"engines\": [\n");
     for (i, r) in results.iter().enumerate() {
         out.push_str(&format!(
-            "    {{\"name\": \"{}\", \"items\": {}, \"seconds\": {:.6}, \"mips\": {:.3}, \"workload\": \"{}\"}}{}\n",
+            "    {{\"name\": \"{}\", \"status\": \"{}\", \"items\": {}, \"seconds\": {:.6}, \"mips\": {:.3}, \"workload\": \"{}\"}}{}\n",
             r.name,
+            if r.skipped { "skipped" } else { "measured" },
             r.items,
             r.seconds,
             r.mips,

@@ -54,12 +54,18 @@ fn counter_update(counter: &mut u8, taken: bool) {
 }
 
 /// A branch direction predictor.
+///
+/// The counter tables are fixed-size boxed arrays rather than `Vec`s: every
+/// index is masked with `TABLE_SIZE - 1` before use, so with the length
+/// encoded in the type the compiler drops the bounds checks from
+/// [`BranchPredictor::resolve`] — which runs once per simulated conditional
+/// branch and performs up to four table reads and three writes.
 #[derive(Debug, Clone)]
 pub struct BranchPredictor {
     kind: PredictorKind,
-    bimodal: Vec<u8>,
-    gshare: Vec<u8>,
-    chooser: Vec<u8>,
+    bimodal: Box<[u8; TABLE_SIZE]>,
+    gshare: Box<[u8; TABLE_SIZE]>,
+    chooser: Box<[u8; TABLE_SIZE]>,
     history: u64,
     stats: BranchStats,
 }
@@ -69,9 +75,9 @@ impl BranchPredictor {
     pub fn new(kind: PredictorKind) -> Self {
         Self {
             kind,
-            bimodal: vec![2; TABLE_SIZE],
-            gshare: vec![2; TABLE_SIZE],
-            chooser: vec![2; TABLE_SIZE],
+            bimodal: Box::new([2; TABLE_SIZE]),
+            gshare: Box::new([2; TABLE_SIZE]),
+            chooser: Box::new([2; TABLE_SIZE]),
             history: 0,
             stats: BranchStats::default(),
         }

@@ -1,18 +1,22 @@
 //! The in-order issue engine with a blocking data cache.
+//!
+//! Like the out-of-order engine, this runs as a two-stage batch pipeline:
+//! [`LaneBatch::decode`] transposes each incoming chunk into
+//! struct-of-arrays lanes (one shared decode front end for both engines),
+//! and the serial issue loop runs over the lanes. See [`crate::lanes`].
 
 use rescache_cache::MemoryHierarchy;
-use rescache_trace::{Op, Trace, TraceSource};
+use rescache_trace::{kind, Trace, TraceSource};
 
 use crate::activity::ActivityCounters;
 use crate::branch::BranchPredictor;
 use crate::config::CpuConfig;
 use crate::fetch::FetchUnit;
 use crate::hook::{NoopHook, SimHook};
+use crate::lanes::{
+    producer_ready, LaneBatch, COMPLETION_RING, ICACHE_FLAG, KIND_MASK, LANE_BATCH,
+};
 use crate::result::SimResult;
-
-/// Ring-buffer size for producer completion times; must exceed the maximum
-/// dependency distance encoded in traces (63).
-const COMPLETION_RING: usize = 128;
 
 /// In-order, width-limited issue with a blocking d-cache: every data-cache
 /// miss stalls the pipeline until the fill returns, so d-cache miss latency
@@ -93,10 +97,14 @@ impl InOrderEngine {
         let mut completion = [0u64; COMPLETION_RING];
         let mut fetch = FetchUnit::new(hierarchy.config().l1i.block_bytes, cfg.issue_width);
         let mut predictor = BranchPredictor::default();
+        let mut lanes = LaneBatch::new();
         let mut max_completion: u64 = 0;
-        // Activity totals are accumulated as four scalars and expanded into
-        // the full counter set once at the end (see
-        // `ActivityCounters::from_run_totals`).
+        // The ALU classes (the most common pair) resolve their latency by a
+        // two-entry table indexed with the kind tag instead of a branch.
+        let alu_latency = [cfg.int_latency, cfg.fp_latency];
+        // Activity totals are accumulated per decoded batch (see
+        // `LaneBatch::totals`) and expanded into the full counter set once at
+        // the end (see `ActivityCounters::from_run_totals`).
         let mut fp_ops: u64 = 0;
         let mut mem_ops: u64 = 0;
         let mut branches: u64 = 0;
@@ -108,71 +116,74 @@ impl InOrderEngine {
             if chunk.is_empty() {
                 break;
             }
-            for rec in chunk {
-                // Width wrap and dependency waits resolve through selects where
-                // possible: both follow simulated data, so host branches here are
-                // unpredictable (this loop head runs once per instruction).
-                let wrap = issued_this_cycle >= cfg.issue_width;
-                cycle += u64::from(wrap);
-                if wrap {
-                    issued_this_cycle = 0;
-                }
-
-                let fetch_stall = fetch.fetch(rec.pc(), cycle, hierarchy);
-                if fetch_stall > 0 {
-                    cycle += fetch_stall;
-                    issued_this_cycle = 0;
-                }
-
-                // In-order issue: wait for both producers to have completed.
-                let dep_ready = producer_ready(&completion, idx, rec.dep1()).max(producer_ready(
-                    &completion,
-                    idx,
-                    rec.dep2(),
-                ));
-                let waited = dep_ready > cycle;
-                cycle = cycle.max(dep_ready);
-                if waited {
-                    issued_this_cycle = 0;
-                }
-
-                regfile_reads += u64::from(rec.dep1() > 0) + u64::from(rec.dep2() > 0);
-
-                let complete = match rec.op() {
-                    Op::Int => cycle + cfg.int_latency,
-                    Op::Fp => {
-                        fp_ops += 1;
-                        cycle + cfg.fp_latency
+            // Streamed chunks are at most one batch wide; a materialized
+            // cursor's whole-window chunk is sub-sliced into batches here.
+            for records in chunk.chunks(LANE_BATCH) {
+                lanes.decode(records, &mut fetch);
+                let totals = lanes.totals();
+                fp_ops += totals.fp_ops;
+                mem_ops += totals.mem_ops;
+                branches += totals.branches;
+                regfile_reads += totals.regfile_reads;
+                for (rec, &flags) in records.iter().zip(lanes.dispatch()) {
+                    let lane_kind = flags & KIND_MASK;
+                    // Width wrap and dependency waits resolve through selects
+                    // where possible: both follow simulated data, so host
+                    // branches here are unpredictable (this loop head runs
+                    // once per instruction).
+                    let wrap = issued_this_cycle >= cfg.issue_width;
+                    cycle += u64::from(wrap);
+                    if wrap {
+                        issued_this_cycle = 0;
                     }
-                    Op::Load(addr) | Op::Store(addr) => {
-                        mem_ops += 1;
-                        let write = rec.op().is_store();
-                        let access = hierarchy.access_data(addr, write, cycle);
-                        if access.l1_hit {
-                            cycle + access.latency
-                        } else {
-                            // Blocking cache: the whole pipeline waits for the fill.
-                            cycle += access.latency;
+
+                    if flags & ICACHE_FLAG != 0 {
+                        let fetch_stall = fetch.access(rec.pc(), cycle, hierarchy);
+                        if fetch_stall > 0 {
+                            cycle += fetch_stall;
                             issued_this_cycle = 0;
-                            cycle
                         }
                     }
-                    Op::Branch { taken } => {
-                        branches += 1;
+
+                    // In-order issue: wait for both producers to have completed.
+                    let dep_ready = producer_ready(&completion, idx, rec.dep1())
+                        .max(producer_ready(&completion, idx, rec.dep2()));
+                    let waited = dep_ready > cycle;
+                    cycle = cycle.max(dep_ready);
+                    if waited {
+                        issued_this_cycle = 0;
+                    }
+
+                    let complete = if lane_kind >= kind::BRANCH_NOT_TAKEN {
+                        let taken = lane_kind == kind::BRANCH_TAKEN;
                         let correct = predictor.resolve(rec.pc(), taken);
                         if !correct {
                             cycle += cfg.mispredict_penalty;
                             issued_this_cycle = 0;
                         }
                         cycle + cfg.int_latency
-                    }
-                };
+                    } else if lane_kind >= kind::LOAD {
+                        let write = lane_kind == kind::STORE;
+                        let access = hierarchy.access_data(u64::from(rec.addr_raw()), write, cycle);
+                        if access.l1_hit {
+                            cycle + access.latency
+                        } else {
+                            // Blocking cache: the whole pipeline waits for
+                            // the fill.
+                            cycle += access.latency;
+                            issued_this_cycle = 0;
+                            cycle
+                        }
+                    } else {
+                        cycle + alu_latency[usize::from(lane_kind)]
+                    };
 
-                completion[idx % COMPLETION_RING] = complete;
-                max_completion = max_completion.max(complete);
-                issued_this_cycle += 1;
-                idx += 1;
-                hook.post_commit(idx as u64, cycle, hierarchy);
+                    completion[idx % COMPLETION_RING] = complete;
+                    max_completion = max_completion.max(complete);
+                    issued_this_cycle += 1;
+                    idx += 1;
+                    hook.post_commit(idx as u64, cycle, hierarchy);
+                }
             }
         }
 
@@ -191,29 +202,11 @@ impl InOrderEngine {
     }
 }
 
-/// Completion cycle of the producer `distance` instructions before `idx`,
-/// or 0 if there is no such producer.
-///
-/// The ring read is unconditional (the index is masked into range) and the
-/// no-producer case resolves through a select rather than a branch: the
-/// dependency distances follow the simulated program, so a host branch here
-/// is unpredictable, and this runs twice per simulated instruction.
-#[inline(always)]
-fn producer_ready(completion: &[u64; COMPLETION_RING], idx: usize, distance: u8) -> u64 {
-    let distance = distance as usize;
-    let value = completion[idx.wrapping_sub(distance) % COMPLETION_RING];
-    if distance == 0 || distance > idx {
-        0
-    } else {
-        value
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use rescache_cache::HierarchyConfig;
-    use rescache_trace::{spec, InstrRecord, TraceGenerator};
+    use rescache_trace::{spec, InstrRecord, Op, TraceGenerator};
 
     fn run_trace(trace: &Trace) -> (SimResult, MemoryHierarchy) {
         let mut hierarchy = MemoryHierarchy::new(HierarchyConfig::base()).unwrap();

@@ -41,10 +41,12 @@ pub mod config;
 pub mod fetch;
 pub mod hook;
 pub mod inorder;
+pub mod lanes;
 pub mod lsq;
 pub mod ooo;
 pub mod result;
 pub mod rob;
+pub mod scalar;
 pub mod simulator;
 
 pub use activity::ActivityCounters;
@@ -53,6 +55,7 @@ pub use config::{CpuConfig, EngineKind};
 pub use fetch::FetchUnit;
 pub use hook::{NoopHook, SimHook};
 pub use inorder::InOrderEngine;
+pub use lanes::{BatchTotals, LaneBatch, COMPLETION_RING, LANE_BATCH};
 pub use lsq::LoadStoreQueue;
 pub use ooo::OutOfOrderEngine;
 pub use result::SimResult;

@@ -75,6 +75,18 @@ impl LoadStoreQueue {
         self.len += 1;
         available
     }
+
+    /// [`LoadStoreQueue::reserve`] expressed as the *delay* queue pressure
+    /// adds to the operation: 0 when an entry was free at `cycle`, otherwise
+    /// the cycles until the oldest in-flight operation vacated one.
+    ///
+    /// The engines' completion arithmetic is
+    /// `finish + reserve_delay(ready, finish)`, which keeps the common
+    /// no-pressure case a plain add of zero.
+    #[inline(always)]
+    pub fn reserve_delay(&mut self, cycle: u64, completion: u64) -> u64 {
+        self.reserve(cycle, completion) - cycle
+    }
 }
 
 #[cfg(test)]
@@ -107,5 +119,16 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_capacity_panics() {
         let _ = LoadStoreQueue::new(0);
+    }
+
+    #[test]
+    fn reserve_delay_is_reserve_relative_to_dispatch() {
+        let mut lsq = LoadStoreQueue::new(1);
+        assert_eq!(lsq.reserve_delay(0, 100), 0, "free entry: no delay");
+        assert_eq!(
+            lsq.reserve_delay(3, 110),
+            97,
+            "full queue: wait until cycle 100"
+        );
     }
 }

@@ -1,20 +1,28 @@
 //! The out-of-order issue engine with a non-blocking data cache.
+//!
+//! The engine runs as a two-stage batch pipeline: each incoming
+//! [`TraceSource`] chunk is transposed into struct-of-arrays lanes by
+//! [`LaneBatch::decode`] (operation tags, address lanes, dependency
+//! distances, i-cache-access marks, batch activity totals), and the serial
+//! issue/complete/retire recurrence then runs over those lanes with the
+//! per-record classification work already done. See [`crate::lanes`] for the
+//! pipeline rationale and [`crate::scalar`] for the per-record reference
+//! implementation the batch pipeline is differentially tested against.
 
 use rescache_cache::{MemoryHierarchy, MshrFile};
-use rescache_trace::{Op, Trace, TraceSource};
+use rescache_trace::{kind, Trace, TraceSource};
 
 use crate::activity::ActivityCounters;
 use crate::branch::BranchPredictor;
 use crate::config::CpuConfig;
 use crate::fetch::FetchUnit;
 use crate::hook::{NoopHook, SimHook};
+use crate::lanes::{
+    producer_ready, LaneBatch, COMPLETION_RING, ICACHE_FLAG, KIND_MASK, LANE_BATCH,
+};
 use crate::lsq::LoadStoreQueue;
 use crate::result::SimResult;
 use crate::rob::ReorderBuffer;
-
-/// Ring-buffer size for producer completion times; must exceed the maximum
-/// dependency distance encoded in traces (63).
-const COMPLETION_RING: usize = 128;
 
 /// Four-wide out-of-order issue with a non-blocking d-cache.
 ///
@@ -107,12 +115,16 @@ impl OutOfOrderEngine {
         let mut mshr = MshrFile::new(cfg.mshr_entries);
         let mut fetch = FetchUnit::new(hierarchy.config().l1i.block_bytes, cfg.issue_width);
         let mut predictor = BranchPredictor::default();
+        let mut lanes = LaneBatch::new();
         let mut last_forced_commit: u64 = 0;
         let block_shift = hierarchy.config().l1d.block_bytes.max(1).trailing_zeros();
         let store_latency_cap = hierarchy.config().l1d.hit_latency + 1;
-        // Activity totals are accumulated as four scalars and expanded into
-        // the full counter set once at the end (see
-        // `ActivityCounters::from_run_totals`).
+        // The ALU classes (the most common pair) resolve their latency by a
+        // two-entry table indexed with the kind tag instead of a branch.
+        let alu_latency = [cfg.int_latency, cfg.fp_latency];
+        // Activity totals are accumulated per decoded batch (see
+        // `LaneBatch::totals`) and expanded into the full counter set once at
+        // the end (see `ActivityCounters::from_run_totals`).
         let mut fp_ops: u64 = 0;
         let mut mem_ops: u64 = 0;
         let mut branches: u64 = 0;
@@ -124,65 +136,78 @@ impl OutOfOrderEngine {
             if chunk.is_empty() {
                 break;
             }
-            for rec in chunk {
-                // Width wrap and misprediction redirects resolve through selects:
-                // both follow simulated data, so host branches here are
-                // unpredictable (this loop head runs once per instruction).
-                let wrap = dispatched_this_cycle >= cfg.issue_width;
-                dispatch_cycle += u64::from(wrap);
-                if wrap {
-                    dispatched_this_cycle = 0;
-                }
-                let redirected = dispatch_cycle < fetch_resume_cycle;
-                dispatch_cycle = dispatch_cycle.max(fetch_resume_cycle);
-                if redirected {
-                    dispatched_this_cycle = 0;
-                }
-
-                // Instruction fetch: misses stall dispatch directly.
-                let fetch_stall = fetch.fetch(rec.pc(), dispatch_cycle, hierarchy);
-                if fetch_stall > 0 {
-                    dispatch_cycle += fetch_stall;
-                    dispatched_this_cycle = 0;
-                }
-
-                // Window space: a full ROB forces the oldest instruction to
-                // commit before this one can dispatch.
-                if rob.is_full() {
-                    let commit_cycle = rob.commit_oldest().expect("full ROB is non-empty");
-                    last_forced_commit = last_forced_commit.max(commit_cycle);
-                    let bumped = commit_cycle > dispatch_cycle;
-                    dispatch_cycle = dispatch_cycle.max(commit_cycle);
-                    if bumped {
+            // Streamed chunks are at most one batch wide; a materialized
+            // cursor's whole-window chunk is sub-sliced into batches here.
+            for records in chunk.chunks(LANE_BATCH) {
+                lanes.decode(records, &mut fetch);
+                let totals = lanes.totals();
+                fp_ops += totals.fp_ops;
+                mem_ops += totals.mem_ops;
+                branches += totals.branches;
+                regfile_reads += totals.regfile_reads;
+                for (rec, &flags) in records.iter().zip(lanes.dispatch()) {
+                    let lane_kind = flags & KIND_MASK;
+                    // Width wrap and misprediction redirects resolve through
+                    // selects: both follow simulated data, so host branches
+                    // here are unpredictable (this loop head runs once per
+                    // instruction).
+                    let wrap = dispatched_this_cycle >= cfg.issue_width;
+                    dispatch_cycle += u64::from(wrap);
+                    if wrap {
                         dispatched_this_cycle = 0;
                     }
-                }
-
-                regfile_reads += u64::from(rec.dep1() > 0) + u64::from(rec.dep2() > 0);
-
-                // Operands become ready when both producers have completed.
-                let dep_ready = producer_ready(&completion, idx, rec.dep1()).max(producer_ready(
-                    &completion,
-                    idx,
-                    rec.dep2(),
-                ));
-                let ready = dispatch_cycle.max(dep_ready);
-
-                let complete = match rec.op() {
-                    Op::Int => ready + cfg.int_latency,
-                    Op::Fp => {
-                        fp_ops += 1;
-                        ready + cfg.fp_latency
+                    let redirected = dispatch_cycle < fetch_resume_cycle;
+                    dispatch_cycle = dispatch_cycle.max(fetch_resume_cycle);
+                    if redirected {
+                        dispatched_this_cycle = 0;
                     }
-                    Op::Load(addr) => {
-                        mem_ops += 1;
+
+                    // Instruction fetch: the group decision was precomputed in
+                    // the decode pass; misses stall dispatch directly.
+                    if flags & ICACHE_FLAG != 0 {
+                        let fetch_stall = fetch.access(rec.pc(), dispatch_cycle, hierarchy);
+                        if fetch_stall > 0 {
+                            dispatch_cycle += fetch_stall;
+                            dispatched_this_cycle = 0;
+                        }
+                    }
+
+                    // Window space: a full ROB forces the oldest instruction
+                    // to commit before this one can dispatch.
+                    if let Some(commit_cycle) = rob.commit_if_full() {
+                        last_forced_commit = last_forced_commit.max(commit_cycle);
+                        let bumped = commit_cycle > dispatch_cycle;
+                        dispatch_cycle = dispatch_cycle.max(commit_cycle);
+                        if bumped {
+                            dispatched_this_cycle = 0;
+                        }
+                    }
+
+                    // Operands become ready when both producers have completed.
+                    let dep_ready = producer_ready(&completion, idx, rec.dep1())
+                        .max(producer_ready(&completion, idx, rec.dep2()));
+                    let ready = dispatch_cycle.max(dep_ready);
+
+                    let complete = if lane_kind >= kind::BRANCH_NOT_TAKEN {
+                        let taken = lane_kind == kind::BRANCH_TAKEN;
+                        let correct = predictor.resolve(rec.pc(), taken);
+                        let finish = ready + cfg.int_latency;
+                        if !correct {
+                            // Fetch resumes only after the branch resolves and
+                            // the front end refills.
+                            fetch_resume_cycle =
+                                fetch_resume_cycle.max(finish + cfg.mispredict_penalty);
+                        }
+                        finish
+                    } else if lane_kind == kind::LOAD {
+                        let addr = u64::from(rec.addr_raw());
                         // Retire on every load, hit or miss: `ready` is not
                         // monotone across loads (dependency delays can push a
-                        // hit's `ready` past a later miss's), so retiring only on
-                        // misses would let a later, earlier-`ready` miss merge
-                        // with an entry an intervening hit would have retired.
-                        // The empty-file early-exit keeps the hit-path cost to
-                        // one predictable branch.
+                        // hit's `ready` past a later miss's), so retiring only
+                        // on misses would let a later, earlier-`ready` miss
+                        // merge with an entry an intervening hit would have
+                        // retired. The empty-file early-exit keeps the
+                        // hit-path cost to one predictable branch.
                         mshr.retire_completed(ready);
                         let access = hierarchy.access_data(addr, false, ready);
                         let finish = if access.l1_hit {
@@ -208,37 +233,23 @@ impl OutOfOrderEngine {
                                 finish
                             }
                         };
-                        let available = lsq.reserve(ready, finish);
-                        finish + available.saturating_sub(ready)
-                    }
-                    Op::Store(addr) => {
-                        mem_ops += 1;
+                        finish + lsq.reserve_delay(ready, finish)
+                    } else if lane_kind == kind::STORE {
                         // Stores update the cache but retire through the write
                         // buffer: the pipeline only pays the L1 access.
-                        let access = hierarchy.access_data(addr, true, ready);
+                        let access = hierarchy.access_data(u64::from(rec.addr_raw()), true, ready);
                         let finish = ready + access.latency.min(store_latency_cap);
-                        let available = lsq.reserve(ready, finish);
-                        finish + available.saturating_sub(ready)
-                    }
-                    Op::Branch { taken } => {
-                        branches += 1;
-                        let correct = predictor.resolve(rec.pc(), taken);
-                        let finish = ready + cfg.int_latency;
-                        if !correct {
-                            // Fetch resumes only after the branch resolves and the
-                            // front end refills.
-                            fetch_resume_cycle =
-                                fetch_resume_cycle.max(finish + cfg.mispredict_penalty);
-                        }
-                        finish
-                    }
-                };
+                        finish + lsq.reserve_delay(ready, finish)
+                    } else {
+                        ready + alu_latency[usize::from(lane_kind)]
+                    };
 
-                rob.dispatch(complete);
-                completion[idx % COMPLETION_RING] = complete;
-                dispatched_this_cycle += 1;
-                idx += 1;
-                hook.post_commit(idx as u64, dispatch_cycle, hierarchy);
+                    rob.dispatch(complete);
+                    completion[idx % COMPLETION_RING] = complete;
+                    dispatched_this_cycle += 1;
+                    idx += 1;
+                    hook.post_commit(idx as u64, dispatch_cycle, hierarchy);
+                }
             }
         }
 
@@ -259,30 +270,12 @@ impl OutOfOrderEngine {
     }
 }
 
-/// Completion cycle of the producer `distance` instructions before `idx`,
-/// or 0 if there is no such producer.
-///
-/// The ring read is unconditional (the index is masked into range) and the
-/// no-producer case resolves through a select rather than a branch: the
-/// dependency distances follow the simulated program, so a host branch here
-/// is unpredictable, and this runs twice per simulated instruction.
-#[inline(always)]
-fn producer_ready(completion: &[u64; COMPLETION_RING], idx: usize, distance: u8) -> u64 {
-    let distance = distance as usize;
-    let value = completion[idx.wrapping_sub(distance) % COMPLETION_RING];
-    if distance == 0 || distance > idx {
-        0
-    } else {
-        value
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::inorder::InOrderEngine;
     use rescache_cache::HierarchyConfig;
-    use rescache_trace::{spec, InstrRecord, TraceGenerator};
+    use rescache_trace::{spec, InstrRecord, Op, TraceGenerator};
 
     fn run_ooo(trace: &Trace) -> (SimResult, MemoryHierarchy) {
         let mut hierarchy = MemoryHierarchy::new(HierarchyConfig::base()).unwrap();
@@ -399,6 +392,73 @@ mod tests {
             "ooo {} should beat in-order {}",
             ooo.cycles,
             ino.cycles
+        );
+    }
+
+    /// A probe workload for the completion-ring distance semantics: a serial
+    /// chain of far-striding misses ends at `bomb_end` with an enormous
+    /// completion time, and the mispredicted branch at index 300 carries
+    /// dependency distance `probe_dep`. If the probe's `ready` picks up the
+    /// bomb's completion, the (hugely penalized) front-end redirect lands
+    /// ~`C_bomb` later and the run visibly stretches; if the distance reads
+    /// as "already complete", the redirect lands near the small dispatch
+    /// cycle instead.
+    fn ring_probe_cycles(probe_dep: u8, bomb_end: u64) -> SimResult {
+        let records: Vec<InstrRecord> = (0..340u64)
+            .map(|i| {
+                if i > bomb_end.saturating_sub(24) && i <= bomb_end {
+                    InstrRecord::with_deps(0x40_0000, Op::Load(0x100_0000 + i * 4096), 1, 0)
+                } else if i == 300 {
+                    InstrRecord::with_deps(0x40_0010, Op::Branch { taken: false }, probe_dep, 0)
+                } else {
+                    InstrRecord::new(0x40_0000 + (i % 4) * 4, Op::Int)
+                }
+            })
+            .collect();
+        let trace = Trace::new("ring-probe", records);
+        // A window larger than the trace (no forced commits) and a huge
+        // misprediction penalty make the probe's operand-ready cycle, and
+        // nothing else, decide where the redirect lands.
+        let config = CpuConfig {
+            rob_entries: 2048,
+            mispredict_penalty: 100_000,
+            ..CpuConfig::base_out_of_order()
+        };
+        let mut hierarchy = MemoryHierarchy::new(HierarchyConfig::base()).unwrap();
+        OutOfOrderEngine::new(config).run(&trace, &mut hierarchy)
+    }
+
+    #[test]
+    fn ooo_dependency_distance_beyond_the_ring_reads_as_complete() {
+        // Distances past COMPLETION_RING (128) must behave exactly like "no
+        // producer": the sampled producer is over 128 instructions back and
+        // its ring slot has been recycled. Before the saturation fix,
+        // distance 200 from index 300 aliased slot (300 - 200) % 128 — the
+        // slot of the *younger* instruction 228, here the bomb — and the
+        // probe inherited its enormous completion.
+        let with_dep = ring_probe_cycles(200, 228);
+        let without_dep = ring_probe_cycles(0, 228);
+        assert_eq!(
+            with_dep.cycles, without_dep.cycles,
+            "a dependency 200 back exceeds the ring and must not alias a younger slot"
+        );
+        assert_eq!(with_dep.instructions, without_dep.instructions);
+    }
+
+    #[test]
+    fn ooo_dependency_distance_at_exactly_the_ring_still_resolves() {
+        // Distance == COMPLETION_RING is the last in-range distance: the slot
+        // is overwritten only after the current instruction's operands are
+        // read, so it still holds the exact producer (here the bomb at
+        // 300 - 128 = 172). The probe must wait on it, unlike the saturated
+        // beyond-ring case.
+        let at_ring = ring_probe_cycles(128, 172);
+        let without_dep = ring_probe_cycles(0, 172);
+        assert!(
+            at_ring.cycles > without_dep.cycles + 1_000,
+            "distance 128 reads the true (still in-flight) producer: {} vs {}",
+            at_ring.cycles,
+            without_dep.cycles
         );
     }
 

@@ -85,12 +85,44 @@ impl ReorderBuffer {
         if self.len == 0 {
             return None;
         }
+        let completion = self.pop_oldest();
+        Some(self.commit_at(completion))
+    }
+
+    /// Commits the oldest instruction if — and only if — the buffer is full,
+    /// returning its commit cycle.
+    ///
+    /// This is the dispatch-pressure check of the out-of-order engine fused
+    /// into one call: in the steady state of a long run the ROB is full on
+    /// every dispatch, so the engine pays this once per instruction. Fusing
+    /// the full-test with the pop lets the hot path skip the emptiness
+    /// re-check inside [`ReorderBuffer::commit_oldest`].
+    #[inline(always)]
+    pub fn commit_if_full(&mut self) -> Option<u64> {
+        if self.len < self.entries.len() {
+            return None;
+        }
+        let completion = self.pop_oldest();
+        Some(self.commit_at(completion))
+    }
+
+    /// Removes and returns the oldest entry's completion cycle; callers have
+    /// already established that the buffer is non-empty.
+    #[inline(always)]
+    fn pop_oldest(&mut self) -> u64 {
         let completion = self.entries[self.head];
         self.head += 1;
         if self.head == self.entries.len() {
             self.head = 0;
         }
         self.len -= 1;
+        completion
+    }
+
+    /// Advances the in-order commit stage for an instruction that completed
+    /// execution at `completion` and returns its commit cycle.
+    #[inline(always)]
+    fn commit_at(&mut self, completion: u64) -> u64 {
         let earliest = completion + 1;
         if earliest > self.commit_cursor {
             self.commit_cursor = earliest;
@@ -103,7 +135,7 @@ impl ReorderBuffer {
             self.committed_in_cursor = 0;
         }
         self.committed += 1;
-        Some(commit_cycle)
+        commit_cycle
     }
 
     /// Commits everything still in flight and returns the cycle of the last
@@ -159,6 +191,37 @@ mod tests {
         let last = rob.drain();
         assert_eq!(last, 10);
         assert_eq!(rob.occupancy(), 0);
+    }
+
+    #[test]
+    fn commit_if_full_only_fires_under_pressure() {
+        let mut rob = ReorderBuffer::new(2, 4);
+        rob.dispatch(10);
+        assert_eq!(rob.commit_if_full(), None, "not full yet");
+        rob.dispatch(20);
+        assert_eq!(rob.commit_if_full(), Some(11), "full: pops the oldest");
+        assert_eq!(rob.occupancy(), 1);
+        assert_eq!(rob.committed(), 1);
+    }
+
+    #[test]
+    fn commit_if_full_matches_explicit_full_check_and_commit() {
+        let mut fused = ReorderBuffer::new(4, 2);
+        let mut split = ReorderBuffer::new(4, 2);
+        let completions = [5u64, 3, 9, 9, 12, 2, 40, 41, 41, 7];
+        for &c in &completions {
+            let a = fused.commit_if_full();
+            let b = if split.is_full() {
+                split.commit_oldest()
+            } else {
+                None
+            };
+            assert_eq!(a, b);
+            fused.dispatch(c);
+            split.dispatch(c);
+        }
+        assert_eq!(fused.drain(), split.drain());
+        assert_eq!(fused.committed(), split.committed());
     }
 
     #[test]

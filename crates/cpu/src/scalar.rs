@@ -1,0 +1,292 @@
+//! Scalar (per-record) reference implementations of both engines.
+//!
+//! These are the pre-batching engine loops, kept verbatim as differential
+//! oracles: they consume records one at a time straight from the source
+//! chunks, with no struct-of-arrays decode, no precomputed fetch-group
+//! marks and no batched activity totals. The batched pipelines in
+//! [`crate::ooo`] and [`crate::inorder`] are required to be bit-identical to
+//! these loops on every source, chunking and split plan — asserted by the
+//! `batch_boundaries` property tests — so any divergence localizes a bug to
+//! the batching layer.
+//!
+//! Both references share the engines' building blocks ([`FetchUnit`],
+//! [`ReorderBuffer`], [`LoadStoreQueue`], [`BranchPredictor`],
+//! [`producer_ready`]) on purpose: the differential pins the *batch
+//! restructuring*, not the microarchitectural model.
+//!
+//! This module is not part of the supported API surface; it exists for the
+//! test suite and is hidden from documentation.
+
+#![doc(hidden)]
+
+use rescache_cache::{MemoryHierarchy, MshrFile};
+use rescache_trace::{Op, TraceSource};
+
+use crate::activity::ActivityCounters;
+use crate::branch::BranchPredictor;
+use crate::config::{CpuConfig, EngineKind};
+use crate::fetch::FetchUnit;
+use crate::hook::SimHook;
+use crate::lanes::{producer_ready, COMPLETION_RING};
+use crate::lsq::LoadStoreQueue;
+use crate::result::SimResult;
+use crate::rob::ReorderBuffer;
+
+/// Dispatches to the scalar reference loop of the configuration's engine —
+/// the reference twin of `Simulator::run_source_with_hook`.
+pub fn run_engine_reference<S: TraceSource, H: SimHook + ?Sized>(
+    cfg: &CpuConfig,
+    source: &mut S,
+    hierarchy: &mut MemoryHierarchy,
+    hook: &mut H,
+) -> SimResult {
+    match cfg.engine {
+        EngineKind::InOrderBlocking => run_inorder_reference(cfg, source, hierarchy, hook),
+        EngineKind::OutOfOrderNonBlocking => run_ooo_reference(cfg, source, hierarchy, hook),
+    }
+}
+
+/// Per-record reference of the out-of-order engine loop.
+pub fn run_ooo_reference<S: TraceSource, H: SimHook + ?Sized>(
+    cfg: &CpuConfig,
+    source: &mut S,
+    hierarchy: &mut MemoryHierarchy,
+    hook: &mut H,
+) -> SimResult {
+    let mut dispatch_cycle: u64 = 1;
+    let mut dispatched_this_cycle: u32 = 0;
+    let mut fetch_resume_cycle: u64 = 0;
+    let mut completion = [0u64; COMPLETION_RING];
+    let mut rob = ReorderBuffer::new(cfg.rob_entries, cfg.issue_width);
+    let mut lsq = LoadStoreQueue::new(cfg.lsq_entries);
+    let mut mshr = MshrFile::new(cfg.mshr_entries);
+    let mut fetch = FetchUnit::new(hierarchy.config().l1i.block_bytes, cfg.issue_width);
+    let mut predictor = BranchPredictor::default();
+    let mut last_forced_commit: u64 = 0;
+    let block_shift = hierarchy.config().l1d.block_bytes.max(1).trailing_zeros();
+    let store_latency_cap = hierarchy.config().l1d.hit_latency + 1;
+    let mut fp_ops: u64 = 0;
+    let mut mem_ops: u64 = 0;
+    let mut branches: u64 = 0;
+    let mut regfile_reads: u64 = 0;
+
+    let mut idx: usize = 0;
+    loop {
+        let chunk = source.next_chunk();
+        if chunk.is_empty() {
+            break;
+        }
+        for rec in chunk {
+            let wrap = dispatched_this_cycle >= cfg.issue_width;
+            dispatch_cycle += u64::from(wrap);
+            if wrap {
+                dispatched_this_cycle = 0;
+            }
+            let redirected = dispatch_cycle < fetch_resume_cycle;
+            dispatch_cycle = dispatch_cycle.max(fetch_resume_cycle);
+            if redirected {
+                dispatched_this_cycle = 0;
+            }
+
+            let fetch_stall = fetch.fetch(rec.pc(), dispatch_cycle, hierarchy);
+            if fetch_stall > 0 {
+                dispatch_cycle += fetch_stall;
+                dispatched_this_cycle = 0;
+            }
+
+            if rob.is_full() {
+                let commit_cycle = rob.commit_oldest().expect("full ROB is non-empty");
+                last_forced_commit = last_forced_commit.max(commit_cycle);
+                let bumped = commit_cycle > dispatch_cycle;
+                dispatch_cycle = dispatch_cycle.max(commit_cycle);
+                if bumped {
+                    dispatched_this_cycle = 0;
+                }
+            }
+
+            regfile_reads += u64::from(rec.dep1() > 0) + u64::from(rec.dep2() > 0);
+
+            let dep_ready = producer_ready(&completion, idx, rec.dep1()).max(producer_ready(
+                &completion,
+                idx,
+                rec.dep2(),
+            ));
+            let ready = dispatch_cycle.max(dep_ready);
+
+            let complete = match rec.op() {
+                Op::Int => ready + cfg.int_latency,
+                Op::Fp => {
+                    fp_ops += 1;
+                    ready + cfg.fp_latency
+                }
+                Op::Load(addr) => {
+                    mem_ops += 1;
+                    mshr.retire_completed(ready);
+                    let access = hierarchy.access_data(addr, false, ready);
+                    let finish = if access.l1_hit {
+                        ready + access.latency
+                    } else {
+                        let block = addr >> block_shift;
+                        if let Some(outstanding) = mshr.lookup(block) {
+                            outstanding.max(ready + 1)
+                        } else if mshr.is_full() {
+                            let free_at = mshr
+                                .earliest_completion()
+                                .expect("full MSHR file is non-empty");
+                            mshr.retire_completed(free_at);
+                            let start = free_at.max(ready);
+                            let finish = start + access.latency;
+                            mshr.allocate(block, finish);
+                            finish
+                        } else {
+                            let finish = ready + access.latency;
+                            mshr.allocate(block, finish);
+                            finish
+                        }
+                    };
+                    let available = lsq.reserve(ready, finish);
+                    finish + available.saturating_sub(ready)
+                }
+                Op::Store(addr) => {
+                    mem_ops += 1;
+                    let access = hierarchy.access_data(addr, true, ready);
+                    let finish = ready + access.latency.min(store_latency_cap);
+                    let available = lsq.reserve(ready, finish);
+                    finish + available.saturating_sub(ready)
+                }
+                Op::Branch { taken } => {
+                    branches += 1;
+                    let correct = predictor.resolve(rec.pc(), taken);
+                    let finish = ready + cfg.int_latency;
+                    if !correct {
+                        fetch_resume_cycle =
+                            fetch_resume_cycle.max(finish + cfg.mispredict_penalty);
+                    }
+                    finish
+                }
+            };
+
+            rob.dispatch(complete);
+            completion[idx % COMPLETION_RING] = complete;
+            dispatched_this_cycle += 1;
+            idx += 1;
+            hook.post_commit(idx as u64, dispatch_cycle, hierarchy);
+        }
+    }
+
+    let drained = rob.drain();
+    let cycles = drained.max(last_forced_commit).max(dispatch_cycle);
+    SimResult {
+        cycles,
+        instructions: idx as u64,
+        activity: ActivityCounters::from_run_totals(
+            idx as u64,
+            fp_ops,
+            mem_ops,
+            branches,
+            regfile_reads,
+        ),
+        branch: predictor.stats(),
+    }
+}
+
+/// Per-record reference of the in-order engine loop.
+pub fn run_inorder_reference<S: TraceSource, H: SimHook + ?Sized>(
+    cfg: &CpuConfig,
+    source: &mut S,
+    hierarchy: &mut MemoryHierarchy,
+    hook: &mut H,
+) -> SimResult {
+    let mut cycle: u64 = 1;
+    let mut issued_this_cycle: u32 = 0;
+    let mut completion = [0u64; COMPLETION_RING];
+    let mut fetch = FetchUnit::new(hierarchy.config().l1i.block_bytes, cfg.issue_width);
+    let mut predictor = BranchPredictor::default();
+    let mut max_completion: u64 = 0;
+    let mut fp_ops: u64 = 0;
+    let mut mem_ops: u64 = 0;
+    let mut branches: u64 = 0;
+    let mut regfile_reads: u64 = 0;
+
+    let mut idx: usize = 0;
+    loop {
+        let chunk = source.next_chunk();
+        if chunk.is_empty() {
+            break;
+        }
+        for rec in chunk {
+            let wrap = issued_this_cycle >= cfg.issue_width;
+            cycle += u64::from(wrap);
+            if wrap {
+                issued_this_cycle = 0;
+            }
+
+            let fetch_stall = fetch.fetch(rec.pc(), cycle, hierarchy);
+            if fetch_stall > 0 {
+                cycle += fetch_stall;
+                issued_this_cycle = 0;
+            }
+
+            let dep_ready = producer_ready(&completion, idx, rec.dep1()).max(producer_ready(
+                &completion,
+                idx,
+                rec.dep2(),
+            ));
+            let waited = dep_ready > cycle;
+            cycle = cycle.max(dep_ready);
+            if waited {
+                issued_this_cycle = 0;
+            }
+
+            regfile_reads += u64::from(rec.dep1() > 0) + u64::from(rec.dep2() > 0);
+
+            let complete = match rec.op() {
+                Op::Int => cycle + cfg.int_latency,
+                Op::Fp => {
+                    fp_ops += 1;
+                    cycle + cfg.fp_latency
+                }
+                Op::Load(addr) | Op::Store(addr) => {
+                    mem_ops += 1;
+                    let write = rec.op().is_store();
+                    let access = hierarchy.access_data(addr, write, cycle);
+                    if access.l1_hit {
+                        cycle + access.latency
+                    } else {
+                        cycle += access.latency;
+                        issued_this_cycle = 0;
+                        cycle
+                    }
+                }
+                Op::Branch { taken } => {
+                    branches += 1;
+                    let correct = predictor.resolve(rec.pc(), taken);
+                    if !correct {
+                        cycle += cfg.mispredict_penalty;
+                        issued_this_cycle = 0;
+                    }
+                    cycle + cfg.int_latency
+                }
+            };
+
+            completion[idx % COMPLETION_RING] = complete;
+            max_completion = max_completion.max(complete);
+            issued_this_cycle += 1;
+            idx += 1;
+            hook.post_commit(idx as u64, cycle, hierarchy);
+        }
+    }
+
+    SimResult {
+        cycles: cycle.max(max_completion),
+        instructions: idx as u64,
+        activity: ActivityCounters::from_run_totals(
+            idx as u64,
+            fp_ops,
+            mem_ops,
+            branches,
+            regfile_reads,
+        ),
+        branch: predictor.stats(),
+    }
+}

@@ -72,7 +72,7 @@ pub use ilp::IlpBehavior;
 pub use mix::InstructionMix;
 pub use phase::{Phase, PhaseSchedule, ScheduleCursor, ScheduleKind};
 pub use profile::{AppProfile, CodeBehavior, DataBehavior};
-pub use record::{InstrRecord, Op};
+pub use record::{kind, InstrRecord, Op};
 pub use rng::Prng;
 pub use source::{TraceCursor, TraceSource, CHUNK_RECORDS};
 pub use trace::{Trace, TraceStats};

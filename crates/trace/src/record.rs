@@ -50,13 +50,33 @@ impl Op {
     }
 }
 
-/// Operation-class tags of the packed record encoding.
-const KIND_INT: u8 = 0;
-const KIND_FP: u8 = 1;
-const KIND_LOAD: u8 = 2;
-const KIND_STORE: u8 = 3;
-const KIND_BRANCH_NOT_TAKEN: u8 = 4;
-const KIND_BRANCH_TAKEN: u8 = 5;
+/// Raw operation-class tags of the packed record encoding.
+///
+/// These are the values [`InstrRecord::kind_tag`] returns and the on-disk
+/// codec stores. Batched consumers (the struct-of-arrays engine front end in
+/// `rescache-cpu`) dispatch on the tag directly instead of re-materializing
+/// an [`Op`], so the ordering is part of the stable encoding: ALU classes
+/// first (`INT`, `FP`), then memory (`LOAD`, `STORE`), then branches with the
+/// taken direction in the low bit.
+pub mod kind {
+    /// An integer ALU operation.
+    pub const INT: u8 = 0;
+    /// A floating-point operation.
+    pub const FP: u8 = 1;
+    /// A load; the record's address lane carries the effective address.
+    pub const LOAD: u8 = 2;
+    /// A store; the record's address lane carries the effective address.
+    pub const STORE: u8 = 3;
+    /// A conditional branch resolved not-taken.
+    pub const BRANCH_NOT_TAKEN: u8 = 4;
+    /// A conditional branch resolved taken.
+    pub const BRANCH_TAKEN: u8 = 5;
+}
+
+use kind::{
+    BRANCH_NOT_TAKEN as KIND_BRANCH_NOT_TAKEN, BRANCH_TAKEN as KIND_BRANCH_TAKEN, FP as KIND_FP,
+    INT as KIND_INT, LOAD as KIND_LOAD, STORE as KIND_STORE,
+};
 
 /// A single dynamic instruction in a trace.
 ///
@@ -137,6 +157,29 @@ impl InstrRecord {
             KIND_BRANCH_NOT_TAKEN => Op::Branch { taken: false },
             _ => Op::Branch { taken: true },
         }
+    }
+
+    /// Raw operation-class tag (one of the [`kind`] constants).
+    ///
+    /// This is the struct-of-arrays view of [`InstrRecord::op`]: batched
+    /// consumers copy the tag into a kind lane and dispatch on it without
+    /// materializing an [`Op`].
+    #[inline(always)]
+    pub fn kind_tag(&self) -> u8 {
+        self.kind
+    }
+
+    /// Program counter as the packed 32-bit lane value.
+    #[inline(always)]
+    pub fn pc_raw(&self) -> u32 {
+        self.pc
+    }
+
+    /// Effective data address as the packed 32-bit lane value (0 for
+    /// non-memory operations).
+    #[inline(always)]
+    pub fn addr_raw(&self) -> u32 {
+        self.addr
     }
 
     /// Distance (in dynamic instructions) to the first source producer;
@@ -242,6 +285,40 @@ mod tests {
         assert_eq!(r.dep1, 2);
         assert_eq!(r.dep2, 5);
         assert_eq!(r.pc, 0x404);
+    }
+
+    #[test]
+    fn lane_accessors_agree_with_op() {
+        let records = [
+            (InstrRecord::new(0x400, Op::Int), kind::INT, 0),
+            (InstrRecord::new(0x404, Op::Fp), kind::FP, 0),
+            (
+                InstrRecord::new(0x408, Op::Load(0x9000)),
+                kind::LOAD,
+                0x9000,
+            ),
+            (
+                InstrRecord::new(0x40c, Op::Store(0x9008)),
+                kind::STORE,
+                0x9008,
+            ),
+            (
+                InstrRecord::new(0x410, Op::Branch { taken: false }),
+                kind::BRANCH_NOT_TAKEN,
+                0,
+            ),
+            (
+                InstrRecord::new(0x414, Op::Branch { taken: true }),
+                kind::BRANCH_TAKEN,
+                0,
+            ),
+        ];
+        for (rec, tag, addr) in records {
+            assert_eq!(rec.kind_tag(), tag);
+            assert_eq!(u64::from(rec.addr_raw()), addr);
+            assert_eq!(u64::from(rec.pc_raw()), rec.pc());
+            assert_eq!(rec.op().address().unwrap_or(0), addr);
+        }
     }
 
     #[test]
