@@ -31,7 +31,7 @@ use rescache_core::experiment::{
 };
 use rescache_core::{ConfigSpace, DynamicParams, Organization, ResizableCacheSide, SystemConfig};
 use rescache_cpu::{CpuConfig, Simulator};
-use rescache_trace::{codec, spec, TraceGenerator, TraceSource, WorkloadRegistry};
+use rescache_trace::{codec, spec, TraceFormat, TraceGenerator, TraceSource, WorkloadRegistry};
 
 /// One measured stage of the simulation pipeline.
 struct EngineResult {
@@ -54,6 +54,10 @@ struct EngineResult {
     /// recorded in the JSON as `"status": "skipped"` with zeroed values so
     /// trajectory consumers can tell "not measured" from "measured as 0".
     skipped: bool,
+    /// The trace-format version whose bit stream the stage generated,
+    /// replayed or simulated; `None` only for the stages that touch no
+    /// trace records at all (the pure cache-access kernels).
+    trace_format: Option<TraceFormat>,
 }
 
 /// The record for a stage that was skipped because its prerequisite
@@ -67,6 +71,7 @@ fn skipped(name: &'static str) -> EngineResult {
         mips: 0.0,
         nominal_workload: false,
         skipped: true,
+        trace_format: None,
     }
 }
 
@@ -113,24 +118,32 @@ fn measure(
         mips,
         nominal_workload: false,
         skipped: false,
+        trace_format: None,
     }
 }
 
-fn bench_trace_gen(scale: u64) -> EngineResult {
+fn bench_trace_gen(scale: u64, format: TraceFormat) -> EngineResult {
     let n = (50_000 * scale) as usize;
-    measure("trace_gen", n as u64, 5, || {
-        TraceGenerator::new(spec::gcc(), 7).generate(n).len() as u64
-    })
+    let mut result = measure("trace_gen", n as u64, 5, || {
+        TraceGenerator::new(spec::gcc(), 7)
+            .with_format(format)
+            .generate(n)
+            .len() as u64
+    });
+    result.trace_format = Some(format);
+    result
 }
 
 /// Chunked generation through the `TraceSource` pull interface: the same
 /// record sequence as `trace_gen`, but only one `CHUNK_RECORDS` buffer ever
 /// resident — the rate a streaming (fused generate-and-simulate) run feeds
 /// its engine at.
-fn bench_trace_gen_streaming(scale: u64) -> EngineResult {
+fn bench_trace_gen_streaming(scale: u64, format: TraceFormat) -> EngineResult {
     let n = (50_000 * scale) as usize;
-    measure("trace_gen_streaming", n as u64, 5, || {
-        let mut stream = TraceGenerator::new(spec::gcc(), 7).stream(n);
+    let mut result = measure("trace_gen_streaming", n as u64, 5, || {
+        let mut stream = TraceGenerator::new(spec::gcc(), 7)
+            .with_format(format)
+            .stream(n);
         let mut records = 0u64;
         loop {
             let chunk = stream.next_chunk();
@@ -140,24 +153,32 @@ fn bench_trace_gen_streaming(scale: u64) -> EngineResult {
             records += chunk.len() as u64;
         }
         records
-    })
+    });
+    result.trace_format = Some(format);
+    result
 }
 
 /// Replaying a persisted trace from the on-disk store (the cross-process
 /// reuse path `RESCACHE_TRACE_DIR` enables): decode, validate and
 /// materialize records at i/o-bound speed instead of regenerating.
-fn bench_trace_store_load(scale: u64) -> EngineResult {
+fn bench_trace_store_load(scale: u64, format: TraceFormat) -> EngineResult {
     let n = (50_000 * scale) as usize;
     let Some(dir) = store_scratch_dir("store-load") else {
         return skipped("trace_store_load");
     };
     std::fs::create_dir_all(&dir).expect("create bench store dir");
     let path = dir.join("gcc.rctrace");
-    codec::save_trace(&path, &TraceGenerator::new(spec::gcc(), 7).generate(n))
-        .expect("persist bench trace");
-    let result = measure("trace_store_load", n as u64, 5, || {
+    codec::save_trace(
+        &path,
+        &TraceGenerator::new(spec::gcc(), 7)
+            .with_format(format)
+            .generate(n),
+    )
+    .expect("persist bench trace");
+    let mut result = measure("trace_store_load", n as u64, 5, || {
         codec::load_trace(&path).expect("load bench trace").len() as u64
     });
+    result.trace_format = Some(format);
     std::fs::remove_dir_all(&dir).ok();
     result
 }
@@ -195,18 +216,27 @@ fn bench_evict_stream(scale: u64) -> EngineResult {
     })
 }
 
-fn bench_engine(name: &'static str, config: CpuConfig, scale: u64) -> EngineResult {
+fn bench_engine(
+    name: &'static str,
+    config: CpuConfig,
+    scale: u64,
+    format: TraceFormat,
+) -> EngineResult {
     let n = (20_000 * scale) as usize;
-    let trace = TraceGenerator::new(spec::m88ksim(), 3).generate(n);
+    let trace = TraceGenerator::new(spec::m88ksim(), 3)
+        .with_format(format)
+        .generate(n);
     // These stages finish in ~2 ms, so on a shared host a best-of-3 is
     // regularly inflated by scheduler interference; 15 repetitions (still
     // ~30 ms per stage) land the best-of reliably near the true minimum.
     // More repetitions can only tighten the same statistic, so engine values
     // stay comparable with the earlier best-of-3 trajectory entries.
-    measure(name, n as u64, 15, move || {
+    let mut result = measure(name, n as u64, 15, move || {
         let mut h = MemoryHierarchy::new(HierarchyConfig::base()).unwrap();
         Simulator::new(config).run(&trace, &mut h).instructions
-    })
+    });
+    result.trace_format = Some(format);
+    result
 }
 
 /// The cold-start ("trace-limited") stage every sweep pays once per
@@ -214,12 +244,17 @@ fn bench_engine(name: &'static str, config: CpuConfig, scale: u64) -> EngineResu
 /// `fused: false` is the pre-streaming pipeline (materialize, then replay);
 /// `fused: true` interleaves generation and simulation per chunk through
 /// `run_source`, with only one chunk buffer resident.
-fn bench_gen_plus_first_sim(name: &'static str, fused: bool, scale: u64) -> EngineResult {
+fn bench_gen_plus_first_sim(
+    name: &'static str,
+    fused: bool,
+    scale: u64,
+    format: TraceFormat,
+) -> EngineResult {
     let n = (20_000 * scale) as usize;
     let config = CpuConfig::base_out_of_order();
-    measure(name, n as u64, 3, move || {
+    let mut result = measure(name, n as u64, 3, move || {
         let mut h = MemoryHierarchy::new(HierarchyConfig::base()).unwrap();
-        let generator = TraceGenerator::new(spec::m88ksim(), 3);
+        let generator = TraceGenerator::new(spec::m88ksim(), 3).with_format(format);
         if fused {
             let mut stream = generator.stream(n);
             Simulator::new(config)
@@ -229,13 +264,15 @@ fn bench_gen_plus_first_sim(name: &'static str, fused: bool, scale: u64) -> Engi
             let trace = generator.generate(n);
             Simulator::new(config).run(&trace, &mut h).instructions
         }
-    })
+    });
+    result.trace_format = Some(format);
+    result
 }
 
 /// One out-of-order engine run per registry workload, fed through the
 /// streaming source: tracks how the engine responds to each scenario's
 /// stress pattern (quick mode covers a three-workload subset).
-fn bench_workloads(scale: u64, quick: bool) -> Vec<EngineResult> {
+fn bench_workloads(scale: u64, quick: bool, format: TraceFormat) -> Vec<EngineResult> {
     let n = (20_000 * scale) as usize;
     let registry = WorkloadRegistry::builtin();
     let quick_set = ["nominal", "pointer_chase", "mshr_burst"];
@@ -250,13 +287,17 @@ fn bench_workloads(scale: u64, quick: bool) -> Vec<EngineResult> {
             // stable prefixed name; leak once per stage (bounded by the
             // registry size).
             let label: &'static str = Box::leak(format!("wl_{}", spec.name).into_boxed_str());
-            measure(label, n as u64, 3, move || {
+            let mut result = measure(label, n as u64, 3, move || {
                 let mut h = MemoryHierarchy::new(HierarchyConfig::base()).unwrap();
-                let mut stream = TraceGenerator::new(profile.clone(), 3).stream(n);
+                let mut stream = TraceGenerator::new(profile.clone(), 3)
+                    .with_format(format)
+                    .stream(n);
                 Simulator::new(config)
                     .run_source(&mut stream, &mut h)
                     .instructions
-            })
+            });
+            result.trace_format = Some(format);
+            result
         })
         .collect()
 }
@@ -267,7 +308,12 @@ fn bench_workloads(scale: u64, quick: bool) -> Vec<EngineResult> {
 /// (`Runner::run_dynamic` replaying a persisted entry chunk by chunk, with
 /// no full-length trace resident). The pair tracks what the streamed dynamic
 /// pipeline costs/saves against the in-memory replay rate.
-fn bench_dynamic(name: &'static str, streamed: bool, scale: u64) -> EngineResult {
+fn bench_dynamic(
+    name: &'static str,
+    streamed: bool,
+    scale: u64,
+    format: TraceFormat,
+) -> EngineResult {
     let warm_len = (4_000 * scale) as usize;
     let measure_len = (16_000 * scale) as usize;
     let cfg = RunnerConfig {
@@ -275,18 +321,22 @@ fn bench_dynamic(name: &'static str, streamed: bool, scale: u64) -> EngineResult
         measure_instructions: measure_len,
         trace_seed: 42,
         dynamic_interval: 1_024,
+        trace_format: format,
     };
+    // The materialized baseline replays resident traces; only the streamed
+    // variant needs (and requires) a store directory.
     let dir = if streamed {
         match store_scratch_dir(name) {
-            Some(dir) => dir,
+            Some(dir) => Some(dir),
             None => return skipped(name),
         }
     } else {
-        // The materialized baseline replays resident traces; no store.
-        std::path::PathBuf::new()
+        None
     };
-    std::fs::remove_dir_all(&dir).ok();
-    let store = TraceStore::with_dir(streamed.then(|| dir.clone()));
+    if let Some(dir) = &dir {
+        std::fs::remove_dir_all(dir).ok();
+    }
+    let store = TraceStore::with_dir(dir.clone());
     let runner = Runner::with_store(cfg, store);
     let app = spec::su2cor();
     let system = SystemConfig::base();
@@ -304,7 +354,7 @@ fn bench_dynamic(name: &'static str, streamed: bool, scale: u64) -> EngineResult
     // `measure`'s untimed warm-up call populates the store (generate-to-disk
     // for the streamed variant, materialize-and-memoize for the baseline),
     // so the timed repetitions measure steady-state replay.
-    let result = measure(name, (warm_len + measure_len) as u64, 3, move || {
+    let mut result = measure(name, (warm_len + measure_len) as u64, 3, move || {
         let m = if streamed {
             runner.run_dynamic(&app, &system, &setup)
         } else {
@@ -313,7 +363,10 @@ fn bench_dynamic(name: &'static str, streamed: bool, scale: u64) -> EngineResult
         };
         m.l1d_resizes + m.cycles
     });
-    std::fs::remove_dir_all(&dir).ok();
+    result.trace_format = Some(format);
+    if let Some(dir) = &dir {
+        std::fs::remove_dir_all(dir).ok();
+    }
     result
 }
 
@@ -362,6 +415,7 @@ fn bench_fig5_sweep(scale: u64) -> EngineResult {
     // baseline and each organization's full-size point), so fewer
     // instructions execute than the divisor counts, by design.
     result.nominal_workload = true;
+    result.trace_format = Some(cfg.trace_format);
     result
 }
 
@@ -381,6 +435,9 @@ fn main() {
         std::env::set_var("RESCACHE_MEASURE", if quick { "30000" } else { "200000" });
     }
     let scale = if quick { 1 } else { 5 };
+    // One env resolution for every stage (RunnerConfig::from_env warns on an
+    // unknown RESCACHE_TRACE_FORMAT instead of silently defaulting).
+    let trace_format = RunnerConfig::from_env().trace_format;
 
     println!("=== sim_throughput: simulator wall-clock throughput ===");
     println!(
@@ -391,19 +448,24 @@ fn main() {
     println!();
 
     let mut results = vec![
-        bench_trace_gen(scale),
-        bench_trace_gen_streaming(scale),
-        bench_trace_store_load(scale),
+        bench_trace_gen(scale, trace_format),
+        bench_trace_gen_streaming(scale, trace_format),
+        bench_trace_store_load(scale, trace_format),
         bench_hit_stream(scale),
         bench_evict_stream(scale),
-        bench_engine("in_order", CpuConfig::base_in_order(), scale),
-        bench_engine("out_of_order", CpuConfig::base_out_of_order(), scale),
-        bench_gen_plus_first_sim("gen_first_sim_split", false, scale),
-        bench_gen_plus_first_sim("gen_first_sim_fused", true, scale),
-        bench_dynamic("dyn_materialized", false, scale),
-        bench_dynamic("dyn_streamed", true, scale),
+        bench_engine("in_order", CpuConfig::base_in_order(), scale, trace_format),
+        bench_engine(
+            "out_of_order",
+            CpuConfig::base_out_of_order(),
+            scale,
+            trace_format,
+        ),
+        bench_gen_plus_first_sim("gen_first_sim_split", false, scale, trace_format),
+        bench_gen_plus_first_sim("gen_first_sim_fused", true, scale, trace_format),
+        bench_dynamic("dyn_materialized", false, scale, trace_format),
+        bench_dynamic("dyn_streamed", true, scale, trace_format),
     ];
-    results.extend(bench_workloads(scale, quick));
+    results.extend(bench_workloads(scale, quick, trace_format));
     results.push(bench_fig5_sweep(scale));
 
     let json = render_json(&results, quick);
@@ -429,7 +491,7 @@ fn main() {
 /// carries no serde dependency).
 fn render_json(results: &[EngineResult], quick: bool) -> String {
     let mut out = String::from("{\n");
-    out.push_str("  \"schema\": \"rescache-sim-throughput/4\",\n");
+    out.push_str("  \"schema\": \"rescache-sim-throughput/5\",\n");
     out.push_str(&format!("  \"quick\": {quick},\n"));
     out.push_str(&format!(
         "  \"host_threads\": {},\n",
@@ -443,8 +505,12 @@ fn render_json(results: &[EngineResult], quick: bool) -> String {
     ));
     out.push_str("  \"engines\": [\n");
     for (i, r) in results.iter().enumerate() {
+        let trace_format = match r.trace_format {
+            Some(format) => format!(", \"trace_format\": \"{format}\""),
+            None => String::new(),
+        };
         out.push_str(&format!(
-            "    {{\"name\": \"{}\", \"status\": \"{}\", \"items\": {}, \"seconds\": {:.6}, \"mips\": {:.3}, \"workload\": \"{}\"}}{}\n",
+            "    {{\"name\": \"{}\", \"status\": \"{}\", \"items\": {}, \"seconds\": {:.6}, \"mips\": {:.3}, \"workload\": \"{}\"{trace_format}}}{}\n",
             r.name,
             if r.skipped { "skipped" } else { "measured" },
             r.items,

@@ -162,6 +162,7 @@ mod tests {
             measure_instructions: 16_000,
             trace_seed: 7,
             dynamic_interval: 1_024,
+            ..RunnerConfig::fast()
         });
         let apps = vec![spec::ammp(), spec::m88ksim()];
         let rows = dual_resizing(
@@ -201,6 +202,7 @@ mod tests {
             measure_instructions: 8_000,
             trace_seed: 7,
             dynamic_interval: 1_024,
+            ..RunnerConfig::fast()
         });
         let apps = vec![spec::ammp()];
         let rows = dual_resizing(

@@ -68,6 +68,7 @@ mod tests {
             measure_instructions: 12_000,
             trace_seed: 7,
             dynamic_interval: 1_024,
+            ..RunnerConfig::fast()
         });
         let apps = vec![spec::ammp(), spec::compress()];
         let points = hybrid_effectiveness(&runner, &apps, &[4], ResizableCacheSide::Data).unwrap();

@@ -144,6 +144,7 @@ mod tests {
             measure_instructions: 12_000,
             trace_seed: 7,
             dynamic_interval: 1_024,
+            ..RunnerConfig::fast()
         })
     }
 

@@ -7,7 +7,7 @@ use std::sync::{Arc, Mutex, OnceLock};
 use rescache_cache::{HierarchySnapshot, MemoryHierarchy};
 use rescache_cpu::{SimHook, SimResult, Simulator};
 use rescache_energy::{EnergyBreakdown, EnergyDelay, EnergyModel, ResizingTagOverhead};
-use rescache_trace::{AppProfile, Trace, TraceGenerator, TraceSource};
+use rescache_trace::{AppProfile, Trace, TraceFormat, TraceGenerator, TraceSource};
 
 use crate::error::CoreError;
 use crate::experiment::parallel::parallel_map;
@@ -29,6 +29,10 @@ pub struct RunnerConfig {
     /// Interval length (in cache accesses) of the dynamic resizing
     /// controller.
     pub dynamic_interval: u64,
+    /// Trace-format version the generated bit streams use. Part of every
+    /// trace and simulation memo key, and of the trace store's on-disk
+    /// entry names, so runs under different versions never share records.
+    pub trace_format: TraceFormat,
 }
 
 impl RunnerConfig {
@@ -39,6 +43,7 @@ impl RunnerConfig {
             measure_instructions: 2_400_000,
             trace_seed: 42,
             dynamic_interval: 8_192,
+            trace_format: TraceFormat::default(),
         }
     }
 
@@ -49,13 +54,15 @@ impl RunnerConfig {
             measure_instructions: 30_000,
             trace_seed: 42,
             dynamic_interval: 256,
+            trace_format: TraceFormat::default(),
         }
     }
 
     /// [`RunnerConfig::paper`] with overrides from the environment variables
-    /// `RESCACHE_WARMUP`, `RESCACHE_MEASURE`, `RESCACHE_SEED` and
-    /// `RESCACHE_INTERVAL` (all optional), so bench runs can be scaled
-    /// without recompiling.
+    /// `RESCACHE_WARMUP`, `RESCACHE_MEASURE`, `RESCACHE_SEED`,
+    /// `RESCACHE_INTERVAL` and `RESCACHE_TRACE_FORMAT` (`v1`/`v2`; all
+    /// optional), so bench runs can be scaled — and pinned to a trace
+    /// format — without recompiling.
     pub fn from_env() -> Self {
         let mut cfg = Self::paper();
         if let Some(v) = read_env("RESCACHE_WARMUP") {
@@ -70,7 +77,22 @@ impl RunnerConfig {
         if let Some(v) = read_env("RESCACHE_INTERVAL") {
             cfg.dynamic_interval = v.max(1);
         }
+        if let Ok(v) = std::env::var("RESCACHE_TRACE_FORMAT") {
+            match TraceFormat::from_tag(&v) {
+                Some(format) => cfg.trace_format = format,
+                None => eprintln!(
+                    "rescache: unknown RESCACHE_TRACE_FORMAT {v:?}; using {}",
+                    cfg.trace_format
+                ),
+            }
+        }
         cfg
+    }
+
+    /// Returns this configuration with the given trace-format version.
+    pub fn with_trace_format(mut self, format: TraceFormat) -> Self {
+        self.trace_format = format;
+        self
     }
 }
 
@@ -388,7 +410,9 @@ impl Runner {
         }
         let total = cfg.warmup_instructions + cfg.measure_instructions;
         let mut retry = StoreSource::Generated(Box::new(
-            TraceGenerator::new(app.clone(), cfg.trace_seed).stream(total),
+            TraceGenerator::new(app.clone(), cfg.trace_seed)
+                .with_format(cfg.trace_format)
+                .stream(total),
         ));
         simulate(&mut retry)
     }

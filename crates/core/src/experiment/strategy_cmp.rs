@@ -102,6 +102,7 @@ mod tests {
             measure_instructions: 16_000,
             trace_seed: 7,
             dynamic_interval: 1_024,
+            ..RunnerConfig::fast()
         })
     }
 

@@ -41,24 +41,28 @@ use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex, OnceLock};
 
 use rescache_trace::{
-    codec, AppProfile, InstrRecord, Trace, TraceCursor, TraceFileSource, TraceGenerator,
-    TraceSource, TraceStream,
+    codec, AppProfile, InstrRecord, Trace, TraceCursor, TraceFileSource, TraceFormat,
+    TraceGenerator, TraceSource, TraceStream,
 };
 
 use crate::experiment::runner::RunnerConfig;
 
 /// Key identifying one (warm, measure) trace request: application name,
-/// profile fingerprint, seed, warm-up length, measured length. The
-/// fingerprint covers the profile's full contents, so two differing profiles
-/// that happen to share a name (possible via the `AppProfile` builders)
-/// never alias. Simulation memo keys embed this type — the split matters to
-/// a simulation even though the underlying records only depend on the total.
-pub(crate) type TraceKey = (&'static str, u64, u64, usize, usize);
+/// profile fingerprint, seed, warm-up length, measured length, trace-format
+/// version. The fingerprint covers the profile's full contents, so two
+/// differing profiles that happen to share a name (possible via the
+/// `AppProfile` builders) never alias; the format version keeps v1 and v2
+/// bit streams apart. Simulation memo keys embed this type — the split
+/// matters to a simulation even though the underlying records only depend
+/// on the total.
+pub(crate) type TraceKey = (&'static str, u64, u64, usize, usize, TraceFormat);
 
 /// Key of one full generated trace in the store: application name, profile
-/// fingerprint, seed, total length. Requests whose totals agree share the
-/// entry and split it at fetch time.
-type StoreKey = (&'static str, u64, u64, usize);
+/// fingerprint, seed, total length, trace-format version. Requests whose
+/// totals agree share the entry and split it at fetch time; requests whose
+/// format versions differ never share anything — the bit streams differ by
+/// design, so cross-process sweeps must never mix them.
+type StoreKey = (&'static str, u64, u64, usize, TraceFormat);
 
 /// A shared once-per-key memoization map: the outer mutex is held only to
 /// fetch or insert a slot, while the per-key `OnceLock` serializes (blocking)
@@ -136,6 +140,14 @@ impl TraceSource for StoreSource {
         }
     }
 
+    fn format(&self) -> TraceFormat {
+        match self {
+            StoreSource::Resident(s) => s.format(),
+            StoreSource::Disk(s) => s.format(),
+            StoreSource::Generated(s) => s.format(),
+        }
+    }
+
     fn total_records(&self) -> usize {
         match self {
             StoreSource::Resident(s) => s.total_records(),
@@ -207,6 +219,7 @@ impl TraceStore {
             config.trace_seed,
             config.warmup_instructions,
             config.measure_instructions,
+            config.trace_format,
         )
     }
 
@@ -217,6 +230,7 @@ impl TraceStore {
             app.fingerprint(),
             config.trace_seed,
             config.warmup_instructions + config.measure_instructions,
+            config.trace_format,
         )
     }
 
@@ -279,7 +293,9 @@ impl TraceStore {
             // The directory is unusable (e.g. not writable): generate on
             // the fly rather than fail — still nothing materialized.
             return StoreSource::Generated(Box::new(
-                TraceGenerator::new(app.clone(), key.2).stream(total),
+                TraceGenerator::new(app.clone(), key.2)
+                    .with_format(key.4)
+                    .stream(total),
             ));
         }
 
@@ -298,9 +314,11 @@ impl TraceStore {
         if !app.length_invariant() {
             return None;
         }
-        let (name, fingerprint, seed, total) = *key;
+        let (name, fingerprint, seed, total, format) = *key;
         map.iter()
-            .filter(|((n, f, s, t), _)| *n == name && *f == fingerprint && *s == seed && *t > total)
+            .filter(|((n, f, s, t, v), _)| {
+                *n == name && *f == fingerprint && *s == seed && *t > total && *v == format
+            })
             .filter_map(|(k, slot)| slot.get().map(|t| (k.3, t)))
             .min_by_key(|(t, _)| *t)
             .map(|(_, trace)| trace.slice(0..total))
@@ -312,18 +330,21 @@ impl TraceStore {
     /// is absent or unusable — the hot path is one `open`.
     fn disk_source(&self, app: &AppProfile, key: &StoreKey) -> Option<TraceFileSource> {
         let total = key.3;
-        if let Some(source) = self.open_entry(app, &self.entry_path(key)?, total, total) {
+        if let Some(source) = self.open_entry(app, &self.entry_path(key)?, total, total, key.4) {
             return Some(source);
         }
         if app.length_invariant() {
             if let Some((path, file_total)) = self.find_longer_entry(key) {
-                return self.open_entry(app, &path, total, file_total);
+                return self.open_entry(app, &path, total, file_total, key.4);
             }
         }
         None
     }
 
     /// Opens one candidate entry serving `take` records, validating the
+    /// header's trace-format version against the key's (a v1 file must
+    /// never serve a v2 request, or vice versa — the mismatch surfaces as
+    /// the codec's typed [`codec::CodecError::FormatMismatch`]) and the
     /// header's application name and record count against what the *file
     /// name* promises (`file_total`) — a header that disagrees marks a
     /// foreign, stale or hash-colliding file, which must be ignored, never
@@ -334,8 +355,9 @@ impl TraceStore {
         path: &Path,
         take: usize,
         file_total: usize,
+        format: TraceFormat,
     ) -> Option<TraceFileSource> {
-        match TraceFileSource::open(path, Some(take)) {
+        match TraceFileSource::open_expecting(path, Some(take), format) {
             Ok(source) if source.name() == app.name && source.file_records() == file_total => {
                 Some(source)
             }
@@ -374,27 +396,29 @@ impl TraceStore {
         config: &RunnerConfig,
     ) {
         let _ = std::fs::remove_file(path);
-        let (name, fingerprint, seed, _) = Self::store_key(app, config);
+        let (name, fingerprint, seed, _, format) = Self::store_key(app, config);
         let mut map = self.persists.lock().expect("trace store persist lock");
         map.remove(&Self::store_key(app, config));
-        if let Some(file_total) = Self::entry_total_from_path(path, name, fingerprint, seed) {
-            map.remove(&(name, fingerprint, seed, file_total));
+        if let Some(file_total) = Self::entry_total_from_path(path, name, fingerprint, seed, format)
+        {
+            map.remove(&(name, fingerprint, seed, file_total, format));
         }
     }
 
     /// Parses the total-record count a store entry's file name claims, if
-    /// the name matches the given (application, fingerprint, seed).
+    /// the name matches the given (application, fingerprint, seed, format).
     fn entry_total_from_path(
         path: &Path,
         name: &str,
         fingerprint: u64,
         seed: u64,
+        format: TraceFormat,
     ) -> Option<usize> {
         let file_name = path.file_name()?.to_str()?;
         let prefix = format!("{name}-{fingerprint:016x}-s{seed}-t");
         file_name
             .strip_prefix(&prefix)?
-            .strip_suffix(".rctrace")?
+            .strip_suffix(Self::entry_suffix(format))?
             .parse()
             .ok()
     }
@@ -413,7 +437,9 @@ impl TraceStore {
             let path = dir.join(Self::file_name(key));
             let result = (|| {
                 std::fs::create_dir_all(&dir)?;
-                let mut stream = TraceGenerator::new(app.clone(), key.2).stream(key.3);
+                let mut stream = TraceGenerator::new(app.clone(), key.2)
+                    .with_format(key.4)
+                    .stream(key.3);
                 codec::save_source(&path, &mut stream)
             })();
             if let Err(e) = &result {
@@ -429,7 +455,7 @@ impl TraceStore {
     /// Loads the keyed full trace from disk if possible, otherwise generates
     /// it (and persists the result, best-effort).
     fn load_or_generate(&self, app: &AppProfile, key: &StoreKey) -> Trace {
-        let (_, _, seed, total) = *key;
+        let (_, _, seed, total, format) = *key;
 
         // A longer prefix-stable trace already resident in this process
         // serves the request as a copy-free view — the same sharing
@@ -454,7 +480,7 @@ impl TraceStore {
                 records.extend_from_slice(chunk);
             }
             if source.fault().is_none() && records.len() == total {
-                return Trace::new(app.name, records);
+                return Trace::with_format(app.name, records, format);
             }
             eprintln!(
                 "rescache: trace store entry {} unreadable ({}); regenerating",
@@ -466,7 +492,9 @@ impl TraceStore {
             );
         }
 
-        let full = TraceGenerator::new(app.clone(), seed).generate(total);
+        let full = TraceGenerator::new(app.clone(), seed)
+            .with_format(format)
+            .generate(total);
         if let Some(path) = self.entry_path(key) {
             if let Err(e) = self.persist(&path, &full) {
                 eprintln!(
@@ -496,8 +524,9 @@ impl TraceStore {
     /// prefix serving. Returns the path and the total its file name claims.
     fn find_longer_entry(&self, key: &StoreKey) -> Option<(PathBuf, usize)> {
         let dir = self.dir.as_ref()?;
-        let (name, fingerprint, seed, total) = *key;
+        let (name, fingerprint, seed, total, format) = *key;
         let prefix = format!("{name}-{fingerprint:016x}-s{seed}-t");
+        let suffix = Self::entry_suffix(format);
         let mut best: Option<(PathBuf, usize)> = None;
         for entry in std::fs::read_dir(dir).ok()? {
             let Ok(entry) = entry else { continue };
@@ -507,10 +536,13 @@ impl TraceStore {
             };
             let Some(rest) = file_name
                 .strip_prefix(&prefix)
-                .and_then(|r| r.strip_suffix(".rctrace"))
+                .and_then(|r| r.strip_suffix(suffix))
             else {
                 continue;
             };
+            // The totals parse as bare integers, so a v2 file (whose
+            // stripped remainder still carries the ".v2" tag under the v1
+            // suffix) can never be picked up by a v1 scan, and vice versa.
             let Ok(entry_total) = rest.parse::<usize>() else {
                 continue;
             };
@@ -521,13 +553,28 @@ impl TraceStore {
         best
     }
 
+    /// File-name suffix segregating entries by trace-format version: v1
+    /// keeps the historical bare extension (entries persisted before the
+    /// version bump keep serving v1 requests), newer formats tag the
+    /// version explicitly.
+    fn entry_suffix(format: TraceFormat) -> &'static str {
+        match format {
+            TraceFormat::V1 => ".rctrace",
+            TraceFormat::V2 => ".v2.rctrace",
+        }
+    }
+
     /// File name of a store entry: application name plus every key component
     /// that distinguishes trace contents. Entries are keyed by *total*
     /// length — the warm/measure split is a property of the request, not of
-    /// the records — so overlapping requests share files.
+    /// the records — so overlapping requests share files; the format version
+    /// is part of the name, so v1 and v2 requests never share anything.
     fn file_name(key: &StoreKey) -> String {
-        let (name, fingerprint, seed, total) = key;
-        format!("{name}-{fingerprint:016x}-s{seed}-t{total}.rctrace")
+        let (name, fingerprint, seed, total, format) = key;
+        format!(
+            "{name}-{fingerprint:016x}-s{seed}-t{total}{}",
+            Self::entry_suffix(*format)
+        )
     }
 }
 
@@ -793,6 +840,130 @@ mod tests {
             short.warmup_instructions + short.measure_instructions
         );
         assert_eq!(store.resident_full_traces(), 1);
+    }
+
+    #[test]
+    fn format_versions_never_share_entries_on_disk_or_in_memory() {
+        // The same (app, seed, lengths) under v1 and v2 is two different bit
+        // streams: the store must keep separate files, separate resident
+        // traces, and must never serve one format's entry to the other.
+        let (store, dir) = temp_store("formats");
+        let cfg_v2 = RunnerConfig::fast();
+        let cfg_v1 = RunnerConfig::fast().with_trace_format(TraceFormat::V1);
+        assert_eq!(cfg_v2.trace_format, TraceFormat::V2);
+
+        let (_, m_v2) = store.fetch(&spec::ammp(), &cfg_v2);
+        let (_, m_v1) = store.fetch(&spec::ammp(), &cfg_v1);
+        assert_ne!(
+            m_v2.records(),
+            m_v1.records(),
+            "v1 and v2 must differ in dependency bits"
+        );
+        assert_eq!(store.resident_full_traces(), 2, "one entry per format");
+        let mut names: Vec<_> = std::fs::read_dir(&dir)
+            .expect("store dir")
+            .map(|e| e.expect("entry").file_name().into_string().expect("utf8"))
+            .collect();
+        names.sort();
+        assert_eq!(names.len(), 2, "one file per format: {names:?}");
+        assert!(names[0].ends_with(".rctrace") && !names[0].ends_with(".v2.rctrace"));
+        assert!(names[1].ends_with(".v2.rctrace"));
+
+        // A fresh store ("new process") reloads each format from its own
+        // entry without touching the other or regenerating.
+        let fresh = TraceStore::with_dir(Some(dir.clone()));
+        let (_, r_v1) = fresh.fetch(&spec::ammp(), &cfg_v1);
+        let (_, r_v2) = fresh.fetch(&spec::ammp(), &cfg_v2);
+        assert_eq!(r_v1, m_v1);
+        assert_eq!(r_v2, m_v2);
+        assert_eq!(std::fs::read_dir(&dir).expect("dir").count(), 2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn wrong_format_at_the_right_path_is_rejected_and_regenerated() {
+        // Plant a v1-format file at a v2 entry's exact path (a stale or
+        // foreign store): the typed FormatMismatch must reject it — for both
+        // the materialized and the streamed access modes — and the request
+        // regenerates the honest v2 bits.
+        let (_, dir) = temp_store("mixed");
+        std::fs::create_dir_all(&dir).expect("create dir");
+        let cfg = RunnerConfig::fast();
+        let total = cfg.warmup_instructions + cfg.measure_instructions;
+        let key_v2 = TraceStore::store_key(&spec::m88ksim(), &cfg);
+        let v1_trace = TraceGenerator::new(spec::m88ksim(), cfg.trace_seed)
+            .with_format(TraceFormat::V1)
+            .generate(total);
+        codec::save_trace(&dir.join(TraceStore::file_name(&key_v2)), &v1_trace)
+            .expect("plant v1 bits at the v2 path");
+
+        let expected = TraceGenerator::new(spec::m88ksim(), cfg.trace_seed).generate(total);
+        let fresh = TraceStore::with_dir(Some(dir.clone()));
+        let (w, m) = fresh.fetch(&spec::m88ksim(), &cfg);
+        assert_eq!(w.records(), &expected.records()[..cfg.warmup_instructions]);
+        assert_eq!(m.records(), &expected.records()[cfg.warmup_instructions..]);
+
+        // Streamed path on a separately planted copy.
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).expect("recreate dir");
+        codec::save_trace(&dir.join(TraceStore::file_name(&key_v2)), &v1_trace)
+            .expect("plant again");
+        let fresh = TraceStore::with_dir(Some(dir.clone()));
+        let mut source = fresh.source(&spec::m88ksim(), &cfg);
+        assert_eq!(source.format(), TraceFormat::V2);
+        assert_eq!(drain(&mut source), expected.records());
+        assert!(source.fault().is_none());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn unknown_version_header_falls_back_to_regeneration() {
+        // An entry whose magic names a future format version must be
+        // ignored (typed UnsupportedVersion, never a panic) and the fetch
+        // regenerated — mirroring the corrupt-prefix fallback.
+        let (store, dir) = temp_store("unknownver");
+        let cfg = RunnerConfig::fast();
+        let (w1, m1) = store.fetch(&spec::ammp(), &cfg);
+        let path = entry_path(&dir);
+        let mut bytes = std::fs::read(&path).expect("read entry");
+        bytes[7] = b'9';
+        std::fs::write(&path, &bytes).expect("future-version entry");
+
+        let fresh = TraceStore::with_dir(Some(dir.clone()));
+        let (w2, m2) = fresh.fetch(&spec::ammp(), &cfg);
+        assert_eq!(w1, w2, "regeneration must reproduce the trace");
+        assert_eq!(m1, m2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn prefix_sharing_stays_within_one_format() {
+        // A longer v1 entry must not prefix-serve a shorter v2 request even
+        // for a length-invariant profile; the honest v2 prefix source is a
+        // fresh v2 entry.
+        let (_, dir) = temp_store("prefixfmt");
+        let cfg_long_v1 = RunnerConfig::fast().with_trace_format(TraceFormat::V1);
+        let store = TraceStore::with_dir(Some(dir.clone()));
+        assert!(spec::ammp().length_invariant());
+        store.fetch(&spec::ammp(), &cfg_long_v1);
+        assert_eq!(std::fs::read_dir(&dir).expect("dir").count(), 1);
+
+        let mut cfg_short_v2 = RunnerConfig::fast();
+        cfg_short_v2.measure_instructions /= 2;
+        let fresh = TraceStore::with_dir(Some(dir.clone()));
+        let (_, m_short) = fresh.fetch(&spec::ammp(), &cfg_short_v2);
+        let expected = TraceGenerator::new(spec::ammp(), cfg_short_v2.trace_seed)
+            .generate(cfg_short_v2.warmup_instructions + cfg_short_v2.measure_instructions);
+        assert_eq!(
+            m_short.records(),
+            &expected.records()[cfg_short_v2.warmup_instructions..]
+        );
+        assert_eq!(
+            std::fs::read_dir(&dir).expect("dir").count(),
+            2,
+            "the v2 request wrote its own entry instead of reusing v1's"
+        );
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -1,13 +1,15 @@
 //! The out-of-order issue engine with a non-blocking data cache.
 //!
-//! The engine runs as a two-stage batch pipeline: each incoming
-//! [`TraceSource`] chunk is transposed into struct-of-arrays lanes by
-//! [`LaneBatch::decode`] (operation tags, address lanes, dependency
-//! distances, i-cache-access marks, batch activity totals), and the serial
-//! issue/complete/retire recurrence then runs over those lanes with the
-//! per-record classification work already done. See [`crate::lanes`] for the
-//! pipeline rationale and [`crate::scalar`] for the per-record reference
-//! implementation the batch pipeline is differentially tested against.
+//! The engine runs as a two-stage batch pipeline: for each incoming
+//! [`TraceSource`] chunk, [`LaneBatch::decode`] produces a one-byte
+//! dispatch lane (raw operation tag + i-cache-access mark) and the batch's
+//! activity totals, and the serial issue/complete/retire recurrence then
+//! zips the packed records with that lane — the per-record classification
+//! work is hoisted, while the record stream itself stays in its dense
+//! 12-byte layout (a full multi-lane transpose measured slower; see
+//! [`crate::lanes`] for the rationale). [`crate::scalar`] holds the
+//! per-record reference implementation the batch pipeline is
+//! differentially tested against.
 
 use rescache_cache::{MemoryHierarchy, MshrFile};
 use rescache_trace::{kind, Trace, TraceSource};

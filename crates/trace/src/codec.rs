@@ -7,7 +7,7 @@
 //! format is deliberately simple — no compression, no seeking:
 //!
 //! ```text
-//! magic      8 bytes   b"RCTRACE1"
+//! magic      8 bytes   b"RCTRACE" + version digit (b"RCTRACE1", b"RCTRACE2")
 //! name_len   4 bytes   u32 LE, at most MAX_NAME_BYTES
 //! name       n bytes   UTF-8 application name
 //! records    8 bytes   u64 LE total record count
@@ -16,10 +16,18 @@
 //!   data     len × 12  encoded records (see `InstrRecord::encode`)
 //! ```
 //!
-//! Readers validate everything they touch and return a [`CodecError`] —
-//! never panic — on truncated, corrupt or foreign files, so a store
-//! populated by a crashed or concurrent process degrades to regeneration
-//! rather than an aborted sweep.
+//! The magic's trailing digit is the [`TraceFormat`] version of the records
+//! (which generation algorithm produced the bits — see [`crate::format`]).
+//! Every known version decodes; a reader that *expects* a particular
+//! version ([`TraceFileSource::open_expecting`]) rejects a mismatch with the
+//! typed [`CodecError::FormatMismatch`], and an unknown version digit is
+//! [`CodecError::UnsupportedVersion`] — mixed-version reads fail loudly and
+//! typed, never silently and never by panic.
+//!
+//! Readers validate everything else they touch the same way and return a
+//! [`CodecError`] — never panic — on truncated, corrupt or foreign files, so
+//! a store populated by a crashed or concurrent process degrades to
+//! regeneration rather than an aborted sweep.
 //!
 //! The per-chunk framing is what makes the store's streaming and sharing
 //! features chunk-granular: [`ChunkedTraceReader`] decodes one chunk at a
@@ -34,12 +42,14 @@ use std::fs::File;
 use std::io::{self, BufReader, BufWriter, Read, Write};
 use std::path::Path;
 
+use crate::format::TraceFormat;
 use crate::record::{InstrRecord, InvalidRecord, ENCODED_RECORD_BYTES};
 use crate::source::{TraceSource, CHUNK_RECORDS};
 use crate::trace::Trace;
 
-/// File magic identifying the trace format (and its version).
-pub const MAGIC: [u8; 8] = *b"RCTRACE1";
+/// Version-independent prefix of every trace-file magic; the eighth byte is
+/// the [`TraceFormat`] version digit (see [`TraceFormat::magic`]).
+pub const MAGIC_PREFIX: [u8; 7] = *b"RCTRACE";
 
 /// Upper bound on the encoded application-name length.
 pub const MAX_NAME_BYTES: u32 = 4 * 1024;
@@ -49,8 +59,23 @@ pub const MAX_NAME_BYTES: u32 = 4 * 1024;
 pub enum CodecError {
     /// The underlying reader failed.
     Io(io::Error),
-    /// The file does not start with [`MAGIC`].
+    /// The file does not start with [`MAGIC_PREFIX`] — not a rescache trace
+    /// at all.
     BadMagic,
+    /// The magic names a trace-format version this build does not know.
+    UnsupportedVersion {
+        /// The unrecognized version byte from the magic.
+        version: u8,
+    },
+    /// The file is a valid trace of a *different* [`TraceFormat`] than the
+    /// reader asked for: the two bit streams must never mix, so the read is
+    /// rejected rather than silently served.
+    FormatMismatch {
+        /// The version the reader required.
+        expected: TraceFormat,
+        /// The version the file's magic carries.
+        found: TraceFormat,
+    },
     /// The application name is over-long or not UTF-8.
     BadName,
     /// A chunk header is impossible (zero, over-long, or exceeding the
@@ -77,6 +102,14 @@ impl fmt::Display for CodecError {
         match self {
             CodecError::Io(e) => write!(f, "trace codec i/o error: {e}"),
             CodecError::BadMagic => write!(f, "not a rescache trace file (bad magic)"),
+            CodecError::UnsupportedVersion { version } => write!(
+                f,
+                "trace file has an unsupported format version byte {version:#04x}"
+            ),
+            CodecError::FormatMismatch { expected, found } => write!(
+                f,
+                "trace file is format {found} but the reader requires {expected}"
+            ),
             CodecError::BadName => write!(f, "trace file has an invalid application name"),
             CodecError::BadChunk { len, remaining } => write!(
                 f,
@@ -113,7 +146,8 @@ impl From<InvalidRecord> for CodecError {
     }
 }
 
-/// Writes `trace` to `w` in the format described at module level.
+/// Writes `trace` to `w` in the format described at module level, with the
+/// magic carrying the trace's own [`TraceFormat`] version.
 ///
 /// # Errors
 ///
@@ -121,7 +155,7 @@ impl From<InvalidRecord> for CodecError {
 /// exceeds [`MAX_NAME_BYTES`] — a reader would reject such a file, so it
 /// must never be produced.
 pub fn write_trace<W: Write>(w: &mut W, trace: &Trace) -> io::Result<()> {
-    w.write_all(&MAGIC)?;
+    w.write_all(&trace.format().magic())?;
     let name = trace.name().as_bytes();
     if name.len() as u64 > u64::from(MAX_NAME_BYTES) {
         return Err(io::Error::new(
@@ -157,6 +191,7 @@ pub fn write_trace<W: Write>(w: &mut W, trace: &Trace) -> io::Result<()> {
 pub struct ChunkedTraceReader<R: Read> {
     r: R,
     name: String,
+    format: TraceFormat,
     total: u64,
     delivered: u64,
     buf: Vec<InstrRecord>,
@@ -164,18 +199,23 @@ pub struct ChunkedTraceReader<R: Read> {
 }
 
 impl<R: Read> ChunkedTraceReader<R> {
-    /// Reads and validates the stream header.
+    /// Reads and validates the stream header. Any known [`TraceFormat`]
+    /// version is accepted and reported via [`ChunkedTraceReader::format`];
+    /// callers that require one specific version check it (or use
+    /// [`TraceFileSource::open_expecting`]).
     ///
     /// # Errors
     ///
-    /// Returns a [`CodecError`] for a missing magic, an invalid name, or a
-    /// reader failure.
+    /// Returns a [`CodecError`] for a missing magic, an unknown format
+    /// version, an invalid name, or a reader failure.
     pub fn new(mut r: R) -> Result<Self, CodecError> {
         let mut magic = [0u8; 8];
         read_exact_or_truncated(&mut r, &mut magic, 0, 0)?;
-        if magic != MAGIC {
+        if magic[..7] != MAGIC_PREFIX {
             return Err(CodecError::BadMagic);
         }
+        let format = TraceFormat::from_version_byte(magic[7])
+            .ok_or(CodecError::UnsupportedVersion { version: magic[7] })?;
 
         let mut len4 = [0u8; 4];
         read_exact_or_truncated(&mut r, &mut len4, 0, 0)?;
@@ -194,6 +234,7 @@ impl<R: Read> ChunkedTraceReader<R> {
         Ok(Self {
             r,
             name,
+            format,
             total,
             delivered: 0,
             buf: Vec::new(),
@@ -204,6 +245,11 @@ impl<R: Read> ChunkedTraceReader<R> {
     /// The application name recorded in the header.
     pub fn name(&self) -> &str {
         &self.name
+    }
+
+    /// The [`TraceFormat`] version the header's magic carries.
+    pub fn format(&self) -> TraceFormat {
+        self.format
     }
 
     /// The total record count promised by the header.
@@ -274,7 +320,11 @@ pub fn read_trace<R: Read>(r: &mut R) -> Result<Trace, CodecError> {
         }
         records.extend_from_slice(chunk);
     }
-    Ok(Trace::new(reader.name().to_string(), records))
+    Ok(Trace::with_format(
+        reader.name().to_string(),
+        records,
+        reader.format(),
+    ))
 }
 
 /// A [`TraceSource`] replaying a persisted trace chunk by chunk from disk:
@@ -306,7 +356,9 @@ pub struct TraceFileSource {
 
 impl TraceFileSource {
     /// Opens the trace at `path`, serving its first `take` records (`None` =
-    /// the whole file).
+    /// the whole file). Any known [`TraceFormat`] version is accepted; use
+    /// [`TraceFileSource::open_expecting`] when the caller's bit stream is
+    /// version-pinned.
     ///
     /// # Errors
     ///
@@ -331,6 +383,28 @@ impl TraceFileSource {
             chunk_pos: 0,
             fault: None,
         })
+    }
+
+    /// [`TraceFileSource::open`] that additionally requires the file to be
+    /// of the `expected` [`TraceFormat`].
+    ///
+    /// # Errors
+    ///
+    /// Everything [`TraceFileSource::open`] reports, plus
+    /// [`CodecError::FormatMismatch`] when the file is a valid trace of a
+    /// different version — a v1 entry must never quietly serve a v2 request
+    /// (or vice versa), because the two bit streams differ by design.
+    pub fn open_expecting(
+        path: &Path,
+        take: Option<usize>,
+        expected: TraceFormat,
+    ) -> Result<Self, CodecError> {
+        let source = Self::open(path, take)?;
+        let found = source.format();
+        if found != expected {
+            return Err(CodecError::FormatMismatch { expected, found });
+        }
+        Ok(source)
     }
 
     /// The file this source replays (callers that detect a fault use it to
@@ -383,6 +457,10 @@ impl TraceFileSource {
 impl TraceSource for TraceFileSource {
     fn name(&self) -> &str {
         self.reader.name()
+    }
+
+    fn format(&self) -> TraceFormat {
+        self.reader.format()
     }
 
     fn total_records(&self) -> usize {
@@ -491,7 +569,7 @@ pub fn save_trace(path: &Path, trace: &Trace) -> io::Result<()> {
 /// name as [`write_trace`] does.
 pub fn save_source<S: TraceSource>(path: &Path, source: &mut S) -> io::Result<()> {
     atomic_save(path, |w| {
-        w.write_all(&MAGIC)?;
+        w.write_all(&source.format().magic())?;
         let name = source.name().as_bytes().to_vec();
         if name.len() as u64 > u64::from(MAX_NAME_BYTES) {
             return Err(io::Error::new(
@@ -568,6 +646,75 @@ mod tests {
             let decoded = read_trace(&mut encode(&trace).as_slice()).expect("round trip");
             assert_eq!(decoded, trace, "{n} records");
         }
+    }
+
+    #[test]
+    fn both_format_versions_round_trip_and_are_preserved() {
+        for format in TraceFormat::ALL {
+            let trace = TraceGenerator::new(spec::compress(), 11)
+                .with_format(format)
+                .generate(500);
+            assert_eq!(trace.format(), format);
+            let bytes = encode(&trace);
+            assert_eq!(&bytes[..8], &format.magic(), "magic carries the version");
+            let decoded = read_trace(&mut bytes.as_slice()).expect("round trip");
+            assert_eq!(decoded.format(), format);
+            assert_eq!(decoded, trace);
+        }
+    }
+
+    #[test]
+    fn unknown_version_is_a_typed_error() {
+        let mut bytes = encode(&sample(100));
+        bytes[7] = b'9';
+        assert!(matches!(
+            read_trace(&mut bytes.as_slice()),
+            Err(CodecError::UnsupportedVersion { version: b'9' })
+        ));
+        // A broken prefix is still BadMagic, not UnsupportedVersion.
+        bytes[0] ^= 0xff;
+        assert!(matches!(
+            read_trace(&mut bytes.as_slice()),
+            Err(CodecError::BadMagic)
+        ));
+    }
+
+    #[test]
+    fn mixed_version_open_is_rejected_with_a_typed_error() {
+        let dir = std::env::temp_dir().join(format!("rescache-codec-mixed-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("create temp dir");
+        for (written, requested) in [
+            (TraceFormat::V1, TraceFormat::V2),
+            (TraceFormat::V2, TraceFormat::V1),
+        ] {
+            let path = dir.join(format!("{written}.rctrace"));
+            let trace = TraceGenerator::new(spec::compress(), 11)
+                .with_format(written)
+                .generate(300);
+            save_trace(&path, &trace).expect("save");
+            // The matching expectation opens fine...
+            let src = TraceFileSource::open_expecting(&path, None, written).expect("same version");
+            assert_eq!(src.format(), written);
+            // ...the mixed one is a typed rejection, not a panic or a
+            // silently-wrong stream.
+            let err = TraceFileSource::open_expecting(&path, None, requested).unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    CodecError::FormatMismatch { expected, found }
+                        if expected == requested && found == written
+                ),
+                "{written}->{requested}: {err}"
+            );
+            // The version-agnostic open still works and reports the version.
+            assert_eq!(
+                TraceFileSource::open(&path, None)
+                    .expect("any version")
+                    .format(),
+                written
+            );
+        }
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -1,0 +1,131 @@
+//! The [`TraceFormat`] version: which record-generation algorithm a trace's
+//! bits came from.
+//!
+//! Trace bytes are pinned artifacts: golden fixtures, on-disk store entries
+//! and cross-process sweeps all assume that the same `(profile, seed,
+//! length)` key always expands to the same records. Any change to the
+//! sampled bits therefore has to be a deliberate *format version bump*, not
+//! a silent behavioural drift. The version is carried end to end:
+//!
+//! * [`TraceGenerator`](crate::TraceGenerator) and
+//!   [`TraceStream`](crate::TraceStream) select the dependency-distance
+//!   sampler by format (v1: `ln`-based inverse transform; v2: table-driven
+//!   inverse CDF — see [`crate::ilp::DistanceSampler`]);
+//! * the persisted codec writes a per-version magic
+//!   ([`TraceFormat::magic`]) and readers reject a version mismatch with a
+//!   typed error instead of silently mixing bit streams;
+//! * the experiment trace store keys entries (and file names) by format, so
+//!   a v1 entry can never serve a v2 request.
+//!
+//! Only the dependency-distance bits differ between v1 and v2: the PC walk,
+//! address walk, instruction mix and branch outcomes are drawn from separate
+//! RNG sub-streams and are identical across formats.
+
+use std::fmt;
+
+/// A trace-format version (see the module documentation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub enum TraceFormat {
+    /// The original format: dependency distances drawn by the `ln`-based
+    /// inverse transform (`Prng::geometric_with_ln`), probabilities by `f64`
+    /// comparison. Kept selectable so pinned v1 artifacts stay reproducible.
+    V1,
+    /// The current format: dependency distances drawn from a precomputed
+    /// fixed-point inverse-CDF table (no transcendental math per record),
+    /// probabilities by integer threshold comparison.
+    #[default]
+    V2,
+}
+
+impl TraceFormat {
+    /// Every known format, oldest first.
+    pub const ALL: [TraceFormat; 2] = [TraceFormat::V1, TraceFormat::V2];
+
+    /// The 8-byte file magic identifying this format on disk.
+    pub fn magic(self) -> [u8; 8] {
+        match self {
+            TraceFormat::V1 => *b"RCTRACE1",
+            TraceFormat::V2 => *b"RCTRACE2",
+        }
+    }
+
+    /// The numeric version (1-based).
+    pub fn version(self) -> u32 {
+        match self {
+            TraceFormat::V1 => 1,
+            TraceFormat::V2 => 2,
+        }
+    }
+
+    /// Short tag used in file names, env overrides and JSON records.
+    pub fn tag(self) -> &'static str {
+        match self {
+            TraceFormat::V1 => "v1",
+            TraceFormat::V2 => "v2",
+        }
+    }
+
+    /// Parses a [`TraceFormat::tag`]-style name (`"v1"`/`"1"`, `"v2"`/`"2"`).
+    pub fn from_tag(tag: &str) -> Option<Self> {
+        match tag.trim() {
+            "v1" | "1" => Some(TraceFormat::V1),
+            "v2" | "2" => Some(TraceFormat::V2),
+            _ => None,
+        }
+    }
+
+    /// Maps a magic's trailing version byte to a format, if known.
+    pub fn from_version_byte(byte: u8) -> Option<Self> {
+        match byte {
+            b'1' => Some(TraceFormat::V1),
+            b'2' => Some(TraceFormat::V2),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for TraceFormat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.tag())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_the_newest_format() {
+        assert_eq!(TraceFormat::default(), TraceFormat::V2);
+        assert_eq!(*TraceFormat::ALL.last().unwrap(), TraceFormat::default());
+    }
+
+    #[test]
+    fn magics_are_distinct_and_share_the_prefix() {
+        for format in TraceFormat::ALL {
+            let magic = format.magic();
+            assert_eq!(&magic[..7], b"RCTRACE");
+            assert_eq!(TraceFormat::from_version_byte(magic[7]), Some(format));
+        }
+        assert_ne!(TraceFormat::V1.magic(), TraceFormat::V2.magic());
+    }
+
+    #[test]
+    fn tags_round_trip() {
+        for format in TraceFormat::ALL {
+            assert_eq!(TraceFormat::from_tag(format.tag()), Some(format));
+            assert_eq!(format.to_string(), format.tag());
+        }
+        assert_eq!(TraceFormat::from_tag(" v1 "), Some(TraceFormat::V1));
+        assert_eq!(TraceFormat::from_tag("2"), Some(TraceFormat::V2));
+        assert_eq!(TraceFormat::from_tag("v3"), None);
+        assert_eq!(TraceFormat::from_version_byte(b'3'), None);
+    }
+
+    #[test]
+    fn versions_are_ordered() {
+        assert!(TraceFormat::V1 < TraceFormat::V2);
+        assert_eq!(TraceFormat::V1.version(), 1);
+        assert_eq!(TraceFormat::V2.version(), 2);
+    }
+}

@@ -3,6 +3,7 @@
 
 use crate::address::AddressStream;
 use crate::code::CodeStream;
+use crate::format::TraceFormat;
 use crate::ilp::DistanceSampler;
 use crate::phase::ScheduleCursor;
 use crate::profile::AppProfile;
@@ -34,17 +35,38 @@ use crate::trace::Trace;
 pub struct TraceGenerator {
     profile: AppProfile,
     seed: u64,
+    format: TraceFormat,
 }
 
 impl TraceGenerator {
-    /// Creates a generator for the given profile and seed.
+    /// Creates a generator for the given profile and seed, producing the
+    /// default (current) [`TraceFormat`]; use [`TraceGenerator::with_format`]
+    /// to reproduce another version's bit stream.
     pub fn new(profile: AppProfile, seed: u64) -> Self {
-        Self { profile, seed }
+        Self {
+            profile,
+            seed,
+            format: TraceFormat::default(),
+        }
+    }
+
+    /// Selects the [`TraceFormat`] this generator produces. Only the
+    /// dependency-distance bits differ between formats (they come from a
+    /// dedicated RNG sub-stream); PCs, addresses, the instruction mix and
+    /// branch outcomes are identical.
+    pub fn with_format(mut self, format: TraceFormat) -> Self {
+        self.format = format;
+        self
     }
 
     /// The profile this generator expands.
     pub fn profile(&self) -> &AppProfile {
         &self.profile
+    }
+
+    /// The [`TraceFormat`] this generator produces.
+    pub fn format(&self) -> TraceFormat {
+        self.format
     }
 
     /// Generates a trace of `instructions` dynamic instructions.
@@ -58,7 +80,7 @@ impl TraceGenerator {
             let record = stream.step();
             records.push(record);
         }
-        Trace::new(self.profile.name, records)
+        Trace::with_format(self.profile.name, records, self.format)
     }
 
     /// Returns a resumable stream over the same `instructions`-long record
@@ -83,7 +105,8 @@ impl TraceGenerator {
         let ilp_rng = rng.fork(4);
 
         TraceStream {
-            ilp: self.profile.ilp.sampler(),
+            ilp: self.profile.ilp.sampler(self.format),
+            format: self.format,
             profile: self.profile.clone(),
             total: instructions as u64,
             pos: 0,
@@ -104,6 +127,7 @@ impl TraceGenerator {
 #[derive(Debug, Clone)]
 pub struct TraceStream {
     profile: AppProfile,
+    format: TraceFormat,
     total: u64,
     pos: u64,
     /// Absolute record index delivery is fenced at (see
@@ -157,6 +181,10 @@ impl TraceStream {
 impl TraceSource for TraceStream {
     fn name(&self) -> &str {
         self.profile.name
+    }
+
+    fn format(&self) -> TraceFormat {
+        self.format
     }
 
     fn total_records(&self) -> usize {
@@ -232,9 +260,53 @@ mod tests {
     }
 
     #[test]
+    fn formats_differ_only_in_dependency_bits() {
+        let n = 10_000;
+        let v2 = TraceGenerator::new(spec::gcc(), 7).generate(n);
+        let v1 = TraceGenerator::new(spec::gcc(), 7)
+            .with_format(TraceFormat::V1)
+            .generate(n);
+        assert_eq!(v2.format(), TraceFormat::V2);
+        assert_eq!(v1.format(), TraceFormat::V1);
+        let mut dep_diffs = 0u64;
+        for (a, b) in v1.iter().zip(v2.iter()) {
+            assert_eq!(a.pc(), b.pc(), "PC walk must be format-independent");
+            assert_eq!(a.op(), b.op(), "op/address must be format-independent");
+            if (a.dep1(), a.dep2()) != (b.dep1(), b.dep2()) {
+                dep_diffs += 1;
+            }
+        }
+        assert!(
+            dep_diffs > 0,
+            "the v2 sampler must actually change dependency bits"
+        );
+    }
+
+    #[test]
     fn stream_matches_generate_record_for_record() {
-        // Cover all three schedule kinds (constant, sequence, periodic) and a
-        // length that is not a chunk multiple.
+        // Cover all three schedule kinds (constant, sequence, periodic), a
+        // length that is not a chunk multiple, and both trace formats.
+        for format in TraceFormat::ALL {
+            for profile in [spec::ammp(), spec::gcc(), spec::su2cor()] {
+                let name = profile.name;
+                let n = CHUNK_RECORDS + 777;
+                let generator = TraceGenerator::new(profile, 5).with_format(format);
+                let materialized = generator.generate(n);
+                assert_eq!(materialized.format(), format);
+                let mut stream = generator.stream(n);
+                assert_eq!(stream.format(), format);
+                let mut streamed = Vec::with_capacity(n);
+                loop {
+                    let chunk = stream.next_chunk();
+                    if chunk.is_empty() {
+                        break;
+                    }
+                    streamed.extend_from_slice(chunk);
+                }
+                assert_eq!(streamed, materialized.records(), "{name} {format}");
+            }
+        }
+        // The original multi-chunk shape, under the default format.
         for profile in [spec::ammp(), spec::gcc(), spec::su2cor()] {
             let name = profile.name;
             let n = 2 * CHUNK_RECORDS + 777;

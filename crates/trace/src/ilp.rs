@@ -5,7 +5,11 @@
 //! producers of each instruction sit in the dynamic stream — bound that
 //! parallelism, so they are the single knob this crate exposes for ILP.
 
-use crate::rng::Prng;
+use crate::format::TraceFormat;
+use crate::rng::{geometric_is_constant, Prng};
+
+/// Distances are capped to the record's 6-bit dependency field.
+pub const MAX_DISTANCE: u8 = 63;
 
 /// Dependency-distance behaviour of an application.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -56,77 +60,228 @@ impl IlpBehavior {
         Self::new(5.0, 0.45, 0.20)
     }
 
-    /// Samples the `(dep1, dep2)` distances for one instruction.
+    /// Samples the `(dep1, dep2)` distances for one instruction with the v1
+    /// (`ln`-based) sampler — bit-identical to the uncached
+    /// [`Prng::geometric`] path, as the sampler tests pin.
     pub fn sample(&self, rng: &mut Prng) -> (u8, u8) {
-        self.sampler().sample(rng)
+        self.sampler(TraceFormat::V1).sample(rng)
     }
 
-    /// Returns a sampler with the distance distribution's constants
-    /// precomputed — the form the trace generator holds across a whole
-    /// trace (see [`DistanceSampler`]).
-    pub fn sampler(&self) -> DistanceSampler {
-        DistanceSampler::new(*self)
+    /// Returns a sampler for the given trace format with the distance
+    /// distribution's constants precomputed — the form the trace generator
+    /// holds across a whole trace (see [`DistanceSampler`]).
+    pub fn sampler(&self, format: TraceFormat) -> DistanceSampler {
+        DistanceSampler::new(*self, format)
     }
 }
 
-/// An [`IlpBehavior`] with the geometric distribution's constant
-/// `ln(1 - 1/mean)` precomputed.
+/// How one geometric distance draw is performed — the part of the sampler
+/// the [`TraceFormat`] version selects.
+///
+/// The table variant is deliberately stored inline (not boxed) despite its
+/// ~760-byte size: exactly one sampler exists per trace stream, the table
+/// is read on every record of the generation hot path (an extra pointer
+/// chase is measurable there), and inline storage keeps the sampler `Copy`.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum DistanceDraw {
+    /// `mean_distance <= 1` (the shared [`geometric_is_constant`] rule):
+    /// the draw is the constant 1 and consumes no randomness, identically
+    /// in every format.
+    Constant,
+    /// v1: inverse transform via `ln(u) / ln(1 - p)`, with the constant
+    /// denominator precomputed. One `ln`, one division and one `floor` per
+    /// draw.
+    Ln {
+        /// `ln(1 - 1/mean_distance)`.
+        ln_one_minus_p: f64,
+    },
+    /// v2: precomputed fixed-point inverse CDF of the capped geometric.
+    /// One 64-bit draw, one guide-table load and a short compare chain per
+    /// draw — no transcendental math, no `f64` at all.
+    Table(DistanceTable),
+}
+
+/// The precomputed inverse CDF of a capped geometric distribution, in
+/// 64-bit fixed point (a probability `c` is stored as `c * 2^64`, the
+/// space uniform [`Prng::next_u64`] draws live in).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DistanceTable {
+    /// `cdf[i] ≈ P(distance <= i + 1) * 2^64` for `i` in `0..63`; the last
+    /// entry is pinned to `u64::MAX` (the cap absorbs all remaining mass).
+    /// Non-decreasing by construction.
+    cdf: [u64; MAX_DISTANCE as usize],
+    /// `guide[b]` = the distance of the smallest 64-bit value with high
+    /// byte `b`: the compare chain starts here instead of at 1, so a draw
+    /// resolves with ~one comparison instead of walking the whole CDF.
+    guide: [u8; 256],
+}
+
+impl DistanceTable {
+    /// Builds the table for a geometric distribution with the given mean
+    /// (`> 1`), capped at [`MAX_DISTANCE`].
+    fn new(mean: f64) -> Self {
+        debug_assert!(!geometric_is_constant(mean));
+        let q = 1.0 - 1.0 / mean;
+        let mut cdf = [u64::MAX; MAX_DISTANCE as usize];
+        let mut q_pow = 1.0f64;
+        // Construction may use any math it likes — it runs once per trace,
+        // not once per record. `as u64` saturates, so a CDF that rounds to
+        // (or beyond) 1.0 pins at u64::MAX and stays monotone.
+        for entry in cdf.iter_mut().take(MAX_DISTANCE as usize - 1) {
+            q_pow *= q;
+            *entry = ((1.0 - q_pow) * 18_446_744_073_709_551_616.0) as u64;
+        }
+        let mut guide = [0u8; 256];
+        for (byte, slot) in guide.iter_mut().enumerate() {
+            *slot = Self::distance_slow(&cdf, (byte as u64) << 56);
+        }
+        Self { cdf, guide }
+    }
+
+    /// Reference inverse-CDF evaluation: the smallest distance whose CDF
+    /// entry exceeds `r` (the guide table is built from, and verified
+    /// against, this definition).
+    fn distance_slow(cdf: &[u64; MAX_DISTANCE as usize], r: u64) -> u8 {
+        1 + cdf[..MAX_DISTANCE as usize - 1]
+            .iter()
+            .filter(|c| **c <= r)
+            .count() as u8
+    }
+
+    /// Maps one uniform 64-bit draw to a distance in `1..=`[`MAX_DISTANCE`].
+    #[inline]
+    fn distance(&self, r: u64) -> u8 {
+        let mut d = self.guide[(r >> 56) as usize];
+        // The guide entry is the distance of the slice's smallest value, so
+        // this walks at most the CDF entries inside one 1/256 probability
+        // slice — on average well under one iteration.
+        while d < MAX_DISTANCE && self.cdf[d as usize - 1] <= r {
+            d += 1;
+        }
+        d
+    }
+
+    /// The fixed-point CDF entries (`P(distance <= i + 1) * 2^64`), exposed
+    /// for the distribution tests' exact monotonicity checks.
+    pub fn cdf(&self) -> &[u64; MAX_DISTANCE as usize] {
+        &self.cdf
+    }
+
+    /// The guide-table entries, exposed for the distribution tests.
+    pub fn guide(&self) -> &[u8; 256] {
+        &self.guide
+    }
+}
+
+/// An [`IlpBehavior`] with its sampling constants precomputed for one
+/// [`TraceFormat`].
 ///
 /// Sampling dependency distances is the only transcendental math on the
-/// trace-generation hot path (one or two `ln` calls per instruction);
-/// hoisting the constant denominator out of the loop removes half of them.
-/// The sampled values are bit-identical to [`IlpBehavior::sample`].
+/// trace-generation hot path. The v1 sampler hoists the geometric's constant
+/// `ln(1 - 1/mean)` out of the loop (values bit-identical to
+/// [`IlpBehavior::sample`]); the v2 sampler removes the per-record `ln`
+/// entirely with a fixed-point inverse-CDF table ([`DistanceTable`]) and
+/// replaces the `f64` probability comparisons with integer thresholds — a
+/// different (but equally geometric) bit stream, which is why selecting it
+/// is a trace-format version bump rather than an optimization.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DistanceSampler {
     behavior: IlpBehavior,
-    /// `ln(1 - 1/mean_distance)`; meaningless (and unused) when
-    /// `mean_distance <= 1`, where the geometric draw is constant 1.
-    ln_one_minus_p: f64,
-    /// Whether `mean_distance <= 1` (the degenerate constant-1 case).
-    degenerate: bool,
+    format: TraceFormat,
+    draw: DistanceDraw,
+    /// v2 only: `independent_prob * 2^64` (v1 compares `f64`s).
+    independent_bits: u64,
+    /// v2 only: `second_source_prob * 2^64`.
+    second_source_bits: u64,
+}
+
+/// A probability as a 64-bit fixed-point threshold: `next_u64() < bits`
+/// succeeds with probability `p` (up to the 2^-64 quantum).
+fn probability_bits(p: f64) -> u64 {
+    (p.clamp(0.0, 1.0) * 18_446_744_073_709_551_616.0) as u64
 }
 
 impl DistanceSampler {
-    /// Precomputes the sampling constants of `behavior`.
-    pub fn new(behavior: IlpBehavior) -> Self {
-        let degenerate = behavior.mean_distance <= 1.0;
-        let ln_one_minus_p = if degenerate {
-            0.0
+    /// Precomputes the sampling constants of `behavior` for `format`.
+    pub fn new(behavior: IlpBehavior, format: TraceFormat) -> Self {
+        let draw = if geometric_is_constant(behavior.mean_distance) {
+            DistanceDraw::Constant
         } else {
-            (1.0 - 1.0 / behavior.mean_distance).ln()
+            match format {
+                TraceFormat::V1 => DistanceDraw::Ln {
+                    ln_one_minus_p: (1.0 - 1.0 / behavior.mean_distance).ln(),
+                },
+                TraceFormat::V2 => DistanceDraw::Table(DistanceTable::new(behavior.mean_distance)),
+            }
         };
         Self {
             behavior,
-            ln_one_minus_p,
-            degenerate,
+            format,
+            draw,
+            independent_bits: probability_bits(behavior.independent_prob),
+            second_source_bits: probability_bits(behavior.second_source_prob),
+        }
+    }
+
+    /// The format this sampler draws for.
+    pub fn format(&self) -> TraceFormat {
+        self.format
+    }
+
+    /// The v2 inverse-CDF table, when this sampler uses one (`None` for v1
+    /// samplers and for the degenerate constant-distance case).
+    pub fn table(&self) -> Option<&DistanceTable> {
+        match &self.draw {
+            DistanceDraw::Table(table) => Some(table),
+            _ => None,
         }
     }
 
     /// Samples the `(dep1, dep2)` distances for one instruction.
     #[inline]
     pub fn sample(&self, rng: &mut Prng) -> (u8, u8) {
-        let b = &self.behavior;
-        if rng.chance(b.independent_prob) {
+        if self.chance(rng, self.behavior.independent_prob, self.independent_bits) {
             return (0, 0);
         }
-        let d1 = self.distance(rng);
-        let d2 = if rng.chance(b.second_source_prob) {
-            self.distance(rng)
+        let d1 = self.draw(rng);
+        let d2 = if self.chance(
+            rng,
+            self.behavior.second_source_prob,
+            self.second_source_bits,
+        ) {
+            self.draw(rng)
         } else {
             0
         };
         (d1, d2)
     }
 
-    /// One geometric distance draw, capped to the 6-bit record field.
+    /// One Bernoulli draw in this sampler's format: v1 compares `f64`s
+    /// (bit-compatible with [`Prng::chance`]), v2 compares the raw 64-bit
+    /// draw against a fixed-point threshold. Both consume exactly one
+    /// [`Prng::next_u64`].
     #[inline]
-    fn distance(&self, rng: &mut Prng) -> u8 {
-        if self.degenerate {
-            // Match `Prng::geometric`'s `mean <= 1` short-circuit, which
-            // consumes no randomness.
-            return 1;
+    fn chance(&self, rng: &mut Prng, p: f64, bits: u64) -> bool {
+        match self.format {
+            TraceFormat::V1 => rng.chance(p),
+            TraceFormat::V2 => rng.next_u64() < bits,
         }
-        rng.geometric_with_ln(self.ln_one_minus_p).min(63) as u8
+    }
+
+    /// One geometric distance draw, capped to the record's 6-bit field.
+    #[inline]
+    pub fn draw(&self, rng: &mut Prng) -> u8 {
+        match &self.draw {
+            // The shared `geometric_is_constant` rule: constant 1, no
+            // randomness consumed (matching `Prng::geometric`).
+            DistanceDraw::Constant => 1,
+            DistanceDraw::Ln { ln_one_minus_p } => {
+                rng.geometric_with_ln(*ln_one_minus_p)
+                    .min(u64::from(MAX_DISTANCE)) as u8
+            }
+            DistanceDraw::Table(table) => table.distance(rng.next_u64()),
+        }
     }
 }
 
@@ -141,44 +296,58 @@ mod tests {
     use super::*;
 
     #[test]
-    fn sample_respects_bounds() {
+    fn sample_respects_bounds_in_both_formats() {
         let b = IlpBehavior::moderate();
-        let mut rng = Prng::new(1);
-        for _ in 0..10_000 {
-            let (d1, d2) = b.sample(&mut rng);
-            assert!(d1 <= 63);
-            assert!(d2 <= 63);
+        for format in TraceFormat::ALL {
+            let sampler = b.sampler(format);
+            let mut rng = Prng::new(1);
+            for _ in 0..10_000 {
+                let (d1, d2) = sampler.sample(&mut rng);
+                assert!(d1 <= MAX_DISTANCE);
+                assert!(d2 <= MAX_DISTANCE);
+            }
         }
     }
 
     #[test]
     fn serial_has_shorter_distances_than_parallel() {
-        let mut rng = Prng::new(2);
-        let mean = |b: IlpBehavior, rng: &mut Prng| {
-            let mut sum = 0u64;
-            let mut n = 0u64;
-            for _ in 0..20_000 {
-                let (d1, _) = b.sample(rng);
-                if d1 > 0 {
-                    sum += u64::from(d1);
-                    n += 1;
+        for format in TraceFormat::ALL {
+            let mut rng = Prng::new(2);
+            let mean = |b: IlpBehavior, rng: &mut Prng| {
+                let sampler = b.sampler(format);
+                let mut sum = 0u64;
+                let mut n = 0u64;
+                for _ in 0..20_000 {
+                    let (d1, _) = sampler.sample(rng);
+                    if d1 > 0 {
+                        sum += u64::from(d1);
+                        n += 1;
+                    }
                 }
-            }
-            sum as f64 / n as f64
-        };
-        let serial = mean(IlpBehavior::serial(), &mut rng);
-        let parallel = mean(IlpBehavior::parallel(), &mut rng);
-        assert!(serial < parallel, "serial {serial} !< parallel {parallel}");
+                sum as f64 / n as f64
+            };
+            let serial = mean(IlpBehavior::serial(), &mut rng);
+            let parallel = mean(IlpBehavior::parallel(), &mut rng);
+            assert!(
+                serial < parallel,
+                "{format}: serial {serial} !< parallel {parallel}"
+            );
+        }
     }
 
     #[test]
     fn independent_probability_observed() {
         let b = IlpBehavior::new(4.0, 0.5, 0.5);
-        let mut rng = Prng::new(3);
-        let n = 20_000;
-        let independent = (0..n).filter(|_| b.sample(&mut rng) == (0, 0)).count();
-        let frac = independent as f64 / n as f64;
-        assert!((0.45..=0.55).contains(&frac));
+        for format in TraceFormat::ALL {
+            let sampler = b.sampler(format);
+            let mut rng = Prng::new(3);
+            let n = 20_000;
+            let independent = (0..n)
+                .filter(|_| sampler.sample(&mut rng) == (0, 0))
+                .count();
+            let frac = independent as f64 / n as f64;
+            assert!((0.45..=0.55).contains(&frac), "{format}: {frac}");
+        }
     }
 
     #[test]
@@ -188,14 +357,14 @@ mod tests {
     }
 
     #[test]
-    fn sampler_matches_direct_sampling_bit_for_bit() {
+    fn v1_sampler_matches_direct_sampling_bit_for_bit() {
         for behavior in [
             IlpBehavior::serial(),
             IlpBehavior::parallel(),
             IlpBehavior::moderate(),
             IlpBehavior::new(1.0, 0.5, 0.1), // degenerate constant-distance case
         ] {
-            let sampler = behavior.sampler();
+            let sampler = behavior.sampler(TraceFormat::V1);
             let mut a = Prng::new(41);
             let mut b = Prng::new(41);
             for i in 0..20_000 {
@@ -217,6 +386,63 @@ mod tests {
             }
             // And the two RNGs consumed identical amounts of randomness.
             assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn table_sampler_has_no_table_when_degenerate_or_v1() {
+        assert!(IlpBehavior::moderate()
+            .sampler(TraceFormat::V1)
+            .table()
+            .is_none());
+        assert!(IlpBehavior::new(1.0, 0.5, 0.1)
+            .sampler(TraceFormat::V2)
+            .table()
+            .is_none());
+        assert!(IlpBehavior::moderate()
+            .sampler(TraceFormat::V2)
+            .table()
+            .is_some());
+    }
+
+    #[test]
+    fn degenerate_distance_consumes_no_randomness_in_both_formats() {
+        // The shared `geometric_is_constant` rule, verified through the
+        // sampler's public draw for both formats.
+        for format in TraceFormat::ALL {
+            let sampler = IlpBehavior::new(1.0, 0.5, 0.1).sampler(format);
+            let mut rng = Prng::new(9);
+            let before = rng.clone();
+            assert_eq!(sampler.draw(&mut rng), 1, "{format}");
+            assert_eq!(rng, before, "{format}: degenerate draw touched the RNG");
+        }
+    }
+
+    #[test]
+    fn guide_table_matches_the_reference_inverse_cdf() {
+        for mean in [1.5, 2.0, 5.0, 10.0, 16.0, 100.0] {
+            let table = DistanceTable::new(mean);
+            for byte in 0..=255u64 {
+                let r = byte << 56;
+                assert_eq!(
+                    table.guide()[byte as usize],
+                    DistanceTable::distance_slow(table.cdf(), r),
+                    "mean {mean}, byte {byte}"
+                );
+            }
+            // Spot-check the fast path against the reference across the
+            // whole range, including both extremes.
+            let mut rng = Prng::new(7);
+            for r in (0..5_000)
+                .map(|_| rng.next_u64())
+                .chain([0, u64::MAX, 1 << 56, (1 << 56) - 1])
+            {
+                assert_eq!(
+                    table.distance(r),
+                    DistanceTable::distance_slow(table.cdf(), r),
+                    "mean {mean}, r {r:#x}"
+                );
+            }
         }
     }
 }

@@ -14,6 +14,7 @@
 //! # Crate map
 //!
 //! * [`record`] — the [`InstrRecord`]/[`Op`] trace record types.
+//! * [`format`] — the [`TraceFormat`] version carried end to end.
 //! * [`trace`] — the [`Trace`] container and [`TraceStats`] summary.
 //! * [`source`] — [`TraceSource`]: pull-based chunked record delivery.
 //! * [`codec`] — length-prefixed binary persistence for traces.
@@ -50,6 +51,7 @@ pub mod address;
 pub mod branch;
 pub mod code;
 pub mod codec;
+pub mod format;
 pub mod generator;
 pub mod ilp;
 pub mod mix;
@@ -67,8 +69,9 @@ pub use address::AddressStream;
 pub use branch::BranchBehavior;
 pub use code::CodeStream;
 pub use codec::{ChunkedTraceReader, CodecError, TraceFileSource};
+pub use format::TraceFormat;
 pub use generator::{TraceGenerator, TraceStream};
-pub use ilp::IlpBehavior;
+pub use ilp::{DistanceSampler, DistanceTable, IlpBehavior, MAX_DISTANCE};
 pub use mix::InstructionMix;
 pub use phase::{Phase, PhaseSchedule, ScheduleCursor, ScheduleKind};
 pub use profile::{AppProfile, CodeBehavior, DataBehavior};

@@ -5,6 +5,20 @@
 //! experiment, so this crate uses its own xorshift/SplitMix generator rather
 //! than pulling a general-purpose RNG into the simulation path.
 
+/// The shared degenerate-geometric rule: a geometric draw whose mean is at
+/// most 1 is the constant 1 and consumes **no randomness**.
+///
+/// Both [`Prng::geometric`] and the trace generator's
+/// [`DistanceSampler`](crate::ilp::DistanceSampler) (in every
+/// [`TraceFormat`](crate::TraceFormat)) short-circuit on this predicate; it
+/// lives here as the single definition so the two can never drift apart —
+/// a sampler that consumed randomness where `geometric` does not (or vice
+/// versa) would silently desynchronize every later draw of the stream.
+#[inline]
+pub fn geometric_is_constant(mean: f64) -> bool {
+    mean <= 1.0
+}
+
 /// A deterministic pseudo-random number generator (xorshift64* seeded through
 /// SplitMix64).
 ///
@@ -73,7 +87,7 @@ impl Prng {
     /// Returns a geometrically distributed value with the given mean
     /// (minimum 1). Used for dependency distances and burst lengths.
     pub fn geometric(&mut self, mean: f64) -> u64 {
-        if mean <= 1.0 {
+        if geometric_is_constant(mean) {
             return 1;
         }
         let p = 1.0 / mean;
@@ -179,6 +193,34 @@ mod tests {
             assert!(rng.geometric(0.5) >= 1);
             assert!(rng.geometric(3.0) >= 1);
         }
+    }
+
+    #[test]
+    fn degenerate_boundary_is_shared_and_consumes_no_randomness() {
+        // The rule: mean <= 1 is the constant 1 (no draw); anything above 1
+        // is a real geometric draw. Pin the boundary at exactly 1.0 and at
+        // the next representable mean above it.
+        let just_above = 1.0f64.next_up();
+        assert!(geometric_is_constant(1.0));
+        assert!(geometric_is_constant(0.0));
+        assert!(!geometric_is_constant(just_above));
+
+        // At the boundary: constant 1, RNG state untouched.
+        let mut rng = Prng::new(21);
+        let before = rng.clone();
+        assert_eq!(rng.geometric(1.0), 1);
+        assert_eq!(rng, before, "mean = 1.0 must not consume randomness");
+
+        // Just above the boundary: a real draw that consumes exactly one
+        // 64-bit value (p ~ 1, so the value itself is still 1 almost surely).
+        let drawn = rng.geometric(just_above);
+        assert!(drawn >= 1);
+        let mut expected = before;
+        expected.next_u64();
+        assert_eq!(
+            rng, expected,
+            "mean just above 1 must consume exactly one draw"
+        );
     }
 
     #[test]

@@ -1,0 +1,170 @@
+//! Golden-fixture suite: committed encoded traces that pin the generator +
+//! codec byte stream across refactors and across processes.
+//!
+//! Until now the only guard on trace bytes was in-process A/B comparison —
+//! a refactor that changed generation and decoding *consistently* would
+//! pass every test while silently invalidating persisted stores and
+//! breaking cross-version reproducibility. These fixtures are the
+//! cross-process anchor: small (~12 KiB) encoded traces for three registry
+//! workloads under **both** trace-format versions, committed under
+//! `tests/fixtures/`, with their FNV-1a content hashes pinned in this file.
+//!
+//! A deliberate format bump re-blesses the fixtures (and their hashes) in
+//! the same change:
+//!
+//! ```text
+//! RESCACHE_BLESS_FIXTURES=1 cargo test -p rescache-trace --test golden_fixtures
+//! ```
+//!
+//! then commit the regenerated files and paste the printed hash table over
+//! `PINNED`. An unintentional byte change fails loudly instead.
+
+use std::path::PathBuf;
+
+use rescache_trace::{codec, TraceFormat, TraceGenerator, WorkloadRegistry};
+
+/// Length of every fixture trace: 1000 records ≈ 12 KiB encoded, inside the
+/// 4–16 KiB budget a committed binary fixture should stay in.
+const FIXTURE_RECORDS: usize = 1000;
+
+/// Generation seed shared by every fixture.
+const FIXTURE_SEED: u64 = 42;
+
+/// The pinned fixtures: (registry workload, format, FNV-1a hash of the
+/// encoded file bytes). Regenerate with `RESCACHE_BLESS_FIXTURES=1` (see
+/// the module docs) — and only on a deliberate format bump.
+const PINNED: &[(&str, TraceFormat, u64)] = &[
+    ("nominal", TraceFormat::V1, 0x781e9c9c2231723c),
+    ("nominal", TraceFormat::V2, 0xb9ea4d41cbda29f5),
+    ("pointer_chase", TraceFormat::V1, 0xe8d3be049f7ef0fd),
+    ("pointer_chase", TraceFormat::V2, 0x31b75408d05c4528),
+    ("phase_flip", TraceFormat::V1, 0x82bb8e12e87edae6),
+    ("phase_flip", TraceFormat::V2, 0x9561a7310e5bf00d),
+];
+
+/// FNV-1a over a byte stream (the same construction the workspace uses for
+/// profile fingerprints; no external hashing dependency).
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for byte in bytes {
+        hash ^= u64::from(*byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+fn fixture_path(workload: &str, format: TraceFormat) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(format!(
+            "{workload}-s{FIXTURE_SEED}-n{FIXTURE_RECORDS}.{}.rctrace",
+            format.tag()
+        ))
+}
+
+/// Encodes the fixture trace for one (workload, format) pair exactly as the
+/// committed fixture was produced.
+fn encode_fixture(workload: &str, format: TraceFormat) -> Vec<u8> {
+    let profile = WorkloadRegistry::builtin()
+        .get(workload)
+        .unwrap_or_else(|| panic!("{workload} is a registered workload"))
+        .profile();
+    let trace = TraceGenerator::new(profile, FIXTURE_SEED)
+        .with_format(format)
+        .generate(FIXTURE_RECORDS);
+    let mut bytes = Vec::new();
+    codec::write_trace(&mut bytes, &trace).expect("vec writes cannot fail");
+    bytes
+}
+
+fn bless_requested() -> bool {
+    std::env::var("RESCACHE_BLESS_FIXTURES")
+        .map(|v| !matches!(v.trim(), "" | "0" | "false"))
+        .unwrap_or(false)
+}
+
+#[test]
+fn golden_fixtures_pin_generator_and_codec_bytes() {
+    if bless_requested() {
+        std::fs::create_dir_all(PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures"))
+            .expect("create fixtures dir");
+        eprintln!("blessed fixture hashes (paste over PINNED):");
+        for &(workload, format, _) in PINNED {
+            let bytes = encode_fixture(workload, format);
+            std::fs::write(fixture_path(workload, format), &bytes).expect("write fixture");
+            eprintln!(
+                "    (\"{workload}\", TraceFormat::{}, {:#018x}),",
+                if format == TraceFormat::V1 {
+                    "V1"
+                } else {
+                    "V2"
+                },
+                fnv1a(&bytes)
+            );
+        }
+    }
+
+    for &(workload, format, pinned_hash) in PINNED {
+        let path = fixture_path(workload, format);
+        let committed = std::fs::read(&path).unwrap_or_else(|e| {
+            panic!("missing fixture {} ({e}); see module docs", path.display())
+        });
+        assert!(
+            (4096..=16384).contains(&committed.len()),
+            "{workload} {format}: fixture size {} outside the 4-16 KiB budget",
+            committed.len()
+        );
+
+        // The committed bytes are what today's generator + codec produce…
+        let regenerated = encode_fixture(workload, format);
+        assert_eq!(
+            regenerated, committed,
+            "{workload} {format}: generator or codec bytes drifted from the committed fixture"
+        );
+
+        // …and what they have produced since the fixture was blessed.
+        assert_eq!(
+            fnv1a(&committed),
+            pinned_hash,
+            "{workload} {format}: committed fixture does not match its pinned hash"
+        );
+
+        // The fixture decodes, and the header carries the right identity.
+        let decoded = codec::read_trace(&mut committed.as_slice())
+            .unwrap_or_else(|e| panic!("{workload} {format}: fixture failed to decode: {e}"));
+        assert_eq!(decoded.name(), workload);
+        assert_eq!(decoded.format(), format);
+        assert_eq!(decoded.len(), FIXTURE_RECORDS);
+    }
+}
+
+#[test]
+fn fixture_formats_differ_only_in_dependency_bits() {
+    // The committed v1/v2 fixture pair of one workload must decode to
+    // record sequences that agree on everything except the dependency
+    // lanes — the exact scope of the format bump.
+    for workload in ["nominal", "pointer_chase", "phase_flip"] {
+        let v1 = codec::read_trace(
+            &mut std::fs::read(fixture_path(workload, TraceFormat::V1))
+                .expect("v1 fixture")
+                .as_slice(),
+        )
+        .expect("v1 decodes");
+        let v2 = codec::read_trace(
+            &mut std::fs::read(fixture_path(workload, TraceFormat::V2))
+                .expect("v2 fixture")
+                .as_slice(),
+        )
+        .expect("v2 decodes");
+        let mut dep_diffs = 0u64;
+        for (a, b) in v1.iter().zip(v2.iter()) {
+            assert_eq!(a.pc(), b.pc(), "{workload}: PC must be format-independent");
+            assert_eq!(a.op(), b.op(), "{workload}: op must be format-independent");
+            dep_diffs += u64::from((a.dep1(), a.dep2()) != (b.dep1(), b.dep2()));
+        }
+        assert!(
+            dep_diffs > 0,
+            "{workload}: the formats must actually differ"
+        );
+    }
+}

@@ -13,6 +13,7 @@ fn main() -> Result<(), CoreError> {
         measure_instructions: 300_000,
         trace_seed: 42,
         dynamic_interval: 4_096,
+        ..RunnerConfig::fast()
     });
     let apps = vec![spec::ammp(), spec::m88ksim(), spec::ijpeg(), spec::su2cor()];
 

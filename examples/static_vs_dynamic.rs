@@ -62,6 +62,7 @@ fn main() -> Result<(), CoreError> {
         measure_instructions: 400_000,
         trace_seed: 42,
         dynamic_interval: 4_096,
+        ..RunnerConfig::fast()
     });
 
     println!(

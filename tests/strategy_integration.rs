@@ -11,6 +11,7 @@ fn runner() -> Runner {
         measure_instructions: 60_000,
         trace_seed: 42,
         dynamic_interval: 1_024,
+        ..RunnerConfig::fast()
     })
 }
 
