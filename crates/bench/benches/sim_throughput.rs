@@ -27,7 +27,8 @@ use std::time::Instant;
 use rescache_bench::bench_runner;
 use rescache_cache::{Cache, CacheConfig, HierarchyConfig, MemoryHierarchy};
 use rescache_core::experiment::{
-    effective_workers, per_app_org_comparison, RunSetup, Runner, RunnerConfig, TraceStore,
+    effective_workers, per_app_org_comparison, RunSetup, Runner, RunnerConfig, StoreHealth,
+    TraceStore,
 };
 use rescache_core::{ConfigSpace, DynamicParams, Organization, ResizableCacheSide, SystemConfig};
 use rescache_cpu::{CpuConfig, Simulator};
@@ -313,6 +314,7 @@ fn bench_dynamic(
     streamed: bool,
     scale: u64,
     format: TraceFormat,
+    health_out: &mut Option<StoreHealth>,
 ) -> EngineResult {
     let warm_len = (4_000 * scale) as usize;
     let measure_len = (16_000 * scale) as usize;
@@ -337,6 +339,7 @@ fn bench_dynamic(
         std::fs::remove_dir_all(dir).ok();
     }
     let store = TraceStore::with_dir(dir.clone());
+    let tier = store.tier().clone();
     let runner = Runner::with_store(cfg, store);
     let app = spec::su2cor();
     let system = SystemConfig::base();
@@ -364,6 +367,10 @@ fn bench_dynamic(
         m.l1d_resizes + m.cycles
     });
     result.trace_format = Some(format);
+    // The streamed stage's tier health goes into the JSON record: a bench
+    // run that quietly retried, regenerated or degraded is not measuring
+    // what it claims to measure.
+    *health_out = Some(tier.health_snapshot());
     if let Some(dir) = &dir {
         std::fs::remove_dir_all(dir).ok();
     }
@@ -447,6 +454,9 @@ fn main() {
     );
     println!();
 
+    // Captured by the last store-backed dynamic stage (the streamed one):
+    // the shared tier's recovery counters for the whole bench run.
+    let mut store_health = None;
     let mut results = vec![
         bench_trace_gen(scale, trace_format),
         bench_trace_gen_streaming(scale, trace_format),
@@ -462,13 +472,19 @@ fn main() {
         ),
         bench_gen_plus_first_sim("gen_first_sim_split", false, scale, trace_format),
         bench_gen_plus_first_sim("gen_first_sim_fused", true, scale, trace_format),
-        bench_dynamic("dyn_materialized", false, scale, trace_format),
-        bench_dynamic("dyn_streamed", true, scale, trace_format),
+        bench_dynamic(
+            "dyn_materialized",
+            false,
+            scale,
+            trace_format,
+            &mut store_health,
+        ),
+        bench_dynamic("dyn_streamed", true, scale, trace_format, &mut store_health),
     ];
     results.extend(bench_workloads(scale, quick, trace_format));
     results.push(bench_fig5_sweep(scale));
 
-    let json = render_json(&results, quick);
+    let json = render_json(&results, quick, store_health);
     // Quick (CI smoke) runs record to a sibling file so they never clobber
     // the committed full-run trajectory baseline.
     let out_path = if quick {
@@ -489,10 +505,19 @@ fn main() {
 
 /// Renders the result list as JSON by hand (the workspace builds offline and
 /// carries no serde dependency).
-fn render_json(results: &[EngineResult], quick: bool) -> String {
+fn render_json(results: &[EngineResult], quick: bool, health: Option<StoreHealth>) -> String {
     let mut out = String::from("{\n");
-    out.push_str("  \"schema\": \"rescache-sim-throughput/5\",\n");
+    out.push_str("  \"schema\": \"rescache-sim-throughput/6\",\n");
     out.push_str(&format!("  \"quick\": {quick},\n"));
+    // The streamed dynamic stage's shared-tier recovery counters. All-zero
+    // with `"degraded": false` on a healthy machine; anything else flags a
+    // run whose numbers were taken while the store was fighting its disk.
+    if let Some(h) = health {
+        out.push_str(&format!(
+            "  \"store_health\": {{\"hits\": {}, \"misses\": {}, \"regenerations\": {}, \"retries\": {}, \"quarantines\": {}, \"lock_steals\": {}, \"warnings\": {}, \"degraded\": {}}},\n",
+            h.hits, h.misses, h.regenerations, h.retries, h.quarantines, h.lock_steals, h.warnings, h.degraded
+        ));
+    }
     out.push_str(&format!(
         "  \"host_threads\": {},\n",
         std::thread::available_parallelism()

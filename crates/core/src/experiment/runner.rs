@@ -1,13 +1,12 @@
 //! The shared experiment runner: simulates one application under one cache
 //! setup and reports energy, delay and cache-size statistics.
 
-use std::collections::HashMap;
-use std::sync::{Arc, Mutex, OnceLock};
-
 use rescache_cache::{HierarchySnapshot, MemoryHierarchy};
 use rescache_cpu::{SimHook, SimResult, Simulator};
 use rescache_energy::{EnergyBreakdown, EnergyDelay, EnergyModel, ResizingTagOverhead};
-use rescache_trace::{AppProfile, Trace, TraceFormat, TraceGenerator, TraceSource};
+use rescache_trace::{
+    is_transient, AppProfile, IoPolicy, Trace, TraceFormat, TraceGenerator, TraceSource,
+};
 
 use crate::error::CoreError;
 use crate::experiment::parallel::parallel_map;
@@ -210,14 +209,14 @@ type GeometryKey = (u64, u32);
 /// deliberately absent — they only change the energy model, not the
 /// simulation — so sweep arms that differ only in tag accounting share one
 /// simulation.
-type SimKey = (TraceKey, SystemConfig, GeometryKey, GeometryKey);
+pub(crate) type SimKey = (TraceKey, SystemConfig, GeometryKey, GeometryKey);
 
 /// A finished static simulation: the engine result plus the post-run
 /// statistics snapshot (a few hundred bytes; the tag arrays are dropped).
 #[derive(Debug, Clone)]
-struct StaticSim {
-    result: SimResult,
-    snapshot: HierarchySnapshot,
+pub(crate) struct StaticSim {
+    pub(crate) result: SimResult,
+    pub(crate) snapshot: HierarchySnapshot,
 }
 
 /// Turns (application, system, cache setup) into measurements, handling
@@ -238,46 +237,40 @@ struct StaticSim {
 ///   resizing-tag-bit accounting all share one simulation, and only the
 ///   (cheap) energy pricing is re-applied per arm.
 ///
-/// Clones of a runner share both caches, which is what lets the parallel
-/// sweeps fan out over applications without regenerating per-worker state.
+/// Clones of a runner share both caches — they live in the store's
+/// [`SharedTier`](crate::experiment::SharedTier) — which is what lets the
+/// parallel sweeps fan out over applications without regenerating per-worker
+/// state.
 #[derive(Debug, Clone)]
 pub struct Runner {
     config: RunnerConfig,
     store: TraceStore,
-    sims: MemoCache<SimKey, StaticSim>,
 }
-
-/// A shared once-per-key memoization map: the outer mutex is held only to
-/// fetch or insert a slot, while the per-key `OnceLock` serializes (blocking)
-/// the single computation of that key's value.
-type MemoCache<K, V> = Arc<Mutex<HashMap<K, Arc<OnceLock<V>>>>>;
 
 impl Runner {
     /// Creates a runner with empty trace and simulation caches. The trace
-    /// store persists to `RESCACHE_TRACE_DIR` when that is set (see
-    /// [`TraceStore::from_env`]).
+    /// store persists to `RESCACHE_TRACE_DIR` when that is set and injects
+    /// faults under `RESCACHE_FAULTS` (see [`TraceStore::from_env`]).
     pub fn new(config: RunnerConfig) -> Self {
         Self::with_store(config, TraceStore::from_env())
     }
 
     /// Creates a runner over an explicit trace store (tests and tools that
     /// must control persistence; [`Runner::new`] reads the environment).
+    /// The store's shared tier also carries the simulation memo, so two
+    /// runners over one store share simulations too.
     pub fn with_store(config: RunnerConfig, store: TraceStore) -> Self {
-        Self {
-            config,
-            store,
-            sims: Arc::default(),
-        }
+        Self { config, store }
     }
 
-    /// Returns a runner sharing this runner's generated traces but with an
-    /// empty simulation cache (used by benchmarks that measure sweep
-    /// throughput and must not carry simulations across repetitions).
+    /// Returns a runner sharing this runner's generated traces (and health
+    /// accounting) but with an empty simulation cache (used by benchmarks
+    /// that measure sweep throughput and must not carry simulations across
+    /// repetitions).
     pub fn with_fresh_simulations(&self) -> Self {
         Self {
             config: self.config,
-            store: self.store.clone(),
-            sims: Arc::default(),
+            store: TraceStore::with_tier(self.store.tier().with_fresh_sims()),
         }
     }
 
@@ -379,42 +372,62 @@ impl Runner {
         }
     }
 
-    /// Runs `simulate` over a store-served source, retrying once from a
-    /// fresh generator stream (wrapped in the same [`StoreSource`] type) if
-    /// the store entry faults or under-delivers mid-run — a corrupt or
+    /// Runs `simulate` over a store-served source, recovering if the store
+    /// entry faults or under-delivers mid-run — a corrupt or
     /// concurrently-replaced persisted trace must degrade to regeneration,
-    /// never to a silently short simulation. The faulted entry is dropped
-    /// from the store so later runs re-persist a fresh one. `simulate` must
-    /// build any per-run hook state itself: it is invoked afresh on retry.
+    /// never to a silently short simulation. A *transient* I/O fault retries
+    /// the store (bounded, with backoff — the entry itself is presumed
+    /// fine); a content fault quarantines the entry and reruns from a fresh
+    /// generator stream (wrapped in the same [`StoreSource`] type) so later
+    /// runs re-persist a fresh entry. `simulate` must build any per-run hook
+    /// state itself: it is invoked afresh on every attempt.
     fn with_streamed_source(
         &self,
         app: &AppProfile,
         mut simulate: impl FnMut(&mut StoreSource) -> StaticSim,
     ) -> StaticSim {
         let cfg = &self.config;
-        let mut source = self.store.source(app, cfg);
-        let sim = simulate(&mut source);
-        if source.fault().is_none() && sim.result.instructions == cfg.measure_instructions as u64 {
-            return sim;
+        let health = self.store.tier().health();
+        let mut attempt = 1;
+        loop {
+            let mut source = self.store.source(app, cfg);
+            let sim = simulate(&mut source);
+            if source.fault().is_none()
+                && sim.result.instructions == cfg.measure_instructions as u64
+            {
+                return sim;
+            }
+            let transient = matches!(
+                source.fault(),
+                Some(rescache_trace::CodecError::Io(e)) if is_transient(e)
+            );
+            if transient && attempt < IoPolicy::ATTEMPTS {
+                health.note_retry();
+                std::thread::sleep(IoPolicy::BACKOFF * attempt);
+                attempt += 1;
+                continue;
+            }
+            eprintln!(
+                "rescache: store-served run of {} under-delivered ({}); regenerating",
+                app.name,
+                source
+                    .fault()
+                    .map(|e| e.to_string())
+                    .unwrap_or_else(|| "short stream".into()),
+            );
+            if let StoreSource::Disk(file) = &source {
+                self.store
+                    .invalidate_disk_entry(file.path(), app, cfg, !transient);
+            }
+            health.note_regeneration();
+            let total = cfg.warmup_instructions + cfg.measure_instructions;
+            let mut retry = StoreSource::Generated(Box::new(
+                TraceGenerator::new(app.clone(), cfg.trace_seed)
+                    .with_format(cfg.trace_format)
+                    .stream(total),
+            ));
+            return simulate(&mut retry);
         }
-        eprintln!(
-            "rescache: store-served run of {} under-delivered ({}); regenerating",
-            app.name,
-            source
-                .fault()
-                .map(|e| e.to_string())
-                .unwrap_or_else(|| "short stream".into()),
-        );
-        if let StoreSource::Disk(file) = &source {
-            self.store.invalidate_disk_entry(file.path(), app, cfg);
-        }
-        let total = cfg.warmup_instructions + cfg.measure_instructions;
-        let mut retry = StoreSource::Generated(Box::new(
-            TraceGenerator::new(app.clone(), cfg.trace_seed)
-                .with_format(cfg.trace_format)
-                .stream(total),
-        ));
-        simulate(&mut retry)
     }
 
     /// The static experiment sequence over one pull-based source —
@@ -545,11 +558,13 @@ impl Runner {
             normalize(system.hierarchy.l1d, d_static),
             normalize(system.hierarchy.l1i, i_static),
         );
-        let slot = {
-            let mut map = self.sims.lock().expect("simulation cache lock");
-            Arc::clone(map.entry(key).or_default())
-        };
+        let tier = self.store.tier();
+        let slot = tier.sims.slot(key);
+        if slot.get().is_some() {
+            tier.health().note_hit();
+        }
         let sim = slot.get_or_init(|| {
+            tier.health().note_miss();
             if streamed {
                 self.with_streamed_source(app, |source| {
                     self.simulate_static_source(source, system, d_static, i_static)

@@ -31,21 +31,35 @@
 //! leading chunks when the profile is
 //! [`length-invariant`](AppProfile::length_invariant) (generation is
 //! prefix-stable), and two warm/measure splits of the same total always
-//! share one entry. Disk entries are advisory: a missing, truncated, corrupt
-//! or mismatched file is silently replaced by regeneration (with a note on
-//! stderr for anything other than "not found"), so a crashed writer or a
-//! foreign file can never abort a sweep.
+//! share one entry. Disk entries are advisory, with typed recovery (all of
+//! it exercised deterministically via the [`rescache_trace::IoPolicy`] fault
+//! seam and accounted in [`StoreHealth`]):
+//!
+//! * a **missing** entry regenerates silently;
+//! * a **transient** I/O error (see [`rescache_trace::is_transient`]) gets a
+//!   bounded retry with backoff before falling back to regeneration — the
+//!   entry is *not* quarantined, because nothing proves the file is bad;
+//! * a **corrupt, truncated, mislabeled or wrong-version** entry is
+//!   *quarantined* — renamed to a `.corrupt` sidecar — before regeneration,
+//!   so repeated corruption is diagnosable on disk instead of silently
+//!   churned;
+//! * a **disk-full or unwritable** directory latches the whole store into
+//!   in-memory-only degraded mode with a one-time warning (see
+//!   [`SharedTier::degrade`]); generation proceeds, persistence stops.
+//!
+//! The memo maps, fault policy, health counters and cross-process entry
+//! lock all live in the [`SharedTier`] the store wraps, so any number of
+//! runners and threads share one coherent cache-and-recovery state.
 
-use std::collections::HashMap;
 use std::path::{Path, PathBuf};
-use std::sync::{Arc, Mutex, OnceLock};
 
 use rescache_trace::{
-    codec, AppProfile, InstrRecord, Trace, TraceCursor, TraceFileSource, TraceFormat,
-    TraceGenerator, TraceSource, TraceStream,
+    codec, is_transient, AppProfile, InstrRecord, IoPolicy, Trace, TraceCursor, TraceFileSource,
+    TraceFormat, TraceGenerator, TraceSource, TraceStream,
 };
 
 use crate::experiment::runner::RunnerConfig;
+use crate::experiment::shared_tier::{LockOutcome, SharedTier, StoreHealth};
 
 /// Key identifying one (warm, measure) trace request: application name,
 /// profile fingerprint, seed, warm-up length, measured length, trace-format
@@ -62,25 +76,16 @@ pub(crate) type TraceKey = (&'static str, u64, u64, usize, usize, TraceFormat);
 /// totals agree share the entry and split it at fetch time; requests whose
 /// format versions differ never share anything — the bit streams differ by
 /// design, so cross-process sweeps must never mix them.
-type StoreKey = (&'static str, u64, u64, usize, TraceFormat);
+pub(crate) type StoreKey = (&'static str, u64, u64, usize, TraceFormat);
 
-/// A shared once-per-key memoization map: the outer mutex is held only to
-/// fetch or insert a slot, while the per-key `OnceLock` serializes (blocking)
-/// the single computation of that key's value.
-type MemoCache<K, V> = Arc<Mutex<HashMap<K, Arc<OnceLock<V>>>>>;
-
-/// The store of generated traces (see the module documentation).
+/// The store of generated traces (see the module documentation): a view
+/// over the [`SharedTier`] that holds the actual maps, policy and health.
 ///
-/// Clones share the in-memory maps, which is what lets the parallel sweeps
-/// fan out over applications without regenerating per-worker state.
+/// Clones share the tier, which is what lets the parallel sweeps fan out
+/// over applications without regenerating per-worker state.
 #[derive(Debug, Clone, Default)]
 pub struct TraceStore {
-    traces: MemoCache<StoreKey, Trace>,
-    /// Once-per-process streaming persists (value: whether the entry is now
-    /// on disk), so a parallel candidate sweep hitting a cold key performs
-    /// one generate-to-disk pass instead of one per worker.
-    persists: MemoCache<StoreKey, bool>,
-    dir: Option<PathBuf>,
+    tier: SharedTier,
 }
 
 /// How a [`StoreSource`] produces its records (observable so tests and
@@ -191,24 +196,39 @@ impl TraceSource for StoreSource {
 
 impl TraceStore {
     /// Creates a store persisting to `RESCACHE_TRACE_DIR` if that names a
-    /// directory (created on first write), in-memory only otherwise.
+    /// directory (created on first write), in-memory only otherwise, with
+    /// fault injection from `RESCACHE_FAULTS` if set.
     pub fn from_env() -> Self {
-        Self::with_dir(std::env::var_os("RESCACHE_TRACE_DIR").map(PathBuf::from))
+        Self::with_tier(SharedTier::from_env())
     }
 
     /// Creates a store with an explicit persistence directory (`None` =
-    /// in-memory only).
+    /// in-memory only) and no fault injection.
     pub fn with_dir(dir: Option<PathBuf>) -> Self {
-        Self {
-            traces: Arc::default(),
-            persists: Arc::default(),
-            dir,
-        }
+        Self::with_tier(SharedTier::new(dir, IoPolicy::none()))
     }
 
-    /// The persistence directory, if any.
+    /// Creates a store over an explicit shared tier — how multiple runners
+    /// (or server connections) share one set of memos, one fault policy and
+    /// one health block.
+    pub fn with_tier(tier: SharedTier) -> Self {
+        Self { tier }
+    }
+
+    /// The shared tier backing this store.
+    pub fn tier(&self) -> &SharedTier {
+        &self.tier
+    }
+
+    /// A snapshot of the store's recovery counters.
+    pub fn health(&self) -> StoreHealth {
+        self.tier.health_snapshot()
+    }
+
+    /// The persistence directory, if any (reported even when degraded mode
+    /// has stopped the store from using it).
     pub fn dir(&self) -> Option<&Path> {
-        self.dir.as_deref()
+        self.tier.dir()
     }
 
     /// The store key of an application under a runner configuration.
@@ -238,12 +258,7 @@ impl TraceStore {
     /// observable the streamed experiment paths are measured against ("no
     /// materialized full-length trace" means this stays at zero).
     pub fn resident_full_traces(&self) -> usize {
-        self.traces
-            .lock()
-            .expect("trace store lock")
-            .values()
-            .filter(|slot| slot.get().is_some())
-            .count()
+        self.tier.traces.initialized_count()
     }
 
     /// Returns the warm-up and measurement traces for an application,
@@ -257,10 +272,11 @@ impl TraceStore {
     /// materializing at most once per `(application, seed, total)`.
     fn fetch_full(&self, app: &AppProfile, config: &RunnerConfig) -> Trace {
         let key = Self::store_key(app, config);
-        let slot = {
-            let mut map = self.traces.lock().expect("trace store lock");
-            Arc::clone(map.entry(key).or_default())
-        };
+        let slot = self.tier.traces.slot(key);
+        if let Some(trace) = slot.get() {
+            self.tier.health().note_hit();
+            return trace.clone();
+        }
         slot.get_or_init(|| self.load_or_generate(app, &key))
             .clone()
     }
@@ -275,23 +291,29 @@ impl TraceStore {
         // Already materialized in this process (exactly, or as a longer
         // prefix-stable trace): replaying the resident buffer is free.
         if let Some(full) = self.resident_prefix(app, &key) {
+            self.tier.health().note_hit();
             return StoreSource::Resident(full.cursor());
         }
 
-        if self.dir.is_some() {
+        if self.tier.active_dir().is_some() {
             if let Some(source) = self.disk_source(app, &key) {
+                self.tier.health().note_hit();
                 return StoreSource::Disk(source);
             }
             // Cold key: persist a streaming-generated entry (once per
-            // process — parallel sweeps block on the one writer) and replay
-            // it from disk. Nothing is ever fully resident.
+            // process — parallel sweeps block on the one writer, and the
+            // cross-process entry lock keeps sibling *processes* off it too)
+            // and replay it from disk. Nothing is ever fully resident.
             if self.ensure_persisted(app, &key) {
                 if let Some(source) = self.disk_source(app, &key) {
                     return StoreSource::Disk(source);
                 }
             }
-            // The directory is unusable (e.g. not writable): generate on
-            // the fly rather than fail — still nothing materialized.
+            // The directory is unusable (degraded mode has latched, or the
+            // freshly persisted entry immediately failed to read back):
+            // generate on the fly rather than fail — still nothing
+            // materialized.
+            self.tier.health().note_miss();
             return StoreSource::Generated(Box::new(
                 TraceGenerator::new(app.clone(), key.2)
                     .with_format(key.4)
@@ -299,29 +321,31 @@ impl TraceStore {
             ));
         }
 
-        // In-memory-only store: replay-heavy consumers dominate here, so
-        // materialize once (memoized, shared) and serve cursors.
+        // In-memory-only store (by configuration or degraded): replay-heavy
+        // consumers dominate here, so materialize once (memoized, shared)
+        // and serve cursors.
         StoreSource::Resident(self.fetch_full(app, config).cursor())
     }
 
     /// A resident full trace covering `key` — exact, or a copy-free prefix
     /// view of a longer resident trace when the profile is prefix-stable.
     fn resident_prefix(&self, app: &AppProfile, key: &StoreKey) -> Option<Trace> {
-        let map = self.traces.lock().expect("trace store lock");
-        if let Some(trace) = map.get(key).and_then(|slot| slot.get()) {
-            return Some(trace.clone());
-        }
-        if !app.length_invariant() {
-            return None;
-        }
-        let (name, fingerprint, seed, total, format) = *key;
-        map.iter()
-            .filter(|((n, f, s, t, v), _)| {
-                *n == name && *f == fingerprint && *s == seed && *t > total && *v == format
-            })
-            .filter_map(|(k, slot)| slot.get().map(|t| (k.3, t)))
-            .min_by_key(|(t, _)| *t)
-            .map(|(_, trace)| trace.slice(0..total))
+        self.tier.traces.with_map(|map| {
+            if let Some(trace) = map.get(key).and_then(|slot| slot.get()) {
+                return Some(trace.clone());
+            }
+            if !app.length_invariant() {
+                return None;
+            }
+            let (name, fingerprint, seed, total, format) = *key;
+            map.iter()
+                .filter(|((n, f, s, t, v), _)| {
+                    *n == name && *f == fingerprint && *s == seed && *t > total && *v == format
+                })
+                .filter_map(|(k, slot)| slot.get().map(|t| (k.3, t)))
+                .min_by_key(|(t, _)| *t)
+                .map(|(_, trace)| trace.slice(0..total))
+        })
     }
 
     /// Opens a chunked on-disk source for `key`: the exact-total entry, or a
@@ -357,34 +381,104 @@ impl TraceStore {
         file_total: usize,
         format: TraceFormat,
     ) -> Option<TraceFileSource> {
-        match TraceFileSource::open_expecting(path, Some(take), format) {
+        let policy = self.tier.policy();
+        let health = self.tier.health();
+        // A transient open failure gets the bounded retry; anything typed is
+        // decided immediately.
+        let mut attempt = 1;
+        let opened = loop {
+            match TraceFileSource::open_expecting_with(path, Some(take), format, policy) {
+                Err(codec::CodecError::Io(e))
+                    if is_transient(&e) && attempt < IoPolicy::ATTEMPTS =>
+                {
+                    health.note_retry();
+                    std::thread::sleep(IoPolicy::BACKOFF * attempt);
+                    attempt += 1;
+                }
+                other => break other,
+            }
+        };
+        match opened {
             Ok(source) if source.name() == app.name && source.file_records() == file_total => {
                 Some(source)
             }
             Ok(source) => {
+                // A header that disagrees with the file's own name marks a
+                // foreign, stale or hash-colliding file: a content problem,
+                // so it is quarantined like corruption.
                 eprintln!(
-                    "rescache: trace store entry {} is for {}/{} records, expected {}/{file_total}; ignoring",
+                    "rescache: trace store entry {} is for {}/{} records, expected {}/{file_total}; quarantining",
                     path.display(),
                     source.name(),
                     source.file_records(),
                     app.name,
                 );
+                drop(source);
+                self.quarantine_entry(path);
                 None
             }
             Err(codec::CodecError::Io(e)) if e.kind() == std::io::ErrorKind::NotFound => None,
-            Err(e) => {
+            Err(codec::CodecError::Io(e)) => {
+                // Retries exhausted or a persistent I/O error: the file may
+                // be perfectly fine, so no quarantine — fall back to
+                // regeneration for this request only.
                 eprintln!(
-                    "rescache: trace store entry {} unreadable ({e}); ignoring",
+                    "rescache: trace store entry {} unreadable ({e}); regenerating without it",
                     path.display()
                 );
+                None
+            }
+            Err(e) => {
+                // Typed content errors (bad magic, wrong/unknown version,
+                // bad name): provably not a servable entry.
+                eprintln!(
+                    "rescache: trace store entry {} unreadable ({e}); quarantining",
+                    path.display()
+                );
+                self.quarantine_entry(path);
                 None
             }
         }
     }
 
-    /// Drops a faulted persisted entry (best-effort) and forgets that it was
+    /// Renames a provably-bad entry to its `.corrupt` sidecar (so repeated
+    /// corruption is diagnosable on disk) and counts the quarantine. If even
+    /// the rename fails, the entry is removed instead — the store must never
+    /// keep re-reading a corrupt file. The sidecar name is outside the
+    /// store's entry-name grammar, so scans and prefix sharing ignore it.
+    fn quarantine_entry(&self, path: &Path) {
+        let mut sidecar = path.as_os_str().to_os_string();
+        sidecar.push(".corrupt");
+        let sidecar = PathBuf::from(sidecar);
+        let policy = self.tier.policy();
+        let renamed = policy.retrying(
+            || self.tier.health().note_retry(),
+            || policy.rename(path, &sidecar),
+        );
+        match renamed {
+            Ok(()) => self.tier.health().note_quarantine(),
+            Err(rename_err) => {
+                let removed = policy.retrying(
+                    || self.tier.health().note_retry(),
+                    || policy.remove_file(path),
+                );
+                match removed {
+                    Ok(()) => self.tier.health().note_quarantine(),
+                    Err(remove_err) => eprintln!(
+                        "rescache: could not quarantine {} (rename: {rename_err}; remove: {remove_err}); leaving in place",
+                        path.display()
+                    ),
+                }
+            }
+        }
+    }
+
+    /// Quarantines a faulted persisted entry and forgets that it was
     /// persisted, so the next [`TraceStore::source`] for its key re-persists
-    /// a fresh entry instead of re-reading the corrupt one forever.
+    /// a fresh entry instead of re-reading the corrupt one forever. When the
+    /// fault was transient I/O (`quarantine = false`), the entry itself is
+    /// left untouched — only the persist memo is cleared so the next request
+    /// re-probes the disk.
     ///
     /// The faulted file may be the requesting key's exact entry *or* a
     /// longer shared entry, so the persist memo is cleared for both the
@@ -394,14 +488,18 @@ impl TraceStore {
         path: &Path,
         app: &AppProfile,
         config: &RunnerConfig,
+        quarantine: bool,
     ) {
-        let _ = std::fs::remove_file(path);
+        if quarantine {
+            self.quarantine_entry(path);
+        }
         let (name, fingerprint, seed, _, format) = Self::store_key(app, config);
-        let mut map = self.persists.lock().expect("trace store persist lock");
-        map.remove(&Self::store_key(app, config));
+        self.tier.persists.remove(&Self::store_key(app, config));
         if let Some(file_total) = Self::entry_total_from_path(path, name, fingerprint, seed, format)
         {
-            map.remove(&(name, fingerprint, seed, file_total, format));
+            self.tier
+                .persists
+                .remove(&(name, fingerprint, seed, file_total, format));
         }
     }
 
@@ -424,44 +522,108 @@ impl TraceStore {
     }
 
     /// Persists the keyed trace by draining a generator stream to disk (no
-    /// materialization), once per process. Returns whether an entry exists.
+    /// materialization), once per process — and, via the cross-process entry
+    /// lock, once per *store directory* when sibling processes race on the
+    /// same cold key. Returns whether an entry exists.
     fn ensure_persisted(&self, app: &AppProfile, key: &StoreKey) -> bool {
-        let Some(dir) = self.dir.clone() else {
+        let Some(dir) = self.tier.active_dir().map(Path::to_path_buf) else {
             return false;
         };
-        let slot = {
-            let mut map = self.persists.lock().expect("trace store persist lock");
-            Arc::clone(map.entry(*key).or_default())
-        };
+        let slot = self.tier.persists.slot(*key);
         *slot.get_or_init(|| {
             let path = dir.join(Self::file_name(key));
-            let result = (|| {
-                std::fs::create_dir_all(&dir)?;
-                let mut stream = TraceGenerator::new(app.clone(), key.2)
-                    .with_format(key.4)
-                    .stream(key.3);
-                codec::save_source(&path, &mut stream)
-            })();
-            if let Err(e) = &result {
-                eprintln!(
-                    "rescache: could not persist trace to {} ({e}); streaming in-memory",
-                    path.display()
-                );
+            if self.dir_unusable(&dir) {
+                return false;
             }
-            result.is_ok()
+            let _guard = match self.tier.lock_entry(&path) {
+                LockOutcome::Acquired(guard) => Some(guard),
+                // Another process committed the entry while we waited.
+                LockOutcome::EntryAppeared => return true,
+                // Liveness over cross-process dedup: write without the lock
+                // (atomic_save makes the duplicate harmless).
+                LockOutcome::Unlocked => None,
+            };
+            self.tier.health().note_miss();
+            let policy = self.tier.policy();
+            let result = policy.retrying(
+                || self.tier.health().note_retry(),
+                || {
+                    let mut stream = TraceGenerator::new(app.clone(), key.2)
+                        .with_format(key.4)
+                        .stream(key.3);
+                    codec::save_source_with(&path, &mut stream, policy)
+                },
+            );
+            match result {
+                Ok(()) => true,
+                Err(e) => {
+                    self.note_persist_failure(&path, &e);
+                    false
+                }
+            }
         })
     }
 
+    /// Probes (and creates) the store directory. A failure here — after the
+    /// transient retries — means the directory cannot be written at all
+    /// (occupied by a file, permission-denied, read-only filesystem), which
+    /// latches degraded mode directly. Returns whether the directory is
+    /// unusable.
+    fn dir_unusable(&self, dir: &Path) -> bool {
+        let policy = self.tier.policy();
+        let created = policy.retrying(
+            || self.tier.health().note_retry(),
+            || policy.create_dir_all(dir),
+        );
+        match created {
+            Ok(()) => false,
+            Err(e) => {
+                self.tier
+                    .degrade(&format!("store directory {} unusable: {e}", dir.display()));
+                true
+            }
+        }
+    }
+
+    /// Classifies one persist failure: disk-full and unwritable-directory
+    /// conditions latch store-wide degraded mode (with its one-time
+    /// warning); anything else — e.g. exhausted transient retries — skips
+    /// only this persist, with a per-site note.
+    fn note_persist_failure(&self, path: &Path, e: &std::io::Error) {
+        use std::io::ErrorKind;
+        let fatal = rescache_trace::is_disk_full(e)
+            || matches!(
+                e.kind(),
+                ErrorKind::PermissionDenied
+                    | ErrorKind::NotADirectory
+                    | ErrorKind::ReadOnlyFilesystem
+            );
+        if fatal {
+            self.tier
+                .degrade(&format!("could not persist to {}: {e}", path.display()));
+        } else {
+            self.tier.health().note_warning();
+            eprintln!(
+                "rescache: could not persist trace to {} ({e}); streaming in-memory",
+                path.display()
+            );
+        }
+    }
+
     /// Loads the keyed full trace from disk if possible, otherwise generates
-    /// it (and persists the result, best-effort).
+    /// it (and persists the result, best-effort). Every landing is counted:
+    /// a disk (or resident-prefix) serve is a hit, a clean cold generation a
+    /// miss, a generation forced by a bad entry a regeneration.
     fn load_or_generate(&self, app: &AppProfile, key: &StoreKey) -> Trace {
         let (_, _, seed, total, format) = *key;
+        let health = self.tier.health();
 
         // A longer prefix-stable trace already resident in this process
         // serves the request as a copy-free view — the same sharing
         // `source()` applies (the exact key can't be resident: this runs
         // inside its one-time initializer).
         if let Some(prefix) = self.resident_prefix(app, key) {
+            health.note_hit();
             return prefix;
         }
 
@@ -469,8 +631,12 @@ impl TraceStore {
         // locates and validates the entry (exact total, or a longer entry's
         // prefix when the profile is prefix-stable — chunk-granular, so
         // corruption beyond the prefix is never even read) and this path
-        // merely materializes what it streams.
-        if let Some(mut source) = self.disk_source(app, key) {
+        // merely materializes what it streams. A transient mid-read fault
+        // retries the whole materialization (bounded); a content fault
+        // quarantines the entry before falling back to regeneration.
+        let mut forced_regeneration = false;
+        let mut attempt = 1;
+        while let Some(mut source) = self.disk_source(app, key) {
             let mut records: Vec<InstrRecord> = Vec::with_capacity(total);
             loop {
                 let chunk = source.next_chunk();
@@ -480,7 +646,18 @@ impl TraceStore {
                 records.extend_from_slice(chunk);
             }
             if source.fault().is_none() && records.len() == total {
+                health.note_hit();
                 return Trace::with_format(app.name, records, format);
+            }
+            let transient = matches!(
+                source.fault(),
+                Some(codec::CodecError::Io(e)) if is_transient(e)
+            );
+            if transient && attempt < IoPolicy::ATTEMPTS {
+                health.note_retry();
+                std::thread::sleep(IoPolicy::BACKOFF * attempt);
+                attempt += 1;
+                continue;
             }
             eprintln!(
                 "rescache: trace store entry {} unreadable ({}); regenerating",
@@ -490,45 +667,74 @@ impl TraceStore {
                     .map(|e| e.to_string())
                     .unwrap_or_else(|| "short stream".into()),
             );
+            if !transient {
+                // Provably bad content (corrupt, truncated, short): keep the
+                // evidence as a `.corrupt` sidecar so the regeneration below
+                // persists a fresh entry at the original path.
+                let path = source.path().to_path_buf();
+                drop(source);
+                self.quarantine_entry(&path);
+            }
+            forced_regeneration = true;
+            break;
         }
 
+        if forced_regeneration {
+            health.note_regeneration();
+        } else {
+            health.note_miss();
+        }
         let full = TraceGenerator::new(app.clone(), seed)
             .with_format(format)
             .generate(total);
         if let Some(path) = self.entry_path(key) {
             if let Err(e) = self.persist(&path, &full) {
-                eprintln!(
-                    "rescache: could not persist trace to {} ({e}); continuing in-memory",
-                    path.display()
-                );
+                self.note_persist_failure(&path, &e);
             }
         }
         full
     }
 
-    /// Writes `full` to `path`, creating the store directory on first use.
+    /// Writes `full` to `path` (with bounded transient retry), creating the
+    /// store directory on first use. Cross-process writers on the same cold
+    /// entry are serialized by the advisory lock; if the entry appears while
+    /// waiting, the persist is already done.
     fn persist(&self, path: &Path, full: &Trace) -> std::io::Result<()> {
         if let Some(parent) = path.parent() {
-            std::fs::create_dir_all(parent)?;
+            if self.dir_unusable(parent) {
+                // Degraded mode just latched (with its one-time warning);
+                // the caller needs no second report.
+                return Ok(());
+            }
         }
-        codec::save_trace(path, full)
+        let _guard = match self.tier.lock_entry(path) {
+            LockOutcome::Acquired(guard) => Some(guard),
+            LockOutcome::EntryAppeared => return Ok(()),
+            LockOutcome::Unlocked => None,
+        };
+        let policy = self.tier.policy();
+        policy.retrying(
+            || self.tier.health().note_retry(),
+            || codec::save_trace_with(path, full, policy),
+        )
     }
 
-    /// The on-disk path of a key's exact-total entry, if a directory is set.
+    /// The on-disk path of a key's exact-total entry, if a usable directory
+    /// is configured (degraded mode reads as "no directory").
     fn entry_path(&self, key: &StoreKey) -> Option<PathBuf> {
-        self.dir.as_ref().map(|d| d.join(Self::file_name(key)))
+        self.tier.active_dir().map(|d| d.join(Self::file_name(key)))
     }
 
     /// Finds the smallest persisted entry for the same (application,
     /// fingerprint, seed) whose total exceeds the key's — the candidate for
     /// prefix serving. Returns the path and the total its file name claims.
     fn find_longer_entry(&self, key: &StoreKey) -> Option<(PathBuf, usize)> {
-        let dir = self.dir.as_ref()?;
+        let dir = self.tier.active_dir()?;
         let (name, fingerprint, seed, total, format) = *key;
         let prefix = format!("{name}-{fingerprint:016x}-s{seed}-t");
         let suffix = Self::entry_suffix(format);
         let mut best: Option<(PathBuf, usize)> = None;
-        for entry in std::fs::read_dir(dir).ok()? {
+        for entry in self.tier.policy().read_dir(dir).ok()? {
             let Ok(entry) = entry else { continue };
             let file_name = entry.file_name();
             let Some(file_name) = file_name.to_str() else {
@@ -581,7 +787,8 @@ impl TraceStore {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rescache_trace::spec;
+    use rescache_trace::{spec, FaultInjector, FaultKind, IoOp, ScriptedFault};
+    use std::sync::Arc;
 
     fn temp_store(tag: &str) -> (TraceStore, PathBuf) {
         let dir = std::env::temp_dir().join(format!("rescache-store-{tag}-{}", std::process::id()));
@@ -981,6 +1188,148 @@ mod tests {
         assert_eq!(source.kind(), StoreSourceKind::Generated);
         assert_eq!(drain(&mut source).len(), total);
         assert_eq!(store.resident_full_traces(), 0);
+
+        // The unusable directory latched degraded mode with its one-time
+        // warning; later requests go straight to in-memory operation (no
+        // repeated probing, no repeated warnings) and correctness holds.
+        let health = store.health();
+        assert!(health.degraded, "{health:?}");
+        assert_eq!(health.warnings, 1, "{health:?}");
+        let mut source = store.source(&spec::ammp(), &cfg);
+        assert_eq!(source.kind(), StoreSourceKind::Resident);
+        assert_eq!(drain(&mut source).len(), total);
+        assert_eq!(store.health().warnings, 1, "warning fires exactly once");
         std::fs::remove_file(&dir).ok();
+    }
+
+    /// Builds a store whose tier routes all I/O through `injector`.
+    fn injected_store(tag: &str, injector: Arc<FaultInjector>) -> (TraceStore, PathBuf) {
+        let dir =
+            std::env::temp_dir().join(format!("rescache-store-fault-{tag}-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let tier = SharedTier::new(Some(dir.clone()), IoPolicy::with_injector(injector));
+        (TraceStore::with_tier(tier), dir)
+    }
+
+    #[test]
+    fn disk_full_mid_run_degrades_to_memory_with_one_warning() {
+        // The first persist write hits an injected disk-full error mid-run:
+        // the store must latch in-memory-only mode (one warning), keep
+        // serving bit-exact records, and stop touching the directory.
+        let injector = Arc::new(FaultInjector::scripted([ScriptedFault {
+            op: IoOp::Write,
+            kind: FaultKind::DiskFull,
+        }]));
+        let (store, dir) = injected_store("full", injector);
+        let cfg = RunnerConfig::fast();
+        let total = cfg.warmup_instructions + cfg.measure_instructions;
+        let reference = TraceGenerator::new(spec::vpr(), cfg.trace_seed).generate(total);
+
+        let mut source = store.source(&spec::vpr(), &cfg);
+        assert_eq!(source.kind(), StoreSourceKind::Generated);
+        assert_eq!(drain(&mut source), reference.records());
+
+        let health = store.health();
+        assert!(health.degraded, "disk-full must latch degraded: {health:?}");
+        assert_eq!(health.warnings, 1, "{health:?}");
+
+        // Degraded mode: later sources are resident (in-memory fallback),
+        // no new warnings, and the directory holds no committed entries
+        // (the aborted temp file was cleaned up).
+        let mut source = store.source(&spec::vpr(), &cfg);
+        assert_eq!(source.kind(), StoreSourceKind::Resident);
+        assert_eq!(drain(&mut source), reference.records());
+        assert_eq!(store.health().warnings, 1, "warning fires exactly once");
+        assert_eq!(std::fs::read_dir(&dir).expect("dir").count(), 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn exhausted_transient_write_faults_skip_one_persist_without_degrading() {
+        // Every attempt of the first persist fails with a transient error:
+        // the bounded retry runs out, that one persist is skipped with a
+        // per-site warning, but the store stays on disk — a different key
+        // persists fine afterwards.
+        let fault = ScriptedFault {
+            op: IoOp::Write,
+            kind: FaultKind::Transient,
+        };
+        let injector = Arc::new(FaultInjector::scripted(
+            [fault; IoPolicy::ATTEMPTS as usize],
+        ));
+        let (store, dir) = injected_store("transient", injector.clone());
+        let cfg = RunnerConfig::fast();
+        let total = cfg.warmup_instructions + cfg.measure_instructions;
+
+        let mut source = store.source(&spec::vpr(), &cfg);
+        assert_eq!(source.kind(), StoreSourceKind::Generated);
+        assert_eq!(drain(&mut source).len(), total);
+        assert_eq!(injector.pending_script(), 0, "all three attempts faulted");
+
+        let health = store.health();
+        assert!(
+            !health.degraded,
+            "transient faults must not latch: {health:?}"
+        );
+        assert_eq!(health.warnings, 1, "{health:?}");
+        assert!(health.retries >= 2, "{health:?}");
+
+        // The directory is still live: the next key persists and serves
+        // from disk.
+        let mut source = store.source(&spec::ammp(), &cfg);
+        assert_eq!(source.kind(), StoreSourceKind::Disk);
+        assert_eq!(drain(&mut source).len(), total);
+        assert_eq!(std::fs::read_dir(&dir).expect("dir").count(), 1);
+        assert!(!store.health().degraded);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_entries_are_quarantined_to_a_sidecar_and_counted() {
+        let (store, dir) = temp_store("quarantine");
+        let cfg = RunnerConfig::fast();
+        let (w1, m1) = store.fetch(&spec::gcc(), &cfg);
+        let path = entry_path(&dir);
+        let mut bytes = std::fs::read(&path).expect("read entry");
+        let len = bytes.len();
+        // Truncate mid-record: a typed `Truncated` error, provably corrupt
+        // (a random bit-flip could land in an address field and decode as a
+        // different-but-valid record, which no reader can detect).
+        bytes.truncate(len - 5);
+        std::fs::write(&path, &bytes).expect("truncate entry");
+
+        // A fresh store ("new process") trips on the corruption, moves the
+        // entry aside as a `.corrupt` sidecar, counts the quarantine and
+        // the forced regeneration, and re-persists a healthy entry.
+        let fresh = TraceStore::with_dir(Some(dir.clone()));
+        let (w2, m2) = fresh.fetch(&spec::gcc(), &cfg);
+        assert_eq!(
+            (w1, m1),
+            (w2.clone(), m2),
+            "regeneration reproduces the trace"
+        );
+
+        let health = fresh.health();
+        assert_eq!(health.quarantines, 1, "{health:?}");
+        assert_eq!(health.regenerations, 1, "{health:?}");
+        assert!(!health.degraded, "corruption is not a degradation");
+
+        let mut names: Vec<_> = std::fs::read_dir(&dir)
+            .expect("dir")
+            .map(|e| e.expect("entry").file_name().into_string().expect("utf8"))
+            .collect();
+        names.sort();
+        assert_eq!(names.len(), 2, "sidecar + fresh entry: {names:?}");
+        assert!(names[0].ends_with(".rctrace"), "{names:?}");
+        assert!(names[1].ends_with(".corrupt"), "{names:?}");
+
+        // The sidecar sits outside the entry-name grammar: another fresh
+        // store ignores it and serves the healthy entry with no further
+        // quarantines.
+        let again = TraceStore::with_dir(Some(dir.clone()));
+        let (w3, _) = again.fetch(&spec::gcc(), &cfg);
+        assert_eq!(w3, w2);
+        assert_eq!(again.health().quarantines, 0);
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -42,6 +42,7 @@ use std::fs::File;
 use std::io::{self, BufReader, BufWriter, Read, Write};
 use std::path::Path;
 
+use crate::faults::{IoPolicy, PolicedRead, PolicedWrite};
 use crate::format::TraceFormat;
 use crate::record::{InstrRecord, InvalidRecord, ENCODED_RECORD_BYTES};
 use crate::source::{TraceSource, CHUNK_RECORDS};
@@ -293,10 +294,9 @@ impl<R: Read> ChunkedTraceReader<R> {
         self.buf.clear();
         self.buf.reserve(len as usize);
         for encoded in self.raw[..byte_len].chunks_exact(ENCODED_RECORD_BYTES) {
-            let bytes: &[u8; ENCODED_RECORD_BYTES] = encoded
-                .try_into()
-                .expect("chunks_exact yields exact arrays");
-            self.buf.push(InstrRecord::decode(bytes)?);
+            let mut bytes = [0u8; ENCODED_RECORD_BYTES];
+            bytes.copy_from_slice(encoded);
+            self.buf.push(InstrRecord::decode(&bytes)?);
         }
         self.delivered += u64::from(len);
         Ok(&self.buf)
@@ -343,7 +343,7 @@ pub fn read_trace<R: Read>(r: &mut R) -> Result<Trace, CodecError> {
 #[derive(Debug)]
 pub struct TraceFileSource {
     path: std::path::PathBuf,
-    reader: ChunkedTraceReader<BufReader<File>>,
+    reader: ChunkedTraceReader<BufReader<PolicedRead<File>>>,
     /// Records of the file this source serves (a prefix of the file when the
     /// entry is longer than the request).
     take: usize,
@@ -365,7 +365,25 @@ impl TraceFileSource {
     /// Returns a [`CodecError`] if the file cannot be opened, its header is
     /// invalid, or it promises fewer than `take` records.
     pub fn open(path: &Path, take: Option<usize>) -> Result<Self, CodecError> {
-        let reader = ChunkedTraceReader::new(BufReader::new(File::open(path)?))?;
+        Self::open_with(path, take, &IoPolicy::none())
+    }
+
+    /// [`TraceFileSource::open`] with the open and every subsequent read
+    /// routed through `policy` — the fault-injectable variant the experiment
+    /// trace store uses. A fault injected mid-stream surfaces through
+    /// [`TraceFileSource::fault`] exactly like real disk trouble.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`TraceFileSource::open`] reports, plus whatever `policy`
+    /// injects.
+    pub fn open_with(
+        path: &Path,
+        take: Option<usize>,
+        policy: &IoPolicy,
+    ) -> Result<Self, CodecError> {
+        let file = policy.open(path)?;
+        let reader = ChunkedTraceReader::new(BufReader::new(policy.reader(file)))?;
         let take = take.unwrap_or(reader.total_records() as usize);
         if (take as u64) > reader.total_records() {
             return Err(CodecError::Truncated {
@@ -399,7 +417,23 @@ impl TraceFileSource {
         take: Option<usize>,
         expected: TraceFormat,
     ) -> Result<Self, CodecError> {
-        let source = Self::open(path, take)?;
+        Self::open_expecting_with(path, take, expected, &IoPolicy::none())
+    }
+
+    /// [`TraceFileSource::open_expecting`] routed through `policy` (see
+    /// [`TraceFileSource::open_with`]).
+    ///
+    /// # Errors
+    ///
+    /// Everything [`TraceFileSource::open_expecting`] reports, plus whatever
+    /// `policy` injects.
+    pub fn open_expecting_with(
+        path: &Path,
+        take: Option<usize>,
+        expected: TraceFormat,
+        policy: &IoPolicy,
+    ) -> Result<Self, CodecError> {
+        let source = Self::open_with(path, take, policy)?;
         let found = source.format();
         if found != expected {
             return Err(CodecError::FormatMismatch { expected, found });
@@ -526,10 +560,15 @@ fn read_exact_or_truncated<R: Read>(
 
 /// Writes to `path` atomically (via a same-directory temporary file and
 /// rename), so concurrent writers — processes *or* threads — sharing a trace
-/// store never expose a half-written file at the final path.
+/// store never expose a half-written file at the final path. The create,
+/// every buffered write, and the committing rename all go through `policy`;
+/// on any failure the temporary file is cleaned up (best effort, un-policed
+/// — injecting on the cleanup of an already-failed save would only leave the
+/// same debris a crashed process leaves, which readers already ignore).
 fn atomic_save(
     path: &Path,
-    write: impl FnOnce(&mut BufWriter<File>) -> io::Result<()>,
+    policy: &IoPolicy,
+    write: impl FnOnce(&mut BufWriter<PolicedWrite<File>>) -> io::Result<()>,
 ) -> io::Result<()> {
     // The temporary name must be unique per writer, not just per process:
     // two threads saving the same store entry would otherwise share the
@@ -538,10 +577,17 @@ fn atomic_save(
     let writer = WRITER.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
     let tmp = path.with_extension(format!("tmp.{}.{writer}", std::process::id()));
     let result = (|| {
-        let mut w = BufWriter::new(File::create(&tmp)?);
-        write(&mut w)?;
-        w.flush()?;
-        std::fs::rename(&tmp, path)
+        let mut w = BufWriter::new(policy.writer(policy.create(&tmp)?));
+        match write(&mut w).and_then(|()| w.flush()) {
+            Ok(()) => policy.rename(&tmp, path),
+            Err(e) => {
+                // Discard the buffered tail: `BufWriter`'s drop would
+                // silently retry writing it to a file this function is
+                // about to delete.
+                let _ = w.into_parts();
+                Err(e)
+            }
+        }
     })();
     if result.is_err() {
         let _ = std::fs::remove_file(&tmp);
@@ -551,7 +597,12 @@ fn atomic_save(
 
 /// Writes `trace` to `path` atomically (see [`atomic_save`]).
 pub fn save_trace(path: &Path, trace: &Trace) -> io::Result<()> {
-    atomic_save(path, |w| write_trace(w, trace))
+    save_trace_with(path, trace, &IoPolicy::none())
+}
+
+/// [`save_trace`] with every filesystem operation routed through `policy`.
+pub fn save_trace_with(path: &Path, trace: &Trace, policy: &IoPolicy) -> io::Result<()> {
+    atomic_save(path, policy, |w| write_trace(w, trace))
 }
 
 /// Drains `source` to `path` atomically, chunk by chunk: the streaming twin
@@ -568,7 +619,20 @@ pub fn save_trace(path: &Path, trace: &Trace) -> io::Result<()> {
 /// discarded, never renamed into place), and `InvalidInput` for an over-long
 /// name as [`write_trace`] does.
 pub fn save_source<S: TraceSource>(path: &Path, source: &mut S) -> io::Result<()> {
-    atomic_save(path, |w| {
+    save_source_with(path, source, &IoPolicy::none())
+}
+
+/// [`save_source`] with every filesystem operation routed through `policy`.
+///
+/// # Errors
+///
+/// Everything [`save_source`] reports, plus whatever `policy` injects.
+pub fn save_source_with<S: TraceSource>(
+    path: &Path,
+    source: &mut S,
+    policy: &IoPolicy,
+) -> io::Result<()> {
+    atomic_save(path, policy, |w| {
         w.write_all(&source.format().magic())?;
         let name = source.name().as_bytes().to_vec();
         if name.len() as u64 > u64::from(MAX_NAME_BYTES) {
@@ -618,7 +682,17 @@ pub fn save_source<S: TraceSource>(path: &Path, source: &mut S) -> io::Result<()
 ///
 /// Returns a [`CodecError`] if the file is missing, unreadable or malformed.
 pub fn load_trace(path: &Path) -> Result<Trace, CodecError> {
-    let mut r = BufReader::new(File::open(path)?);
+    load_trace_with(path, &IoPolicy::none())
+}
+
+/// [`load_trace`] with the open and every read routed through `policy`.
+///
+/// # Errors
+///
+/// Everything [`load_trace`] reports, plus whatever `policy` injects
+/// (surfacing as [`CodecError::Io`]).
+pub fn load_trace_with(path: &Path, policy: &IoPolicy) -> Result<Trace, CodecError> {
+    let mut r = BufReader::new(policy.reader(policy.open(path)?));
     read_trace(&mut r)
 }
 
@@ -1009,6 +1083,79 @@ mod tests {
         let err = save_source(&missing, &mut fenced).unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::InvalidData);
         assert!(!missing.exists(), "partial file never renamed into place");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn injected_faults_surface_through_the_policed_codec_paths() {
+        use crate::faults::{FaultInjector, FaultKind, IoOp, ScriptedFault};
+        use std::sync::Arc;
+
+        let dir =
+            std::env::temp_dir().join(format!("rescache-codec-inject-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("create temp dir");
+        let path = dir.join("entry.rctrace");
+        let trace = sample(2 * CHUNK_RECORDS);
+
+        // A write fault aborts the save and leaves no file (and no debris at
+        // the final path).
+        let injector = Arc::new(FaultInjector::scripted([ScriptedFault {
+            op: IoOp::Write,
+            kind: FaultKind::Transient,
+        }]));
+        let policy = IoPolicy::with_injector(Arc::clone(&injector));
+        let err = save_trace_with(&path, &trace, &policy).unwrap_err();
+        assert!(crate::faults::is_transient(&err));
+        assert!(!path.exists(), "failed save leaves nothing at the path");
+
+        // A rename fault likewise: the payload was fully written to the
+        // temporary file, but it is never committed.
+        injector.push(ScriptedFault {
+            op: IoOp::Rename,
+            kind: FaultKind::DiskFull,
+        });
+        let err = save_trace_with(&path, &trace, &policy).unwrap_err();
+        assert!(crate::faults::is_disk_full(&err));
+        assert!(!path.exists());
+
+        // With the script drained the same policy saves cleanly, and a read
+        // fault mid-replay surfaces as a recorded source fault — the same
+        // degradation path a truncated entry takes.
+        save_trace_with(&path, &trace, &policy).expect("clean save");
+        // Open first (the header read passes), then inject: the fault lands
+        // mid-replay rather than at open time.
+        let mut src = TraceFileSource::open_with(&path, None, &policy).expect("open");
+        injector.push(ScriptedFault {
+            op: IoOp::Read,
+            kind: FaultKind::Transient,
+        });
+        let mut delivered = 0;
+        loop {
+            let chunk = src.next_chunk();
+            if chunk.is_empty() {
+                break;
+            }
+            delivered += chunk.len();
+        }
+        assert!(
+            delivered < trace.len(),
+            "the injected read cut replay short"
+        );
+        assert!(
+            matches!(src.fault(), Some(CodecError::Io(e)) if crate::faults::is_transient(e)),
+            "{:?}",
+            src.fault()
+        );
+
+        // load_trace_with reports the injected error as CodecError::Io.
+        injector.push(ScriptedFault {
+            op: IoOp::Open,
+            kind: FaultKind::Transient,
+        });
+        assert!(matches!(
+            load_trace_with(&path, &policy),
+            Err(CodecError::Io(_))
+        ));
         std::fs::remove_dir_all(&dir).ok();
     }
 

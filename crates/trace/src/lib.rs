@@ -18,6 +18,8 @@
 //! * [`trace`] — the [`Trace`] container and [`TraceStats`] summary.
 //! * [`source`] — [`TraceSource`]: pull-based chunked record delivery.
 //! * [`codec`] — length-prefixed binary persistence for traces.
+//! * [`faults`] — [`IoPolicy`]: injectable filesystem I/O with deterministic
+//!   fault injection (`RESCACHE_FAULTS`) for recovery-path testing.
 //! * [`rng`] — a small deterministic pseudo-random number generator.
 //! * [`phase`] — [`PhaseSchedule`]: how a working set evolves over time.
 //! * [`working_set`] — [`WorkingSetSpec`]: size, aliasing segments, locality.
@@ -51,6 +53,7 @@ pub mod address;
 pub mod branch;
 pub mod code;
 pub mod codec;
+pub mod faults;
 pub mod format;
 pub mod generator;
 pub mod ilp;
@@ -69,6 +72,9 @@ pub use address::AddressStream;
 pub use branch::BranchBehavior;
 pub use code::CodeStream;
 pub use codec::{ChunkedTraceReader, CodecError, TraceFileSource};
+pub use faults::{
+    is_disk_full, is_transient, FaultInjector, FaultKind, FaultSpec, IoOp, IoPolicy, ScriptedFault,
+};
 pub use format::TraceFormat;
 pub use generator::{TraceGenerator, TraceStream};
 pub use ilp::{DistanceSampler, DistanceTable, IlpBehavior, MAX_DISTANCE};
