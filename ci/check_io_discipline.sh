@@ -13,6 +13,7 @@ set -eu
 status=0
 for file in \
     crates/trace/src/codec.rs \
+    crates/trace/src/compress.rs \
     crates/trace/src/faults.rs \
     crates/core/src/experiment/trace_store.rs \
     crates/core/src/experiment/shared_tier.rs

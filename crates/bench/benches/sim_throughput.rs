@@ -59,6 +59,11 @@ struct EngineResult {
     /// replayed or simulated; `None` only for the stages that touch no
     /// trace records at all (the pure cache-access kernels).
     trace_format: Option<TraceFormat>,
+    /// On-disk size of the store entry the stage replays, and the ratio of
+    /// the raw 12-byte-per-record encoding to that size; `Some` only for
+    /// `trace_store_load`, the stage whose whole point is the disk format.
+    store_bytes: Option<u64>,
+    compression_ratio: Option<f64>,
 }
 
 /// The record for a stage that was skipped because its prerequisite
@@ -73,6 +78,8 @@ fn skipped(name: &'static str) -> EngineResult {
         nominal_workload: false,
         skipped: true,
         trace_format: None,
+        store_bytes: None,
+        compression_ratio: None,
     }
 }
 
@@ -120,6 +127,8 @@ fn measure(
         nominal_workload: false,
         skipped: false,
         trace_format: None,
+        store_bytes: None,
+        compression_ratio: None,
     }
 }
 
@@ -160,8 +169,10 @@ fn bench_trace_gen_streaming(scale: u64, format: TraceFormat) -> EngineResult {
 }
 
 /// Replaying a persisted trace from the on-disk store (the cross-process
-/// reuse path `RESCACHE_TRACE_DIR` enables): decode, validate and
-/// materialize records at i/o-bound speed instead of regenerating.
+/// reuse path `RESCACHE_TRACE_DIR` enables): the store-serve path decodes
+/// each chunk straight into a resident buffer the engine batch lanes read
+/// from, so the stage drains `TraceFileSource` chunk by chunk — it never
+/// materializes a whole-trace `Vec<InstrRecord>`.
 fn bench_trace_store_load(scale: u64, format: TraceFormat) -> EngineResult {
     let n = (50_000 * scale) as usize;
     let Some(dir) = store_scratch_dir("store-load") else {
@@ -176,10 +187,24 @@ fn bench_trace_store_load(scale: u64, format: TraceFormat) -> EngineResult {
             .generate(n),
     )
     .expect("persist bench trace");
+    let store_bytes = std::fs::metadata(&path).expect("stat bench trace").len();
     let mut result = measure("trace_store_load", n as u64, 5, || {
-        codec::load_trace(&path).expect("load bench trace").len() as u64
+        let mut source = codec::TraceFileSource::open(&path, None).expect("open bench trace");
+        let mut records = 0u64;
+        loop {
+            let chunk = source.next_chunk();
+            if chunk.is_empty() {
+                break;
+            }
+            records += chunk.len() as u64;
+        }
+        records
     });
     result.trace_format = Some(format);
+    result.store_bytes = Some(store_bytes);
+    // Ratio of the raw fixed-width encoding (12 bytes/record) to what the
+    // entry actually occupies on disk — 1.0 for the uncompressed formats.
+    result.compression_ratio = Some(12.0 * n as f64 / store_bytes as f64);
     std::fs::remove_dir_all(&dir).ok();
     result
 }
@@ -426,6 +451,9 @@ fn bench_fig5_sweep(scale: u64) -> EngineResult {
     result
 }
 
+// `results` is deliberately built push by push, not as a `vec![...]`
+// literal — see the comment at its declaration.
+#[allow(clippy::vec_init_then_push)]
 fn main() {
     // "0", "false" and the empty string count as unset, so e.g.
     // `RESCACHE_BENCH_QUICK=0` runs the full bench as intended rather than
@@ -457,30 +485,53 @@ fn main() {
     // Captured by the last store-backed dynamic stage (the streamed one):
     // the shared tier's recovery counters for the whole bench run.
     let mut store_health = None;
-    let mut results = vec![
-        bench_trace_gen(scale, trace_format),
-        bench_trace_gen_streaming(scale, trace_format),
-        bench_trace_store_load(scale, trace_format),
-        bench_hit_stream(scale),
-        bench_evict_stream(scale),
-        bench_engine("in_order", CpuConfig::base_in_order(), scale, trace_format),
-        bench_engine(
-            "out_of_order",
-            CpuConfig::base_out_of_order(),
-            scale,
-            trace_format,
-        ),
-        bench_gen_plus_first_sim("gen_first_sim_split", false, scale, trace_format),
-        bench_gen_plus_first_sim("gen_first_sim_fused", true, scale, trace_format),
-        bench_dynamic(
-            "dyn_materialized",
-            false,
-            scale,
-            trace_format,
-            &mut store_health,
-        ),
-        bench_dynamic("dyn_streamed", true, scale, trace_format, &mut store_health),
-    ];
+    // Stages are pushed one at a time rather than built as one `vec![...]`
+    // literal: materializing a dozen stage results as macro temporaries
+    // perturbed the store-load stage's measured time by ~1.5x run over run.
+    let mut results = Vec::new();
+    results.push(bench_trace_gen(scale, trace_format));
+    results.push(bench_trace_gen_streaming(scale, trace_format));
+    results.push(bench_trace_store_load(scale, trace_format));
+    results.push(bench_hit_stream(scale));
+    results.push(bench_evict_stream(scale));
+    results.push(bench_engine(
+        "in_order",
+        CpuConfig::base_in_order(),
+        scale,
+        trace_format,
+    ));
+    results.push(bench_engine(
+        "out_of_order",
+        CpuConfig::base_out_of_order(),
+        scale,
+        trace_format,
+    ));
+    results.push(bench_gen_plus_first_sim(
+        "gen_first_sim_split",
+        false,
+        scale,
+        trace_format,
+    ));
+    results.push(bench_gen_plus_first_sim(
+        "gen_first_sim_fused",
+        true,
+        scale,
+        trace_format,
+    ));
+    results.push(bench_dynamic(
+        "dyn_materialized",
+        false,
+        scale,
+        trace_format,
+        &mut store_health,
+    ));
+    results.push(bench_dynamic(
+        "dyn_streamed",
+        true,
+        scale,
+        trace_format,
+        &mut store_health,
+    ));
     results.extend(bench_workloads(scale, quick, trace_format));
     results.push(bench_fig5_sweep(scale));
 
@@ -507,7 +558,7 @@ fn main() {
 /// carries no serde dependency).
 fn render_json(results: &[EngineResult], quick: bool, health: Option<StoreHealth>) -> String {
     let mut out = String::from("{\n");
-    out.push_str("  \"schema\": \"rescache-sim-throughput/6\",\n");
+    out.push_str("  \"schema\": \"rescache-sim-throughput/7\",\n");
     out.push_str(&format!("  \"quick\": {quick},\n"));
     // The streamed dynamic stage's shared-tier recovery counters. All-zero
     // with `"degraded": false` on a healthy machine; anything else flags a
@@ -530,10 +581,15 @@ fn render_json(results: &[EngineResult], quick: bool, health: Option<StoreHealth
     ));
     out.push_str("  \"engines\": [\n");
     for (i, r) in results.iter().enumerate() {
-        let trace_format = match r.trace_format {
+        let mut trace_format = match r.trace_format {
             Some(format) => format!(", \"trace_format\": \"{format}\""),
             None => String::new(),
         };
+        if let (Some(bytes), Some(ratio)) = (r.store_bytes, r.compression_ratio) {
+            trace_format.push_str(&format!(
+                ", \"store_bytes\": {bytes}, \"compression_ratio\": {ratio:.3}"
+            ));
+        }
         out.push_str(&format!(
             "    {{\"name\": \"{}\", \"status\": \"{}\", \"items\": {}, \"seconds\": {:.6}, \"mips\": {:.3}, \"workload\": \"{}\"{trace_format}}}{}\n",
             r.name,

@@ -54,8 +54,8 @@
 use std::path::{Path, PathBuf};
 
 use rescache_trace::{
-    codec, is_transient, AppProfile, InstrRecord, IoPolicy, Trace, TraceCursor, TraceFileSource,
-    TraceFormat, TraceGenerator, TraceSource, TraceStream,
+    codec, is_transient, AppProfile, Compression, InstrRecord, IoPolicy, Trace, TraceCursor,
+    TraceFileSource, TraceFormat, TraceGenerator, TraceSource, TraceStream,
 };
 
 use crate::experiment::runner::RunnerConfig;
@@ -551,7 +551,9 @@ impl TraceStore {
                     let mut stream = TraceGenerator::new(app.clone(), key.2)
                         .with_format(key.4)
                         .stream(key.3);
-                    codec::save_source_with(&path, &mut stream, policy)
+                    // The RESCACHE_STORE_COMPRESS override is read per save
+                    // so long-lived stores honour a knob flipped mid-run.
+                    codec::save_source_opts(&path, &mut stream, policy, Compression::from_env())
                 },
             );
             match result {
@@ -715,7 +717,7 @@ impl TraceStore {
         let policy = self.tier.policy();
         policy.retrying(
             || self.tier.health().note_retry(),
-            || codec::save_trace_with(path, full, policy),
+            || codec::save_trace_opts(path, full, policy, Compression::from_env()),
         )
     }
 
@@ -767,6 +769,7 @@ impl TraceStore {
         match format {
             TraceFormat::V1 => ".rctrace",
             TraceFormat::V2 => ".v2.rctrace",
+            TraceFormat::V3 => ".v3.rctrace",
         }
     }
 
@@ -854,15 +857,17 @@ mod tests {
         let path = entry_path(&dir);
 
         // A fresh store (a "new process") must serve the identical trace
-        // from disk; corrupting the tag byte of the first record proves the
+        // from disk; wrecking the first chunk's directory entry proves the
         // file is actually read (the fetch falls back to regeneration).
+        // Flipping a *payload* byte would not do: a compressed chunk can
+        // decode a flipped varint byte to different-but-valid records.
         let fresh = TraceStore::with_dir(Some(dir.clone()));
         let (_, m2) = fresh.fetch(&spec::m88ksim(), &cfg);
         assert_eq!(m1, m2);
 
         let mut bytes = std::fs::read(&path).expect("read entry");
-        let tag_offset = 8 + 4 + "m88ksim".len() + 8 + 4 + 8;
-        bytes[tag_offset] = 0xee;
+        let first_chunk = 9 + 4 + "m88ksim".len() + 8;
+        bytes[first_chunk + 4..first_chunk + 8].copy_from_slice(&u32::MAX.to_le_bytes());
         std::fs::write(&path, &bytes).expect("corrupt entry");
         let corrupted = TraceStore::with_dir(Some(dir.clone()));
         let (_, m3) = corrupted.fetch(&spec::m88ksim(), &cfg);
@@ -913,10 +918,13 @@ mod tests {
         assert_eq!(std::fs::read_dir(&dir).expect("dir").count(), 1);
 
         // A corrupt chunk *inside* the requested prefix falls back to
-        // regeneration (which writes the exact-total entry).
+        // regeneration (which writes the exact-total entry). Wreck the first
+        // chunk's directory entry — v3 compressed container: magic(8) +
+        // flags(1) + name_len(4) + name + count(8), then per chunk
+        // [len u32][byte_len u32][payload].
         let mut bytes = std::fs::read(&long_path).expect("read entry");
-        let first_record = 8 + 4 + "ammp".len() + 8 + 4 + 8;
-        bytes[first_record] = 0xee;
+        let first_chunk = 9 + 4 + "ammp".len() + 8;
+        bytes[first_chunk + 4..first_chunk + 8].copy_from_slice(&u32::MAX.to_le_bytes());
         std::fs::write(&long_path, &bytes).expect("corrupt entry");
         let corrupted = TraceStore::with_dir(Some(dir.clone()));
         let (w_regen, m_regen) = corrupted.fetch(&spec::ammp(), &short);
@@ -1051,14 +1059,18 @@ mod tests {
 
     #[test]
     fn format_versions_never_share_entries_on_disk_or_in_memory() {
-        // The same (app, seed, lengths) under v1 and v2 is two different bit
-        // streams: the store must keep separate files, separate resident
-        // traces, and must never serve one format's entry to the other.
+        // The same (app, seed, lengths) under v1/v2/v3 is three different
+        // on-disk entries: the store must keep separate files, separate
+        // resident traces, and must never serve one format's entry to
+        // another — even v2 and v3, whose *records* coincide in practice
+        // (only the mix-draw quantization and the container differ).
         let (store, dir) = temp_store("formats");
-        let cfg_v2 = RunnerConfig::fast();
+        let cfg_v3 = RunnerConfig::fast();
+        let cfg_v2 = RunnerConfig::fast().with_trace_format(TraceFormat::V2);
         let cfg_v1 = RunnerConfig::fast().with_trace_format(TraceFormat::V1);
-        assert_eq!(cfg_v2.trace_format, TraceFormat::V2);
+        assert_eq!(cfg_v3.trace_format, TraceFormat::V3);
 
+        let (_, m_v3) = store.fetch(&spec::ammp(), &cfg_v3);
         let (_, m_v2) = store.fetch(&spec::ammp(), &cfg_v2);
         let (_, m_v1) = store.fetch(&spec::ammp(), &cfg_v1);
         assert_ne!(
@@ -1066,43 +1078,55 @@ mod tests {
             m_v1.records(),
             "v1 and v2 must differ in dependency bits"
         );
-        assert_eq!(store.resident_full_traces(), 2, "one entry per format");
+        assert_eq!(
+            m_v3.records(),
+            m_v2.records(),
+            "v2 and v3 records must coincide on real traces"
+        );
+        assert_eq!(store.resident_full_traces(), 3, "one entry per format");
         let mut names: Vec<_> = std::fs::read_dir(&dir)
             .expect("store dir")
             .map(|e| e.expect("entry").file_name().into_string().expect("utf8"))
             .collect();
         names.sort();
-        assert_eq!(names.len(), 2, "one file per format: {names:?}");
-        assert!(names[0].ends_with(".rctrace") && !names[0].ends_with(".v2.rctrace"));
+        assert_eq!(names.len(), 3, "one file per format: {names:?}");
+        assert!(
+            names[0].ends_with(".rctrace")
+                && !names[0].ends_with(".v2.rctrace")
+                && !names[0].ends_with(".v3.rctrace")
+        );
         assert!(names[1].ends_with(".v2.rctrace"));
+        assert!(names[2].ends_with(".v3.rctrace"));
 
         // A fresh store ("new process") reloads each format from its own
-        // entry without touching the other or regenerating.
+        // entry without touching the others or regenerating.
         let fresh = TraceStore::with_dir(Some(dir.clone()));
         let (_, r_v1) = fresh.fetch(&spec::ammp(), &cfg_v1);
         let (_, r_v2) = fresh.fetch(&spec::ammp(), &cfg_v2);
+        let (_, r_v3) = fresh.fetch(&spec::ammp(), &cfg_v3);
         assert_eq!(r_v1, m_v1);
         assert_eq!(r_v2, m_v2);
-        assert_eq!(std::fs::read_dir(&dir).expect("dir").count(), 2);
+        assert_eq!(r_v3, m_v3);
+        assert_eq!(std::fs::read_dir(&dir).expect("dir").count(), 3);
         std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]
     fn wrong_format_at_the_right_path_is_rejected_and_regenerated() {
-        // Plant a v1-format file at a v2 entry's exact path (a stale or
+        // Plant a v1-format file at a v3 entry's exact path (a stale or
         // foreign store): the typed FormatMismatch must reject it — for both
         // the materialized and the streamed access modes — and the request
-        // regenerates the honest v2 bits.
+        // regenerates the honest v3 bits.
         let (_, dir) = temp_store("mixed");
         std::fs::create_dir_all(&dir).expect("create dir");
         let cfg = RunnerConfig::fast();
         let total = cfg.warmup_instructions + cfg.measure_instructions;
-        let key_v2 = TraceStore::store_key(&spec::m88ksim(), &cfg);
+        let key_v3 = TraceStore::store_key(&spec::m88ksim(), &cfg);
         let v1_trace = TraceGenerator::new(spec::m88ksim(), cfg.trace_seed)
             .with_format(TraceFormat::V1)
             .generate(total);
-        codec::save_trace(&dir.join(TraceStore::file_name(&key_v2)), &v1_trace)
-            .expect("plant v1 bits at the v2 path");
+        codec::save_trace(&dir.join(TraceStore::file_name(&key_v3)), &v1_trace)
+            .expect("plant v1 bits at the v3 path");
 
         let expected = TraceGenerator::new(spec::m88ksim(), cfg.trace_seed).generate(total);
         let fresh = TraceStore::with_dir(Some(dir.clone()));
@@ -1113,11 +1137,11 @@ mod tests {
         // Streamed path on a separately planted copy.
         std::fs::remove_dir_all(&dir).ok();
         std::fs::create_dir_all(&dir).expect("recreate dir");
-        codec::save_trace(&dir.join(TraceStore::file_name(&key_v2)), &v1_trace)
+        codec::save_trace(&dir.join(TraceStore::file_name(&key_v3)), &v1_trace)
             .expect("plant again");
         let fresh = TraceStore::with_dir(Some(dir.clone()));
         let mut source = fresh.source(&spec::m88ksim(), &cfg);
-        assert_eq!(source.format(), TraceFormat::V2);
+        assert_eq!(source.format(), TraceFormat::V3);
         assert_eq!(drain(&mut source), expected.records());
         assert!(source.fault().is_none());
         std::fs::remove_dir_all(&dir).ok();
@@ -1330,6 +1354,49 @@ mod tests {
         let (w3, _) = again.fetch(&spec::gcc(), &cfg);
         assert_eq!(w3, w2);
         assert_eq!(again.health().quarantines, 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn raw_override_entries_serve_without_regeneration() {
+        // `RESCACHE_STORE_COMPRESS=raw` writes uncompressed v3 entries. The
+        // reader self-describes from the flags byte, so a store must serve a
+        // raw entry exactly as it serves a compressed one — no quarantine,
+        // no regeneration. Rewrite the entry with `Compression::Raw`
+        // directly rather than through the env knob: the knob is plain
+        // parsing (covered in the codec crate), while cross-format serving
+        // is the store-level property, and process-global env mutation would
+        // race the other store tests.
+        let (store, dir) = temp_store("raw-override");
+        let cfg = RunnerConfig::fast();
+        let (w1, m1) = store.fetch(&spec::vortex(), &cfg);
+        let path = entry_path(&dir);
+        let compressed_len = std::fs::metadata(&path).expect("entry").len();
+
+        let full = codec::load_trace(&path).expect("load compressed entry");
+        codec::save_trace_opts(&path, &full, &IoPolicy::none(), Compression::Raw)
+            .expect("re-save raw");
+        let bytes = std::fs::read(&path).expect("read raw entry");
+        assert_eq!(&bytes[..8], b"RCTRACE3");
+        assert_eq!(bytes[8], 0, "raw entries carry a zero flags byte");
+        assert!(
+            bytes.len() as u64 > 2 * compressed_len,
+            "delta compression must at least halve the entry: raw {} vs compressed {}",
+            bytes.len(),
+            compressed_len
+        );
+
+        let fresh = TraceStore::with_dir(Some(dir.clone()));
+        let (w2, m2) = fresh.fetch(&spec::vortex(), &cfg);
+        assert_eq!((w1, m1), (w2, m2), "raw entry serves identical records");
+        let health = fresh.health();
+        assert_eq!(health.quarantines, 0, "{health:?}");
+        assert_eq!(health.regenerations, 0, "{health:?}");
+        assert_eq!(
+            std::fs::read_dir(&dir).expect("dir").count(),
+            1,
+            "served from the raw entry, nothing rewritten"
+        );
         std::fs::remove_dir_all(&dir).ok();
     }
 }

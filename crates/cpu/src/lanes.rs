@@ -32,6 +32,12 @@
 //! timing loop: results are bit-identical whatever the chunking (pinned by
 //! `tests/batch_boundaries.rs` against the scalar reference engines in
 //! [`crate::scalar`]).
+//!
+//! On the store-serve path the chunk slices handed to [`LaneBatch::decode`]
+//! alias the codec's own decode buffer: a v3 compressed entry is expanded
+//! delta-compressed chunk by chunk straight into that buffer, and the file
+//! source serves sub-slices of it with no intermediate record `Vec` between
+//! disk bytes and this front end.
 
 use rescache_trace::{kind, InstrRecord, CHUNK_RECORDS};
 

@@ -11,7 +11,7 @@
 //! * **streaming** — references outside the working set that are never
 //!   re-used (compulsory misses, e.g. `swim`'s large arrays).
 
-use crate::rng::Prng;
+use crate::rng::{chance_bits, Prng};
 use crate::working_set::{ResolvedWorkingSet, WorkingSetSpec};
 
 /// Relative weights of the address-stream components.
@@ -64,6 +64,12 @@ impl Default for AccessMix {
 #[derive(Debug, Clone)]
 pub struct AddressStream {
     mix: AccessMix,
+    /// `chance_bits(mix.sequential)`: the classification draw below this
+    /// threshold continues the sequential walk.
+    sequential_bits: u64,
+    /// `chance_bits(mix.sequential + mix.random_in_set)`: a draw below this
+    /// (but not below `sequential_bits`) touches a random in-set block.
+    in_set_bits: u64,
     stride: u64,
     cursor: u64,
     stream_ptr: u64,
@@ -82,6 +88,15 @@ impl AddressStream {
     pub fn new(mix: AccessMix, stride: u64, rng: Prng) -> Self {
         Self {
             mix,
+            // The classification thresholds are hoisted out of the per-access
+            // loop as exact fixed-point values: `chance_bits` decides
+            // identically to the `next_f64()` comparisons it replaced (see
+            // its proof), so this stream's addresses are unchanged in every
+            // trace format — which is why it needs no format gate. The
+            // second threshold is built from the same rounded `f64` partial
+            // sum the original chained comparison used.
+            sequential_bits: chance_bits(mix.sequential),
+            in_set_bits: chance_bits(mix.sequential + mix.random_in_set),
             stride: stride.max(1),
             cursor: 0,
             stream_ptr: STREAM_BASE,
@@ -95,11 +110,11 @@ impl AddressStream {
         if *ws != self.resolved.spec {
             self.resolved = ws.resolve();
         }
-        let r = self.rng.next_f64();
-        if r < self.mix.sequential {
+        let r = self.rng.next_bits53();
+        if r < self.sequential_bits {
             self.cursor = self.cursor.wrapping_add(self.stride);
             self.resolved.offset_to_address(self.cursor)
-        } else if r < self.mix.sequential + self.mix.random_in_set {
+        } else if r < self.in_set_bits {
             let blocks = (ws.bytes / 64).max(1);
             let block = self.rng.below(blocks);
             self.resolved
@@ -172,6 +187,73 @@ mod tests {
             let a = s.next_address(&ws);
             assert!(a > prev, "streaming addresses must be monotonic");
             prev = a;
+        }
+    }
+
+    #[test]
+    fn integer_thresholds_match_the_f64_classification_bit_for_bit() {
+        // The original per-access draw, kept verbatim as the reference: the
+        // address stream is shared by every trace format, so the hoisted
+        // integer thresholds must reproduce it exactly — not statistically.
+        struct Reference {
+            mix: AccessMix,
+            stride: u64,
+            cursor: u64,
+            stream_ptr: u64,
+            resolved: ResolvedWorkingSet,
+            rng: Prng,
+        }
+        impl Reference {
+            fn next_address(&mut self, ws: &WorkingSetSpec) -> u64 {
+                if *ws != self.resolved.spec {
+                    self.resolved = ws.resolve();
+                }
+                let r = self.rng.next_f64();
+                if r < self.mix.sequential {
+                    self.cursor = self.cursor.wrapping_add(self.stride);
+                    self.resolved.offset_to_address(self.cursor)
+                } else if r < self.mix.sequential + self.mix.random_in_set {
+                    let blocks = (ws.bytes / 64).max(1);
+                    let block = self.rng.below(blocks);
+                    self.resolved
+                        .offset_to_address(block * 64 + self.rng.below(64))
+                } else {
+                    self.stream_ptr = self.stream_ptr.wrapping_add(64);
+                    self.stream_ptr
+                }
+            }
+        }
+
+        let mixes = [
+            AccessMix::default(),
+            AccessMix::new(0.55, 0.40, 0.05),
+            AccessMix::new(1.0, 1.0, 1.0),
+            AccessMix::new(0.0, 1.0, 0.0),
+            AccessMix::new(0.2, 0.0, 0.8),
+            AccessMix::new(1.0, 0.0, 0.0),
+        ];
+        let footprints = [
+            WorkingSetSpec::uniform(4096),
+            WorkingSetSpec::uniform(256 * 1024),
+        ];
+        for mix in mixes {
+            let mut fast = AddressStream::new(mix, 8, Prng::new(23));
+            let mut reference = Reference {
+                mix,
+                stride: 8,
+                cursor: 0,
+                stream_ptr: 0x7000_0000,
+                resolved: WorkingSetSpec::default().resolve(),
+                rng: Prng::new(23),
+            };
+            for i in 0..60_000 {
+                let ws = &footprints[(i / 777) % footprints.len()];
+                assert_eq!(
+                    fast.next_address(ws),
+                    reference.next_address(ws),
+                    "{mix:?} step {i}"
+                );
+            }
         }
     }
 

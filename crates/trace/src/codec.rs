@@ -3,8 +3,8 @@
 //!
 //! Trace generation is deterministic but not free (it is the slowest single
 //! stage of a cold sweep), so multi-process experiment campaigns persist
-//! generated traces under `RESCACHE_TRACE_DIR` and replay them from disk. The
-//! format is deliberately simple — no compression, no seeking:
+//! generated traces under `RESCACHE_TRACE_DIR` and replay them from disk.
+//! The v1/v2 container is deliberately simple — no compression, no seeking:
 //!
 //! ```text
 //! magic      8 bytes   b"RCTRACE" + version digit (b"RCTRACE1", b"RCTRACE2")
@@ -14,6 +14,25 @@
 //! chunk*                repeated until `records` records have been read:
 //!   len      4 bytes   u32 LE records in this chunk (1 ..= CHUNK_RECORDS)
 //!   data     len × 12  encoded records (see `InstrRecord::encode`)
+//! ```
+//!
+//! The v3 container (`b"RCTRACE3"`) adds one `flags` byte after the magic
+//! and, when its compression bit is set (the default — see [`Compression`]
+//! and the `RESCACHE_STORE_COMPRESS` override), frames each chunk with an
+//! explicit byte length over a delta-compressed payload (see [`crate::compress`]
+//! internals for the per-record layout):
+//!
+//! ```text
+//! magic      8 bytes   b"RCTRACE3"
+//! flags      1 byte    bit 0: chunks are delta compressed;
+//!                      any other bit set is UnsupportedFlags
+//! name_len   4 bytes   u32 LE, at most MAX_NAME_BYTES
+//! name       n bytes   UTF-8 application name
+//! records    8 bytes   u64 LE total record count
+//! chunk*                repeated until `records` records have been read:
+//!   len      4 bytes   u32 LE records in this chunk (1 ..= CHUNK_RECORDS)
+//!   bytes    4 bytes   u32 LE payload length (3×len ..= 13×len)
+//!   data     bytes     compressed records, delta bases reset per chunk
 //! ```
 //!
 //! The magic's trailing digit is the [`TraceFormat`] version of the records
@@ -42,11 +61,14 @@ use std::fs::File;
 use std::io::{self, BufReader, BufWriter, Read, Write};
 use std::path::Path;
 
+use crate::compress;
 use crate::faults::{IoPolicy, PolicedRead, PolicedWrite};
 use crate::format::TraceFormat;
 use crate::record::{InstrRecord, InvalidRecord, ENCODED_RECORD_BYTES};
 use crate::source::{TraceSource, CHUNK_RECORDS};
 use crate::trace::Trace;
+
+pub use crate::compress::{CorruptChunk, UnencodableRecord};
 
 /// Version-independent prefix of every trace-file magic; the eighth byte is
 /// the [`TraceFormat`] version digit (see [`TraceFormat::magic`]).
@@ -54,6 +76,52 @@ pub const MAGIC_PREFIX: [u8; 7] = *b"RCTRACE";
 
 /// Upper bound on the encoded application-name length.
 pub const MAX_NAME_BYTES: u32 = 4 * 1024;
+
+/// Chunk-payload encoding of a persisted v3 trace.
+///
+/// v1/v2 containers are always raw (their layout predates the flags byte);
+/// a v3 writer chooses per file, recording the choice in the header's flags
+/// byte so readers self-describe — the two encodings decode to identical
+/// records and identical chunk boundaries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Compression {
+    /// Delta-compressed chunk payloads (the default): ≥2× smaller
+    /// files and record decode straight into the consumer's batch lanes.
+    #[default]
+    Delta,
+    /// Raw 12-byte records, framed exactly as the v1/v2 container.
+    Raw,
+}
+
+impl Compression {
+    /// Reads the `RESCACHE_STORE_COMPRESS` override used by the experiment
+    /// trace store: `0`, `off` or `raw` selects [`Compression::Raw`];
+    /// anything else — including unset — keeps the default
+    /// [`Compression::Delta`].
+    pub fn from_env() -> Self {
+        match std::env::var("RESCACHE_STORE_COMPRESS").as_deref() {
+            Ok("0") | Ok("off") | Ok("raw") => Compression::Raw,
+            _ => Compression::Delta,
+        }
+    }
+
+    /// The v3 header flags byte announcing this encoding.
+    fn flags(self) -> u8 {
+        match self {
+            Compression::Delta => 1,
+            Compression::Raw => 0,
+        }
+    }
+
+    /// Decodes a v3 header flags byte; `None` for any unknown bit.
+    fn from_flags(flags: u8) -> Option<Self> {
+        match flags {
+            0 => Some(Compression::Raw),
+            1 => Some(Compression::Delta),
+            _ => None,
+        }
+    }
+}
 
 /// Error produced when decoding a persisted trace.
 #[derive(Debug)]
@@ -77,6 +145,12 @@ pub enum CodecError {
         /// The version the file's magic carries.
         found: TraceFormat,
     },
+    /// The v3 header's flags byte sets a bit this build does not know —
+    /// a future encoding must be regenerated, not half-decoded.
+    UnsupportedFlags {
+        /// The rejected flags byte.
+        flags: u8,
+    },
     /// The application name is over-long or not UTF-8.
     BadName,
     /// A chunk header is impossible (zero, over-long, or exceeding the
@@ -87,6 +161,16 @@ pub enum CodecError {
         /// Records still expected when the chunk header was read.
         remaining: u64,
     },
+    /// A compressed chunk's byte length is impossible for its record count
+    /// (the chunk directory points at the wrong place).
+    BadChunkBytes {
+        /// Records the chunk header promises.
+        len: u32,
+        /// The impossible payload byte length.
+        byte_len: u32,
+    },
+    /// A compressed chunk payload failed to decode.
+    BadPayload(CorruptChunk),
     /// A record payload failed to decode.
     BadRecord(InvalidRecord),
     /// The file ended before the promised record count was delivered.
@@ -111,11 +195,22 @@ impl fmt::Display for CodecError {
                 f,
                 "trace file is format {found} but the reader requires {expected}"
             ),
+            CodecError::UnsupportedFlags { flags } => write!(
+                f,
+                "trace file header has unsupported flags byte {flags:#04x}"
+            ),
             CodecError::BadName => write!(f, "trace file has an invalid application name"),
             CodecError::BadChunk { len, remaining } => write!(
                 f,
                 "trace file has an invalid chunk header (len {len}, {remaining} records remaining)"
             ),
+            CodecError::BadChunkBytes { len, byte_len } => write!(
+                f,
+                "trace file has an impossible compressed chunk ({len} records in {byte_len} bytes)"
+            ),
+            CodecError::BadPayload(e) => {
+                write!(f, "trace file has a corrupt compressed chunk: {e}")
+            }
             CodecError::BadRecord(e) => write!(f, "trace file has a corrupt record: {e}"),
             CodecError::Truncated { expected, got } => write!(
                 f,
@@ -130,8 +225,15 @@ impl std::error::Error for CodecError {
         match self {
             CodecError::Io(e) => Some(e),
             CodecError::BadRecord(e) => Some(e),
+            CodecError::BadPayload(e) => Some(e),
             _ => None,
         }
+    }
+}
+
+impl From<CorruptChunk> for CodecError {
+    fn from(e: CorruptChunk) -> Self {
+        CodecError::BadPayload(e)
     }
 }
 
@@ -156,8 +258,50 @@ impl From<InvalidRecord> for CodecError {
 /// exceeds [`MAX_NAME_BYTES`] — a reader would reject such a file, so it
 /// must never be produced.
 pub fn write_trace<W: Write>(w: &mut W, trace: &Trace) -> io::Result<()> {
-    w.write_all(&trace.format().magic())?;
-    let name = trace.name().as_bytes();
+    write_trace_opts(w, trace, Compression::default())
+}
+
+/// [`write_trace`] with an explicit chunk-payload [`Compression`] (only
+/// meaningful for v3 traces; v1/v2 containers are raw by definition).
+///
+/// # Errors
+///
+/// Everything [`write_trace`] reports, plus `InvalidInput` for a record the
+/// compressed payload cannot represent (see [`UnencodableRecord`]).
+pub fn write_trace_opts<W: Write>(
+    w: &mut W,
+    trace: &Trace,
+    compression: Compression,
+) -> io::Result<()> {
+    write_header(
+        w,
+        trace.format(),
+        compression,
+        trace.name(),
+        trace.len() as u64,
+    )?;
+    let mut chunks = ChunkWriter::new(trace.format(), compression);
+    for chunk in trace.records().chunks(CHUNK_RECORDS) {
+        chunks.write_chunk(w, chunk)?;
+    }
+    Ok(())
+}
+
+/// Writes the container header: magic, the v3 flags byte, name and record
+/// count. Shared by the materialized and streaming save paths so the two
+/// always produce byte-identical files.
+fn write_header<W: Write>(
+    w: &mut W,
+    format: TraceFormat,
+    compression: Compression,
+    name: &str,
+    records: u64,
+) -> io::Result<()> {
+    w.write_all(&format.magic())?;
+    if format == TraceFormat::V3 {
+        w.write_all(&[compression.flags()])?;
+    }
+    let name = name.as_bytes();
     if name.len() as u64 > u64::from(MAX_NAME_BYTES) {
         return Err(io::Error::new(
             io::ErrorKind::InvalidInput,
@@ -169,18 +313,39 @@ pub fn write_trace<W: Write>(w: &mut W, trace: &Trace) -> io::Result<()> {
     }
     w.write_all(&(name.len() as u32).to_le_bytes())?;
     w.write_all(name)?;
-    w.write_all(&(trace.len() as u64).to_le_bytes())?;
-
-    let mut bytes = Vec::with_capacity(CHUNK_RECORDS * ENCODED_RECORD_BYTES);
-    for chunk in trace.records().chunks(CHUNK_RECORDS) {
-        w.write_all(&(chunk.len() as u32).to_le_bytes())?;
-        bytes.clear();
-        for record in chunk {
-            bytes.extend_from_slice(&record.encode());
-        }
-        w.write_all(&bytes)?;
-    }
+    w.write_all(&records.to_le_bytes())?;
     Ok(())
+}
+
+/// Frames and writes record chunks in whichever encoding the header
+/// announced, reusing one scratch buffer across chunks.
+struct ChunkWriter {
+    compressed: bool,
+    bytes: Vec<u8>,
+}
+
+impl ChunkWriter {
+    fn new(format: TraceFormat, compression: Compression) -> Self {
+        Self {
+            compressed: format == TraceFormat::V3 && compression == Compression::Delta,
+            bytes: Vec::with_capacity(CHUNK_RECORDS * ENCODED_RECORD_BYTES),
+        }
+    }
+
+    fn write_chunk<W: Write>(&mut self, w: &mut W, chunk: &[InstrRecord]) -> io::Result<()> {
+        w.write_all(&(chunk.len() as u32).to_le_bytes())?;
+        self.bytes.clear();
+        if self.compressed {
+            compress::encode_chunk(chunk, &mut self.bytes)
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e.to_string()))?;
+            w.write_all(&(self.bytes.len() as u32).to_le_bytes())?;
+        } else {
+            for record in chunk {
+                self.bytes.extend_from_slice(&record.encode());
+            }
+        }
+        w.write_all(&self.bytes)
+    }
 }
 
 /// An incremental reader over the persisted trace format: the header is
@@ -193,6 +358,7 @@ pub struct ChunkedTraceReader<R: Read> {
     r: R,
     name: String,
     format: TraceFormat,
+    compression: Compression,
     total: u64,
     delivered: u64,
     buf: Vec<InstrRecord>,
@@ -217,6 +383,14 @@ impl<R: Read> ChunkedTraceReader<R> {
         }
         let format = TraceFormat::from_version_byte(magic[7])
             .ok_or(CodecError::UnsupportedVersion { version: magic[7] })?;
+        let compression = if format == TraceFormat::V3 {
+            let mut flags = [0u8; 1];
+            read_exact_or_truncated(&mut r, &mut flags, 0, 0)?;
+            Compression::from_flags(flags[0])
+                .ok_or(CodecError::UnsupportedFlags { flags: flags[0] })?
+        } else {
+            Compression::Raw
+        };
 
         let mut len4 = [0u8; 4];
         read_exact_or_truncated(&mut r, &mut len4, 0, 0)?;
@@ -236,6 +410,7 @@ impl<R: Read> ChunkedTraceReader<R> {
             r,
             name,
             format,
+            compression,
             total,
             delivered: 0,
             buf: Vec::new(),
@@ -251,6 +426,12 @@ impl<R: Read> ChunkedTraceReader<R> {
     /// The [`TraceFormat`] version the header's magic carries.
     pub fn format(&self) -> TraceFormat {
         self.format
+    }
+
+    /// The chunk-payload encoding the header announced ([`Compression::Raw`]
+    /// for every v1/v2 file).
+    pub fn compression(&self) -> Compression {
+        self.compression
     }
 
     /// The total record count promised by the header.
@@ -271,17 +452,78 @@ impl<R: Read> ChunkedTraceReader<R> {
     /// Returns a [`CodecError`] on truncation, an impossible chunk header or
     /// a corrupt record; the reader must not be used further after an error.
     pub fn next_chunk(&mut self) -> Result<&[InstrRecord], CodecError> {
+        // The decode buffer is swapped out for the call so the borrow-free
+        // decode can write into it, then swapped back; `current` keeps
+        // serving the decoded records without any copy.
+        let mut buf = std::mem::take(&mut self.buf);
+        let result = self.next_chunk_reusing(&mut buf);
+        self.buf = buf;
+        result?;
+        Ok(&self.buf)
+    }
+
+    /// [`ChunkedTraceReader::next_chunk_into`] that *overwrites* `out`
+    /// instead of appending: steady-state chunks are all the same length,
+    /// so after the first chunk the resize is a no-op and the decode writes
+    /// straight over last chunk's records — the clear-then-grow cycle would
+    /// re-zero the whole buffer every chunk. `out` is left empty once every
+    /// promised record has been delivered.
+    fn next_chunk_reusing(&mut self, out: &mut Vec<InstrRecord>) -> Result<usize, CodecError> {
         let remaining = self.total - self.delivered;
         if remaining == 0 {
-            return Ok(&[]);
+            out.clear();
+            return Ok(0);
         }
-        let mut len4 = [0u8; 4];
-        read_exact_or_truncated(&mut self.r, &mut len4, self.total, self.delivered)?;
-        let len = u32::from_le_bytes(len4);
-        if len == 0 || len as usize > CHUNK_RECORDS || u64::from(len) > remaining {
-            return Err(CodecError::BadChunk { len, remaining });
+        let (len, byte_len) = read_chunk_frame(
+            &mut self.r,
+            self.compression,
+            self.total,
+            self.delivered,
+            remaining,
+        )?;
+        self.raw.resize(byte_len.max(self.raw.len()), 0);
+        read_exact_or_truncated(
+            &mut self.r,
+            &mut self.raw[..byte_len],
+            self.total,
+            self.delivered,
+        )?;
+        out.resize(len, InstrRecord::zeroed());
+        decode_payload_into(self.compression, &self.raw[..byte_len], &mut out[..])?;
+        self.delivered += len as u64;
+        Ok(len)
+    }
+
+    /// The most recently decoded chunk, as [`ChunkedTraceReader::next_chunk`]
+    /// returned it. This is the zero-copy serve surface: a streaming consumer
+    /// (the store's [`TraceFileSource`]) hands out sub-slices of this buffer
+    /// directly instead of staging records through a second copy.
+    pub fn current(&self) -> &[InstrRecord] {
+        &self.buf
+    }
+
+    /// Decodes the next chunk straight into `out` (appending), returning the
+    /// record count — 0 once every promised record has been delivered. This
+    /// is the one-pass load path: [`read_trace`] decodes every chunk into
+    /// the final record vector with no intermediate per-chunk staging.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CodecError`] on truncation, an impossible chunk header or
+    /// a corrupt record; the reader must not be used further after an error,
+    /// and `out` holds an unspecified tail that must be discarded.
+    pub fn next_chunk_into(&mut self, out: &mut Vec<InstrRecord>) -> Result<usize, CodecError> {
+        let remaining = self.total - self.delivered;
+        if remaining == 0 {
+            return Ok(0);
         }
-        let byte_len = len as usize * ENCODED_RECORD_BYTES;
+        let (len, byte_len) = read_chunk_frame(
+            &mut self.r,
+            self.compression,
+            self.total,
+            self.delivered,
+            remaining,
+        )?;
         // Allocate lazily (bounded by what the file actually delivers) so a
         // corrupt record count cannot force an absurd up-front allocation.
         self.raw.resize(byte_len.max(self.raw.len()), 0);
@@ -291,15 +533,169 @@ impl<R: Read> ChunkedTraceReader<R> {
             self.total,
             self.delivered,
         )?;
-        self.buf.clear();
-        self.buf.reserve(len as usize);
-        for encoded in self.raw[..byte_len].chunks_exact(ENCODED_RECORD_BYTES) {
-            let mut bytes = [0u8; ENCODED_RECORD_BYTES];
-            bytes.copy_from_slice(encoded);
-            self.buf.push(InstrRecord::decode(&bytes)?);
+        match self.compression {
+            Compression::Raw => decode_raw_payload(&self.raw[..byte_len], len, out)?,
+            Compression::Delta => compress::decode_chunk(&self.raw[..byte_len], len, out)?,
         }
-        self.delivered += u64::from(len);
-        Ok(&self.buf)
+        self.delivered += len as u64;
+        Ok(len)
+    }
+}
+
+impl<'a> ChunkedTraceReader<&'a [u8]> {
+    /// The borrowed-image twin of [`ChunkedTraceReader::next_chunk_into`]:
+    /// when the whole file is already in memory, each chunk payload decodes
+    /// straight out of the image with no staging copy. This is the
+    /// [`read_trace`] fast path.
+    ///
+    /// # Errors
+    ///
+    /// Exactly as [`ChunkedTraceReader::next_chunk_into`].
+    pub fn next_chunk_into_borrowed(
+        &mut self,
+        out: &mut Vec<InstrRecord>,
+    ) -> Result<usize, CodecError> {
+        let remaining = self.total - self.delivered;
+        if remaining == 0 {
+            return Ok(0);
+        }
+        let (len, byte_len) = read_chunk_frame(
+            &mut self.r,
+            self.compression,
+            self.total,
+            self.delivered,
+            remaining,
+        )?;
+        let Some(payload) = self.r.get(..byte_len) else {
+            return Err(CodecError::Truncated {
+                expected: self.total,
+                got: self.delivered,
+            });
+        };
+        self.r = &self.r[byte_len..];
+        match self.compression {
+            Compression::Raw => decode_raw_payload(payload, len, out)?,
+            Compression::Delta => compress::decode_chunk(payload, len, out)?,
+        }
+        self.delivered += len as u64;
+        Ok(len)
+    }
+
+    /// Walks and validates every remaining chunk frame — record count, byte
+    /// length, and payload presence — without decoding any records, returning
+    /// each chunk's record count and its payload borrowed from the image.
+    ///
+    /// This is the front half of [`read_trace`]: because v3 delta bases reset
+    /// per chunk, the frames it returns are independent decode units, so the
+    /// load path can fan them out across worker threads.
+    ///
+    /// # Errors
+    ///
+    /// Returns the same structural [`CodecError`]s the chunk-by-chunk decode
+    /// loop reports (impossible headers, lying directories, truncation).
+    fn frames(&mut self) -> Result<Vec<(usize, &'a [u8])>, CodecError> {
+        let mut frames = Vec::new();
+        loop {
+            let remaining = self.total - self.delivered;
+            if remaining == 0 {
+                return Ok(frames);
+            }
+            let (len, byte_len) = read_chunk_frame(
+                &mut self.r,
+                self.compression,
+                self.total,
+                self.delivered,
+                remaining,
+            )?;
+            // Copy the reference out of `self` so the payload borrows the
+            // image's lifetime, not this call's borrow of the reader.
+            let image: &'a [u8] = self.r;
+            let Some(payload) = image.get(..byte_len) else {
+                return Err(CodecError::Truncated {
+                    expected: self.total,
+                    got: self.delivered,
+                });
+            };
+            self.r = &image[byte_len..];
+            frames.push((len, payload));
+            self.delivered += len as u64;
+        }
+    }
+}
+
+/// Reads and validates one chunk's frame (record count, and for compressed
+/// payloads the directory's byte length), leaving `r` positioned at the
+/// payload. Shared by the staged and borrowed-image decode paths.
+fn read_chunk_frame<R: Read>(
+    r: &mut R,
+    compression: Compression,
+    total: u64,
+    delivered: u64,
+    remaining: u64,
+) -> Result<(usize, usize), CodecError> {
+    let mut len4 = [0u8; 4];
+    read_exact_or_truncated(r, &mut len4, total, delivered)?;
+    let len = u32::from_le_bytes(len4);
+    if len == 0 || len as usize > CHUNK_RECORDS || u64::from(len) > remaining {
+        return Err(CodecError::BadChunk { len, remaining });
+    }
+    let byte_len = match compression {
+        Compression::Raw => len as usize * ENCODED_RECORD_BYTES,
+        Compression::Delta => {
+            read_exact_or_truncated(r, &mut len4, total, delivered)?;
+            let byte_len = u32::from_le_bytes(len4);
+            // The payload bounds are a structural invariant (3 layout and
+            // head bytes plus two bounded delta fields per record);
+            // anything outside them
+            // means the chunk directory is lying, so reject before trusting
+            // it for an allocation or a read.
+            if (byte_len as usize) < compress::MIN_RECORD_BYTES * len as usize
+                || byte_len as usize > compress::MAX_RECORD_BYTES * len as usize
+            {
+                return Err(CodecError::BadChunkBytes { len, byte_len });
+            }
+            byte_len as usize
+        }
+    };
+    Ok((len as usize, byte_len))
+}
+
+/// Decodes a raw chunk payload (fixed 12-byte records) into `out` through a
+/// pre-sized slice — per-record `Vec` pushes keep the vector's bookkeeping
+/// hot in the loop; see [`compress::decode_chunk`] for the same discipline
+/// on the compressed path.
+fn decode_raw_payload(
+    payload: &[u8],
+    len: usize,
+    out: &mut Vec<InstrRecord>,
+) -> Result<(), CodecError> {
+    let start = out.len();
+    out.resize(start + len, InstrRecord::zeroed());
+    decode_payload_into(Compression::Raw, payload, &mut out[start..])
+}
+
+/// Decodes one chunk payload, in whichever encoding the header announced,
+/// into an exactly-sized slice of the final record vector. This is the unit
+/// of work of the parallel whole-trace load path: the frame walk hands each
+/// worker disjoint `(payload, slice)` pairs, so workers share nothing.
+fn decode_payload_into(
+    compression: Compression,
+    payload: &[u8],
+    out: &mut [InstrRecord],
+) -> Result<(), CodecError> {
+    match compression {
+        Compression::Raw => {
+            for (slot, encoded) in out
+                .iter_mut()
+                .zip(payload.chunks_exact(ENCODED_RECORD_BYTES))
+            {
+                let mut bytes = [0u8; ENCODED_RECORD_BYTES];
+                bytes.copy_from_slice(encoded);
+                *slot = InstrRecord::decode(&bytes)?;
+            }
+            Ok(())
+        }
+        Compression::Delta => compress::decode_chunk_into(payload, out).map_err(CodecError::from),
     }
 }
 
@@ -311,14 +707,135 @@ impl<R: Read> ChunkedTraceReader<R> {
 /// truncation, unknown record tags and impossible chunk headers are all
 /// reported as errors rather than panics.
 pub fn read_trace<R: Read>(r: &mut R) -> Result<Trace, CodecError> {
-    let mut reader = ChunkedTraceReader::new(r)?;
-    let mut records: Vec<InstrRecord> = Vec::new();
-    loop {
-        let chunk = reader.next_chunk()?;
-        if chunk.is_empty() {
-            break;
+    let mut bytes = Vec::new();
+    r.read_to_end(&mut bytes).map_err(CodecError::Io)?;
+    read_trace_bytes(&bytes)
+}
+
+/// [`read_trace`] over an image already in memory: every chunk payload
+/// decodes borrowed straight out of `bytes` with no staging copy. This is
+/// the whole-load fast path [`load_trace`] uses after one pre-sized file
+/// read.
+///
+/// # Errors
+///
+/// Exactly as [`read_trace`].
+pub fn read_trace_bytes(bytes: &[u8]) -> Result<Trace, CodecError> {
+    let mut reader = ChunkedTraceReader::new(bytes)?;
+    let compression = reader.compression();
+
+    // Pre-size the record vector from the header's claim, bounded by the
+    // most records the image's bytes could possibly encode, so an honest
+    // file never pays a growth copy and a lying record count cannot force
+    // an absurd up-front allocation.
+    let min_record_bytes = match compression {
+        Compression::Raw => ENCODED_RECORD_BYTES,
+        Compression::Delta => compress::MIN_RECORD_BYTES,
+    };
+    let claimed = usize::try_from(reader.total_records()).unwrap_or(usize::MAX);
+    let capacity = claimed.min(bytes.len() / min_record_bytes);
+
+    let workers = decode_workers(claimed.div_ceil(CHUNK_RECORDS));
+    if workers <= 1 {
+        // Fused streaming decode: validate each chunk frame and decode its
+        // payload immediately, while the frame's bytes and the freshly
+        // grown stretch of the record vector are still cache-hot. Chunk
+        // errors surface in stream order by construction.
+        let mut records = Vec::with_capacity(capacity);
+        while reader.next_chunk_into_borrowed(&mut records)? != 0 {}
+        return Ok(Trace::with_format(
+            reader.name().to_string(),
+            records,
+            reader.format(),
+        ));
+    }
+
+    read_trace_bytes_parallel(bytes, workers)
+}
+
+/// The parallel half of [`read_trace_bytes`]: walk and validate the whole
+/// chunk directory first, then fan the payloads out across `workers`
+/// threads. Split out with an explicit worker count so the fan-out, the
+/// disjoint slice hand-off and the earliest-chunk error selection stay
+/// testable on single-core hosts, where [`decode_workers`] never exceeds 1.
+fn read_trace_bytes_parallel(bytes: &[u8], workers: usize) -> Result<Trace, CodecError> {
+    let mut reader = ChunkedTraceReader::new(bytes)?;
+    let compression = reader.compression();
+    // The record vector is sized from the *validated* frames — every
+    // payload was checked to exist in the image — so a corrupt record
+    // count cannot force an absurd up-front allocation.
+    let frames = match reader.frames() {
+        Ok(frames) => frames,
+        // The directory walk failed partway through. Chunk-by-chunk order
+        // may blame an *earlier* chunk's payload (a lying byte length
+        // derails every later frame), so re-decode serially and report
+        // exactly what the streaming reader would.
+        Err(walk) => {
+            let mut reader = ChunkedTraceReader::new(bytes)?;
+            let mut records = Vec::new();
+            loop {
+                if reader.next_chunk_into_borrowed(&mut records)? == 0 {
+                    // Unreachable in practice: the serial pass re-checks the
+                    // same directory the walk just rejected.
+                    return Err(walk);
+                }
+            }
         }
-        records.extend_from_slice(chunk);
+    };
+    let total: usize = frames.iter().map(|&(len, _)| len).sum();
+    let mut records = vec![InstrRecord::zeroed(); total];
+
+    // Delta bases reset per chunk, so frames decode independently. Workers
+    // write disjoint sub-slices of the one record vector — the result is
+    // bit-identical to the serial decode, whatever the count.
+    let workers = workers.min(frames.len()).max(1);
+    let mut slices = Vec::with_capacity(frames.len());
+    let mut rest: &mut [InstrRecord] = &mut records;
+    for &(len, payload) in &frames {
+        let (head, tail) = rest.split_at_mut(len);
+        slices.push((payload, head));
+        rest = tail;
+    }
+    if workers <= 1 {
+        for (payload, out) in slices {
+            decode_payload_into(compression, payload, out)?;
+        }
+    } else {
+        let per = slices.len().div_ceil(workers);
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(workers);
+            let mut slices = slices;
+            let mut base = 0usize;
+            while !slices.is_empty() {
+                let group: Vec<_> = slices.drain(..per.min(slices.len())).collect();
+                let group_base = base;
+                base += group.len();
+                handles.push(scope.spawn(move || {
+                    for (i, (payload, out)) in group.into_iter().enumerate() {
+                        decode_payload_into(compression, payload, out)
+                            .map_err(|e| (group_base + i, e))?;
+                    }
+                    Ok(())
+                }));
+            }
+            // Report the error of the *earliest* corrupt chunk so parallel
+            // and serial decode fail identically on a multi-corrupt file.
+            let mut first: Option<(usize, CodecError)> = None;
+            for handle in handles {
+                let outcome: Result<(), (usize, CodecError)> = handle
+                    .join()
+                    .unwrap_or_else(|panic| std::panic::resume_unwind(panic));
+                if let Err((chunk, e)) = outcome {
+                    if first.as_ref().is_none_or(|(c, _)| chunk < *c) {
+                        first = Some((chunk, e));
+                    }
+                }
+            }
+            match first {
+                Some((_, e)) => Err(e),
+                None => Ok(()),
+            }
+        })?;
     }
     Ok(Trace::with_format(
         reader.name().to_string(),
@@ -327,9 +844,27 @@ pub fn read_trace<R: Read>(r: &mut R) -> Result<Trace, CodecError> {
     ))
 }
 
+/// Worker-thread count for the parallel whole-trace decode: one worker per
+/// available core (capped — decode saturates memory bandwidth well before
+/// high core counts), and strictly serial for short traces, where thread
+/// spawns would cost more than they recover.
+fn decode_workers(chunks: usize) -> usize {
+    const MIN_PARALLEL_CHUNKS: usize = 4;
+    const MAX_WORKERS: usize = 8;
+    if chunks < MIN_PARALLEL_CHUNKS {
+        return 1;
+    }
+    std::thread::available_parallelism()
+        .map_or(1, std::num::NonZeroUsize::get)
+        .min(MAX_WORKERS)
+        .min(chunks)
+}
+
 /// A [`TraceSource`] replaying a persisted trace chunk by chunk from disk:
 /// the streaming twin of [`load_trace`], keeping one decoded chunk resident
-/// instead of the whole record array. Opening with a `take` shorter than the
+/// instead of the whole record array — and serving it as sub-slices of the
+/// reader's decode buffer, so records reach the engines in one decode pass
+/// with no staging copy. Opening with a `take` shorter than the
 /// file is chunk-granular prefix serving — decoding stops with the chunk
 /// that covers the request, so corruption *beyond* the prefix is never even
 /// read; this is how the experiment trace store serves a short trace request
@@ -349,7 +884,11 @@ pub struct TraceFileSource {
     take: usize,
     pos: usize,
     fence: usize,
-    chunk: Vec<InstrRecord>,
+    /// Extent and cursor into the reader's current decoded chunk: the source
+    /// serves sub-slices of [`ChunkedTraceReader::current`] directly, so
+    /// records flow from the decode buffer to the consumer without a second
+    /// staging copy.
+    chunk_len: usize,
     chunk_pos: usize,
     fault: Option<CodecError>,
 }
@@ -397,7 +936,7 @@ impl TraceFileSource {
             take,
             pos: 0,
             fence: take,
-            chunk: Vec::new(),
+            chunk_len: 0,
             chunk_pos: 0,
             fault: None,
         })
@@ -462,7 +1001,8 @@ impl TraceFileSource {
         self.fault.as_ref()
     }
 
-    /// Refills the staging chunk from the reader; false on fault/end.
+    /// Advances the reader to its next decoded chunk (no copy — the records
+    /// stay in the reader's buffer); false on fault/end.
     fn refill(&mut self) -> bool {
         match self.reader.next_chunk() {
             Ok([]) => {
@@ -475,8 +1015,7 @@ impl TraceFileSource {
                 false
             }
             Ok(chunk) => {
-                self.chunk.clear();
-                self.chunk.extend_from_slice(chunk);
+                self.chunk_len = chunk.len();
                 self.chunk_pos = 0;
                 true
             }
@@ -506,17 +1045,17 @@ impl TraceSource for TraceFileSource {
         if self.fault.is_some() || self.pos >= limit {
             return &[];
         }
-        if self.chunk_pos >= self.chunk.len() && !self.refill() {
+        if self.chunk_pos >= self.chunk_len && !self.refill() {
             return &[];
         }
         // A file chunk that straddles the fence (or the prefix end) is
         // delivered piecewise: the remainder stays staged for the next
         // region, which is what makes the split chunk-boundary-agnostic.
-        let n = (self.chunk.len() - self.chunk_pos).min(limit - self.pos);
+        let n = (self.chunk_len - self.chunk_pos).min(limit - self.pos);
         let start = self.chunk_pos;
         self.chunk_pos += n;
         self.pos += n;
-        &self.chunk[start..start + n]
+        &self.reader.current()[start..start + n]
     }
 
     fn position(&self) -> usize {
@@ -530,10 +1069,10 @@ impl TraceSource for TraceFileSource {
     fn skip(&mut self, n: usize) {
         let target = self.pos.saturating_add(n).min(self.take);
         while self.pos < target && self.fault.is_none() {
-            if self.chunk_pos >= self.chunk.len() && !self.refill() {
+            if self.chunk_pos >= self.chunk_len && !self.refill() {
                 break;
             }
-            let step = (self.chunk.len() - self.chunk_pos).min(target - self.pos);
+            let step = (self.chunk_len - self.chunk_pos).min(target - self.pos);
             self.chunk_pos += step;
             self.pos += step;
         }
@@ -602,7 +1141,19 @@ pub fn save_trace(path: &Path, trace: &Trace) -> io::Result<()> {
 
 /// [`save_trace`] with every filesystem operation routed through `policy`.
 pub fn save_trace_with(path: &Path, trace: &Trace, policy: &IoPolicy) -> io::Result<()> {
-    atomic_save(path, policy, |w| write_trace(w, trace))
+    save_trace_opts(path, trace, policy, Compression::default())
+}
+
+/// [`save_trace_with`] with an explicit chunk-payload [`Compression`] — the
+/// variant the experiment trace store calls with
+/// [`Compression::from_env`].
+pub fn save_trace_opts(
+    path: &Path,
+    trace: &Trace,
+    policy: &IoPolicy,
+    compression: Compression,
+) -> io::Result<()> {
+    atomic_save(path, policy, |w| write_trace_opts(w, trace, compression))
 }
 
 /// Drains `source` to `path` atomically, chunk by chunk: the streaming twin
@@ -632,37 +1183,36 @@ pub fn save_source_with<S: TraceSource>(
     source: &mut S,
     policy: &IoPolicy,
 ) -> io::Result<()> {
+    save_source_opts(path, source, policy, Compression::default())
+}
+
+/// [`save_source_with`] with an explicit chunk-payload [`Compression`] — the
+/// variant the experiment trace store calls with
+/// [`Compression::from_env`].
+///
+/// # Errors
+///
+/// Everything [`save_source_with`] reports.
+pub fn save_source_opts<S: TraceSource>(
+    path: &Path,
+    source: &mut S,
+    policy: &IoPolicy,
+    compression: Compression,
+) -> io::Result<()> {
     atomic_save(path, policy, |w| {
-        w.write_all(&source.format().magic())?;
-        let name = source.name().as_bytes().to_vec();
-        if name.len() as u64 > u64::from(MAX_NAME_BYTES) {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidInput,
-                format!(
-                    "trace name of {} bytes exceeds {MAX_NAME_BYTES}",
-                    name.len()
-                ),
-            ));
-        }
-        w.write_all(&(name.len() as u32).to_le_bytes())?;
-        w.write_all(&name)?;
+        let name = source.name().to_string();
         let promised = source.total_records() as u64;
-        w.write_all(&promised.to_le_bytes())?;
+        write_header(w, source.format(), compression, &name, promised)?;
 
         let mut written = 0u64;
-        let mut bytes = Vec::with_capacity(CHUNK_RECORDS * ENCODED_RECORD_BYTES);
+        let mut chunks = ChunkWriter::new(source.format(), compression);
         loop {
             let chunk = source.next_chunk();
             if chunk.is_empty() {
                 break;
             }
             for frame in chunk.chunks(CHUNK_RECORDS) {
-                w.write_all(&(frame.len() as u32).to_le_bytes())?;
-                bytes.clear();
-                for record in frame {
-                    bytes.extend_from_slice(&record.encode());
-                }
-                w.write_all(&bytes)?;
+                chunks.write_chunk(w, frame)?;
                 written += frame.len() as u64;
             }
         }
@@ -692,8 +1242,16 @@ pub fn load_trace(path: &Path) -> Result<Trace, CodecError> {
 /// Everything [`load_trace`] reports, plus whatever `policy` injects
 /// (surfacing as [`CodecError::Io`]).
 pub fn load_trace_with(path: &Path, policy: &IoPolicy) -> Result<Trace, CodecError> {
-    let mut r = BufReader::new(policy.reader(policy.open(path)?));
-    read_trace(&mut r)
+    // No BufReader: the image is slurped in large reads anyway, so an 8 KiB
+    // staging buffer would only add copies. Pre-sizing from the file's
+    // length makes the slurp one allocation and one read — `read_to_end`'s
+    // doubling growth would copy a multi-megabyte image several times over.
+    let file = policy.open(path)?;
+    let size_hint = file.metadata().map(|m| m.len() as usize).unwrap_or(0);
+    let mut bytes = Vec::with_capacity(size_hint);
+    let mut r = policy.reader(file);
+    r.read_to_end(&mut bytes).map_err(CodecError::Io)?;
+    read_trace_bytes(&bytes)
 }
 
 #[cfg(test)]
@@ -706,10 +1264,32 @@ mod tests {
         TraceGenerator::new(spec::compress(), 11).generate(n)
     }
 
+    /// A sample pinned to a specific format: the raw-layout byte-surgery
+    /// tests operate on v2 files, whose record offsets are fixed.
+    fn sample_with(n: usize, format: TraceFormat) -> Trace {
+        TraceGenerator::new(spec::compress(), 11)
+            .with_format(format)
+            .generate(n)
+    }
+
     fn encode(trace: &Trace) -> Vec<u8> {
         let mut bytes = Vec::new();
         write_trace(&mut bytes, trace).expect("vec writes cannot fail");
         bytes
+    }
+
+    /// Byte offsets of each chunk header in a compressed v3 file, walked
+    /// via the chunk directory's explicit byte lengths.
+    fn v3_chunk_offsets(bytes: &[u8], name_len: usize) -> Vec<usize> {
+        let mut off = 9 + 4 + name_len + 8;
+        let mut offsets = Vec::new();
+        while off < bytes.len() {
+            offsets.push(off);
+            let byte_len =
+                u32::from_le_bytes(bytes[off + 4..off + 8].try_into().expect("4 bytes")) as usize;
+            off += 8 + byte_len;
+        }
+        offsets
     }
 
     #[test]
@@ -834,7 +1414,7 @@ mod tests {
 
     #[test]
     fn corrupt_record_tag_is_an_error() {
-        let trace = sample(100);
+        let trace = sample_with(100, TraceFormat::V2);
         let mut bytes = encode(&trace);
         // Locate the first record's tag byte: magic(8) + name_len(4) +
         // name + count(8) + chunk_len(4) + 8 bytes into the record.
@@ -848,9 +1428,19 @@ mod tests {
 
     #[test]
     fn impossible_chunk_header_is_an_error() {
-        let trace = sample(100);
+        // Raw v2 layout: the chunk length field directly follows the count.
+        let trace = sample_with(100, TraceFormat::V2);
         let mut bytes = encode(&trace);
         let chunk_header = 8 + 4 + trace.name().len() + 8;
+        bytes[chunk_header..chunk_header + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            read_trace(&mut bytes.as_slice()),
+            Err(CodecError::BadChunk { .. })
+        ));
+        // Compressed v3 layout: same rejection, one flags byte later.
+        let trace = sample(100);
+        let mut bytes = encode(&trace);
+        let chunk_header = v3_chunk_offsets(&bytes, trace.name().len())[0];
         bytes[chunk_header..chunk_header + 4].copy_from_slice(&u32::MAX.to_le_bytes());
         assert!(matches!(
             read_trace(&mut bytes.as_slice()),
@@ -892,12 +1482,19 @@ mod tests {
 
     #[test]
     fn oversized_name_is_an_error() {
-        let mut bytes = encode(&sample(10));
-        bytes[8..12].copy_from_slice(&(MAX_NAME_BYTES + 1).to_le_bytes());
-        assert!(matches!(
-            read_trace(&mut bytes.as_slice()),
-            Err(CodecError::BadName)
-        ));
+        // The name-length field sits at 8 in v1/v2 and at 9 in v3 (after
+        // the flags byte); both containers must reject an absurd value.
+        for (bytes, offset) in [
+            (encode(&sample_with(10, TraceFormat::V2)), 8usize),
+            (encode(&sample(10)), 9),
+        ] {
+            let mut bytes = bytes;
+            bytes[offset..offset + 4].copy_from_slice(&(MAX_NAME_BYTES + 1).to_le_bytes());
+            assert!(matches!(
+                read_trace(&mut bytes.as_slice()),
+                Err(CodecError::BadName)
+            ));
+        }
     }
 
     #[test]
@@ -928,7 +1525,7 @@ mod tests {
             std::env::temp_dir().join(format!("rescache-codec-prefix-{}", std::process::id()));
         std::fs::create_dir_all(&dir).expect("create temp dir");
         let path = dir.join("compress.rctrace");
-        let trace = sample(2 * CHUNK_RECORDS + 100);
+        let trace = sample_with(2 * CHUNK_RECORDS + 100, TraceFormat::V2);
         save_trace(&path, &trace).expect("save");
 
         let drain_prefix = |n: usize| {
@@ -1028,7 +1625,7 @@ mod tests {
         let dir = std::env::temp_dir().join(format!("rescache-codec-fault-{}", std::process::id()));
         std::fs::create_dir_all(&dir).expect("create temp dir");
         let path = dir.join("compress.rctrace");
-        let trace = sample(2 * CHUNK_RECORDS);
+        let trace = sample_with(2 * CHUNK_RECORDS, TraceFormat::V2);
         save_trace(&path, &trace).expect("save");
 
         // Corrupt a record tag in the second chunk: the source delivers the
@@ -1156,6 +1753,263 @@ mod tests {
             load_trace_with(&path, &policy),
             Err(CodecError::Io(_))
         ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn v3_default_is_compressed_and_at_least_halves_the_file() {
+        let trace = sample(20_000);
+        assert_eq!(trace.format(), TraceFormat::V3);
+        let bytes = encode(&trace);
+        assert_eq!(&bytes[..8], b"RCTRACE3");
+        assert_eq!(bytes[8], 1, "flags byte announces compression");
+        assert!(
+            bytes.len() * 2 <= trace.len() * ENCODED_RECORD_BYTES,
+            "{} bytes for {} records is under 2x compression",
+            bytes.len(),
+            trace.len()
+        );
+        let mut reader = ChunkedTraceReader::new(bytes.as_slice()).expect("header");
+        assert_eq!(reader.compression(), Compression::Delta);
+        let mut records = Vec::new();
+        while reader.next_chunk_into(&mut records).expect("chunk") > 0 {}
+        assert_eq!(records, trace.records());
+    }
+
+    #[test]
+    fn v3_raw_override_round_trips_the_same_records() {
+        let trace = sample(CHUNK_RECORDS + 500);
+        let mut raw = Vec::new();
+        write_trace_opts(&mut raw, &trace, Compression::Raw).expect("raw write");
+        assert_eq!(raw[8], 0, "flags byte announces raw chunks");
+        let decoded = read_trace(&mut raw.as_slice()).expect("raw round trip");
+        assert_eq!(decoded, trace);
+        assert_eq!(decoded.format(), TraceFormat::V3);
+        let compressed = encode(&trace);
+        assert!(
+            compressed.len() * 2 <= raw.len(),
+            "compressed {} vs raw {}",
+            compressed.len(),
+            raw.len()
+        );
+    }
+
+    #[test]
+    fn unknown_flags_byte_is_a_typed_error() {
+        let mut bytes = encode(&sample(100));
+        bytes[8] = 0x82;
+        assert!(matches!(
+            read_trace(&mut bytes.as_slice()),
+            Err(CodecError::UnsupportedFlags { flags: 0x82 })
+        ));
+    }
+
+    #[test]
+    fn compress_env_knob_parses_every_spelling() {
+        // No other test in this binary reads the knob, so the process-global
+        // mutation cannot race; the var is cleared again before returning.
+        for (value, expected) in [
+            (Some("0"), Compression::Raw),
+            (Some("off"), Compression::Raw),
+            (Some("raw"), Compression::Raw),
+            (Some("1"), Compression::Delta),
+            (Some("delta"), Compression::Delta),
+            (Some("anything-else"), Compression::Delta),
+            (None, Compression::Delta),
+        ] {
+            match value {
+                Some(v) => std::env::set_var("RESCACHE_STORE_COMPRESS", v),
+                None => std::env::remove_var("RESCACHE_STORE_COMPRESS"),
+            }
+            assert_eq!(Compression::from_env(), expected, "value {value:?}");
+        }
+        std::env::remove_var("RESCACHE_STORE_COMPRESS");
+    }
+
+    #[test]
+    fn compressed_chunk_corruption_is_typed_never_a_panic() {
+        let trace = sample(2 * CHUNK_RECORDS);
+        let bytes = encode(&trace);
+        let chunk = v3_chunk_offsets(&bytes, trace.name().len())[0];
+        let byte_len = u32::from_le_bytes(bytes[chunk + 4..chunk + 8].try_into().expect("4 bytes"));
+
+        // An impossible chunk-directory byte length (pointing the payload
+        // frame at the wrong place) is rejected before anything is decoded.
+        let mut b = bytes.clone();
+        b[chunk + 4..chunk + 8].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            read_trace(&mut b.as_slice()),
+            Err(CodecError::BadChunkBytes {
+                byte_len: u32::MAX,
+                ..
+            })
+        ));
+
+        // A lying-but-in-bounds byte length cuts the last record's delta
+        // field: truncation inside the payload, reported typed.
+        let mut b = bytes.clone();
+        b[chunk + 4..chunk + 8].copy_from_slice(&(byte_len - 1).to_le_bytes());
+        assert!(matches!(
+            read_trace(&mut b.as_slice()),
+            Err(CodecError::BadPayload(CorruptChunk::Truncated))
+        ));
+
+        // One byte too long: the payload keeps going after the last record.
+        let mut b = bytes.clone();
+        b[chunk + 4..chunk + 8].copy_from_slice(&(byte_len + 1).to_le_bytes());
+        assert!(matches!(
+            read_trace(&mut b.as_slice()),
+            Err(CodecError::BadPayload(CorruptChunk::TrailingBytes {
+                extra: 1
+            }))
+        ));
+
+        // A reserved bit in the first record's head (payload byte 2: the
+        // layout byte leads, then the little-endian head).
+        let mut b = bytes.clone();
+        b[chunk + 10] |= 0x80;
+        assert!(matches!(
+            read_trace(&mut b.as_slice()),
+            Err(CodecError::BadPayload(CorruptChunk::BadHead { .. }))
+        ));
+    }
+
+    #[test]
+    fn parallel_decode_matches_serial_and_reports_corruption_typed() {
+        // Enough chunks that `read_trace` takes its fan-out path (the
+        // threshold in `decode_workers`); the streaming reader is the
+        // always-serial reference.
+        let trace = sample(6 * CHUNK_RECORDS + 123);
+        let bytes = encode(&trace);
+        let decoded = read_trace(&mut bytes.as_slice()).expect("parallel load");
+        assert_eq!(decoded, trace);
+
+        // A reserved head bit deep in a middle chunk surfaces as the same
+        // typed error the serial path reports, never a panic.
+        let mut b = bytes.clone();
+        let chunk = v3_chunk_offsets(&bytes, trace.name().len())[3];
+        b[chunk + 10] |= 0x80;
+        assert!(matches!(
+            read_trace(&mut b.as_slice()),
+            Err(CodecError::BadPayload(CorruptChunk::BadHead { .. }))
+        ));
+    }
+
+    #[test]
+    fn explicit_worker_fan_out_is_bit_identical_and_blames_the_earliest_chunk() {
+        // `decode_workers` is capped by the host's parallelism (1 on a
+        // single-core runner), so drive the fan-out with explicit worker
+        // counts: every count must reproduce the streaming decode bit for
+        // bit, including the trailing partial chunk.
+        let trace = sample(6 * CHUNK_RECORDS + 123);
+        let bytes = encode(&trace);
+        for workers in [2usize, 3, 8] {
+            let decoded = read_trace_bytes_parallel(&bytes, workers).expect("parallel decode");
+            assert_eq!(decoded, trace, "{workers} workers");
+        }
+
+        // Corrupt two chunks so different worker groups each hit an error:
+        // the fan-out must blame the *earliest* corrupt chunk, exactly as
+        // the streaming reader does.
+        let offsets = v3_chunk_offsets(&bytes, trace.name().len());
+        let mut b = bytes.clone();
+        b[offsets[2] + 10] |= 0x80;
+        b[offsets[4] + 10] |= 0x80;
+        let serial = {
+            let mut reader = ChunkedTraceReader::new(b.as_slice()).expect("header intact");
+            let mut records = Vec::new();
+            loop {
+                match reader.next_chunk_into_borrowed(&mut records) {
+                    Ok(0) => unreachable!("streaming decode must hit the corrupt chunk"),
+                    Ok(_) => {}
+                    Err(e) => break e,
+                }
+            }
+        };
+        for workers in [2usize, 3, 8] {
+            let parallel = read_trace_bytes_parallel(&b, workers).expect_err("corrupt chunk");
+            assert_eq!(
+                format!("{parallel:?}"),
+                format!("{serial:?}"),
+                "{workers} workers"
+            );
+        }
+    }
+
+    #[test]
+    fn bad_delta_base_is_a_typed_error() {
+        // Hand-assemble a v3 file whose single record steps the PC stream
+        // below zero — the "bad delta base" shape a resequenced or
+        // bit-flipped chunk produces.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(b"RCTRACE3");
+        bytes.push(1); // flags: compressed
+        bytes.extend_from_slice(&1u32.to_le_bytes()); // name_len
+        bytes.push(b'x');
+        bytes.extend_from_slice(&1u64.to_le_bytes()); // records
+        bytes.extend_from_slice(&1u32.to_le_bytes()); // chunk len
+        let payload: &[u8] = &[0x01, 0, 0, 0x01]; // layout: 1 PC byte; head = Int; pc delta = -1
+        bytes.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        bytes.extend_from_slice(payload);
+        assert!(matches!(
+            read_trace(&mut bytes.as_slice()),
+            Err(CodecError::BadPayload(CorruptChunk::DeltaOutOfRange))
+        ));
+    }
+
+    #[test]
+    fn v3_prefix_serving_never_reads_corruption_beyond_the_prefix() {
+        let dir =
+            std::env::temp_dir().join(format!("rescache-codec-v3prefix-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("create temp dir");
+        let path = dir.join("compress.v3.rctrace");
+        let trace = sample(2 * CHUNK_RECORDS + 100);
+        save_trace(&path, &trace).expect("save");
+
+        // Scribble over the *last* chunk's directory entry.
+        let mut bytes = std::fs::read(&path).expect("read");
+        let last = *v3_chunk_offsets(&bytes, trace.name().len())
+            .last()
+            .expect("chunks");
+        bytes[last + 4..last + 8].copy_from_slice(&u32::MAX.to_le_bytes());
+        std::fs::write(&path, &bytes).expect("corrupt tail");
+
+        // A prefix covered by the intact chunks serves cleanly...
+        let n = CHUNK_RECORDS + 17;
+        let mut source = TraceFileSource::open(&path, Some(n)).expect("open prefix");
+        let mut records = Vec::with_capacity(n);
+        loop {
+            let chunk = source.next_chunk();
+            if chunk.is_empty() {
+                break;
+            }
+            records.extend_from_slice(chunk);
+        }
+        assert!(source.fault().is_none(), "{:?}", source.fault());
+        assert_eq!(records, &trace.records()[..n]);
+        // ...while the full read reports the corruption typed.
+        assert!(matches!(
+            load_trace(&path),
+            Err(CodecError::BadChunkBytes { .. })
+        ));
+
+        // A full-file source faults mid-stream instead of panicking, after
+        // delivering every intact chunk.
+        let mut source = TraceFileSource::open(&path, None).expect("open full");
+        let mut delivered = 0;
+        loop {
+            let chunk = source.next_chunk();
+            if chunk.is_empty() {
+                break;
+            }
+            delivered += chunk.len();
+        }
+        assert_eq!(delivered, 2 * CHUNK_RECORDS, "intact chunks arrive");
+        assert!(matches!(
+            source.fault(),
+            Some(CodecError::BadChunkBytes { .. })
+        ));
+        assert!(source.next_chunk().is_empty(), "faulted source stays dry");
         std::fs::remove_dir_all(&dir).ok();
     }
 

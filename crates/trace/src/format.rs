@@ -9,17 +9,23 @@
 //!
 //! * [`TraceGenerator`](crate::TraceGenerator) and
 //!   [`TraceStream`](crate::TraceStream) select the dependency-distance
-//!   sampler by format (v1: `ln`-based inverse transform; v2: table-driven
-//!   inverse CDF — see [`crate::ilp::DistanceSampler`]);
+//!   sampler by format (v1: `ln`-based inverse transform; v2/v3:
+//!   table-driven inverse CDF — see [`crate::ilp::DistanceSampler`]) and the
+//!   instruction-mix draw (v1/v2: `f64` comparison; v3: fixed-point integer
+//!   thresholds — see [`crate::InstructionMix::thresholds`]);
 //! * the persisted codec writes a per-version magic
 //!   ([`TraceFormat::magic`]) and readers reject a version mismatch with a
-//!   typed error instead of silently mixing bit streams;
+//!   typed error instead of silently mixing bit streams; the v3 container
+//!   additionally carries a flags byte and per-chunk byte-length directory
+//!   entries for the delta-compressed payload (see [`crate::codec`]);
 //! * the experiment trace store keys entries (and file names) by format, so
-//!   a v1 entry can never serve a v2 request.
+//!   a v1 entry can never serve a v2 or v3 request.
 //!
-//! Only the dependency-distance bits differ between v1 and v2: the PC walk,
-//! address walk, instruction mix and branch outcomes are drawn from separate
-//! RNG sub-streams and are identical across formats.
+//! Only the dependency-distance bits differ between v1 and v2; v3 moves the
+//! mix draw from a 53-bit `f64` comparison to the full 64-bit fixed-point
+//! threshold (a finer quantization — the reason it is a version, not an
+//! optimization). The PC walk, address walk and branch outcomes are drawn
+//! from separate RNG sub-streams and are identical across all formats.
 
 use std::fmt;
 
@@ -30,22 +36,29 @@ pub enum TraceFormat {
     /// inverse transform (`Prng::geometric_with_ln`), probabilities by `f64`
     /// comparison. Kept selectable so pinned v1 artifacts stay reproducible.
     V1,
-    /// The current format: dependency distances drawn from a precomputed
-    /// fixed-point inverse-CDF table (no transcendental math per record),
-    /// probabilities by integer threshold comparison.
-    #[default]
+    /// Dependency distances drawn from a precomputed fixed-point inverse-CDF
+    /// table (no transcendental math per record), dependency probabilities
+    /// by integer threshold comparison; the instruction-mix draw still
+    /// compares `f64`s.
     V2,
+    /// The current format: v2's table sampler plus an integer-threshold
+    /// instruction-mix draw — generation performs zero `f64` operations per
+    /// record. On disk, v3 entries use the compressed chunk container
+    /// (length-prefixed delta PCs and addresses; see [`crate::codec`]).
+    #[default]
+    V3,
 }
 
 impl TraceFormat {
     /// Every known format, oldest first.
-    pub const ALL: [TraceFormat; 2] = [TraceFormat::V1, TraceFormat::V2];
+    pub const ALL: [TraceFormat; 3] = [TraceFormat::V1, TraceFormat::V2, TraceFormat::V3];
 
     /// The 8-byte file magic identifying this format on disk.
     pub fn magic(self) -> [u8; 8] {
         match self {
             TraceFormat::V1 => *b"RCTRACE1",
             TraceFormat::V2 => *b"RCTRACE2",
+            TraceFormat::V3 => *b"RCTRACE3",
         }
     }
 
@@ -54,6 +67,7 @@ impl TraceFormat {
         match self {
             TraceFormat::V1 => 1,
             TraceFormat::V2 => 2,
+            TraceFormat::V3 => 3,
         }
     }
 
@@ -62,14 +76,17 @@ impl TraceFormat {
         match self {
             TraceFormat::V1 => "v1",
             TraceFormat::V2 => "v2",
+            TraceFormat::V3 => "v3",
         }
     }
 
-    /// Parses a [`TraceFormat::tag`]-style name (`"v1"`/`"1"`, `"v2"`/`"2"`).
+    /// Parses a [`TraceFormat::tag`]-style name (`"v1"`/`"1"`, `"v2"`/`"2"`,
+    /// `"v3"`/`"3"`).
     pub fn from_tag(tag: &str) -> Option<Self> {
         match tag.trim() {
             "v1" | "1" => Some(TraceFormat::V1),
             "v2" | "2" => Some(TraceFormat::V2),
+            "v3" | "3" => Some(TraceFormat::V3),
             _ => None,
         }
     }
@@ -79,6 +96,7 @@ impl TraceFormat {
         match byte {
             b'1' => Some(TraceFormat::V1),
             b'2' => Some(TraceFormat::V2),
+            b'3' => Some(TraceFormat::V3),
             _ => None,
         }
     }
@@ -96,7 +114,7 @@ mod tests {
 
     #[test]
     fn default_is_the_newest_format() {
-        assert_eq!(TraceFormat::default(), TraceFormat::V2);
+        assert_eq!(TraceFormat::default(), TraceFormat::V3);
         assert_eq!(*TraceFormat::ALL.last().unwrap(), TraceFormat::default());
     }
 
@@ -108,6 +126,7 @@ mod tests {
             assert_eq!(TraceFormat::from_version_byte(magic[7]), Some(format));
         }
         assert_ne!(TraceFormat::V1.magic(), TraceFormat::V2.magic());
+        assert_ne!(TraceFormat::V2.magic(), TraceFormat::V3.magic());
     }
 
     #[test]
@@ -118,14 +137,17 @@ mod tests {
         }
         assert_eq!(TraceFormat::from_tag(" v1 "), Some(TraceFormat::V1));
         assert_eq!(TraceFormat::from_tag("2"), Some(TraceFormat::V2));
-        assert_eq!(TraceFormat::from_tag("v3"), None);
-        assert_eq!(TraceFormat::from_version_byte(b'3'), None);
+        assert_eq!(TraceFormat::from_tag("v3"), Some(TraceFormat::V3));
+        assert_eq!(TraceFormat::from_tag("v4"), None);
+        assert_eq!(TraceFormat::from_version_byte(b'4'), None);
     }
 
     #[test]
     fn versions_are_ordered() {
         assert!(TraceFormat::V1 < TraceFormat::V2);
+        assert!(TraceFormat::V2 < TraceFormat::V3);
         assert_eq!(TraceFormat::V1.version(), 1);
         assert_eq!(TraceFormat::V2.version(), 2);
+        assert_eq!(TraceFormat::V3.version(), 3);
     }
 }

@@ -5,6 +5,7 @@ use crate::address::AddressStream;
 use crate::code::CodeStream;
 use crate::format::TraceFormat;
 use crate::ilp::DistanceSampler;
+use crate::mix::{MixClass, MixThresholds};
 use crate::phase::ScheduleCursor;
 use crate::profile::AppProfile;
 use crate::record::{InstrRecord, Op};
@@ -50,10 +51,12 @@ impl TraceGenerator {
         }
     }
 
-    /// Selects the [`TraceFormat`] this generator produces. Only the
-    /// dependency-distance bits differ between formats (they come from a
-    /// dedicated RNG sub-stream); PCs, addresses, the instruction mix and
-    /// branch outcomes are identical.
+    /// Selects the [`TraceFormat`] this generator produces. Formats differ
+    /// only in dedicated RNG sub-streams: the dependency-distance bits
+    /// (v1 vs v2/v3) and the instruction-mix draw's quantization (v1/v2
+    /// compare `next_f64()` at 53-bit resolution, v3 compares the raw
+    /// 64-bit draw against fixed-point thresholds); PCs, addresses and
+    /// branch outcomes are identical across all formats.
     pub fn with_format(mut self, format: TraceFormat) -> Self {
         self.format = format;
         self
@@ -106,6 +109,13 @@ impl TraceGenerator {
 
         TraceStream {
             ilp: self.profile.ilp.sampler(self.format),
+            // v3's zero-f64 classification: the cumulative thresholds are
+            // hoisted out of the per-record loop here, exactly as the
+            // distance sampler hoists its table.
+            mix_thresholds: match self.format {
+                TraceFormat::V1 | TraceFormat::V2 => None,
+                TraceFormat::V3 => Some(self.profile.mix.thresholds()),
+            },
             format: self.format,
             profile: self.profile.clone(),
             total: instructions as u64,
@@ -138,6 +148,9 @@ pub struct TraceStream {
     mix_rng: Prng,
     ilp_rng: Prng,
     ilp: DistanceSampler,
+    /// `Some` for v3: the integer-threshold instruction-mix draw; `None`
+    /// reproduces the v1/v2 `f64` comparison bit for bit.
+    mix_thresholds: Option<MixThresholds>,
     code_cursor: ScheduleCursor,
     data_cursor: ScheduleCursor,
     buf: Vec<InstrRecord>,
@@ -158,6 +171,17 @@ impl TraceStream {
 
         let op = if step.is_branch {
             Op::Branch { taken: step.taken }
+        } else if let Some(thresholds) = &self.mix_thresholds {
+            // v3: one raw 64-bit draw against precomputed fixed-point
+            // thresholds — no f64 math per record. Consumes exactly the
+            // one `next_u64` the f64 path does, so the code/data/ilp
+            // sub-streams stay aligned across formats.
+            match thresholds.classify(self.mix_rng.next_u64()) {
+                MixClass::Load => Op::Load(self.data.next_address(&data_ws)),
+                MixClass::Store => Op::Store(self.data.next_address(&data_ws)),
+                MixClass::Fp => Op::Fp,
+                MixClass::Int => Op::Int,
+            }
         } else {
             let r = self.mix_rng.next_f64();
             let mix = self.profile.mix;
@@ -262,7 +286,9 @@ mod tests {
     #[test]
     fn formats_differ_only_in_dependency_bits() {
         let n = 10_000;
-        let v2 = TraceGenerator::new(spec::gcc(), 7).generate(n);
+        let v2 = TraceGenerator::new(spec::gcc(), 7)
+            .with_format(TraceFormat::V2)
+            .generate(n);
         let v1 = TraceGenerator::new(spec::gcc(), 7)
             .with_format(TraceFormat::V1)
             .generate(n);
@@ -280,6 +306,35 @@ mod tests {
             dep_diffs > 0,
             "the v2 sampler must actually change dependency bits"
         );
+    }
+
+    #[test]
+    fn v3_records_match_v2_record_for_record() {
+        // v3 re-quantizes the mix draw from 53 to 64 bits; a draw can only
+        // classify differently inside a ~2^-53-wide window per threshold, so
+        // on any testable trace every field — PC, op, address *and* the
+        // dependency bits (same sampler) — must come out identical. What v3
+        // changes observably is the container: magic, flags byte and the
+        // compressed chunk payloads (pinned by the codec and fixture tests).
+        for profile in [spec::gcc(), spec::swim(), spec::su2cor()] {
+            let name = profile.name;
+            let n = 20_000;
+            let v3 = TraceGenerator::new(profile.clone(), 7).generate(n);
+            let v2 = TraceGenerator::new(profile, 7)
+                .with_format(TraceFormat::V2)
+                .generate(n);
+            assert_eq!(v3.format(), TraceFormat::V3, "{name}: default is v3");
+            assert_eq!(v2.format(), TraceFormat::V2);
+            for (i, (a, b)) in v2.iter().zip(v3.iter()).enumerate() {
+                assert_eq!(a.pc(), b.pc(), "{name} record {i}: PC");
+                assert_eq!(a.op(), b.op(), "{name} record {i}: op/address");
+                assert_eq!(
+                    (a.dep1(), a.dep2()),
+                    (b.dep1(), b.dep2()),
+                    "{name} record {i}: dependency bits"
+                );
+            }
+        }
     }
 
     #[test]

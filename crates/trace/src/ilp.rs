@@ -197,8 +197,9 @@ pub struct DistanceSampler {
 }
 
 /// A probability as a 64-bit fixed-point threshold: `next_u64() < bits`
-/// succeeds with probability `p` (up to the 2^-64 quantum).
-fn probability_bits(p: f64) -> u64 {
+/// succeeds with probability `p` (up to the 2^-64 quantum). Shared with the
+/// v3 instruction-mix thresholds ([`crate::InstructionMix::thresholds`]).
+pub(crate) fn probability_bits(p: f64) -> u64 {
     (p.clamp(0.0, 1.0) * 18_446_744_073_709_551_616.0) as u64
 }
 
@@ -212,7 +213,12 @@ impl DistanceSampler {
                 TraceFormat::V1 => DistanceDraw::Ln {
                     ln_one_minus_p: (1.0 - 1.0 / behavior.mean_distance).ln(),
                 },
-                TraceFormat::V2 => DistanceDraw::Table(DistanceTable::new(behavior.mean_distance)),
+                // v3 keeps v2's dependency bits unchanged: the formats differ
+                // in the instruction-mix draw (and the on-disk container),
+                // not in the distance sampler.
+                TraceFormat::V2 | TraceFormat::V3 => {
+                    DistanceDraw::Table(DistanceTable::new(behavior.mean_distance))
+                }
             }
         };
         Self {
@@ -258,14 +264,14 @@ impl DistanceSampler {
     }
 
     /// One Bernoulli draw in this sampler's format: v1 compares `f64`s
-    /// (bit-compatible with [`Prng::chance`]), v2 compares the raw 64-bit
+    /// (bit-compatible with [`Prng::chance`]), v2/v3 compare the raw 64-bit
     /// draw against a fixed-point threshold. Both consume exactly one
     /// [`Prng::next_u64`].
     #[inline]
     fn chance(&self, rng: &mut Prng, p: f64, bits: u64) -> bool {
         match self.format {
             TraceFormat::V1 => rng.chance(p),
-            TraceFormat::V2 => rng.next_u64() < bits,
+            TraceFormat::V2 | TraceFormat::V3 => rng.next_u64() < bits,
         }
     }
 
@@ -386,6 +392,28 @@ mod tests {
             }
             // And the two RNGs consumed identical amounts of randomness.
             assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn v3_sampler_is_bit_identical_to_v2() {
+        // v3 changes the instruction-mix draw and the on-disk container,
+        // not the dependency sampler: same table, same thresholds, same
+        // randomness consumption.
+        for behavior in [
+            IlpBehavior::serial(),
+            IlpBehavior::parallel(),
+            IlpBehavior::moderate(),
+            IlpBehavior::new(1.0, 0.5, 0.1),
+        ] {
+            let v2 = behavior.sampler(TraceFormat::V2);
+            let v3 = behavior.sampler(TraceFormat::V3);
+            let mut a = Prng::new(33);
+            let mut b = Prng::new(33);
+            for i in 0..20_000 {
+                assert_eq!(v2.sample(&mut a), v3.sample(&mut b), "draw {i}");
+            }
+            assert_eq!(a.next_u64(), b.next_u64(), "consumption differs");
         }
     }
 

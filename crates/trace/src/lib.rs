@@ -17,7 +17,8 @@
 //! * [`format`] — the [`TraceFormat`] version carried end to end.
 //! * [`trace`] — the [`Trace`] container and [`TraceStats`] summary.
 //! * [`source`] — [`TraceSource`]: pull-based chunked record delivery.
-//! * [`codec`] — length-prefixed binary persistence for traces.
+//! * [`codec`] — length-prefixed binary persistence for traces, with
+//!   length-prefixed delta chunk compression in the v3 container.
 //! * [`faults`] — [`IoPolicy`]: injectable filesystem I/O with deterministic
 //!   fault injection (`RESCACHE_FAULTS`) for recovery-path testing.
 //! * [`rng`] — a small deterministic pseudo-random number generator.
@@ -53,6 +54,7 @@ pub mod address;
 pub mod branch;
 pub mod code;
 pub mod codec;
+mod compress;
 pub mod faults;
 pub mod format;
 pub mod generator;
@@ -71,18 +73,20 @@ pub mod workload;
 pub use address::AddressStream;
 pub use branch::BranchBehavior;
 pub use code::CodeStream;
-pub use codec::{ChunkedTraceReader, CodecError, TraceFileSource};
+pub use codec::{
+    ChunkedTraceReader, CodecError, Compression, CorruptChunk, TraceFileSource, UnencodableRecord,
+};
 pub use faults::{
     is_disk_full, is_transient, FaultInjector, FaultKind, FaultSpec, IoOp, IoPolicy, ScriptedFault,
 };
 pub use format::TraceFormat;
 pub use generator::{TraceGenerator, TraceStream};
 pub use ilp::{DistanceSampler, DistanceTable, IlpBehavior, MAX_DISTANCE};
-pub use mix::InstructionMix;
+pub use mix::{InstructionMix, MixClass, MixThresholds};
 pub use phase::{Phase, PhaseSchedule, ScheduleCursor, ScheduleKind};
 pub use profile::{AppProfile, CodeBehavior, DataBehavior};
 pub use record::{kind, InstrRecord, Op};
-pub use rng::Prng;
+pub use rng::{chance_bits, Prng};
 pub use source::{TraceCursor, TraceSource, CHUNK_RECORDS};
 pub use trace::{Trace, TraceStats};
 pub use working_set::WorkingSetSpec;

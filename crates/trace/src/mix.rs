@@ -1,6 +1,8 @@
 //! Instruction-mix parameters (what fraction of non-branch instructions are
 //! loads, stores and floating-point operations).
 
+use crate::ilp::probability_bits;
+
 /// Instruction mix of an application.
 ///
 /// Branch density is controlled by the code stream shape (one conditional per
@@ -53,6 +55,66 @@ impl InstructionMix {
     pub fn int(&self) -> f64 {
         (1.0 - self.load - self.store - self.fp).max(0.0)
     }
+
+    /// Precomputes the mix's cumulative fixed-point thresholds — the v3
+    /// classification draw (see [`MixThresholds`]).
+    pub fn thresholds(&self) -> MixThresholds {
+        // Built from the same rounded f64 partial sums the v1/v2 chained
+        // comparison uses, quantized at the full 64-bit draw resolution
+        // (2^-64) rather than `next_f64`'s 2^-53 — the finer quantization is
+        // what makes selecting this draw a trace-format bump.
+        MixThresholds {
+            load: probability_bits(self.load),
+            store: probability_bits(self.load + self.store),
+            fp: probability_bits(self.load + self.store + self.fp),
+        }
+    }
+}
+
+/// The operation class one mix draw selects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MixClass {
+    /// A load from the data working set.
+    Load,
+    /// A store to the data working set.
+    Store,
+    /// A floating-point operation.
+    Fp,
+    /// A plain integer ALU operation.
+    Int,
+}
+
+/// Cumulative fixed-point thresholds of an [`InstructionMix`]: the v3 trace
+/// format classifies each non-branch slot by comparing one raw
+/// [`Prng::next_u64`](crate::Prng::next_u64) draw against these, performing
+/// zero `f64` operations per record (v1/v2 compare `next_f64()` against the
+/// mix fractions — the same pattern-to-threshold move the v2
+/// [`DistanceSampler`](crate::ilp::DistanceSampler) made for the dependency
+/// bits).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MixThresholds {
+    /// `load * 2^64`.
+    load: u64,
+    /// `(load + store) * 2^64`.
+    store: u64,
+    /// `(load + store + fp) * 2^64`.
+    fp: u64,
+}
+
+impl MixThresholds {
+    /// Classifies one uniform 64-bit draw into an operation class.
+    #[inline]
+    pub fn classify(&self, draw: u64) -> MixClass {
+        if draw < self.load {
+            MixClass::Load
+        } else if draw < self.store {
+            MixClass::Store
+        } else if draw < self.fp {
+            MixClass::Fp
+        } else {
+            MixClass::Int
+        }
+    }
 }
 
 impl Default for InstructionMix {
@@ -77,6 +139,52 @@ mod tests {
             assert!(m.mem() > 0.2 && m.mem() < 0.6);
             assert!(m.int() >= 0.0);
         }
+    }
+
+    #[test]
+    fn thresholds_classify_with_the_mix_frequencies() {
+        use crate::rng::Prng;
+        let mix = InstructionMix::new(0.26, 0.12, 0.02);
+        let thresholds = mix.thresholds();
+        let mut rng = Prng::new(13);
+        let n = 200_000u64;
+        let mut counts = [0u64; 4];
+        for _ in 0..n {
+            let slot = match thresholds.classify(rng.next_u64()) {
+                MixClass::Load => 0,
+                MixClass::Store => 1,
+                MixClass::Fp => 2,
+                MixClass::Int => 3,
+            };
+            counts[slot] += 1;
+        }
+        for (observed, expected) in counts.iter().zip([mix.load, mix.store, mix.fp, mix.int()]) {
+            let frac = *observed as f64 / n as f64;
+            assert!(
+                (frac - expected).abs() < 0.01,
+                "observed {frac} vs mix {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn threshold_boundaries_partition_the_draw_space() {
+        // Degenerate mixes. `probability_bits(1.0)` saturates to u64::MAX
+        // (2^64 is not representable), so an all-load mix classifies every
+        // draw but u64::MAX itself as Load — the same 2^-64 quantum the v2
+        // dependency thresholds already accept. Pin both sides of it.
+        let all_load = InstructionMix::new(1.0, 0.0, 0.0).thresholds();
+        let all_int = InstructionMix::new(0.0, 0.0, 0.0).thresholds();
+        for draw in [0u64, 1, u64::MAX / 2, u64::MAX - 1] {
+            assert_eq!(all_load.classify(draw), MixClass::Load, "{draw}");
+        }
+        assert_eq!(all_load.classify(u64::MAX), MixClass::Int, "the quantum");
+        for draw in [0u64, 1, u64::MAX / 2, u64::MAX - 1, u64::MAX] {
+            assert_eq!(all_int.classify(draw), MixClass::Int, "{draw}");
+        }
+        // The zero draw always selects the first non-empty class.
+        let no_loads = InstructionMix::new(0.0, 0.5, 0.2).thresholds();
+        assert_eq!(no_loads.classify(0), MixClass::Store);
     }
 
     #[test]

@@ -196,6 +196,50 @@ impl InstrRecord {
         self.dep2
     }
 
+    /// The all-zero record (an INT op at PC 0): the filler the decode paths
+    /// pre-size their output slices with before overwriting every slot.
+    pub(crate) const fn zeroed() -> Self {
+        Self {
+            pc: 0,
+            addr: 0,
+            kind: 0,
+            dep1: 0,
+            dep2: 0,
+        }
+    }
+
+    /// Assembles a record from lane values the caller already validated.
+    ///
+    /// The compressed codec's hot decode loop rejects bad operation tags
+    /// while parsing the record head, so re-checking here would put a dead
+    /// branch on the per-record path; the debug assertion keeps the contract
+    /// honest under `cargo test`.
+    #[inline(always)]
+    pub(crate) fn from_lanes_validated(pc: u32, addr: u32, kind: u8, dep1: u8, dep2: u8) -> Self {
+        debug_assert!(kind <= KIND_BRANCH_TAKEN, "unvalidated tag {kind}");
+        Self {
+            pc,
+            addr,
+            kind,
+            dep1,
+            dep2,
+        }
+    }
+
+    /// Lane setters for the sectioned chunk decoder: its first pass
+    /// materializes the head plane (kind and dependencies), its second fills
+    /// the PC/address lanes in place.
+    #[inline(always)]
+    pub(crate) fn set_pc_lane(&mut self, pc: u32) {
+        self.pc = pc;
+    }
+
+    /// See [`InstrRecord::set_pc_lane`].
+    #[inline(always)]
+    pub(crate) fn set_addr_lane(&mut self, addr: u32) {
+        self.addr = addr;
+    }
+
     /// Encodes the record into its 12-byte on-disk form (little-endian PC and
     /// address, tag byte, two dependency bytes, one reserved zero byte).
     ///

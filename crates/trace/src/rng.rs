@@ -19,6 +19,35 @@ pub fn geometric_is_constant(mean: f64) -> bool {
     mean <= 1.0
 }
 
+/// The exact fixed-point threshold of the comparison `next_f64() < p`:
+/// for every possible draw, `next_bits53() < chance_bits(p)` decides
+/// identically to [`Prng::chance`] while performing no `f64` math per draw.
+///
+/// Why this is *exact*, not approximate: [`Prng::next_f64`] is
+/// `(u >> 11) as f64 * 2^-53` — the 53-bit integer `x = u >> 11` converts
+/// and scales without rounding, so `next_f64() < p` is the real-number
+/// comparison `x < p * 2^53`. For an integer `x` that is equivalent to
+/// `x < ceil(p * 2^53)`, and `ceil` here is itself exact: `p * 2^53` only
+/// shifts the exponent of `p`, and `f64::ceil` never rounds. The edge cases
+/// also agree bit for bit: `p <= 0` and NaN give threshold 0 (never true,
+/// like the `f64` comparison), `p >= 1` gives a threshold above any 53-bit
+/// draw (always true, like `chance(1.1)`).
+///
+/// Callers that compare one probability per draw use [`Prng::chance`]; hot
+/// paths that would otherwise pay an int→float conversion and float compare
+/// per record (the generator's mix draws) hoist `chance_bits` out of the
+/// loop and compare [`Prng::next_bits53`] against it. Both consume exactly
+/// one [`Prng::next_u64`], so mixing the two styles never desynchronizes a
+/// stream — which is what lets the address stream use integer thresholds in
+/// *every* [`TraceFormat`](crate::TraceFormat) without a format bump.
+#[inline]
+pub fn chance_bits(p: f64) -> u64 {
+    // 2^53 as an exactly representable f64; `as u64` saturates negatives
+    // and NaN to 0 and +inf to u64::MAX, preserving the comparison edge
+    // cases described above.
+    (p * 9_007_199_254_740_992.0).ceil() as u64
+}
+
 /// A deterministic pseudo-random number generator (xorshift64* seeded through
 /// SplitMix64).
 ///
@@ -77,6 +106,14 @@ impl Prng {
     /// Returns a uniformly distributed `f64` in `[0, 1)`.
     pub fn next_f64(&mut self) -> f64 {
         (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Returns the 53 uniform bits [`Prng::next_f64`] is built from, without
+    /// the float conversion. Comparing this against [`chance_bits`] decides
+    /// identically to [`Prng::chance`] (see `chance_bits` for the proof).
+    #[inline]
+    pub fn next_bits53(&mut self) -> u64 {
+        self.next_u64() >> 11
     }
 
     /// Returns `true` with probability `p` (clamped to `[0, 1]`).
@@ -171,6 +208,48 @@ mod tests {
         let mut rng = Prng::new(3);
         assert!(!rng.chance(0.0));
         assert!(rng.chance(1.1));
+    }
+
+    #[test]
+    fn chance_bits_decides_identically_to_chance() {
+        // Identity of the decision *and* of the randomness consumed, across
+        // probabilities spanning the unit interval, its edges and beyond.
+        let probabilities = [
+            0.0,
+            f64::MIN_POSITIVE,
+            1e-17,
+            0.25,
+            0.26,
+            0.12,
+            0.55,
+            0.55 + 0.40, // a rounded partial sum, as the mix draws use
+            0.999_999_999_999_999,
+            1.0,
+            1.1,
+            -0.3,
+            f64::NAN,
+        ];
+        for p in probabilities {
+            let bits = chance_bits(p);
+            let mut a = Prng::new(71);
+            let mut b = Prng::new(71);
+            for i in 0..50_000 {
+                assert_eq!(
+                    b.next_bits53() < bits,
+                    a.chance(p),
+                    "p {p}, draw {i}: integer threshold diverged from f64"
+                );
+            }
+            assert_eq!(a.next_u64(), b.next_u64(), "p {p}: consumption differs");
+        }
+        // Exhaustively near a threshold: the draws that straddle
+        // chance_bits(p) decide exactly as the f64 comparison does.
+        let p = 0.37;
+        let t = chance_bits(p);
+        for x in t.saturating_sub(3)..=t + 3 {
+            let as_f64 = x as f64 * (1.0 / (1u64 << 53) as f64);
+            assert_eq!(x < t, as_f64 < p, "x {x} around threshold {t}");
+        }
     }
 
     #[test]

@@ -5,9 +5,11 @@
 //! a refactor that changed generation and decoding *consistently* would
 //! pass every test while silently invalidating persisted stores and
 //! breaking cross-version reproducibility. These fixtures are the
-//! cross-process anchor: small (~12 KiB) encoded traces for three registry
-//! workloads under **both** trace-format versions, committed under
+//! cross-process anchor: small (4–12 KiB) encoded traces for three registry
+//! workloads under **every** trace-format version, committed under
 //! `tests/fixtures/`, with their FNV-1a content hashes pinned in this file.
+//! The v3 fixtures are delta compressed (length-prefixed fields), so they
+//! additionally pin the compressor's byte stream.
 //!
 //! A deliberate format bump re-blesses the fixtures (and their hashes) in
 //! the same change:
@@ -36,10 +38,13 @@ const FIXTURE_SEED: u64 = 42;
 const PINNED: &[(&str, TraceFormat, u64)] = &[
     ("nominal", TraceFormat::V1, 0x781e9c9c2231723c),
     ("nominal", TraceFormat::V2, 0xb9ea4d41cbda29f5),
+    ("nominal", TraceFormat::V3, 0x297d2cf0990a9031),
     ("pointer_chase", TraceFormat::V1, 0xe8d3be049f7ef0fd),
     ("pointer_chase", TraceFormat::V2, 0x31b75408d05c4528),
+    ("pointer_chase", TraceFormat::V3, 0x7251c8676902eb09),
     ("phase_flip", TraceFormat::V1, 0x82bb8e12e87edae6),
     ("phase_flip", TraceFormat::V2, 0x9561a7310e5bf00d),
+    ("phase_flip", TraceFormat::V3, 0xc47ec671bcb9c804),
 ];
 
 /// FNV-1a over a byte stream (the same construction the workspace uses for
@@ -92,13 +97,13 @@ fn golden_fixtures_pin_generator_and_codec_bytes() {
         for &(workload, format, _) in PINNED {
             let bytes = encode_fixture(workload, format);
             std::fs::write(fixture_path(workload, format), &bytes).expect("write fixture");
+            let tag = match format {
+                TraceFormat::V1 => "V1",
+                TraceFormat::V2 => "V2",
+                TraceFormat::V3 => "V3",
+            };
             eprintln!(
-                "    (\"{workload}\", TraceFormat::{}, {:#018x}),",
-                if format == TraceFormat::V1 {
-                    "V1"
-                } else {
-                    "V2"
-                },
+                "    (\"{workload}\", TraceFormat::{tag}, {:#018x}),",
                 fnv1a(&bytes)
             );
         }
@@ -109,9 +114,16 @@ fn golden_fixtures_pin_generator_and_codec_bytes() {
         let committed = std::fs::read(&path).unwrap_or_else(|e| {
             panic!("missing fixture {} ({e}); see module docs", path.display())
         });
+        // v1/v2 are fixed 12 bytes/record; v3 fixtures carry delta
+        // compressed chunks, so their ceiling doubles as a compression pin:
+        // above ~6 KiB the codec has stopped at least halving the stream.
+        let budget = match format {
+            TraceFormat::V1 | TraceFormat::V2 => 4096..=16384,
+            TraceFormat::V3 => 1024..=FIXTURE_RECORDS * 12 / 2,
+        };
         assert!(
-            (4096..=16384).contains(&committed.len()),
-            "{workload} {format}: fixture size {} outside the 4-16 KiB budget",
+            budget.contains(&committed.len()),
+            "{workload} {format}: fixture size {} outside the {budget:?} byte budget",
             committed.len()
         );
 
@@ -166,5 +178,35 @@ fn fixture_formats_differ_only_in_dependency_bits() {
             dep_diffs > 0,
             "{workload}: the formats must actually differ"
         );
+    }
+}
+
+#[test]
+fn v3_fixture_records_coincide_with_v2() {
+    // v3 redefines the mix draw at 2^-64 quantization (v2 draws at 2^-53),
+    // so the formats only disagree inside ~2^-53-wide threshold windows —
+    // never on these traces. The committed v2/v3 fixture pairs must decode
+    // to identical record sequences while the files themselves differ
+    // (magic, flags byte, compressed chunk payloads).
+    for workload in ["nominal", "pointer_chase", "phase_flip"] {
+        let v2_bytes = std::fs::read(fixture_path(workload, TraceFormat::V2)).expect("v2 fixture");
+        let v3_bytes = std::fs::read(fixture_path(workload, TraceFormat::V3)).expect("v3 fixture");
+        assert_ne!(v2_bytes, v3_bytes, "{workload}: containers must differ");
+        assert_eq!(&v3_bytes[..8], b"RCTRACE3");
+        assert_eq!(v3_bytes[8], 1, "{workload}: v3 fixtures are compressed");
+        assert!(
+            2 * v3_bytes.len() <= v2_bytes.len(),
+            "{workload}: compression must at least halve the fixture: v3 {} vs v2 {}",
+            v3_bytes.len(),
+            v2_bytes.len()
+        );
+
+        let v2 = codec::read_trace(&mut v2_bytes.as_slice()).expect("v2 decodes");
+        let v3 = codec::read_trace(&mut v3_bytes.as_slice()).expect("v3 decodes");
+        assert_eq!(v3.format(), TraceFormat::V3);
+        assert_eq!(v2.len(), v3.len());
+        for (i, (a, b)) in v2.iter().zip(v3.iter()).enumerate() {
+            assert_eq!(a, b, "{workload}: record {i} must coincide across v2/v3");
+        }
     }
 }

@@ -292,9 +292,19 @@ fn streamed_dynamic_run_survives_a_corrupted_store_entry() {
         .expect("entry")
         .path();
     let mut bytes = std::fs::read(&entry).expect("read entry");
-    // Flip a record tag in the *second* chunk so the fault hits mid-run.
-    let second_chunk = 8 + 4 + app.name.len() + 8 + 4 + 8 * 1024 * 12 + 4 + 8;
-    bytes[second_chunk] = 0xee;
+    // Wreck the *second* chunk's directory entry so the fault hits mid-run.
+    // v3 compressed container: magic(8) + flags(1) + name_len(4) + name +
+    // count(8), then per chunk [len u32][byte_len u32][payload].
+    assert_eq!(&bytes[..8], b"RCTRACE3");
+    assert_eq!(bytes[8], 1, "store entries are compressed by default");
+    let first_chunk = 9 + 4 + app.name.len() + 8;
+    let first_bytes = u32::from_le_bytes(
+        bytes[first_chunk + 4..first_chunk + 8]
+            .try_into()
+            .expect("4 bytes"),
+    ) as usize;
+    let second_chunk = first_chunk + 8 + first_bytes;
+    bytes[second_chunk + 4..second_chunk + 8].copy_from_slice(&u32::MAX.to_le_bytes());
     std::fs::write(&entry, &bytes).expect("corrupt entry");
 
     let space = ConfigSpace::enumerate(
