@@ -16,7 +16,9 @@ for file in \
     crates/trace/src/compress.rs \
     crates/trace/src/faults.rs \
     crates/core/src/experiment/trace_store.rs \
-    crates/core/src/experiment/shared_tier.rs
+    crates/core/src/experiment/shared_tier.rs \
+    crates/core/src/experiment/server.rs \
+    crates/core/src/json.rs
 do
     if [ ! -f "$file" ]; then
         echo "check_io_discipline: missing $file" >&2

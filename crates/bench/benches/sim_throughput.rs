@@ -27,8 +27,8 @@ use std::time::Instant;
 use rescache_bench::bench_runner;
 use rescache_cache::{Cache, CacheConfig, HierarchyConfig, MemoryHierarchy};
 use rescache_core::experiment::{
-    effective_workers, per_app_org_comparison, RunSetup, Runner, RunnerConfig, StoreHealth,
-    TraceStore,
+    effective_workers, per_app_org_comparison, RunSetup, Runner, RunnerConfig, ServeConfig,
+    StoreHealth, SweepServer, TraceStore,
 };
 use rescache_core::{ConfigSpace, DynamicParams, Organization, ResizableCacheSide, SystemConfig};
 use rescache_cpu::{CpuConfig, Simulator};
@@ -64,6 +64,12 @@ struct EngineResult {
     /// `trace_store_load`, the stage whose whole point is the disk format.
     store_bytes: Option<u64>,
     compression_ratio: Option<f64>,
+    /// Request lines the sweep service answered, and the shared tier's
+    /// result-cache hit rate over the stage (hits + coalesced over all
+    /// lookups); `Some` only for `sweep_service`, the stage whose whole
+    /// point is serving shared results.
+    requests: Option<u64>,
+    hit_rate: Option<f64>,
 }
 
 /// The record for a stage that was skipped because its prerequisite
@@ -80,6 +86,8 @@ fn skipped(name: &'static str) -> EngineResult {
         trace_format: None,
         store_bytes: None,
         compression_ratio: None,
+        requests: None,
+        hit_rate: None,
     }
 }
 
@@ -129,6 +137,8 @@ fn measure(
         trace_format: None,
         store_bytes: None,
         compression_ratio: None,
+        requests: None,
+        hit_rate: None,
     }
 }
 
@@ -451,6 +461,101 @@ fn bench_fig5_sweep(scale: u64) -> EngineResult {
     result
 }
 
+/// The sweep service end to end: concurrent clients run identical sweeps
+/// against one server over TCP, so almost all of the nominal workload is
+/// served from the shared tier's single-flight memos — that sharing *is*
+/// the feature under test. The stage therefore reports an *equivalent*
+/// MIPS (nominal workload over wall-clock) plus the service's headline
+/// counters: requests answered and the result-cache hit rate.
+fn bench_sweep_service(scale: u64, format: TraceFormat) -> EngineResult {
+    use std::io::{BufRead, Write};
+
+    const CLIENTS: usize = 4;
+    const SWEEPS_PER_CLIENT: usize = 2;
+    let cfg = RunnerConfig {
+        warmup_instructions: (4_000 * scale) as usize,
+        measure_instructions: (12_000 * scale) as usize,
+        trace_seed: 42,
+        dynamic_interval: 1_024,
+        trace_format: format,
+    };
+    // In-memory tier: the stage measures the serving path, not the disk, so
+    // it runs everywhere (no RESCACHE_TRACE_DIR requirement).
+    let store = TraceStore::with_dir(None);
+    let tier = store.tier().clone();
+    let server = SweepServer::bind(
+        Runner::with_store(cfg, store),
+        ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            ..ServeConfig::default()
+        },
+    )
+    .expect("bind ephemeral port");
+    let addr = server.local_addr().expect("local addr");
+    let (handle, join) = server.spawn().expect("spawn sweep service");
+
+    let system = SystemConfig::base();
+    let points = ConfigSpace::enumerate(
+        ResizableCacheSide::Data.config_of(&system.hierarchy),
+        Organization::SelectiveSets,
+    )
+    .expect("selective-sets applies to the base d-cache")
+    .points()
+    .len() as u64;
+    // Nominal workload: every sweep's baseline plus one run per point, as
+    // the pre-coalescing service would have simulated them.
+    let per_run = (cfg.warmup_instructions + cfg.measure_instructions) as u64;
+    let nominal = (CLIENTS * SWEEPS_PER_CLIENT) as u64 * (points + 1) * per_run;
+
+    let mut result = measure("sweep_service", nominal, 3, || {
+        std::thread::scope(|scope| {
+            let clients: Vec<_> = (0..CLIENTS)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let stream =
+                            std::net::TcpStream::connect(addr).expect("connect bench client");
+                        let mut reader =
+                            std::io::BufReader::new(stream.try_clone().expect("clone stream"));
+                        let mut writer = stream;
+                        let mut served = 0u64;
+                        for _ in 0..SWEEPS_PER_CLIENT {
+                            writeln!(
+                                writer,
+                                r#"{{"req":"sweep","app":"gcc","org":"selective_sets"}}"#
+                            )
+                            .expect("send sweep");
+                            let mut line = String::new();
+                            loop {
+                                line.clear();
+                                let n = reader.read_line(&mut line).expect("read response");
+                                assert!(n > 0, "server closed mid-sweep");
+                                assert!(line.contains("\"ok\":true"), "sweep failed: {line}");
+                                if line.contains("\"kind\":\"done\"") {
+                                    break;
+                                }
+                                served += 1;
+                            }
+                        }
+                        served
+                    })
+                })
+                .collect();
+            clients
+                .into_iter()
+                .map(|c| c.join().expect("bench client"))
+                .sum()
+        })
+    });
+    let health = tier.health_snapshot();
+    result.requests = Some(health.requests);
+    result.hit_rate = health.result_cache_hit_rate();
+    result.nominal_workload = true;
+    result.trace_format = Some(format);
+    handle.stop();
+    join.join().expect("sweep service drains");
+    result
+}
+
 // `results` is deliberately built push by push, not as a `vec![...]`
 // literal — see the comment at its declaration.
 #[allow(clippy::vec_init_then_push)]
@@ -534,6 +639,7 @@ fn main() {
     ));
     results.extend(bench_workloads(scale, quick, trace_format));
     results.push(bench_fig5_sweep(scale));
+    results.push(bench_sweep_service(scale, trace_format));
 
     let json = render_json(&results, quick, store_health);
     // Quick (CI smoke) runs record to a sibling file so they never clobber
@@ -558,15 +664,15 @@ fn main() {
 /// carries no serde dependency).
 fn render_json(results: &[EngineResult], quick: bool, health: Option<StoreHealth>) -> String {
     let mut out = String::from("{\n");
-    out.push_str("  \"schema\": \"rescache-sim-throughput/7\",\n");
+    out.push_str("  \"schema\": \"rescache-sim-throughput/8\",\n");
     out.push_str(&format!("  \"quick\": {quick},\n"));
     // The streamed dynamic stage's shared-tier recovery counters. All-zero
     // with `"degraded": false` on a healthy machine; anything else flags a
     // run whose numbers were taken while the store was fighting its disk.
     if let Some(h) = health {
         out.push_str(&format!(
-            "  \"store_health\": {{\"hits\": {}, \"misses\": {}, \"regenerations\": {}, \"retries\": {}, \"quarantines\": {}, \"lock_steals\": {}, \"warnings\": {}, \"degraded\": {}}},\n",
-            h.hits, h.misses, h.regenerations, h.retries, h.quarantines, h.lock_steals, h.warnings, h.degraded
+            "  \"store_health\": {{\"hits\": {}, \"misses\": {}, \"coalesced\": {}, \"evictions\": {}, \"regenerations\": {}, \"retries\": {}, \"quarantines\": {}, \"lock_steals\": {}, \"warnings\": {}, \"degraded\": {}}},\n",
+            h.hits, h.misses, h.coalesced, h.evictions, h.regenerations, h.retries, h.quarantines, h.lock_steals, h.warnings, h.degraded
         ));
     }
     out.push_str(&format!(
@@ -589,6 +695,12 @@ fn render_json(results: &[EngineResult], quick: bool, health: Option<StoreHealth
             trace_format.push_str(&format!(
                 ", \"store_bytes\": {bytes}, \"compression_ratio\": {ratio:.3}"
             ));
+        }
+        if let Some(requests) = r.requests {
+            trace_format.push_str(&format!(", \"requests\": {requests}"));
+        }
+        if let Some(rate) = r.hit_rate {
+            trace_format.push_str(&format!(", \"result_cache_hit_rate\": {rate:.4}"));
         }
         out.push_str(&format!(
             "    {{\"name\": \"{}\", \"status\": \"{}\", \"items\": {}, \"seconds\": {:.6}, \"mips\": {:.3}, \"workload\": \"{}\"{trace_format}}}{}\n",

@@ -18,6 +18,7 @@ pub mod org_comparison;
 pub mod parallel;
 pub mod report;
 pub mod runner;
+pub mod server;
 pub mod shared_tier;
 pub mod strategy_cmp;
 pub mod trace_store;
@@ -32,8 +33,10 @@ pub use report::{format_table, mean};
 pub use runner::{
     BestSummary, DynamicOutcome, Measurement, RunSetup, Runner, RunnerConfig, StaticOutcome,
 };
+pub use server::{ServeConfig, ServerHandle, SweepServer};
 pub use shared_tier::{
     EntryLockGuard, HealthCounters, LockOutcome, LockParams, Memo, SharedTier, StoreHealth,
+    DEFAULT_RESIDENT_CAP,
 };
 pub use strategy_cmp::{static_vs_dynamic, StrategyRow};
 pub use trace_store::{StoreSource, StoreSourceKind, TraceStore};

@@ -560,10 +560,13 @@ impl Runner {
         );
         let tier = self.store.tier();
         let slot = tier.sims.slot(key);
-        if slot.get().is_some() {
+        let warm_hit = slot.get().is_some();
+        if warm_hit {
             tier.health().note_hit();
         }
+        let mut ran = false;
         let sim = slot.get_or_init(|| {
+            ran = true;
             tier.health().note_miss();
             if streamed {
                 self.with_streamed_source(app, |source| {
@@ -574,6 +577,13 @@ impl Runner {
                 Self::simulate_static(&warm, &measure, system, d_static, i_static)
             }
         });
+        if !warm_hit && !ran {
+            // The slot was cold when we looked, yet our initializer never
+            // ran: we blocked on a sibling's in-flight simulation and shared
+            // its result — the coalescing the sweep service's dedup
+            // guarantee is asserted on.
+            tier.health().note_coalesced();
+        }
         let model = EnergyModel::with_overhead(
             &system.hierarchy,
             ResizingTagOverhead {

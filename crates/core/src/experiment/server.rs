@@ -1,0 +1,806 @@
+//! The sweep service: a multi-threaded JSON-lines request server over the
+//! shared store/memo tier — the ROADMAP's "millions of users" direction made
+//! concrete.
+//!
+//! The [`Runner`] + [`SharedTier`](crate::experiment::SharedTier) already
+//! behave like a cache tier: traces and static simulations are single-flight
+//! memos shared by every clone. This module wraps them in a long-lived
+//! [`TcpListener`] front end (std-only — the container builds offline, so no
+//! tokio, no serde; the protocol uses the hand-rolled [`crate::json`]
+//! module) so many concurrent clients share one tier:
+//!
+//! * every connection gets its own thread, and a `sweep` request shards its
+//!   configuration space across [`effective_workers`] worker threads,
+//!   streaming each point's result line back as it completes;
+//! * identical in-flight requests — from one client or many — coalesce on
+//!   the tier's single-flight memos exactly the way `TraceStore`
+//!   single-flights generation: N clients asking for the same cold point run
+//!   **one** simulation, observable as [`StoreHealth`] `coalesced`/`hits`
+//!   (`StoreHealth::result_cache_hit_rate` is the service's headline
+//!   metric);
+//! * malformed, oversized or unserviceable request lines get typed error
+//!   responses on the same connection — never a panic, never a silent
+//!   disconnect.
+//!
+//! # Protocol
+//!
+//! One JSON object per line in, one or more JSON objects per line out.
+//! Every response carries `"ok"` and echoes the request's `"id"` (if any).
+//!
+//! | Request | Response lines |
+//! |---|---|
+//! | `{"req":"ping"}` | `{"ok":true,"kind":"pong"}` |
+//! | `{"req":"health"}` | one `kind:"health"` line with the tier's [`StoreHealth`] counters |
+//! | `{"req":"point","app":"ammp","sets":64,"ways":2}` | one `kind:"result"` line with the measurement |
+//! | `{"req":"sweep","app":"ammp","org":"selective_sets"}` | one `kind:"result"` line per point *as each completes*, then a `kind:"done"` summary with the best-EDP point |
+//! | `{"req":"shutdown"}` | `{"ok":true,"kind":"bye"}`, then the whole server drains and exits |
+//!
+//! `point` and `sweep` accept optional `"system"` (`"base"` default,
+//! `"in_order"`), `"side"` (`"data"` default, `"instruction"`) and `"org"`
+//! (`"selective_sets"` default, `"selective_ways"`, `"hybrid"`); `point`
+//! omitting `sets`/`ways` measures the full-size baseline. Applications
+//! resolve through [`spec::profile`] first, then the
+//! [`WorkloadRegistry`] scenario names.
+
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc};
+use std::time::Duration;
+
+use rescache_trace::{spec, AppProfile, WorkloadRegistry};
+
+use crate::experiment::parallel::effective_workers;
+use crate::experiment::runner::{Measurement, Runner};
+use crate::experiment::shared_tier::StoreHealth;
+use crate::json::{obj, Json};
+use crate::org::{CachePoint, ConfigSpace, Organization};
+use crate::system::{ResizableCacheSide, SystemConfig};
+
+/// Default cap on one request line. Real requests are under 200 bytes; the
+/// cap exists so a stuck or hostile client cannot make a connection thread
+/// buffer unbounded memory. An oversized line is answered with a typed
+/// error and skipped — the connection stays usable.
+pub const DEFAULT_MAX_LINE_BYTES: usize = 64 * 1024;
+
+/// How often an idle connection re-checks the shutdown flag. Connection
+/// reads use this as their socket timeout so that [`ServerHandle::stop`]
+/// drains within one interval even when clients hold connections open
+/// without sending anything — a bounded shutdown, not one hostage to the
+/// slowest client.
+const SHUTDOWN_POLL: Duration = Duration::from_millis(100);
+
+/// The address the sweep service binds when `RESCACHE_SERVE_ADDR` is unset.
+pub const DEFAULT_ADDR: &str = "127.0.0.1:7878";
+
+/// Configuration of one [`SweepServer`].
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Address to bind (`host:port`; port 0 picks an ephemeral port).
+    pub addr: String,
+    /// Longest request line accepted, in bytes.
+    pub max_line_bytes: usize,
+    /// Worker threads a single sweep request shards its points across.
+    pub workers: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            addr: DEFAULT_ADDR.to_string(),
+            max_line_bytes: DEFAULT_MAX_LINE_BYTES,
+            workers: effective_workers(),
+        }
+    }
+}
+
+impl ServeConfig {
+    /// The configuration the environment selects: `RESCACHE_SERVE_ADDR`
+    /// overrides the bind address, `RESCACHE_THREADS` (via
+    /// [`effective_workers`]) the sweep fan-out.
+    pub fn from_env() -> Self {
+        let mut config = Self::default();
+        if let Ok(addr) = std::env::var("RESCACHE_SERVE_ADDR") {
+            config.addr = addr;
+        }
+        config
+    }
+}
+
+/// A handle for stopping a running [`SweepServer`] from another thread (or
+/// from a connection thread serving a `shutdown` request).
+#[derive(Debug, Clone)]
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+}
+
+impl ServerHandle {
+    /// The address the server is listening on (with the ephemeral port
+    /// resolved).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Signals the accept loop to exit. The flag alone is not enough — the
+    /// loop is blocked in `accept` — so a throwaway self-connection wakes
+    /// it. Idempotent; safe from any thread.
+    pub fn stop(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // Failure is fine: the listener may already be gone.
+        let _ = TcpStream::connect(self.addr);
+    }
+}
+
+/// The sweep service (see the module documentation).
+#[derive(Debug)]
+pub struct SweepServer {
+    listener: TcpListener,
+    runner: Runner,
+    config: ServeConfig,
+    shutdown: Arc<AtomicBool>,
+}
+
+impl SweepServer {
+    /// Binds the service (resolving an ephemeral port if `addr` asked for
+    /// one) without accepting yet.
+    ///
+    /// # Errors
+    ///
+    /// Returns the bind error if the address is unavailable.
+    pub fn bind(runner: Runner, config: ServeConfig) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(&config.addr)?;
+        Ok(Self {
+            listener,
+            runner,
+            config,
+            shutdown: Arc::new(AtomicBool::new(false)),
+        })
+    }
+
+    /// The bound address (with the ephemeral port resolved).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the OS error if the socket has no local address.
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// A stop handle usable from any thread.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the OS error if the socket has no local address.
+    pub fn handle(&self) -> std::io::Result<ServerHandle> {
+        Ok(ServerHandle {
+            addr: self.local_addr()?,
+            shutdown: Arc::clone(&self.shutdown),
+        })
+    }
+
+    /// Runs the accept loop until [`ServerHandle::stop`] is called (or a
+    /// client sends `shutdown`). Each connection is served on its own
+    /// thread; the loop drains before returning, so a clean shutdown never
+    /// drops an in-flight response mid-line.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error only if obtaining the stop handle fails; accept
+    /// errors on individual connections are absorbed (logged) and the loop
+    /// continues.
+    pub fn serve(self) -> std::io::Result<()> {
+        let handle = self.handle()?;
+        let mut connections = Vec::new();
+        for stream in self.listener.incoming() {
+            if self.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            match stream {
+                Ok(stream) => {
+                    let runner = self.runner.clone();
+                    let config = self.config.clone();
+                    let handle = handle.clone();
+                    connections.push(std::thread::spawn(move || {
+                        if let Err(e) = serve_connection(&runner, stream, &config, &handle) {
+                            // A vanished client is normal server life, not a
+                            // server failure.
+                            eprintln!("rescache-serve: connection ended: {e}");
+                        }
+                    }));
+                }
+                Err(e) => eprintln!("rescache-serve: accept failed: {e}"),
+            }
+        }
+        for connection in connections {
+            let _ = connection.join();
+        }
+        Ok(())
+    }
+
+    /// Convenience: serve on a background thread, returning the stop handle
+    /// and the join handle.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the OS error if the socket has no local address.
+    pub fn spawn(self) -> std::io::Result<(ServerHandle, std::thread::JoinHandle<()>)> {
+        let handle = self.handle()?;
+        let join = std::thread::spawn(move || {
+            if let Err(e) = self.serve() {
+                eprintln!("rescache-serve: server exited with error: {e}");
+            }
+        });
+        Ok((handle, join))
+    }
+}
+
+/// Outcome of reading one request line.
+enum LineOutcome {
+    /// A complete line (without the trailing newline).
+    Line(String),
+    /// The line exceeded the cap; the excess was drained to the next
+    /// newline so the connection can continue.
+    Oversized,
+    /// The client closed the connection.
+    Eof,
+}
+
+/// Reads one `\n`-terminated line, enforcing the byte cap without ever
+/// buffering more than the cap. (`BufRead::read_line` would buffer the
+/// whole oversized line first — exactly the unbounded allocation the cap
+/// exists to prevent.)
+fn read_request_line(
+    reader: &mut impl BufRead,
+    max_line_bytes: usize,
+    shutdown: &AtomicBool,
+) -> std::io::Result<LineOutcome> {
+    let mut line: Vec<u8> = Vec::new();
+    let mut discarding = false;
+    loop {
+        let buf = match reader.fill_buf() {
+            Ok(buf) => buf,
+            // A socket read timeout (see SHUTDOWN_POLL): check the flag and
+            // keep waiting — any partial line gathered so far is preserved.
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                if shutdown.load(Ordering::SeqCst) {
+                    return Ok(LineOutcome::Eof);
+                }
+                continue;
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        };
+        if buf.is_empty() {
+            return Ok(if discarding {
+                LineOutcome::Oversized
+            } else if line.is_empty() {
+                LineOutcome::Eof
+            } else {
+                // A final unterminated line still counts as a request.
+                LineOutcome::Line(String::from_utf8_lossy(&line).into_owned())
+            });
+        }
+        let newline = buf.iter().position(|&b| b == b'\n');
+        let take = newline.map_or(buf.len(), |i| i + 1);
+        if !discarding {
+            let body = newline.map_or(take, |i| i);
+            if line.len() + body > max_line_bytes {
+                line.clear();
+                discarding = true;
+            } else {
+                line.extend_from_slice(&buf[..body]);
+            }
+        }
+        reader.consume(take);
+        if newline.is_some() {
+            return Ok(if discarding {
+                LineOutcome::Oversized
+            } else {
+                LineOutcome::Line(String::from_utf8_lossy(&line).into_owned())
+            });
+        }
+    }
+}
+
+/// Serves one client connection: read a request line, dispatch, repeat
+/// until EOF or shutdown.
+fn serve_connection(
+    runner: &Runner,
+    stream: TcpStream,
+    config: &ServeConfig,
+    handle: &ServerHandle,
+) -> std::io::Result<()> {
+    // Reads poll so a shutdown drains even past idle clients; the timeout
+    // never surfaces to the protocol (read_request_line absorbs it).
+    stream.set_read_timeout(Some(SHUTDOWN_POLL))?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+    loop {
+        let line = match read_request_line(&mut reader, config.max_line_bytes, &handle.shutdown)? {
+            LineOutcome::Eof => return Ok(()),
+            LineOutcome::Oversized => {
+                runner.trace_store().tier().health().note_request();
+                write_line(
+                    &mut writer,
+                    &error_response(
+                        Json::Null,
+                        &format!(
+                            "request line exceeds {} bytes; line skipped",
+                            config.max_line_bytes
+                        ),
+                    ),
+                )?;
+                continue;
+            }
+            LineOutcome::Line(line) => line,
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+        runner.trace_store().tier().health().note_request();
+        match dispatch(runner, &line, config, &mut writer)? {
+            Flow::Continue => {}
+            Flow::Shutdown => {
+                writer.flush()?;
+                handle.stop();
+                return Ok(());
+            }
+        }
+    }
+}
+
+/// Whether the connection (and, on `Shutdown`, the whole server) continues
+/// after a request.
+enum Flow {
+    Continue,
+    Shutdown,
+}
+
+/// Parses and executes one request line, writing the response line(s).
+fn dispatch(
+    runner: &Runner,
+    line: &str,
+    config: &ServeConfig,
+    writer: &mut impl Write,
+) -> std::io::Result<Flow> {
+    let request = match Json::parse(line) {
+        Ok(v) => v,
+        Err(e) => {
+            write_line(
+                &mut *writer,
+                &error_response(Json::Null, &format!("malformed request: {e}")),
+            )?;
+            return Ok(Flow::Continue);
+        }
+    };
+    let id = request.get("id").cloned().unwrap_or(Json::Null);
+    let verb = request.get("req").and_then(Json::as_str).unwrap_or("");
+    match verb {
+        "ping" => {
+            write_line(
+                writer,
+                &obj([
+                    ("id", id),
+                    ("ok", Json::Bool(true)),
+                    ("kind", Json::Str("pong".into())),
+                ]),
+            )?;
+            Ok(Flow::Continue)
+        }
+        "health" => {
+            let health = runner.trace_store().tier().health_snapshot();
+            write_line(writer, &health_response(id, &health))?;
+            Ok(Flow::Continue)
+        }
+        "shutdown" => {
+            write_line(
+                writer,
+                &obj([
+                    ("id", id),
+                    ("ok", Json::Bool(true)),
+                    ("kind", Json::Str("bye".into())),
+                ]),
+            )?;
+            Ok(Flow::Shutdown)
+        }
+        "point" => {
+            match parse_target(&request) {
+                Ok(target) => serve_point(runner, &request, id, &target, writer)?,
+                Err(e) => write_line(&mut *writer, &error_response(id, &e))?,
+            }
+            Ok(Flow::Continue)
+        }
+        "sweep" => {
+            match parse_target(&request) {
+                Ok(target) => serve_sweep(runner, id, &target, config.workers, writer)?,
+                Err(e) => write_line(&mut *writer, &error_response(id, &e))?,
+            }
+            Ok(Flow::Continue)
+        }
+        "" => {
+            write_line(
+                writer,
+                &error_response(id, "missing \"req\" field (string)"),
+            )?;
+            Ok(Flow::Continue)
+        }
+        other => {
+            write_line(
+                writer,
+                &error_response(
+                    id,
+                    &format!(
+                        "unknown request {other:?} (want ping, health, point, sweep or shutdown)"
+                    ),
+                ),
+            )?;
+            Ok(Flow::Continue)
+        }
+    }
+}
+
+/// The (application, system, organization, side) every simulation request
+/// names, with protocol defaults applied.
+struct Target {
+    app: AppProfile,
+    system: SystemConfig,
+    organization: Organization,
+    side: ResizableCacheSide,
+}
+
+/// Resolves a request's simulation target, with a protocol-level error
+/// string on anything unresolvable.
+fn parse_target(request: &Json) -> Result<Target, String> {
+    let name = request
+        .get("app")
+        .and_then(Json::as_str)
+        .ok_or("missing \"app\" field (string)")?;
+    let app = spec::profile(name)
+        .or_else(|| WorkloadRegistry::builtin().get(name).map(|w| w.profile()))
+        .ok_or_else(|| format!("unknown application {name:?}"))?;
+    let system = match request.get("system").and_then(Json::as_str) {
+        None | Some("base") => SystemConfig::base(),
+        Some("in_order") => SystemConfig::in_order(),
+        Some(other) => return Err(format!("unknown system {other:?} (want base or in_order)")),
+    };
+    let organization = match request.get("org").and_then(Json::as_str) {
+        None | Some("selective_sets") => Organization::SelectiveSets,
+        Some("selective_ways") => Organization::SelectiveWays,
+        Some("hybrid") => Organization::Hybrid,
+        Some(other) => {
+            return Err(format!(
+                "unknown org {other:?} (want selective_sets, selective_ways or hybrid)"
+            ))
+        }
+    };
+    let side = match request.get("side").and_then(Json::as_str) {
+        None | Some("data") => ResizableCacheSide::Data,
+        Some("instruction") => ResizableCacheSide::Instruction,
+        Some(other) => return Err(format!("unknown side {other:?} (want data or instruction)")),
+    };
+    Ok(Target {
+        app,
+        system,
+        organization,
+        side,
+    })
+}
+
+/// Runs one target point through the memoized runner. The point is already
+/// validated against the organization's configuration space, so this cannot
+/// fail.
+fn run_point(runner: &Runner, target: &Target, point: Option<CachePoint>) -> Measurement {
+    let tag_bits = match point {
+        Some(_) if target.organization.needs_resizing_tag_bits() => target
+            .side
+            .config_of(&target.system.hierarchy)
+            .resizing_tag_bits(),
+        _ => 0,
+    };
+    match target.side {
+        ResizableCacheSide::Data => {
+            runner.run_static(&target.app, &target.system, point, None, tag_bits, 0)
+        }
+        ResizableCacheSide::Instruction => {
+            runner.run_static(&target.app, &target.system, None, point, 0, tag_bits)
+        }
+    }
+}
+
+/// Serves a `point` request: one simulation (baseline when `sets`/`ways`
+/// are omitted), one `kind:"result"` line.
+fn serve_point(
+    runner: &Runner,
+    request: &Json,
+    id: Json,
+    target: &Target,
+    writer: &mut impl Write,
+) -> std::io::Result<()> {
+    let point = match (request.get("sets"), request.get("ways")) {
+        (None, None) => None,
+        (Some(sets), Some(ways)) => {
+            let (Some(sets), Some(ways)) = (sets.as_u64(), ways.as_u64()) else {
+                return write_line(
+                    writer,
+                    &error_response(id, "\"sets\" and \"ways\" must be non-negative integers"),
+                );
+            };
+            let point = CachePoint {
+                sets,
+                ways: ways.min(u64::from(u32::MAX)) as u32,
+            };
+            // Validating against the organization's space turns a geometry
+            // the engines cannot run (non-power-of-two sets, zero ways)
+            // into a typed protocol error instead of an engine panic.
+            let space = match config_space(target) {
+                Ok(space) => space,
+                Err(e) => return write_line(writer, &error_response(id, &e)),
+            };
+            if !space.points().contains(&point) {
+                return write_line(
+                    writer,
+                    &error_response(
+                        id,
+                        &format!(
+                            "point {}x{} is not offered by {:?} on this cache",
+                            point.sets, point.ways, target.organization
+                        ),
+                    ),
+                );
+            }
+            Some(point)
+        }
+        _ => {
+            return write_line(
+                writer,
+                &error_response(id, "give both \"sets\" and \"ways\", or neither"),
+            )
+        }
+    };
+    let measurement = run_point(runner, target, point);
+    runner.trace_store().tier().health().note_served();
+    write_line(writer, &result_response(id, point, &measurement))
+}
+
+/// Serves a `sweep` request: shards the organization's points across worker
+/// threads sharing one atomic cursor, streams each `kind:"result"` line as
+/// its simulation completes (coalescing with every concurrent request
+/// through the tier memos), then writes the `kind:"done"` summary with the
+/// best-EDP point.
+fn serve_sweep(
+    runner: &Runner,
+    id: Json,
+    target: &Target,
+    workers: usize,
+    writer: &mut impl Write,
+) -> std::io::Result<()> {
+    let space = match config_space(target) {
+        Ok(space) => space,
+        Err(e) => return write_line(writer, &error_response(id, &e)),
+    };
+    let points = space.points();
+    let base = run_point(runner, target, None);
+
+    let (tx, rx) = mpsc::channel::<(CachePoint, Measurement)>();
+    let cursor = AtomicUsize::new(0);
+    let mut evaluated: Vec<(CachePoint, Measurement)> = Vec::with_capacity(points.len());
+    let mut write_error = None;
+    std::thread::scope(|scope| {
+        let cursor = &cursor;
+        for _ in 0..workers.clamp(1, points.len().max(1)) {
+            let tx = tx.clone();
+            scope.spawn(move || loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                let Some(point) = points.get(i) else { break };
+                let measurement = run_point(runner, target, Some(*point));
+                if tx.send((*point, measurement)).is_err() {
+                    break;
+                }
+            });
+        }
+        drop(tx);
+        // Stream results in completion order; the done line carries the
+        // summary, so clients needing sweep order key on (sets, ways).
+        for (point, measurement) in rx {
+            runner.trace_store().tier().health().note_served();
+            if let Err(e) = write_line(
+                &mut *writer,
+                &result_response(id.clone(), Some(point), &measurement),
+            ) {
+                write_error = Some(e);
+                // Keep draining: the workers still fill the shared memo
+                // tier, and the scope must not deadlock on a full channel.
+            }
+            evaluated.push((point, measurement));
+        }
+    });
+    if let Some(e) = write_error {
+        return Err(e);
+    }
+
+    let base_ed = base.energy_delay();
+    let best = evaluated
+        .iter()
+        .min_by(|a, b| {
+            a.1.energy_delay()
+                .product()
+                .total_cmp(&b.1.energy_delay().product())
+        })
+        .copied();
+    let Some((best_point, best_measurement)) = best else {
+        return write_line(writer, &error_response(id, "configuration space was empty"));
+    };
+    write_line(
+        writer,
+        &obj([
+            ("id", id),
+            ("ok", Json::Bool(true)),
+            ("kind", Json::Str("done".into())),
+            ("points", Json::Num(evaluated.len() as f64)),
+            (
+                "best",
+                obj([
+                    ("sets", Json::Num(best_point.sets as f64)),
+                    ("ways", Json::Num(f64::from(best_point.ways))),
+                ]),
+            ),
+            (
+                "edp_reduction_percent",
+                Json::Num(best_measurement.energy_delay().reduction_vs(&base_ed)),
+            ),
+        ]),
+    )
+}
+
+/// The configuration space the target's organization offers on its side's
+/// cache, as a protocol error when inapplicable (e.g. selective-ways on a
+/// direct-mapped cache).
+fn config_space(target: &Target) -> Result<ConfigSpace, String> {
+    ConfigSpace::enumerate(
+        target.side.config_of(&target.system.hierarchy),
+        target.organization,
+    )
+    .map_err(|e| format!("cannot enumerate configuration space: {e}"))
+}
+
+/// One measurement as a `kind:"result"` response line.
+fn result_response(id: Json, point: Option<CachePoint>, m: &Measurement) -> Json {
+    let point_json = match point {
+        Some(p) => obj([
+            ("sets", Json::Num(p.sets as f64)),
+            ("ways", Json::Num(f64::from(p.ways))),
+        ]),
+        None => Json::Str("full".into()),
+    };
+    obj([
+        ("id", id),
+        ("ok", Json::Bool(true)),
+        ("kind", Json::Str("result".into())),
+        ("point", point_json),
+        ("cycles", Json::Num(m.cycles as f64)),
+        ("ipc", Json::Num(m.ipc)),
+        ("energy_pj", Json::Num(m.energy_pj)),
+        ("edp", Json::Num(m.energy_delay().product())),
+        ("l1d_miss_ratio", Json::Num(m.l1d_miss_ratio)),
+        ("l1i_miss_ratio", Json::Num(m.l1i_miss_ratio)),
+    ])
+}
+
+/// The tier's [`StoreHealth`] as a `kind:"health"` response line.
+fn health_response(id: Json, health: &StoreHealth) -> Json {
+    obj([
+        ("id", id),
+        ("ok", Json::Bool(true)),
+        ("kind", Json::Str("health".into())),
+        ("hits", Json::Num(health.hits as f64)),
+        ("misses", Json::Num(health.misses as f64)),
+        ("coalesced", Json::Num(health.coalesced as f64)),
+        ("requests", Json::Num(health.requests as f64)),
+        ("served", Json::Num(health.served as f64)),
+        ("evictions", Json::Num(health.evictions as f64)),
+        ("regenerations", Json::Num(health.regenerations as f64)),
+        ("retries", Json::Num(health.retries as f64)),
+        ("quarantines", Json::Num(health.quarantines as f64)),
+        ("lock_steals", Json::Num(health.lock_steals as f64)),
+        ("warnings", Json::Num(health.warnings as f64)),
+        ("degraded", Json::Bool(health.degraded)),
+        (
+            "result_cache_hit_rate",
+            health.result_cache_hit_rate().map_or(Json::Null, Json::Num),
+        ),
+    ])
+}
+
+/// A typed `ok:false` response line.
+fn error_response(id: Json, message: &str) -> Json {
+    obj([
+        ("id", id),
+        ("ok", Json::Bool(false)),
+        ("error", Json::Str(message.to_string())),
+    ])
+}
+
+/// Writes one response line (the protocol is strictly line-delimited).
+fn write_line(writer: &mut impl Write, response: &Json) -> std::io::Result<()> {
+    writeln!(writer, "{}", response.render())?;
+    writer.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_request_line_splits_caps_and_recovers() {
+        let live = AtomicBool::new(false);
+        let input = b"{\"req\":\"ping\"}\nshort\n".to_vec();
+        let mut reader = std::io::BufReader::new(std::io::Cursor::new(input));
+        let LineOutcome::Line(first) = read_request_line(&mut reader, 64, &live).unwrap() else {
+            panic!("first line");
+        };
+        assert_eq!(first, "{\"req\":\"ping\"}");
+        let LineOutcome::Line(second) = read_request_line(&mut reader, 64, &live).unwrap() else {
+            panic!("second line");
+        };
+        assert_eq!(second, "short");
+        assert!(matches!(
+            read_request_line(&mut reader, 64, &live).unwrap(),
+            LineOutcome::Eof
+        ));
+
+        // An oversized line is reported and fully drained, leaving the next
+        // line intact — and the reader never buffers more than the cap.
+        let huge = format!("{}\nnext\n", "x".repeat(1000));
+        let mut reader = std::io::BufReader::new(std::io::Cursor::new(huge.into_bytes()));
+        assert!(matches!(
+            read_request_line(&mut reader, 16, &live).unwrap(),
+            LineOutcome::Oversized
+        ));
+        let LineOutcome::Line(next) = read_request_line(&mut reader, 16, &live).unwrap() else {
+            panic!("line after oversized");
+        };
+        assert_eq!(next, "next");
+
+        // A final unterminated line still parses as a request.
+        let mut reader = std::io::BufReader::new(std::io::Cursor::new(b"tail".to_vec()));
+        let LineOutcome::Line(tail) = read_request_line(&mut reader, 16, &live).unwrap() else {
+            panic!("unterminated tail");
+        };
+        assert_eq!(tail, "tail");
+    }
+
+    #[test]
+    fn parse_target_resolves_defaults_and_rejects_unknowns() {
+        let ok = Json::parse(r#"{"req":"sweep","app":"ammp"}"#).unwrap();
+        let target = parse_target(&ok).expect("defaults apply");
+        assert_eq!(target.app.name, "ammp");
+        assert_eq!(target.organization, Organization::SelectiveSets);
+        assert_eq!(target.side, ResizableCacheSide::Data);
+
+        let scenario = Json::parse(
+            r#"{"app":"pointer_chase","org":"hybrid","side":"instruction","system":"in_order"}"#,
+        )
+        .unwrap();
+        let target = parse_target(&scenario).expect("registry workloads resolve");
+        assert_eq!(target.app.name, "pointer_chase");
+        assert_eq!(target.organization, Organization::Hybrid);
+        assert_eq!(target.side, ResizableCacheSide::Instruction);
+
+        for bad in [
+            r#"{"req":"sweep"}"#,
+            r#"{"app":"no_such_app"}"#,
+            r#"{"app":"ammp","org":"bogus"}"#,
+            r#"{"app":"ammp","side":"bogus"}"#,
+            r#"{"app":"ammp","system":"bogus"}"#,
+        ] {
+            let request = Json::parse(bad).unwrap();
+            assert!(parse_target(&request).is_err(), "{bad}");
+        }
+    }
+}

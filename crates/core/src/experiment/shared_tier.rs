@@ -33,9 +33,15 @@ use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock, PoisonError};
-use std::time::{Duration, Instant};
+use std::time::{Duration, Instant, SystemTime};
 
 use rescache_trace::IoPolicy;
+
+/// Default cap on resident full traces (see [`SharedTier::resident_cap`]):
+/// generous for batch sweeps (a full 12-app × warm/measure sweep keeps under
+/// half of this), while bounding a long-lived server replaying arbitrarily
+/// many distinct workloads.
+pub const DEFAULT_RESIDENT_CAP: usize = 64;
 
 /// A shared once-per-key memoization map: the outer mutex is held only to
 /// fetch or insert a slot, while the per-key [`OnceLock`] serializes
@@ -113,6 +119,10 @@ pub struct HealthCounters {
     quarantines: AtomicU64,
     lock_steals: AtomicU64,
     warnings: AtomicU64,
+    evictions: AtomicU64,
+    requests: AtomicU64,
+    served: AtomicU64,
+    coalesced: AtomicU64,
     degraded: AtomicBool,
 }
 
@@ -155,6 +165,31 @@ impl HealthCounters {
         self.warnings.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// A resident full trace evicted by the [`SharedTier::resident_cap`]
+    /// bound.
+    pub fn note_eviction(&self) {
+        self.evictions.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// One protocol request accepted by the sweep service.
+    pub fn note_request(&self) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// One simulation result line served back to a sweep-service client.
+    pub fn note_served(&self) {
+        self.served.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A request that neither found an initialized memo slot nor ran the
+    /// computation itself: it blocked on a sibling's in-flight single-flight
+    /// initializer and shared the result. The server's dedup guarantee —
+    /// N concurrent clients, one simulation — is `coalesced + hits` covering
+    /// everything beyond the single miss per distinct key.
+    pub fn note_coalesced(&self) {
+        self.coalesced.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Flips the tier into degraded (in-memory-only) mode; true only for the
     /// caller that performed the transition — which is the caller that must
     /// print the one-time warning.
@@ -177,6 +212,10 @@ impl HealthCounters {
             quarantines: self.quarantines.load(Ordering::Relaxed),
             lock_steals: self.lock_steals.load(Ordering::Relaxed),
             warnings: self.warnings.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            requests: self.requests.load(Ordering::Relaxed),
+            served: self.served.load(Ordering::Relaxed),
+            coalesced: self.coalesced.load(Ordering::Relaxed),
             degraded: self.degraded.load(Ordering::Relaxed),
         }
     }
@@ -200,8 +239,29 @@ pub struct StoreHealth {
     pub lock_steals: u64,
     /// Warnings printed.
     pub warnings: u64,
+    /// Resident full traces evicted by the resident cap.
+    pub evictions: u64,
+    /// Protocol requests accepted by the sweep service.
+    pub requests: u64,
+    /// Result lines served back to sweep-service clients.
+    pub served: u64,
+    /// Requests that blocked on (and shared) a sibling's in-flight
+    /// computation instead of running their own.
+    pub coalesced: u64,
     /// Whether the tier is in in-memory-only degraded mode.
     pub degraded: bool,
+}
+
+impl StoreHealth {
+    /// The fraction of memo lookups answered without running a computation —
+    /// the sweep service's headline "result cache hit rate". Coalesced
+    /// lookups count as hits (the work was shared, not repeated); returns
+    /// `None` before any lookup has happened.
+    pub fn result_cache_hit_rate(&self) -> Option<f64> {
+        let shared = self.hits + self.coalesced;
+        let total = shared + self.misses;
+        (total > 0).then(|| shared as f64 / total as f64)
+    }
 }
 
 /// Timing knobs of the cross-process entry lock.
@@ -271,10 +331,24 @@ pub struct SharedTier {
     /// Memoized static simulations, keyed by the runner's
     /// `(trace key, system, geometries)`.
     pub(crate) sims: Memo<crate::experiment::runner::SimKey, crate::experiment::runner::StaticSim>,
+    /// Recency stamps for the resident full-trace map (see
+    /// [`SharedTier::resident_cap`]). Lock ordering: this mutex is always
+    /// taken *before* the `traces` map mutex, never inside it.
+    pub(crate) trace_lru: Arc<Mutex<TraceLru>>,
     policy: IoPolicy,
     dir: Option<PathBuf>,
     lock: LockParams,
+    resident_cap: usize,
     health: Arc<HealthCounters>,
+}
+
+/// Recency bookkeeping for resident full traces: a monotonic use clock and
+/// each key's last-use stamp. Kept beside the `traces` [`Memo`] rather than
+/// inside it so eviction policy stays out of the single-flight machinery.
+#[derive(Debug, Default)]
+pub(crate) struct TraceLru {
+    pub(crate) clock: u64,
+    pub(crate) last_use: HashMap<crate::experiment::trace_store::StoreKey, u64>,
 }
 
 impl Default for SharedTier {
@@ -291,26 +365,58 @@ impl SharedTier {
             traces: Memo::default(),
             persists: Memo::default(),
             sims: Memo::default(),
+            trace_lru: Arc::default(),
             policy,
             dir,
             lock: LockParams::default(),
+            resident_cap: DEFAULT_RESIDENT_CAP,
             health: Arc::default(),
         }
     }
 
     /// The tier the environment configures: persistence from
-    /// `RESCACHE_TRACE_DIR`, fault injection from `RESCACHE_FAULTS`.
+    /// `RESCACHE_TRACE_DIR`, fault injection from `RESCACHE_FAULTS`, resident
+    /// full-trace cap from `RESCACHE_RESIDENT_TRACES`.
     pub fn from_env() -> Self {
-        Self::new(
+        let tier = Self::new(
             std::env::var_os("RESCACHE_TRACE_DIR").map(PathBuf::from),
             IoPolicy::from_env(),
-        )
+        );
+        match std::env::var("RESCACHE_RESIDENT_TRACES")
+            .ok()
+            .map(|v| v.trim().parse::<usize>())
+        {
+            Some(Ok(cap)) => tier.with_resident_cap(cap),
+            Some(Err(_)) => {
+                eprintln!(
+                    "rescache: ignoring unparsable RESCACHE_RESIDENT_TRACES \
+                     (want a positive integer); keeping cap {DEFAULT_RESIDENT_CAP}"
+                );
+                tier
+            }
+            None => tier,
+        }
     }
 
     /// This tier with the given lock timings (tests shrink them).
     pub fn with_lock_params(mut self, lock: LockParams) -> Self {
         self.lock = lock;
         self
+    }
+
+    /// This tier with the given cap on resident full traces (clamped to at
+    /// least 1 — the trace being served must stay resident).
+    pub fn with_resident_cap(mut self, cap: usize) -> Self {
+        self.resident_cap = cap.max(1);
+        self
+    }
+
+    /// Maximum number of full traces the tier keeps materialized at once;
+    /// beyond it, the least-recently-used resident trace is evicted (counted
+    /// in [`StoreHealth::evictions`]). Evicted traces are not lost — the next
+    /// request re-reads from disk or regenerates, exactly like a cold key.
+    pub fn resident_cap(&self) -> usize {
+        self.resident_cap
     }
 
     /// A tier sharing this tier's traces, persists, policy and health but
@@ -415,15 +521,23 @@ impl SharedTier {
         }
     }
 
-    /// Whether the lock file's mtime is older than the stale threshold. An
-    /// unreadable mtime (racing removal, filesystem without mtimes) reads as
-    /// fresh — waiting is safe, the deadline bounds it.
+    /// Whether the lock file's mtime marks it abandoned. An unreadable mtime
+    /// (racing removal, filesystem without mtimes) reads as fresh — waiting
+    /// is safe, the deadline bounds it. An mtime *in the future* by more than
+    /// `stale_after` also reads as stale: that lock was planted under clock
+    /// skew (writer on a fast-running clock, or an NTP step after a crash)
+    /// and can never *age* past the threshold from here, so treating it as
+    /// fresh would make every accessor eat the full deadline on every access,
+    /// forever. Small future skew (within `stale_after`) stays fresh — a live
+    /// writer a few ticks ahead of us must not lose its lock.
     fn lock_is_stale(&self, lock_path: &Path) -> bool {
-        std::fs::metadata(lock_path)
-            .and_then(|m| m.modified())
-            .ok()
-            .and_then(|t| t.elapsed().ok())
-            .is_some_and(|age| age > self.lock.stale_after)
+        let Ok(modified) = std::fs::metadata(lock_path).and_then(|m| m.modified()) else {
+            return false;
+        };
+        match SystemTime::now().duration_since(modified) {
+            Ok(age) => age > self.lock.stale_after,
+            Err(skew) => skew.duration() > self.lock.stale_after,
+        }
     }
 
     /// The lock-file sibling of a store entry (`<file>.lock`).
@@ -627,5 +741,66 @@ mod tests {
         assert!(started.elapsed() >= Duration::from_millis(100));
         assert_eq!(tier.health_snapshot().lock_steals, 1, "no steal this time");
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn future_dated_lock_from_clock_skew_is_stolen() {
+        // Regression: a crashed writer can leave a lock whose mtime is in
+        // the *future* (clock skew, NTP step). `SystemTime::elapsed()` errors
+        // on such a timestamp, and the old code read the error as "fresh" —
+        // so the lock could never age past stale_after and every accessor ate
+        // the full deadline on every access, forever. A future mtime beyond
+        // stale_after must be stolen like any other abandoned lock.
+        let dir = temp_dir("lock-future");
+        let entry = dir.join("entry.rctrace");
+        let lock_file = dir.join("entry.rctrace.lock");
+        let tier =
+            SharedTier::new(Some(dir.clone()), IoPolicy::none()).with_lock_params(fast_locks());
+
+        let file = std::fs::File::create(&lock_file).expect("plant skewed lock");
+        file.set_modified(SystemTime::now() + Duration::from_secs(60))
+            .expect("future-date lock");
+        drop(file);
+        let started = Instant::now();
+        let outcome = tier.lock_entry(&entry);
+        assert!(matches!(outcome, LockOutcome::Acquired(_)), "{outcome:?}");
+        assert_eq!(tier.health_snapshot().lock_steals, 1, "stolen, not waited");
+        assert!(
+            started.elapsed() < fast_locks().deadline,
+            "resolved by stealing, not by deadline expiry"
+        );
+        drop(outcome);
+
+        // Future skew *within* stale_after is a live writer whose clock runs
+        // slightly ahead: its lock must be honored until the deadline, not
+        // stolen.
+        let patient = tier.clone().with_lock_params(LockParams {
+            stale_after: Duration::from_secs(60),
+            poll: Duration::from_millis(5),
+            deadline: Duration::from_millis(100),
+        });
+        let file = std::fs::File::create(&lock_file).expect("plant near lock");
+        file.set_modified(SystemTime::now() + Duration::from_secs(30))
+            .expect("slightly-future lock");
+        drop(file);
+        assert!(matches!(patient.lock_entry(&entry), LockOutcome::Unlocked));
+        assert_eq!(
+            tier.health_snapshot().lock_steals,
+            1,
+            "near-future lock was honored (deadline expiry, no second steal)"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn resident_cap_builder_and_env_default() {
+        let tier = SharedTier::default();
+        assert_eq!(tier.resident_cap(), DEFAULT_RESIDENT_CAP);
+        assert_eq!(tier.with_resident_cap(3).resident_cap(), 3);
+        assert_eq!(
+            SharedTier::default().with_resident_cap(0).resident_cap(),
+            1,
+            "cap clamps to 1: the trace being served must stay resident"
+        );
     }
 }

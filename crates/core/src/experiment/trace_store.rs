@@ -52,6 +52,7 @@
 //! runners and threads share one coherent cache-and-recovery state.
 
 use std::path::{Path, PathBuf};
+use std::sync::PoisonError;
 
 use rescache_trace::{
     codec, is_transient, AppProfile, Compression, InstrRecord, IoPolicy, Trace, TraceCursor,
@@ -275,10 +276,85 @@ impl TraceStore {
         let slot = self.tier.traces.slot(key);
         if let Some(trace) = slot.get() {
             self.tier.health().note_hit();
+            self.note_resident_use(&key);
             return trace.clone();
         }
-        slot.get_or_init(|| self.load_or_generate(app, &key))
-            .clone()
+        let mut ran = false;
+        let trace = slot
+            .get_or_init(|| {
+                ran = true;
+                self.load_or_generate(app, &key)
+            })
+            .clone();
+        if !ran {
+            // Neither an initialized slot nor our own generation: we blocked
+            // on a sibling's in-flight initializer and shared its result.
+            self.tier.health().note_coalesced();
+        }
+        self.note_resident_use(&key);
+        trace
+    }
+
+    /// Stamps `key` as just-used in the resident-trace LRU, then evicts the
+    /// least-recently-used resident traces until the tier's
+    /// [`resident_cap`](SharedTier::resident_cap) holds. Called on every
+    /// materialized serve, so a long-lived server replaying many distinct
+    /// workloads keeps bounded memory instead of accreting every full trace
+    /// it ever touched; evicted entries reload from disk (or regenerate)
+    /// like any cold key. Lock ordering: the LRU mutex is taken first and
+    /// the `traces` map mutex only inside it, never the reverse.
+    fn note_resident_use(&self, key: &StoreKey) {
+        let cap = self.tier.resident_cap();
+        let mut lru = self
+            .tier
+            .trace_lru
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        lru.clock += 1;
+        let stamp = lru.clock;
+        lru.last_use.insert(*key, stamp);
+        loop {
+            // Victim scan: the initialized key (other than the one just
+            // served) with the oldest use stamp. A key with no stamp sorts
+            // oldest — it was resident before stamping began.
+            let (resident, victim) = self.tier.traces.with_map(|map| {
+                let mut resident = 0usize;
+                let mut victim: Option<(StoreKey, u64)> = None;
+                for (k, slot) in map.iter() {
+                    if slot.get().is_none() {
+                        continue;
+                    }
+                    resident += 1;
+                    if k == key {
+                        continue;
+                    }
+                    let at = lru.last_use.get(k).copied().unwrap_or(0);
+                    if victim.is_none_or(|(_, best)| at < best) {
+                        victim = Some((*k, at));
+                    }
+                }
+                (resident, victim)
+            });
+            if resident <= cap {
+                break;
+            }
+            let Some((victim_key, _)) = victim else {
+                break;
+            };
+            self.tier.traces.remove(&victim_key);
+            lru.last_use.remove(&victim_key);
+            self.tier.health().note_eviction();
+        }
+        // Stamps for keys no longer resident (evicted above, or removed by
+        // other paths) must not accrete either.
+        let resident_keys: Vec<StoreKey> = self
+            .tier
+            .traces
+            .with_map(|map| map.keys().copied().collect());
+        if lru.last_use.len() > resident_keys.len() {
+            let keep: std::collections::HashSet<StoreKey> = resident_keys.into_iter().collect();
+            lru.last_use.retain(|k, _| keep.contains(k));
+        }
     }
 
     /// Serves the full (warm + measure) record sequence as a pull-based
@@ -290,8 +366,9 @@ impl TraceStore {
 
         // Already materialized in this process (exactly, or as a longer
         // prefix-stable trace): replaying the resident buffer is free.
-        if let Some(full) = self.resident_prefix(app, &key) {
+        if let Some((served, full)) = self.resident_prefix(app, &key) {
             self.tier.health().note_hit();
+            self.note_resident_use(&served);
             return StoreSource::Resident(full.cursor());
         }
 
@@ -329,10 +406,13 @@ impl TraceStore {
 
     /// A resident full trace covering `key` — exact, or a copy-free prefix
     /// view of a longer resident trace when the profile is prefix-stable.
-    fn resident_prefix(&self, app: &AppProfile, key: &StoreKey) -> Option<Trace> {
+    /// Returns the key of the entry actually serving the request (the longer
+    /// entry's, on a prefix serve), so callers can stamp the right key in
+    /// the resident LRU.
+    fn resident_prefix(&self, app: &AppProfile, key: &StoreKey) -> Option<(StoreKey, Trace)> {
         self.tier.traces.with_map(|map| {
             if let Some(trace) = map.get(key).and_then(|slot| slot.get()) {
-                return Some(trace.clone());
+                return Some((*key, trace.clone()));
             }
             if !app.length_invariant() {
                 return None;
@@ -342,9 +422,9 @@ impl TraceStore {
                 .filter(|((n, f, s, t, v), _)| {
                     *n == name && *f == fingerprint && *s == seed && *t > total && *v == format
                 })
-                .filter_map(|(k, slot)| slot.get().map(|t| (k.3, t)))
-                .min_by_key(|(t, _)| *t)
-                .map(|(_, trace)| trace.slice(0..total))
+                .filter_map(|(k, slot)| slot.get().map(|t| (*k, t)))
+                .min_by_key(|(k, _)| k.3)
+                .map(|(k, trace)| (k, trace.slice(0..total)))
         })
     }
 
@@ -624,8 +704,9 @@ impl TraceStore {
         // serves the request as a copy-free view — the same sharing
         // `source()` applies (the exact key can't be resident: this runs
         // inside its one-time initializer).
-        if let Some(prefix) = self.resident_prefix(app, key) {
+        if let Some((served, prefix)) = self.resident_prefix(app, key) {
             health.note_hit();
+            self.note_resident_use(&served);
             return prefix;
         }
 
@@ -1397,6 +1478,85 @@ mod tests {
             1,
             "served from the raw entry, nothing rewritten"
         );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn resident_cap_evicts_least_recently_used_and_counts() {
+        // Regression: the resident full-trace map used to grow without
+        // bound — harmless in batch sweeps, a memory leak in a long-lived
+        // server replaying many distinct workloads. With a cap of 2, a third
+        // distinct trace must evict exactly the least-recently-used one.
+        let store =
+            TraceStore::with_tier(SharedTier::new(None, IoPolicy::none()).with_resident_cap(2));
+        let cfg = RunnerConfig::fast();
+
+        let (w_ammp, _) = store.fetch(&spec::ammp(), &cfg);
+        store.fetch(&spec::gcc(), &cfg);
+        // Touch ammp again so gcc becomes the LRU.
+        let (w_ammp_again, _) = store.fetch(&spec::ammp(), &cfg);
+        assert_eq!(
+            w_ammp.records().as_ptr(),
+            w_ammp_again.records().as_ptr(),
+            "the touch is a copy-free hit"
+        );
+        assert_eq!(store.resident_full_traces(), 2);
+        assert_eq!(store.health().evictions, 0, "under the cap, no evictions");
+
+        store.fetch(&spec::m88ksim(), &cfg);
+        let health = store.health();
+        assert_eq!(store.resident_full_traces(), 2, "the cap holds");
+        assert_eq!(health.evictions, 1, "exactly one eviction");
+        // gcc (the LRU) went; ammp survived. Refetching ammp is still a
+        // shared hit, refetching gcc is a fresh miss.
+        let hits_before = health.hits;
+        let misses_before = health.misses;
+        let (w_ammp_final, _) = store.fetch(&spec::ammp(), &cfg);
+        assert_eq!(w_ammp.records().as_ptr(), w_ammp_final.records().as_ptr());
+        assert_eq!(store.health().hits, hits_before + 1);
+        store.fetch(&spec::gcc(), &cfg);
+        assert_eq!(
+            store.health().misses,
+            misses_before + 1,
+            "the evicted trace regenerates like a cold key"
+        );
+        // The recency map must not leak either: it never tracks more keys
+        // than the map holds slots for.
+        let stamped = store
+            .tier()
+            .trace_lru
+            .lock()
+            .expect("lru lock")
+            .last_use
+            .len();
+        let slots = store.tier().traces.with_map(|m| m.len());
+        assert!(stamped <= slots, "{stamped} stamps for {slots} slots");
+    }
+
+    #[test]
+    fn evicted_trace_reloads_from_disk_not_regeneration() {
+        // With persistence configured, eviction only drops the in-memory
+        // copy: the next fetch re-reads the disk entry (a hit), keeping the
+        // cap a memory bound rather than a throughput cliff.
+        let dir = std::env::temp_dir().join(format!("rescache-store-cap-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let store = TraceStore::with_tier(
+            SharedTier::new(Some(dir.clone()), IoPolicy::none()).with_resident_cap(1),
+        );
+        let cfg = RunnerConfig::fast();
+
+        let (w1, m1) = store.fetch(&spec::ammp(), &cfg);
+        store.fetch(&spec::gcc(), &cfg);
+        assert_eq!(store.resident_full_traces(), 1, "cap 1 holds");
+        assert_eq!(store.health().evictions, 1);
+
+        let regen_before = store.health().regenerations;
+        let misses_before = store.health().misses;
+        let (w2, m2) = store.fetch(&spec::ammp(), &cfg);
+        assert_eq!((w1, m1), (w2, m2), "disk round-trip is bit-identical");
+        let health = store.health();
+        assert_eq!(health.regenerations, regen_before, "no regeneration");
+        assert_eq!(health.misses, misses_before, "no cold generation either");
         std::fs::remove_dir_all(&dir).ok();
     }
 }

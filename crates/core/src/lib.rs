@@ -46,6 +46,7 @@
 
 pub mod error;
 pub mod experiment;
+pub mod json;
 pub mod org;
 pub mod strategy;
 pub mod system;

@@ -1,0 +1,107 @@
+//! The sweep service as a process: serve the JSON-lines protocol over a
+//! shared store/memo tier, so many clients (or many terminals) share one
+//! pool of traces and simulation results.
+//!
+//! Run a long-lived server (address from `RESCACHE_SERVE_ADDR`, default
+//! `127.0.0.1:7878`; runner knobs from the usual `RESCACHE_*` variables):
+//!
+//! ```text
+//! cargo run --release --example serve
+//! ```
+//!
+//! Then talk to it from any line client, e.g.:
+//!
+//! ```text
+//! printf '{"req":"sweep","app":"gcc","org":"selective_sets"}\n' | nc 127.0.0.1 7878
+//! ```
+//!
+//! Or run the self-contained demo — an ephemeral server plus a scripted
+//! client exercising ping, a point, a streamed sweep, health and shutdown:
+//!
+//! ```text
+//! cargo run --release --example serve -- --demo
+//! ```
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+
+use rescache::core::json::Json;
+use rescache::prelude::*;
+
+fn main() -> std::io::Result<()> {
+    if std::env::args().any(|a| a == "--demo") {
+        demo()
+    } else {
+        let runner = Runner::new(RunnerConfig::from_env());
+        let server = SweepServer::bind(runner, ServeConfig::from_env())?;
+        println!(
+            "rescache sweep service listening on {}",
+            server.local_addr()?
+        );
+        println!("send {{\"req\":\"shutdown\"}} to stop it.");
+        server.serve()
+    }
+}
+
+/// One scripted client session against an ephemeral in-process server.
+fn demo() -> std::io::Result<()> {
+    let runner = Runner::new(RunnerConfig::fast());
+    let config = ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        ..ServeConfig::default()
+    };
+    let server = SweepServer::bind(runner, config)?;
+    let addr = server.local_addr()?;
+    let (_handle, join) = server.spawn()?;
+    println!("demo server on {addr}");
+
+    let stream = TcpStream::connect(addr)?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = stream;
+    let mut line = String::new();
+    exchange(&mut writer, &mut reader, r#"{"req":"ping","id":1}"#)?;
+    exchange(
+        &mut writer,
+        &mut reader,
+        r#"{"req":"point","id":2,"app":"gcc"}"#,
+    )?;
+
+    // A sweep streams one result line per point, then a "done" summary.
+    writeln!(
+        writer,
+        r#"{{"req":"sweep","id":3,"app":"gcc","org":"selective_sets"}}"#
+    )?;
+    println!(r#"> {{"req":"sweep","id":3,"app":"gcc","org":"selective_sets"}}"#);
+    loop {
+        line.clear();
+        reader.read_line(&mut line)?;
+        println!("< {}", line.trim_end());
+        let response = Json::parse(line.trim_end()).expect("server speaks valid JSON");
+        if response.get("kind").and_then(Json::as_str) == Some("done") {
+            break;
+        }
+    }
+
+    exchange(&mut writer, &mut reader, r#"{"req":"health","id":4}"#)?;
+    let bye = exchange(&mut writer, &mut reader, r#"{"req":"shutdown","id":5}"#)?;
+    assert_eq!(bye.get("kind").and_then(Json::as_str), Some("bye"));
+    drop(writer);
+
+    join.join().expect("server thread exits cleanly");
+    println!("server drained; demo complete.");
+    Ok(())
+}
+
+/// Sends one request line, prints and parses the one-line response.
+fn exchange(
+    writer: &mut TcpStream,
+    reader: &mut BufReader<TcpStream>,
+    request: &str,
+) -> std::io::Result<Json> {
+    writeln!(writer, "{request}")?;
+    let mut line = String::new();
+    reader.read_line(&mut line)?;
+    println!("> {request}");
+    println!("< {}", line.trim_end());
+    Ok(Json::parse(line.trim_end()).expect("server speaks valid JSON"))
+}

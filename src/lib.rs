@@ -53,7 +53,9 @@ pub use rescache_trace as trace;
 /// The most commonly used types, re-exported flat for convenience.
 pub mod prelude {
     pub use rescache_cache::{Cache, CacheConfig, HierarchyConfig, MemoryHierarchy};
-    pub use rescache_core::experiment::{Runner, RunnerConfig, TraceStore};
+    pub use rescache_core::experiment::{
+        Runner, RunnerConfig, ServeConfig, ServerHandle, SweepServer, TraceStore,
+    };
     pub use rescache_core::{
         CachePoint, ConfigSpace, CoreError, DynamicController, DynamicParams, Organization,
         ResizableCacheSide, StaticSearch, SystemConfig,

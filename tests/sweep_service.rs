@@ -1,0 +1,350 @@
+//! Integration tests of the sweep service: the JSON-lines request server
+//! over the shared store/memo tier.
+//!
+//! The contract under test:
+//!
+//! * **Coalescing** — N concurrent clients requesting the same cold point
+//!   trigger exactly one simulation (and one trace generation); everything
+//!   beyond those two misses is a `hit` or a `coalesced` in the tier's
+//!   health counters. Likewise N clients running the same sweep share one
+//!   simulation per unique point.
+//! * **Robustness** — malformed, oversized and unserviceable request lines
+//!   get typed `ok:false` responses on a connection that stays usable;
+//!   never a panic, never a silent disconnect.
+//! * **Degradation** — with injected disk faults the service keeps serving
+//!   correct results while the store degrades to in-memory operation.
+//! * **Shutdown** — a `shutdown` request drains the server cleanly.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+
+use rescache::prelude::*;
+use rescache_core::experiment::{ServeConfig, SharedTier, SweepServer};
+use rescache_core::json::Json;
+use rescache_trace::{FaultInjector, FaultSpec, IoPolicy};
+
+fn service_config() -> RunnerConfig {
+    RunnerConfig {
+        warmup_instructions: 4_000,
+        measure_instructions: 12_000,
+        ..RunnerConfig::fast()
+    }
+}
+
+/// Binds a server over `tier` on an ephemeral port and serves it in the
+/// background. Returns the address and the stop/join pair.
+fn spawn_server(
+    tier: SharedTier,
+) -> (
+    SocketAddr,
+    rescache_core::experiment::ServerHandle,
+    std::thread::JoinHandle<()>,
+) {
+    let runner = Runner::with_store(service_config(), TraceStore::with_tier(tier));
+    let config = ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        ..ServeConfig::default()
+    };
+    let server = SweepServer::bind(runner, config).expect("bind ephemeral port");
+    let addr = server.local_addr().expect("local addr");
+    let (handle, join) = server.spawn().expect("spawn server");
+    (addr, handle, join)
+}
+
+struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    fn connect(addr: SocketAddr) -> Self {
+        let writer = TcpStream::connect(addr).expect("connect");
+        let reader = BufReader::new(writer.try_clone().expect("clone stream"));
+        Self { reader, writer }
+    }
+
+    fn send(&mut self, line: &str) {
+        writeln!(self.writer, "{line}").expect("send request");
+    }
+
+    fn recv(&mut self) -> Json {
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line).expect("read response");
+        assert!(n > 0, "server closed the connection unexpectedly");
+        Json::parse(line.trim_end()).expect("response is valid JSON")
+    }
+
+    fn request(&mut self, line: &str) -> Json {
+        self.send(line);
+        self.recv()
+    }
+}
+
+fn is_ok(response: &Json) -> bool {
+    response.get("ok").and_then(Json::as_bool) == Some(true)
+}
+
+fn kind(response: &Json) -> &str {
+    response.get("kind").and_then(Json::as_str).unwrap_or("")
+}
+
+/// The number of points selective-sets offers on the base d-cache — the
+/// per-unique-point simulation bound the sweep assertions use.
+fn selective_sets_points() -> usize {
+    let system = SystemConfig::base();
+    ConfigSpace::enumerate(system.hierarchy.l1d, Organization::SelectiveSets)
+        .expect("selective-sets applies to the base d-cache")
+        .len()
+}
+
+#[test]
+fn concurrent_point_requests_coalesce_to_one_simulation() {
+    let tier = SharedTier::new(None, IoPolicy::none());
+    let (addr, handle, join) = spawn_server(tier.clone());
+
+    // Every client asks for the same cold full-size point.
+    let system = SystemConfig::base();
+    let request = format!(
+        r#"{{"req":"point","id":7,"app":"ammp","sets":{},"ways":{}}}"#,
+        system.hierarchy.l1d.num_sets(),
+        system.hierarchy.l1d.associativity
+    );
+    const CLIENTS: usize = 6;
+    std::thread::scope(|scope| {
+        for _ in 0..CLIENTS {
+            let request = &request;
+            scope.spawn(move || {
+                let mut client = Client::connect(addr);
+                let response = client.request(request);
+                assert!(is_ok(&response), "{response:?}");
+                assert_eq!(kind(&response), "result");
+                assert_eq!(response.get("id").and_then(Json::as_u64), Some(7));
+                assert!(response.get("cycles").and_then(Json::as_u64).unwrap() > 0);
+            });
+        }
+    });
+
+    let health = tier.health_snapshot();
+    // One trace generation + one simulation, no matter how many clients
+    // raced: the single-flight memos coalesce everything else.
+    assert_eq!(health.misses, 2, "{health:?}");
+    assert_eq!(
+        health.hits + health.coalesced,
+        (CLIENTS - 1) as u64,
+        "every non-running client shared the one simulation: {health:?}"
+    );
+    assert_eq!(health.requests, CLIENTS as u64, "{health:?}");
+    assert_eq!(health.served, CLIENTS as u64, "{health:?}");
+
+    handle.stop();
+    join.join().expect("server thread exits cleanly");
+}
+
+#[test]
+fn overlapping_sweeps_share_one_simulation_per_unique_point() {
+    let tier = SharedTier::new(None, IoPolicy::none());
+    let (addr, handle, join) = spawn_server(tier.clone());
+    let points = selective_sets_points();
+
+    const CLIENTS: usize = 3;
+    std::thread::scope(|scope| {
+        for id in 0..CLIENTS {
+            scope.spawn(move || {
+                let mut client = Client::connect(addr);
+                client.send(&format!(
+                    r#"{{"req":"sweep","id":{id},"app":"ammp","org":"selective_sets","side":"data"}}"#
+                ));
+                let mut results = 0;
+                loop {
+                    let response = client.recv();
+                    assert!(is_ok(&response), "{response:?}");
+                    assert_eq!(response.get("id").and_then(Json::as_u64), Some(id as u64));
+                    match kind(&response) {
+                        "result" => results += 1,
+                        "done" => {
+                            assert_eq!(
+                                response.get("points").and_then(Json::as_u64),
+                                Some(results as u64)
+                            );
+                            let best = response.get("best").expect("done carries best point");
+                            assert!(best.get("sets").and_then(Json::as_u64).is_some());
+                            break;
+                        }
+                        other => panic!("unexpected response kind {other:?}: {response:?}"),
+                    }
+                }
+                assert_eq!(results, points, "one line per sweep point");
+            });
+        }
+    });
+
+    let health = tier.health_snapshot();
+    // Unique work across all clients: one trace generation plus one
+    // simulation per point (the sweep's full-size baseline shares the
+    // full point's memo key).
+    assert_eq!(health.misses as usize, points + 1, "{health:?}");
+    assert_eq!(health.requests, CLIENTS as u64, "{health:?}");
+    assert_eq!(health.served, (CLIENTS * points) as u64, "{health:?}");
+    let rate = health.result_cache_hit_rate().expect("lookups happened");
+    assert!(rate > 0.5, "most lookups were shared: {health:?}");
+
+    handle.stop();
+    join.join().expect("server thread exits cleanly");
+}
+
+#[test]
+fn malformed_and_oversized_lines_get_typed_errors_and_the_connection_survives() {
+    let tier = SharedTier::new(None, IoPolicy::none());
+    let (addr, handle, join) = spawn_server(tier);
+    let mut client = Client::connect(addr);
+
+    for (bad, expect) in [
+        ("this is not json", "malformed request"),
+        (r#"{"no_req":true}"#, "missing \"req\""),
+        (r#"{"req":"frobnicate"}"#, "unknown request"),
+        (r#"{"req":"point","id":1}"#, "missing \"app\""),
+        (
+            r#"{"req":"point","app":"no_such_app"}"#,
+            "unknown application",
+        ),
+        (
+            r#"{"req":"point","app":"ammp","sets":7,"ways":2}"#,
+            "not offered",
+        ),
+        (
+            r#"{"req":"point","app":"ammp","sets":64}"#,
+            "both \"sets\" and \"ways\"",
+        ),
+        (
+            r#"{"req":"sweep","app":"ammp","org":"bogus"}"#,
+            "unknown org",
+        ),
+    ] {
+        let response = client.request(bad);
+        assert_eq!(
+            response.get("ok").and_then(Json::as_bool),
+            Some(false),
+            "{bad} -> {response:?}"
+        );
+        let error = response
+            .get("error")
+            .and_then(Json::as_str)
+            .expect("typed error");
+        assert!(error.contains(expect), "{bad} -> {error}");
+    }
+
+    // An oversized line (beyond the 64 KiB cap) is answered and skipped
+    // without buffering it or killing the connection.
+    let mut huge = String::with_capacity(100_000);
+    huge.push_str(r#"{"req":"point","pad":""#);
+    huge.push_str(&"x".repeat(100_000 - huge.len() - 2));
+    huge.push_str("\"}");
+    let response = client.request(&huge);
+    assert_eq!(response.get("ok").and_then(Json::as_bool), Some(false));
+    assert!(response
+        .get("error")
+        .and_then(Json::as_str)
+        .expect("typed error")
+        .contains("exceeds"));
+
+    // The same connection still serves real requests afterwards.
+    let pong = client.request(r#"{"req":"ping","id":9}"#);
+    assert!(is_ok(&pong), "{pong:?}");
+    assert_eq!(kind(&pong), "pong");
+    assert_eq!(pong.get("id").and_then(Json::as_u64), Some(9));
+
+    handle.stop();
+    join.join().expect("server thread exits cleanly");
+}
+
+#[test]
+fn sweep_service_survives_disk_faults_and_degrades_gracefully() {
+    // A store directory with aggressive write faults: persistence fails,
+    // the tier degrades to in-memory operation mid-serve, and every client
+    // still gets a full, correct sweep.
+    let dir = std::env::temp_dir().join(format!("rescache-serve-faults-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let spec = FaultSpec::parse("seed=7,write=0.5,full=1.0").expect("valid fault spec");
+    let faulty = SharedTier::new(
+        Some(dir.clone()),
+        IoPolicy::with_injector(std::sync::Arc::new(FaultInjector::seeded(spec))),
+    );
+    let (addr, handle, join) = spawn_server(faulty.clone());
+
+    let mut client = Client::connect(addr);
+    client.send(r#"{"req":"sweep","id":1,"app":"gcc","org":"selective_sets"}"#);
+    let mut results: Vec<Json> = Vec::new();
+    loop {
+        let response = client.recv();
+        assert!(
+            is_ok(&response),
+            "faults must not fail requests: {response:?}"
+        );
+        if kind(&response) == "done" {
+            break;
+        }
+        results.push(response);
+    }
+    assert_eq!(results.len(), selective_sets_points());
+
+    // Reference: the same sweep on a fault-free in-memory tier must produce
+    // bit-identical cycle counts (faults may cost retries or degradation,
+    // never results).
+    let clean = SharedTier::new(None, IoPolicy::none());
+    let (clean_addr, clean_handle, clean_join) = spawn_server(clean);
+    let mut reference = Client::connect(clean_addr);
+    reference.send(r#"{"req":"sweep","id":1,"app":"gcc","org":"selective_sets"}"#);
+    let mut reference_results: Vec<Json> = Vec::new();
+    loop {
+        let response = reference.recv();
+        if kind(&response) == "done" {
+            break;
+        }
+        reference_results.push(response);
+    }
+    let cycles_of = |rs: &[Json]| {
+        let mut cycles: Vec<(u64, u64, u64)> = rs
+            .iter()
+            .map(|r| {
+                let point = r.get("point").expect("point");
+                (
+                    point.get("sets").and_then(Json::as_u64).expect("sets"),
+                    point.get("ways").and_then(Json::as_u64).expect("ways"),
+                    r.get("cycles").and_then(Json::as_u64).expect("cycles"),
+                )
+            })
+            .collect();
+        cycles.sort_unstable();
+        cycles
+    };
+    assert_eq!(cycles_of(&results), cycles_of(&reference_results));
+
+    let health = faulty.health_snapshot();
+    assert!(
+        health.degraded || health.warnings > 0 || health.retries > 0,
+        "the injected faults were actually hit: {health:?}"
+    );
+
+    handle.stop();
+    clean_handle.stop();
+    join.join().expect("faulty server exits cleanly");
+    clean_join.join().expect("clean server exits cleanly");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn shutdown_request_drains_the_server() {
+    let tier = SharedTier::new(None, IoPolicy::none());
+    let (addr, _handle, join) = spawn_server(tier);
+
+    let mut client = Client::connect(addr);
+    let health = client.request(r#"{"req":"health"}"#);
+    assert!(is_ok(&health), "{health:?}");
+    assert_eq!(kind(&health), "health");
+    assert!(health.get("result_cache_hit_rate").is_some());
+
+    let bye = client.request(r#"{"req":"shutdown"}"#);
+    assert!(is_ok(&bye), "{bye:?}");
+    assert_eq!(kind(&bye), "bye");
+    join.join().expect("shutdown drains the accept loop");
+}
