@@ -25,13 +25,13 @@
 use std::time::Instant;
 
 use rescache_bench::bench_runner;
-use rescache_cache::{Cache, CacheConfig, HierarchyConfig, MemoryHierarchy};
+use rescache_cache::{Cache, CacheConfig, HierarchyConfig, MemoryHierarchy, ReplacementPolicy};
 use rescache_core::experiment::{
     effective_workers, per_app_org_comparison, RunSetup, Runner, RunnerConfig, ServeConfig,
     StoreHealth, SweepServer, TraceStore,
 };
 use rescache_core::{ConfigSpace, DynamicParams, Organization, ResizableCacheSide, SystemConfig};
-use rescache_cpu::{CpuConfig, Simulator};
+use rescache_cpu::{CpuConfig, LatencyStats, Simulator};
 use rescache_trace::{codec, spec, TraceFormat, TraceGenerator, TraceSource, WorkloadRegistry};
 
 /// One measured stage of the simulation pipeline.
@@ -70,6 +70,10 @@ struct EngineResult {
     /// point is serving shared results.
     requests: Option<u64>,
     hit_rate: Option<f64>,
+    /// Latency-domain counters from the stage's last engine run; `Some`
+    /// only for the replacement-policy pair, whose whole point is the
+    /// delayed-hit stall profile rather than raw MIPS.
+    latency: Option<LatencyStats>,
 }
 
 /// The record for a stage that was skipped because its prerequisite
@@ -88,6 +92,7 @@ fn skipped(name: &'static str) -> EngineResult {
         compression_ratio: None,
         requests: None,
         hit_rate: None,
+        latency: None,
     }
 }
 
@@ -139,6 +144,7 @@ fn measure(
         compression_ratio: None,
         requests: None,
         hit_rate: None,
+        latency: None,
     }
 }
 
@@ -338,6 +344,60 @@ fn bench_workloads(scale: u64, quick: bool, format: TraceFormat) -> Vec<EngineRe
         .collect()
 }
 
+/// The replacement-policy headline pair: one delayed-hit-heavy registry
+/// workload simulated under baseline LRU and under latency-aware LRU-MAD,
+/// back to back in the same process. The interesting output is not MIPS but
+/// the latency block each entry carries — mean delayed-hit stall cycles under
+/// `lru` vs `lru_mad` compare *within the run*, so the pair's ratio is
+/// host-drift-free even on a shared 1-core container.
+///
+/// The pair runs `conflict_storm` against a conflict-prone 4K 2-way L1
+/// (not the 32K base): delayed hits in this model come from a line being
+/// evicted while its fill is still in flight, which the base geometry
+/// almost never does. Under that pressure MAD's victim scan evicts the
+/// lines whose outstanding fills are cheapest, so the merges that remain
+/// land close to completion — the *mean* stall per delayed hit drops well
+/// below LRU's even though MAD admits more (cheap) merges.
+fn bench_policy_pair(scale: u64, format: TraceFormat) -> Vec<EngineResult> {
+    let n = (100_000 * scale) as usize;
+    let registry = WorkloadRegistry::builtin();
+    let spec = registry
+        .get("conflict_storm")
+        .expect("conflict_storm is a builtin workload");
+    let profile = spec.profile();
+    [
+        ("policy_lru", ReplacementPolicy::Lru),
+        ("policy_lru_mad", ReplacementPolicy::LruMad),
+    ]
+    .into_iter()
+    .map(|(label, policy)| {
+        let config = CpuConfig::base_out_of_order();
+        let profile = profile.clone();
+        let mut latency = LatencyStats::default();
+        let mut result = measure(label, n as u64, 3, || {
+            let mut h =
+                MemoryHierarchy::new(HierarchyConfig::with_l1(4 * 1024, 2).with_l1d_policy(policy))
+                    .unwrap();
+            let mut stream = TraceGenerator::new(profile.clone(), 3)
+                .with_format(format)
+                .stream(n);
+            let r = Simulator::new(config).run_source(&mut stream, &mut h);
+            latency = r.latency;
+            r.instructions
+        });
+        println!(
+            "{:<24} {:>10} delayed hits   {:>9.3} mean stall cycles",
+            format!("  ({label})"),
+            latency.delayed_hits,
+            latency.mean_delayed_hit_cycles()
+        );
+        result.trace_format = Some(format);
+        result.latency = Some(latency);
+        result
+    })
+    .collect()
+}
+
 /// One dynamic-controller run (warm-up + measured region with the miss-ratio
 /// resizing hook attached), either through the classic materialized path
 /// (`Runner::run` over pre-split traces) or through the streamed store path
@@ -359,6 +419,7 @@ fn bench_dynamic(
         trace_seed: 42,
         dynamic_interval: 1_024,
         trace_format: format,
+        ..RunnerConfig::paper()
     };
     // The materialized baseline replays resident traces; only the streamed
     // variant needs (and requires) a store directory.
@@ -478,6 +539,7 @@ fn bench_sweep_service(scale: u64, format: TraceFormat) -> EngineResult {
         trace_seed: 42,
         dynamic_interval: 1_024,
         trace_format: format,
+        ..RunnerConfig::paper()
     };
     // In-memory tier: the stage measures the serving path, not the disk, so
     // it runs everywhere (no RESCACHE_TRACE_DIR requirement).
@@ -638,6 +700,7 @@ fn main() {
         &mut store_health,
     ));
     results.extend(bench_workloads(scale, quick, trace_format));
+    results.extend(bench_policy_pair(scale, trace_format));
     results.push(bench_fig5_sweep(scale));
     results.push(bench_sweep_service(scale, trace_format));
 
@@ -664,7 +727,7 @@ fn main() {
 /// carries no serde dependency).
 fn render_json(results: &[EngineResult], quick: bool, health: Option<StoreHealth>) -> String {
     let mut out = String::from("{\n");
-    out.push_str("  \"schema\": \"rescache-sim-throughput/8\",\n");
+    out.push_str("  \"schema\": \"rescache-sim-throughput/9\",\n");
     out.push_str(&format!("  \"quick\": {quick},\n"));
     // The streamed dynamic stage's shared-tier recovery counters. All-zero
     // with `"degraded": false` on a healthy machine; anything else flags a
@@ -701,6 +764,17 @@ fn render_json(results: &[EngineResult], quick: bool, health: Option<StoreHealth
         }
         if let Some(rate) = r.hit_rate {
             trace_format.push_str(&format!(", \"result_cache_hit_rate\": {rate:.4}"));
+        }
+        if let Some(lat) = r.latency {
+            trace_format.push_str(&format!(
+                ", \"latency\": {{\"delayed_hits\": {}, \"delayed_hit_cycles\": {}, \"mean_delayed_hit_cycles\": {:.4}, \"d_primary_misses\": {}, \"d_miss_cycles\": {}, \"mean_miss_cycles\": {:.4}}}",
+                lat.delayed_hits,
+                lat.delayed_hit_cycles,
+                lat.mean_delayed_hit_cycles(),
+                lat.d_primary_misses,
+                lat.d_miss_cycles,
+                lat.mean_miss_cycles()
+            ));
         }
         out.push_str(&format!(
             "    {{\"name\": \"{}\", \"status\": \"{}\", \"items\": {}, \"seconds\": {:.6}, \"mips\": {:.3}, \"workload\": \"{}\"{trace_format}}}{}\n",

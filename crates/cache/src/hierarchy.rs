@@ -3,6 +3,7 @@
 
 use crate::cache::Cache;
 use crate::config::{CacheConfig, CacheConfigError};
+use crate::replacement::ReplacementPolicy;
 use crate::writeback::WritebackBuffer;
 
 /// Configuration of the whole hierarchy.
@@ -14,6 +15,11 @@ pub struct HierarchyConfig {
     pub l1d: CacheConfig,
     /// Unified L2 configuration.
     pub l2: CacheConfig,
+    /// Replacement policy of the L1 data cache (LRU in the paper's base
+    /// system; [`ReplacementPolicy::LruMad`] weighs aggregate delay). Part
+    /// of this `Hash`/`Eq` config, so memoized simulations keyed by a
+    /// system configuration never cross-serve between policies.
+    pub l1d_policy: ReplacementPolicy,
     /// Fixed portion of the memory access latency in cycles (80 in Table 2).
     pub memory_base_latency: u64,
     /// Additional cycles per 8 bytes transferred (5 in Table 2).
@@ -24,12 +30,13 @@ pub struct HierarchyConfig {
 
 impl HierarchyConfig {
     /// The paper's base system: 32K 2-way L1s, 512K 4-way L2, 80 + 5/8B
-    /// memory latency, 8 write-back buffer entries.
+    /// memory latency, 8 write-back buffer entries, LRU replacement.
     pub fn base() -> Self {
         Self {
             l1i: CacheConfig::l1_default(32 * 1024, 2),
             l1d: CacheConfig::l1_default(32 * 1024, 2),
             l2: CacheConfig::l2_default(),
+            l1d_policy: ReplacementPolicy::Lru,
             memory_base_latency: 80,
             memory_per_8_bytes: 5,
             writeback_entries: 8,
@@ -43,6 +50,12 @@ impl HierarchyConfig {
             l1d: CacheConfig::l1_default(size_bytes, associativity),
             ..Self::base()
         }
+    }
+
+    /// This configuration with the given d-cache replacement policy.
+    pub fn with_l1d_policy(mut self, policy: ReplacementPolicy) -> Self {
+        self.l1d_policy = policy;
+        self
     }
 
     /// Latency in cycles of a main-memory access for one L2 block.
@@ -68,6 +81,46 @@ pub struct AccessResult {
     pub l2_hit: bool,
 }
 
+impl AccessResult {
+    /// Classifies this access in the latency domain, given what the MSHR
+    /// file knew at `cycle`: the completion cycle of an in-flight fill
+    /// covering the block (`outstanding`), if any.
+    ///
+    /// A miss that merges into an in-flight fill is a **delayed hit**: it
+    /// pays the fill's *remaining* latency (at least one cycle — the merge
+    /// itself takes a cycle), not zero and not the full miss penalty. That
+    /// remaining-latency pricing matches the engines' merge rule
+    /// (`outstanding.max(cycle + 1)`), so the classification is exactly the
+    /// cost the schedule already charges.
+    #[inline]
+    pub fn classify(&self, outstanding: Option<u64>, cycle: u64) -> AccessClass {
+        if self.l1_hit {
+            AccessClass::Hit
+        } else if let Some(ready) = outstanding {
+            AccessClass::DelayedHit {
+                remaining: ready.max(cycle + 1) - cycle,
+            }
+        } else {
+            AccessClass::PrimaryMiss
+        }
+    }
+}
+
+/// Latency-domain classification of one access (see
+/// [`AccessResult::classify`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessClass {
+    /// The block was resident: the access pays the L1 hit latency.
+    Hit,
+    /// The block is in flight: the access pays the fill's remaining cycles.
+    DelayedHit {
+        /// Remaining cycles until the in-flight fill completes (≥ 1).
+        remaining: u64,
+    },
+    /// The block was neither resident nor in flight: a full miss.
+    PrimaryMiss,
+}
+
 /// Counters the individual caches cannot track themselves.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct HierarchyStats {
@@ -79,6 +132,10 @@ pub struct HierarchyStats {
     pub writeback_stall_cycles: u64,
     /// Blocks written to the L2 because a resize flushed dirty L1 blocks.
     pub resize_flush_writebacks: u64,
+    /// Data accesses that merged into an in-flight fill (delayed hits).
+    pub delayed_hits: u64,
+    /// Total remaining-latency cycles those delayed hits paid.
+    pub delayed_hit_cycles: u64,
 }
 
 /// The statistics of a hierarchy after a run, detached from the (large) tag
@@ -123,7 +180,7 @@ impl MemoryHierarchy {
     pub fn new(config: HierarchyConfig) -> Result<Self, CacheConfigError> {
         Ok(Self {
             l1i: Cache::new(config.l1i)?,
-            l1d: Cache::new(config.l1d)?,
+            l1d: Cache::with_policy(config.l1d, config.l1d_policy)?,
             l2: Cache::new(config.l2)?,
             writeback: WritebackBuffer::new(config.writeback_entries),
             stats: HierarchyStats::default(),
@@ -227,7 +284,7 @@ impl MemoryHierarchy {
         }
         let (beyond, l2_hit) = self.refill_from_l2(addr, cycle);
         let mut latency = l1_latency + beyond;
-        if let Some(eviction) = self.l1d.fill(addr, write) {
+        if let Some(eviction) = self.l1d.fill_costed(addr, write, beyond) {
             if eviction.dirty {
                 latency += self.push_writeback(eviction.block_addr, cycle);
             }
@@ -237,6 +294,20 @@ impl MemoryHierarchy {
             l1_hit: false,
             l2_hit,
         }
+    }
+
+    /// Records a delayed hit: a data access at `addr` that merged into an
+    /// in-flight fill and paid `remaining` cycles of its latency.
+    ///
+    /// Besides the hierarchy-level counters, the stall accrues onto the
+    /// block's aggregate-delay cost when the d-cache policy weighs delay
+    /// (the LRU-MAD victim scan), closing the loop between the engines'
+    /// MSHR merges and replacement.
+    #[inline]
+    pub fn note_delayed_hit(&mut self, addr: u64, remaining: u64) {
+        self.stats.delayed_hits += 1;
+        self.stats.delayed_hit_cycles += remaining;
+        self.l1d.note_delay(addr, remaining);
     }
 
     /// Reads a block from the L2 (refilling it from memory on an L2 miss).
@@ -358,6 +429,43 @@ mod tests {
         let mut h = hierarchy();
         h.note_resize_flush_writebacks(5);
         assert_eq!(h.stats().resize_flush_writebacks, 5);
+    }
+
+    #[test]
+    fn delayed_hit_classification_and_counters() {
+        let mut h = hierarchy();
+        let hit = h.access_data(0x50_0000, false, 0);
+        let miss = h.access_data(0x50_0000, false, 1); // now resident: a hit
+        assert_eq!(
+            hit.classify(None, 0),
+            AccessClass::PrimaryMiss,
+            "cold access with no in-flight fill is a primary miss"
+        );
+        assert_eq!(miss.classify(None, 1), AccessClass::Hit);
+        // A miss that merges into a fill completing at cycle 40, seen at
+        // cycle 10, pays the remaining 30 cycles; one completing this cycle
+        // still pays the one-cycle merge.
+        assert_eq!(
+            hit.classify(Some(40), 10),
+            AccessClass::DelayedHit { remaining: 30 }
+        );
+        assert_eq!(
+            hit.classify(Some(5), 10),
+            AccessClass::DelayedHit { remaining: 1 }
+        );
+        h.note_delayed_hit(0x50_0000, 30);
+        h.note_delayed_hit(0x50_0000, 1);
+        assert_eq!(h.stats().delayed_hits, 2);
+        assert_eq!(h.stats().delayed_hit_cycles, 31);
+    }
+
+    #[test]
+    fn lru_mad_policy_flows_into_the_d_cache() {
+        let config = HierarchyConfig::base().with_l1d_policy(ReplacementPolicy::LruMad);
+        let h = MemoryHierarchy::new(config).unwrap();
+        assert_eq!(h.l1d().policy(), ReplacementPolicy::LruMad);
+        assert_eq!(h.l1i().policy(), ReplacementPolicy::Lru);
+        assert_eq!(h.l2().policy(), ReplacementPolicy::Lru);
     }
 
     #[test]

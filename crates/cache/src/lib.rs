@@ -49,9 +49,9 @@ pub mod writeback;
 pub use cache::{AccessKind, AccessOutcome, Cache, Eviction, ResizeEffect};
 pub use config::{CacheConfig, CacheConfigError};
 pub use hierarchy::{
-    AccessResult, HierarchyConfig, HierarchySnapshot, HierarchyStats, MemoryHierarchy,
+    AccessClass, AccessResult, HierarchyConfig, HierarchySnapshot, HierarchyStats, MemoryHierarchy,
 };
-pub use mshr::MshrFile;
+pub use mshr::{MshrFile, MshrHit};
 pub use replacement::ReplacementPolicy;
 pub use stats::{CacheStats, GeometrySlice};
 pub use writeback::WritebackBuffer;

@@ -9,7 +9,21 @@
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct MshrEntry {
     block_addr: u64,
+    /// Cycle the primary miss was issued (when the fill left for the next
+    /// level) — lets a merging secondary miss price itself at the fill's
+    /// *remaining* latency, the delayed-hit cost model.
+    issue_cycle: u64,
     ready_cycle: u64,
+}
+
+/// An outstanding miss found by [`MshrFile::lookup_retire`]: a secondary
+/// miss to this block is a *delayed hit* that completes at `ready_cycle`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MshrHit {
+    /// Cycle the covering primary miss was issued.
+    pub issue_cycle: u64,
+    /// Cycle the in-flight fill completes.
+    pub ready_cycle: u64,
 }
 
 /// A file of miss-status holding registers.
@@ -58,15 +72,45 @@ impl MshrFile {
             .map(|e| e.ready_cycle)
     }
 
-    /// Allocates an entry for a primary miss completing at `ready_cycle`.
+    /// Looks up an outstanding miss covering `block_addr` at `cycle`,
+    /// retiring every entry whose fill has completed in the same pass.
+    ///
+    /// The engines used to pay two linear scans per access — a
+    /// `retire_completed` sweep and then a `lookup` over the survivors —
+    /// and, worse, a caller that looked up *before* retiring could see a
+    /// full file of already-expired entries and take the structural-hazard
+    /// stall path for free capacity. Fusing the two makes the single scan
+    /// both the retirement and the merge check, so capacity is always
+    /// current by construction.
+    #[inline]
+    pub fn lookup_retire(&mut self, block_addr: u64, cycle: u64) -> Option<MshrHit> {
+        let mut found = None;
+        self.entries.retain(|e| {
+            if e.ready_cycle <= cycle {
+                return false;
+            }
+            if e.block_addr == block_addr {
+                found = Some(MshrHit {
+                    issue_cycle: e.issue_cycle,
+                    ready_cycle: e.ready_cycle,
+                });
+            }
+            true
+        });
+        found
+    }
+
+    /// Allocates an entry for a primary miss issued at `issue_cycle` and
+    /// completing at `ready_cycle`.
     ///
     /// Returns `false` (and allocates nothing) if the file is full.
-    pub fn allocate(&mut self, block_addr: u64, ready_cycle: u64) -> bool {
+    pub fn allocate(&mut self, block_addr: u64, issue_cycle: u64, ready_cycle: u64) -> bool {
         if self.is_full() {
             return false;
         }
         self.entries.push(MshrEntry {
             block_addr,
+            issue_cycle,
             ready_cycle,
         });
         true
@@ -98,10 +142,10 @@ mod tests {
     #[test]
     fn allocate_until_full() {
         let mut m = MshrFile::new(2);
-        assert!(m.allocate(1, 10));
-        assert!(m.allocate(2, 12));
+        assert!(m.allocate(1, 2, 10));
+        assert!(m.allocate(2, 4, 12));
         assert!(m.is_full());
-        assert!(!m.allocate(3, 14), "full file rejects allocation");
+        assert!(!m.allocate(3, 6, 14), "full file rejects allocation");
         assert_eq!(m.outstanding(), 2);
         assert_eq!(m.capacity(), 2);
     }
@@ -109,7 +153,7 @@ mod tests {
     #[test]
     fn secondary_miss_merges() {
         let mut m = MshrFile::new(4);
-        m.allocate(7, 42);
+        m.allocate(7, 30, 42);
         assert_eq!(m.lookup(7), Some(42));
         assert_eq!(m.lookup(8), None);
     }
@@ -117,8 +161,8 @@ mod tests {
     #[test]
     fn retire_frees_entries() {
         let mut m = MshrFile::new(2);
-        m.allocate(1, 10);
-        m.allocate(2, 20);
+        m.allocate(1, 0, 10);
+        m.allocate(2, 0, 20);
         m.retire_completed(15);
         assert_eq!(m.outstanding(), 1);
         assert_eq!(m.lookup(1), None);
@@ -127,9 +171,50 @@ mod tests {
     }
 
     #[test]
+    fn lookup_retire_is_one_pass() {
+        let mut m = MshrFile::new(4);
+        m.allocate(1, 0, 10);
+        m.allocate(2, 5, 20);
+        // At cycle 15 entry 1 has completed: the fused pass retires it while
+        // finding the still-outstanding entry 2 with its issue timestamp.
+        let hit = m.lookup_retire(2, 15).expect("entry 2 outstanding");
+        assert_eq!(
+            hit,
+            MshrHit {
+                issue_cycle: 5,
+                ready_cycle: 20
+            }
+        );
+        assert_eq!(m.outstanding(), 1, "completed entry retired in the pass");
+        assert_eq!(m.lookup(1), None);
+    }
+
+    #[test]
+    fn full_file_of_expired_entries_accepts_a_new_primary_miss() {
+        // The retire-ordering hazard the fused pass removes: a full file
+        // whose entries have all completed must not stall a new miss behind
+        // a separate retire call.
+        let mut m = MshrFile::new(2);
+        m.allocate(1, 0, 10);
+        m.allocate(2, 0, 12);
+        assert!(m.is_full());
+        assert_eq!(
+            m.lookup_retire(3, 20),
+            None,
+            "block 3 has no outstanding fill"
+        );
+        assert!(
+            !m.is_full(),
+            "the lookup itself retired the expired entries"
+        );
+        assert!(m.allocate(3, 20, 133), "freed capacity accepts the miss");
+        assert_eq!(m.outstanding(), 1);
+    }
+
+    #[test]
     fn clear_empties_file() {
         let mut m = MshrFile::new(2);
-        m.allocate(1, 10);
+        m.allocate(1, 0, 10);
         m.clear();
         assert_eq!(m.outstanding(), 0);
         assert_eq!(m.earliest_completion(), None);

@@ -2,8 +2,8 @@
 //! setup and reports energy, delay and cache-size statistics.
 
 use rescache_cache::{HierarchySnapshot, MemoryHierarchy};
-use rescache_cpu::{SimHook, SimResult, Simulator};
-use rescache_energy::{EnergyBreakdown, EnergyDelay, EnergyModel, ResizingTagOverhead};
+use rescache_cpu::{LatencyStats, SimHook, SimResult, Simulator};
+use rescache_energy::{EnergyBreakdown, EnergyDelay, EnergyModel, Objective, ResizingTagOverhead};
 use rescache_trace::{
     is_transient, AppProfile, IoPolicy, Trace, TraceFormat, TraceGenerator, TraceSource,
 };
@@ -32,6 +32,14 @@ pub struct RunnerConfig {
     /// trace and simulation memo key, and of the trace store's on-disk
     /// entry names, so runs under different versions never share records.
     pub trace_format: TraceFormat,
+    /// The scalar objective the best-configuration searches minimise and the
+    /// dynamic controller steers by. EDP (the default) reproduces the paper;
+    /// the latency-first objectives re-rank the same measurements and fold
+    /// delayed hits into the controller's interval signal. Not part of the
+    /// simulation memo key: only *static* runs are memoized, and like the
+    /// tag-bit overheads the objective never changes what a static
+    /// simulation measures — only which measurement a search keeps.
+    pub objective: Objective,
 }
 
 impl RunnerConfig {
@@ -43,6 +51,7 @@ impl RunnerConfig {
             trace_seed: 42,
             dynamic_interval: 8_192,
             trace_format: TraceFormat::default(),
+            objective: Objective::Edp,
         }
     }
 
@@ -54,14 +63,16 @@ impl RunnerConfig {
             trace_seed: 42,
             dynamic_interval: 256,
             trace_format: TraceFormat::default(),
+            objective: Objective::Edp,
         }
     }
 
     /// [`RunnerConfig::paper`] with overrides from the environment variables
     /// `RESCACHE_WARMUP`, `RESCACHE_MEASURE`, `RESCACHE_SEED`,
-    /// `RESCACHE_INTERVAL` and `RESCACHE_TRACE_FORMAT` (`v1`/`v2`; all
-    /// optional), so bench runs can be scaled — and pinned to a trace
-    /// format — without recompiling.
+    /// `RESCACHE_INTERVAL`, `RESCACHE_TRACE_FORMAT` (`v1`/`v2`) and
+    /// `RESCACHE_OBJECTIVE` (`edp`/`ed2p`/`delay`; all optional), so bench
+    /// runs can be scaled — and pinned to a trace format or objective —
+    /// without recompiling.
     pub fn from_env() -> Self {
         let mut cfg = Self::paper();
         if let Some(v) = read_env("RESCACHE_WARMUP") {
@@ -85,12 +96,19 @@ impl RunnerConfig {
                 ),
             }
         }
+        cfg.objective = Objective::from_env();
         cfg
     }
 
     /// Returns this configuration with the given trace-format version.
     pub fn with_trace_format(mut self, format: TraceFormat) -> Self {
         self.trace_format = format;
+        self
+    }
+
+    /// Returns this configuration with the given search objective.
+    pub fn with_objective(mut self, objective: Objective) -> Self {
+        self.objective = objective;
         self
     }
 }
@@ -128,12 +146,20 @@ pub struct Measurement {
     pub l1d_resizes: u64,
     /// i-cache resize operations during the measured region.
     pub l1i_resizes: u64,
+    /// Latency-domain breakdown of the measured region's data accesses
+    /// (delayed hits, primary misses and their cycle costs).
+    pub latency: LatencyStats,
 }
 
 impl Measurement {
     /// The energy-delay point of this measurement.
     pub fn energy_delay(&self) -> EnergyDelay {
         EnergyDelay::new(self.energy_pj, self.cycles)
+    }
+
+    /// This measurement's score under `objective` (smaller is better).
+    pub fn score(&self, objective: Objective) -> f64 {
+        objective.score(&self.energy_delay())
     }
 }
 
@@ -182,7 +208,7 @@ pub struct StaticOutcome {
     pub base: Measurement,
     /// Every offered point and its measurement, largest point first.
     pub evaluated: Vec<(CachePoint, Measurement)>,
-    /// The minimum-EDP choice.
+    /// The minimum-objective choice (EDP under the default objective).
     pub best: BestSummary,
 }
 
@@ -195,7 +221,7 @@ pub struct DynamicOutcome {
     pub base: Measurement,
     /// Every candidate parameter set and its measurement.
     pub candidates: Vec<(DynamicParams, Measurement)>,
-    /// The minimum-EDP choice.
+    /// The minimum-objective choice (EDP under the default objective).
     pub best: BestSummary,
 }
 
@@ -315,7 +341,8 @@ impl Runner {
             Some((side, space, params)) => {
                 let mut hierarchy = Self::static_hierarchy(system, setup.d_static, setup.i_static);
                 let mut controller = DynamicController::new(side, space, params)
-                    .expect("dynamic parameters validated by the caller");
+                    .expect("dynamic parameters validated by the caller")
+                    .with_objective(self.config.objective);
                 let sim = Simulator::new(system.cpu);
                 sim.run_with_hook(warm, &mut hierarchy, &mut controller);
                 hierarchy.reset_stats();
@@ -504,6 +531,7 @@ impl Runner {
             l1i_miss_ratio: snapshot.l1i.miss_ratio(),
             l1d_resizes: snapshot.l1d.resizes,
             l1i_resizes: snapshot.l1i.resizes,
+            latency: result.latency,
         }
     }
 
@@ -635,7 +663,8 @@ impl Runner {
             // A fresh controller per attempt: a retried run must not see the
             // aborted attempt's interval state.
             let mut controller = DynamicController::new(side, space.clone(), params)
-                .expect("dynamic parameters validated by the caller");
+                .expect("dynamic parameters validated by the caller")
+                .with_objective(self.config.objective);
             self.simulate_hooked_source(
                 source,
                 system,
@@ -723,13 +752,13 @@ impl Runner {
             (*point, measurement)
         });
 
+        let objective = self.config.objective;
         let (best_point, best_measurement) = evaluated
             .iter()
             .min_by(|a, b| {
-                a.1.energy_delay()
-                    .product()
-                    .partial_cmp(&b.1.energy_delay().product())
-                    .expect("energy-delay products are finite")
+                a.1.score(objective)
+                    .partial_cmp(&b.1.score(objective))
+                    .expect("objective scores are finite")
             })
             .copied()
             .expect("config spaces offer at least two points");
@@ -830,13 +859,13 @@ impl Runner {
             (*p, self.run_dynamic(app, system, &setup))
         });
 
+        let objective = self.config.objective;
         let (_, best_measurement) = candidates
             .iter()
             .min_by(|a, b| {
-                a.1.energy_delay()
-                    .product()
-                    .partial_cmp(&b.1.energy_delay().product())
-                    .expect("energy-delay products are finite")
+                a.1.score(objective)
+                    .partial_cmp(&b.1.score(objective))
+                    .expect("objective scores are finite")
             })
             .copied()
             .expect("at least one dynamic candidate");

@@ -32,15 +32,20 @@
 //! | `{"req":"ping"}` | `{"ok":true,"kind":"pong"}` |
 //! | `{"req":"health"}` | one `kind:"health"` line with the tier's [`StoreHealth`] counters |
 //! | `{"req":"point","app":"ammp","sets":64,"ways":2}` | one `kind:"result"` line with the measurement |
-//! | `{"req":"sweep","app":"ammp","org":"selective_sets"}` | one `kind:"result"` line per point *as each completes*, then a `kind:"done"` summary with the best-EDP point |
+//! | `{"req":"sweep","app":"ammp","org":"selective_sets"}` | one `kind:"result"` line per point *as each completes*, then a `kind:"done"` summary with the objective's best point |
 //! | `{"req":"shutdown"}` | `{"ok":true,"kind":"bye"}`, then the whole server drains and exits |
 //!
 //! `point` and `sweep` accept optional `"system"` (`"base"` default,
-//! `"in_order"`), `"side"` (`"data"` default, `"instruction"`) and `"org"`
-//! (`"selective_sets"` default, `"selective_ways"`, `"hybrid"`); `point`
+//! `"in_order"`), `"side"` (`"data"` default, `"instruction"`), `"org"`
+//! (`"selective_sets"` default, `"selective_ways"`, `"hybrid"`) and
+//! `"objective"` (`"edp"`, `"ed2p"`, `"delay"`; defaults to the runner's
+//! configured objective, i.e. `RESCACHE_OBJECTIVE` or EDP); `point`
 //! omitting `sets`/`ways` measures the full-size baseline. Applications
 //! resolve through [`spec::profile`] first, then the
-//! [`WorkloadRegistry`] scenario names.
+//! [`WorkloadRegistry`] scenario names. Every `kind:"result"` line carries
+//! a `"latency"` block (delayed-hit counts and mean stall cycles) next to
+//! the energy numbers, and a sweep's `kind:"done"` summary names the
+//! objective that ranked its best point.
 
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -48,6 +53,7 @@ use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc};
 use std::time::Duration;
 
+use rescache_energy::Objective;
 use rescache_trace::{spec, AppProfile, WorkloadRegistry};
 
 use crate::experiment::parallel::effective_workers;
@@ -410,14 +416,14 @@ fn dispatch(
             Ok(Flow::Shutdown)
         }
         "point" => {
-            match parse_target(&request) {
+            match parse_target(&request, runner.config().objective) {
                 Ok(target) => serve_point(runner, &request, id, &target, writer)?,
                 Err(e) => write_line(&mut *writer, &error_response(id, &e))?,
             }
             Ok(Flow::Continue)
         }
         "sweep" => {
-            match parse_target(&request) {
+            match parse_target(&request, runner.config().objective) {
                 Ok(target) => serve_sweep(runner, id, &target, config.workers, writer)?,
                 Err(e) => write_line(&mut *writer, &error_response(id, &e))?,
             }
@@ -452,11 +458,14 @@ struct Target {
     system: SystemConfig,
     organization: Organization,
     side: ResizableCacheSide,
+    objective: Objective,
 }
 
 /// Resolves a request's simulation target, with a protocol-level error
-/// string on anything unresolvable.
-fn parse_target(request: &Json) -> Result<Target, String> {
+/// string on anything unresolvable. `default_objective` is the runner's
+/// configured objective; a request's `"objective"` field overrides it for
+/// that request only.
+fn parse_target(request: &Json, default_objective: Objective) -> Result<Target, String> {
     let name = request
         .get("app")
         .and_then(Json::as_str)
@@ -464,9 +473,11 @@ fn parse_target(request: &Json) -> Result<Target, String> {
     let app = spec::profile(name)
         .or_else(|| WorkloadRegistry::builtin().get(name).map(|w| w.profile()))
         .ok_or_else(|| format!("unknown application {name:?}"))?;
+    // `with_env_policy`: the serving process honours `RESCACHE_POLICY`
+    // (the policy lands in the hierarchy config and so in every memo key).
     let system = match request.get("system").and_then(Json::as_str) {
-        None | Some("base") => SystemConfig::base(),
-        Some("in_order") => SystemConfig::in_order(),
+        None | Some("base") => SystemConfig::base().with_env_policy(),
+        Some("in_order") => SystemConfig::in_order().with_env_policy(),
         Some(other) => return Err(format!("unknown system {other:?} (want base or in_order)")),
     };
     let organization = match request.get("org").and_then(Json::as_str) {
@@ -484,11 +495,17 @@ fn parse_target(request: &Json) -> Result<Target, String> {
         Some("instruction") => ResizableCacheSide::Instruction,
         Some(other) => return Err(format!("unknown side {other:?} (want data or instruction)")),
     };
+    let objective = match request.get("objective").and_then(Json::as_str) {
+        None => default_objective,
+        Some(tag) => Objective::from_tag(tag)
+            .ok_or_else(|| format!("unknown objective {tag:?} (want edp, ed2p or delay)"))?,
+    };
     Ok(Target {
         app,
         system,
         organization,
         side,
+        objective,
     })
 }
 
@@ -572,7 +589,7 @@ fn serve_point(
 /// threads sharing one atomic cursor, streams each `kind:"result"` line as
 /// its simulation completes (coalescing with every concurrent request
 /// through the tier memos), then writes the `kind:"done"` summary with the
-/// best-EDP point.
+/// best point under the request's objective (EDP by default).
 fn serve_sweep(
     runner: &Runner,
     id: Json,
@@ -625,13 +642,10 @@ fn serve_sweep(
     }
 
     let base_ed = base.energy_delay();
+    let objective = target.objective;
     let best = evaluated
         .iter()
-        .min_by(|a, b| {
-            a.1.energy_delay()
-                .product()
-                .total_cmp(&b.1.energy_delay().product())
-        })
+        .min_by(|a, b| a.1.score(objective).total_cmp(&b.1.score(objective)))
         .copied();
     let Some((best_point, best_measurement)) = best else {
         return write_line(writer, &error_response(id, "configuration space was empty"));
@@ -643,6 +657,7 @@ fn serve_sweep(
             ("ok", Json::Bool(true)),
             ("kind", Json::Str("done".into())),
             ("points", Json::Num(evaluated.len() as f64)),
+            ("objective", Json::Str(objective.tag().into())),
             (
                 "best",
                 obj([
@@ -650,6 +665,7 @@ fn serve_sweep(
                     ("ways", Json::Num(f64::from(best_point.ways))),
                 ]),
             ),
+            ("best_score", Json::Num(best_measurement.score(objective))),
             (
                 "edp_reduction_percent",
                 Json::Num(best_measurement.energy_delay().reduction_vs(&base_ed)),
@@ -689,6 +705,26 @@ fn result_response(id: Json, point: Option<CachePoint>, m: &Measurement) -> Json
         ("edp", Json::Num(m.energy_delay().product())),
         ("l1d_miss_ratio", Json::Num(m.l1d_miss_ratio)),
         ("l1i_miss_ratio", Json::Num(m.l1i_miss_ratio)),
+        (
+            "latency",
+            obj([
+                ("delayed_hits", Json::Num(m.latency.delayed_hits as f64)),
+                (
+                    "delayed_hit_cycles",
+                    Json::Num(m.latency.delayed_hit_cycles as f64),
+                ),
+                (
+                    "mean_delayed_hit_cycles",
+                    Json::Num(m.latency.mean_delayed_hit_cycles()),
+                ),
+                (
+                    "d_primary_misses",
+                    Json::Num(m.latency.d_primary_misses as f64),
+                ),
+                ("d_miss_cycles", Json::Num(m.latency.d_miss_cycles as f64)),
+                ("mean_miss_cycles", Json::Num(m.latency.mean_miss_cycles())),
+            ]),
+        ),
     ])
 }
 
@@ -778,19 +814,25 @@ mod tests {
     #[test]
     fn parse_target_resolves_defaults_and_rejects_unknowns() {
         let ok = Json::parse(r#"{"req":"sweep","app":"ammp"}"#).unwrap();
-        let target = parse_target(&ok).expect("defaults apply");
+        let target = parse_target(&ok, Objective::Edp).expect("defaults apply");
         assert_eq!(target.app.name, "ammp");
         assert_eq!(target.organization, Organization::SelectiveSets);
         assert_eq!(target.side, ResizableCacheSide::Data);
+        assert_eq!(target.objective, Objective::Edp);
+        // The runner's configured objective is the default the request
+        // inherits when it names none.
+        let target = parse_target(&ok, Objective::Delay).expect("defaults apply");
+        assert_eq!(target.objective, Objective::Delay);
 
         let scenario = Json::parse(
-            r#"{"app":"pointer_chase","org":"hybrid","side":"instruction","system":"in_order"}"#,
+            r#"{"app":"pointer_chase","org":"hybrid","side":"instruction","system":"in_order","objective":"ed2p"}"#,
         )
         .unwrap();
-        let target = parse_target(&scenario).expect("registry workloads resolve");
+        let target = parse_target(&scenario, Objective::Edp).expect("registry workloads resolve");
         assert_eq!(target.app.name, "pointer_chase");
         assert_eq!(target.organization, Organization::Hybrid);
         assert_eq!(target.side, ResizableCacheSide::Instruction);
+        assert_eq!(target.objective, Objective::Ed2p);
 
         for bad in [
             r#"{"req":"sweep"}"#,
@@ -798,9 +840,10 @@ mod tests {
             r#"{"app":"ammp","org":"bogus"}"#,
             r#"{"app":"ammp","side":"bogus"}"#,
             r#"{"app":"ammp","system":"bogus"}"#,
+            r#"{"app":"ammp","objective":"bogus"}"#,
         ] {
             let request = Json::parse(bad).unwrap();
-            assert!(parse_target(&request).is_err(), "{bad}");
+            assert!(parse_target(&request, Objective::Edp).is_err(), "{bad}");
         }
     }
 }

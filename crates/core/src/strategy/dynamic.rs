@@ -2,6 +2,7 @@
 
 use rescache_cache::MemoryHierarchy;
 use rescache_cpu::SimHook;
+use rescache_energy::Objective;
 
 use crate::error::CoreError;
 use crate::org::{CachePoint, ConfigSpace};
@@ -138,10 +139,11 @@ pub struct DynamicController {
     side: ResizableCacheSide,
     space: ConfigSpace,
     params: DynamicParams,
+    objective: Objective,
     current: usize,
     min_index: usize,
     last_accesses: u64,
-    last_misses: u64,
+    last_signal: u64,
     resizes: u64,
 }
 
@@ -173,12 +175,26 @@ impl DynamicController {
             side,
             space,
             params,
+            objective: Objective::Edp,
             current: 0,
             min_index,
             last_accesses: 0,
-            last_misses: 0,
+            last_signal: 0,
             resizes: 0,
         })
+    }
+
+    /// Returns this controller steering by `objective`.
+    ///
+    /// Under the default EDP objective the interval signal is the cache's
+    /// miss count, exactly as before the objective existed. Under the
+    /// latency-first objectives (ED²P, delay) delayed hits on the data side
+    /// count into the signal too: a merged miss still stalls the pipeline
+    /// for its remaining fill latency, so a latency-minded controller treats
+    /// it as pressure to upsize.
+    pub fn with_objective(mut self, objective: Objective) -> Self {
+        self.objective = objective;
+        self
     }
 
     /// The currently selected configuration point.
@@ -196,12 +212,20 @@ impl DynamicController {
         self.params
     }
 
+    /// The interval signal pair: (accesses, signal). The signal is plain
+    /// misses under EDP — bit-identical to the pre-objective controller —
+    /// and misses plus data-side delayed hits under the latency objectives.
     fn cache_counters(&self, hierarchy: &MemoryHierarchy) -> (u64, u64) {
         let stats = match self.side {
             ResizableCacheSide::Data => hierarchy.l1d().stats(),
             ResizableCacheSide::Instruction => hierarchy.l1i().stats(),
         };
-        (stats.accesses, stats.misses())
+        let delayed = match (self.objective, self.side) {
+            (Objective::Edp, _) => 0,
+            (_, ResizableCacheSide::Data) => hierarchy.stats().delayed_hits,
+            (_, ResizableCacheSide::Instruction) => 0,
+        };
+        (stats.accesses, stats.misses() + delayed)
     }
 
     fn apply_point(&mut self, index: usize, hierarchy: &mut MemoryHierarchy) {
@@ -218,19 +242,19 @@ impl DynamicController {
 
 impl SimHook for DynamicController {
     fn post_commit(&mut self, _committed: u64, _cycle: u64, hierarchy: &mut MemoryHierarchy) {
-        let (accesses, misses) = self.cache_counters(hierarchy);
+        let (accesses, signal) = self.cache_counters(hierarchy);
         if accesses < self.last_accesses {
             // Statistics were reset (end of warm-up): re-anchor the interval.
             self.last_accesses = accesses;
-            self.last_misses = misses;
+            self.last_signal = signal;
             return;
         }
         if accesses - self.last_accesses < self.params.interval_accesses {
             return;
         }
-        let interval_misses = misses - self.last_misses;
+        let interval_misses = signal - self.last_signal;
         self.last_accesses = accesses;
-        self.last_misses = misses;
+        self.last_signal = signal;
 
         let target = if interval_misses > self.params.miss_bound {
             self.current.saturating_sub(1)

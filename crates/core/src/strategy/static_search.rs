@@ -1,5 +1,7 @@
 //! The static resizing strategy: offline search over offered configurations.
 
+use rescache_energy::{EnergyDelay, Objective};
+
 use crate::org::{CachePoint, ConfigSpace};
 
 /// Result of a static search.
@@ -64,6 +66,18 @@ impl StaticSearch {
     pub fn point(&self, index: usize) -> CachePoint {
         self.space.points()[index]
     }
+
+    /// [`StaticSearch::search`] over measured energy-delay points, scored
+    /// under an [`Objective`]: `evaluate` measures each point once, and the
+    /// objective turns the measurement into the scalar being minimised
+    /// (EDP reproduces the paper's search; ED²P and pure delay re-rank the
+    /// same measurements latency-first).
+    pub fn search_objective<F>(&self, objective: Objective, mut evaluate: F) -> StaticSearchResult
+    where
+        F: FnMut(&CachePoint) -> EnergyDelay,
+    {
+        self.search(|p| objective.score(&evaluate(p)))
+    }
 }
 
 #[cfg(test)]
@@ -103,5 +117,31 @@ mod tests {
         let s = space();
         let search = StaticSearch::new(s.clone());
         assert_eq!(search.space(), &s);
+    }
+
+    #[test]
+    fn objective_search_reranks_the_same_measurements() {
+        // Smaller caches: less energy but more cycles. EDP tolerates the
+        // slowdown; pure delay pins the full-size point.
+        let search = StaticSearch::new(space());
+        let measure = |p: &CachePoint| {
+            let bytes = p.bytes(32) as f64;
+            // Energy falls linearly with size; cycles rise sub-linearly as
+            // the cache shrinks, so the EDP optimum sits below full size
+            // while pure delay still pins the largest point.
+            let cycles = 1_000_000 + (50_000.0 * (32_768.0 / bytes)) as u64;
+            EnergyDelay::new(bytes / 1024.0, cycles)
+        };
+        let edp = search.search_objective(Objective::Edp, measure);
+        let delay = search.search_objective(Objective::Delay, measure);
+        assert_eq!(delay.best_index, 0, "pure delay keeps the full size");
+        assert_ne!(
+            edp.best_index, delay.best_index,
+            "EDP trades cycles for energy on this profile"
+        );
+        // EDP scoring is exactly the product, bit for bit.
+        let p = search.point(1);
+        let ed = measure(&p);
+        assert_eq!(edp.values[1].to_bits(), ed.product().to_bits());
     }
 }

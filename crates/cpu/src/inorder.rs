@@ -16,7 +16,7 @@ use crate::hook::{NoopHook, SimHook};
 use crate::lanes::{
     producer_ready, LaneBatch, COMPLETION_RING, ICACHE_FLAG, KIND_MASK, LANE_BATCH,
 };
-use crate::result::SimResult;
+use crate::result::{LatencyStats, SimResult};
 
 /// In-order, width-limited issue with a blocking d-cache: every data-cache
 /// miss stalls the pipeline until the fill returns, so d-cache miss latency
@@ -109,6 +109,10 @@ impl InOrderEngine {
         let mut mem_ops: u64 = 0;
         let mut branches: u64 = 0;
         let mut regfile_reads: u64 = 0;
+        // The blocking d-cache admits no overlap, so there are no delayed
+        // hits by construction: every d-miss is a primary miss whose full
+        // latency the pipeline pays.
+        let mut latency = LatencyStats::default();
 
         let mut idx: usize = 0;
         loop {
@@ -170,6 +174,10 @@ impl InOrderEngine {
                         } else {
                             // Blocking cache: the whole pipeline waits for
                             // the fill.
+                            latency.d_primary_misses += 1;
+                            latency.d_miss_cycles += access.latency;
+                            latency.l2_hit_fills += u64::from(access.l2_hit);
+                            latency.memory_fills += u64::from(!access.l2_hit);
                             cycle += access.latency;
                             issued_this_cycle = 0;
                             cycle
@@ -198,6 +206,7 @@ impl InOrderEngine {
                 regfile_reads,
             ),
             branch: predictor.stats(),
+            latency,
         }
     }
 }

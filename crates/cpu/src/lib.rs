@@ -58,6 +58,6 @@ pub use inorder::InOrderEngine;
 pub use lanes::{BatchTotals, LaneBatch, COMPLETION_RING, LANE_BATCH};
 pub use lsq::LoadStoreQueue;
 pub use ooo::OutOfOrderEngine;
-pub use result::SimResult;
+pub use result::{LatencyStats, SimResult};
 pub use rob::ReorderBuffer;
 pub use simulator::Simulator;

@@ -23,7 +23,7 @@ use crate::lanes::{
     producer_ready, LaneBatch, COMPLETION_RING, ICACHE_FLAG, KIND_MASK, LANE_BATCH,
 };
 use crate::lsq::LoadStoreQueue;
-use crate::result::SimResult;
+use crate::result::{LatencyStats, SimResult};
 use crate::rob::ReorderBuffer;
 
 /// Four-wide out-of-order issue with a non-blocking d-cache.
@@ -131,6 +131,7 @@ impl OutOfOrderEngine {
         let mut mem_ops: u64 = 0;
         let mut branches: u64 = 0;
         let mut regfile_reads: u64 = 0;
+        let mut latency = LatencyStats::default();
 
         let mut idx: usize = 0;
         loop {
@@ -203,22 +204,31 @@ impl OutOfOrderEngine {
                         finish
                     } else if lane_kind == kind::LOAD {
                         let addr = u64::from(rec.addr_raw());
-                        // Retire on every load, hit or miss: `ready` is not
-                        // monotone across loads (dependency delays can push a
-                        // hit's `ready` past a later miss's), so retiring only
-                        // on misses would let a later, earlier-`ready` miss
-                        // merge with an entry an intervening hit would have
-                        // retired. The empty-file early-exit keeps the
-                        // hit-path cost to one predictable branch.
-                        mshr.retire_completed(ready);
                         let access = hierarchy.access_data(addr, false, ready);
                         let finish = if access.l1_hit {
+                            // Retire on every load, hit or miss: `ready` is
+                            // not monotone across loads (dependency delays can
+                            // push a hit's `ready` past a later miss's), so
+                            // retiring only on misses would let a later,
+                            // earlier-`ready` miss merge with an entry an
+                            // intervening hit would have retired. Misses
+                            // retire inside `lookup_retire`; hits pay this
+                            // one predictable branch.
+                            mshr.retire_completed(ready);
                             ready + access.latency
                         } else {
                             let block = addr >> block_shift;
-                            if let Some(outstanding) = mshr.lookup(block) {
-                                // Secondary miss: merge with the in-flight fill.
-                                outstanding.max(ready + 1)
+                            if let Some(hit) = mshr.lookup_retire(block, ready) {
+                                // Secondary miss: merge with the in-flight
+                                // fill — a delayed hit, priced at the fill's
+                                // remaining latency (at least the one-cycle
+                                // merge).
+                                let finish = hit.ready_cycle.max(ready + 1);
+                                let remaining = finish - ready;
+                                latency.delayed_hits += 1;
+                                latency.delayed_hit_cycles += remaining;
+                                hierarchy.note_delayed_hit(addr, remaining);
+                                finish
                             } else if mshr.is_full() {
                                 // All MSHRs busy: the miss waits for one to free.
                                 let free_at = mshr
@@ -227,11 +237,19 @@ impl OutOfOrderEngine {
                                 mshr.retire_completed(free_at);
                                 let start = free_at.max(ready);
                                 let finish = start + access.latency;
-                                mshr.allocate(block, finish);
+                                mshr.allocate(block, start, finish);
+                                latency.d_primary_misses += 1;
+                                latency.d_miss_cycles += access.latency;
+                                latency.l2_hit_fills += u64::from(access.l2_hit);
+                                latency.memory_fills += u64::from(!access.l2_hit);
                                 finish
                             } else {
                                 let finish = ready + access.latency;
-                                mshr.allocate(block, finish);
+                                mshr.allocate(block, ready, finish);
+                                latency.d_primary_misses += 1;
+                                latency.d_miss_cycles += access.latency;
+                                latency.l2_hit_fills += u64::from(access.l2_hit);
+                                latency.memory_fills += u64::from(!access.l2_hit);
                                 finish
                             }
                         };
@@ -240,6 +258,14 @@ impl OutOfOrderEngine {
                         // Stores update the cache but retire through the write
                         // buffer: the pipeline only pays the L1 access.
                         let access = hierarchy.access_data(u64::from(rec.addr_raw()), true, ready);
+                        if !access.l1_hit {
+                            // A store miss starts a fill too, but the pipeline
+                            // only ever pays the capped write-buffer latency.
+                            latency.d_primary_misses += 1;
+                            latency.d_miss_cycles += access.latency.min(store_latency_cap);
+                            latency.l2_hit_fills += u64::from(access.l2_hit);
+                            latency.memory_fills += u64::from(!access.l2_hit);
+                        }
                         let finish = ready + access.latency.min(store_latency_cap);
                         finish + lsq.reserve_delay(ready, finish)
                     } else {
@@ -268,6 +294,7 @@ impl OutOfOrderEngine {
                 regfile_reads,
             ),
             branch: predictor.stats(),
+            latency,
         }
     }
 }

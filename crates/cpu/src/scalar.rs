@@ -29,7 +29,7 @@ use crate::fetch::FetchUnit;
 use crate::hook::SimHook;
 use crate::lanes::{producer_ready, COMPLETION_RING};
 use crate::lsq::LoadStoreQueue;
-use crate::result::SimResult;
+use crate::result::{LatencyStats, SimResult};
 use crate::rob::ReorderBuffer;
 
 /// Dispatches to the scalar reference loop of the configuration's engine —
@@ -69,6 +69,7 @@ pub fn run_ooo_reference<S: TraceSource, H: SimHook + ?Sized>(
     let mut mem_ops: u64 = 0;
     let mut branches: u64 = 0;
     let mut regfile_reads: u64 = 0;
+    let mut latency = LatencyStats::default();
 
     let mut idx: usize = 0;
     loop {
@@ -121,14 +122,19 @@ pub fn run_ooo_reference<S: TraceSource, H: SimHook + ?Sized>(
                 }
                 Op::Load(addr) => {
                     mem_ops += 1;
-                    mshr.retire_completed(ready);
                     let access = hierarchy.access_data(addr, false, ready);
                     let finish = if access.l1_hit {
+                        mshr.retire_completed(ready);
                         ready + access.latency
                     } else {
                         let block = addr >> block_shift;
-                        if let Some(outstanding) = mshr.lookup(block) {
-                            outstanding.max(ready + 1)
+                        if let Some(hit) = mshr.lookup_retire(block, ready) {
+                            let finish = hit.ready_cycle.max(ready + 1);
+                            let remaining = finish - ready;
+                            latency.delayed_hits += 1;
+                            latency.delayed_hit_cycles += remaining;
+                            hierarchy.note_delayed_hit(addr, remaining);
+                            finish
                         } else if mshr.is_full() {
                             let free_at = mshr
                                 .earliest_completion()
@@ -136,11 +142,19 @@ pub fn run_ooo_reference<S: TraceSource, H: SimHook + ?Sized>(
                             mshr.retire_completed(free_at);
                             let start = free_at.max(ready);
                             let finish = start + access.latency;
-                            mshr.allocate(block, finish);
+                            mshr.allocate(block, start, finish);
+                            latency.d_primary_misses += 1;
+                            latency.d_miss_cycles += access.latency;
+                            latency.l2_hit_fills += u64::from(access.l2_hit);
+                            latency.memory_fills += u64::from(!access.l2_hit);
                             finish
                         } else {
                             let finish = ready + access.latency;
-                            mshr.allocate(block, finish);
+                            mshr.allocate(block, ready, finish);
+                            latency.d_primary_misses += 1;
+                            latency.d_miss_cycles += access.latency;
+                            latency.l2_hit_fills += u64::from(access.l2_hit);
+                            latency.memory_fills += u64::from(!access.l2_hit);
                             finish
                         }
                     };
@@ -150,6 +164,12 @@ pub fn run_ooo_reference<S: TraceSource, H: SimHook + ?Sized>(
                 Op::Store(addr) => {
                     mem_ops += 1;
                     let access = hierarchy.access_data(addr, true, ready);
+                    if !access.l1_hit {
+                        latency.d_primary_misses += 1;
+                        latency.d_miss_cycles += access.latency.min(store_latency_cap);
+                        latency.l2_hit_fills += u64::from(access.l2_hit);
+                        latency.memory_fills += u64::from(!access.l2_hit);
+                    }
                     let finish = ready + access.latency.min(store_latency_cap);
                     let available = lsq.reserve(ready, finish);
                     finish + available.saturating_sub(ready)
@@ -187,6 +207,7 @@ pub fn run_ooo_reference<S: TraceSource, H: SimHook + ?Sized>(
             regfile_reads,
         ),
         branch: predictor.stats(),
+        latency,
     }
 }
 
@@ -207,6 +228,7 @@ pub fn run_inorder_reference<S: TraceSource, H: SimHook + ?Sized>(
     let mut mem_ops: u64 = 0;
     let mut branches: u64 = 0;
     let mut regfile_reads: u64 = 0;
+    let mut latency = LatencyStats::default();
 
     let mut idx: usize = 0;
     loop {
@@ -253,6 +275,10 @@ pub fn run_inorder_reference<S: TraceSource, H: SimHook + ?Sized>(
                     if access.l1_hit {
                         cycle + access.latency
                     } else {
+                        latency.d_primary_misses += 1;
+                        latency.d_miss_cycles += access.latency;
+                        latency.l2_hit_fills += u64::from(access.l2_hit);
+                        latency.memory_fills += u64::from(!access.l2_hit);
                         cycle += access.latency;
                         issued_this_cycle = 0;
                         cycle
@@ -288,5 +314,6 @@ pub fn run_inorder_reference<S: TraceSource, H: SimHook + ?Sized>(
             regfile_reads,
         ),
         branch: predictor.stats(),
+        latency,
     }
 }

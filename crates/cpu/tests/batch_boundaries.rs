@@ -138,6 +138,14 @@ fn assert_equivalent(
         "{profile_name}/{source_label} engine={:?} warm={warm} measure={measure} hooked={hooked}",
         config.engine
     );
+    // Asserted before the whole-struct comparison so a latency-accounting
+    // divergence is named as such: the lanes path and the scalar oracle must
+    // count delayed hits, primary misses and their cycles identically at
+    // every split point.
+    assert_eq!(
+        batched.0.latency, reference.0.latency,
+        "LatencyStats diverged: {label}"
+    );
     assert_eq!(batched.0, reference.0, "SimResult diverged: {label}");
     assert_eq!(batched.1, reference.1, "snapshot diverged: {label}");
     assert_eq!(batched.2, reference.2, "hook call count diverged: {label}");
@@ -197,6 +205,43 @@ fn batched_engines_match_scalar_reference_on_streamed_sources() {
                 }
             }
         }
+    }
+}
+
+#[test]
+fn latency_parity_is_not_vacuous() {
+    // The LatencyStats assertions above would pass trivially if neither
+    // path accounted anything; pin that a missy profile actually produces
+    // nonzero latency counters in the measured region under both engines,
+    // and that the means derive from those counters.
+    let total = 2 * LANE_BATCH;
+    let trace = TraceGenerator::new(spec::gcc(), 23).generate(total);
+    for config in [CpuConfig::base_out_of_order(), CpuConfig::base_in_order()] {
+        let (batched, reference) = run_both(
+            config,
+            &trace.cursor(),
+            LANE_BATCH / 2,
+            total - LANE_BATCH / 2,
+            false,
+        );
+        let latency = batched.0.latency;
+        assert!(
+            latency.d_primary_misses > 0,
+            "gcc must miss in the measured region (engine {:?})",
+            config.engine
+        );
+        assert!(
+            latency.d_miss_cycles >= latency.d_primary_misses,
+            "every primary miss costs at least one cycle (engine {:?})",
+            config.engine
+        );
+        assert_eq!(
+            latency.l2_hit_fills + latency.memory_fills,
+            latency.d_primary_misses,
+            "every primary miss fills from exactly one level (engine {:?})",
+            config.engine
+        );
+        assert_eq!(latency, reference.0.latency);
     }
 }
 

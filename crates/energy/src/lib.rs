@@ -39,7 +39,7 @@ pub mod technology;
 
 pub use cache_energy::{CacheEnergyModel, PrechargePolicy};
 pub use cacti::ArrayGeometry;
-pub use metrics::EnergyDelay;
+pub use metrics::{EnergyDelay, Objective};
 pub use model::{EnergyBreakdown, EnergyModel, ResizingTagOverhead};
 pub use processor::ProcessorEnergyParams;
 pub use technology::Technology;

@@ -16,7 +16,9 @@
 //! ```
 //!
 //! Or run the self-contained demo — an ephemeral server plus a scripted
-//! client exercising ping, a point, a streamed sweep, health and shutdown:
+//! client exercising ping, a point, a streamed sweep (once under the
+//! default EDP objective, once re-ranked latency-first with
+//! `"objective":"delay"`), health and shutdown:
 //!
 //! ```text
 //! cargo run --release --example serve -- --demo
@@ -77,13 +79,44 @@ fn demo() -> std::io::Result<()> {
         reader.read_line(&mut line)?;
         println!("< {}", line.trim_end());
         let response = Json::parse(line.trim_end()).expect("server speaks valid JSON");
+        if response.get("kind").and_then(Json::as_str) == Some("result") {
+            // Every result line carries the latency-domain block.
+            assert!(
+                response.get("latency").is_some(),
+                "result lines render the latency block"
+            );
+        }
         if response.get("kind").and_then(Json::as_str) == Some("done") {
             break;
         }
     }
 
-    exchange(&mut writer, &mut reader, r#"{"req":"health","id":4}"#)?;
-    let bye = exchange(&mut writer, &mut reader, r#"{"req":"shutdown","id":5}"#)?;
+    // The same sweep re-ranked latency-first: the measurements coalesce on
+    // the tier's memos (no re-simulation), only the "done" ranking changes.
+    writeln!(
+        writer,
+        r#"{{"req":"sweep","id":4,"app":"gcc","org":"selective_sets","objective":"delay"}}"#
+    )?;
+    println!(
+        r#"> {{"req":"sweep","id":4,"app":"gcc","org":"selective_sets","objective":"delay"}}"#
+    );
+    loop {
+        line.clear();
+        reader.read_line(&mut line)?;
+        println!("< {}", line.trim_end());
+        let response = Json::parse(line.trim_end()).expect("server speaks valid JSON");
+        if response.get("kind").and_then(Json::as_str) == Some("done") {
+            assert_eq!(
+                response.get("objective").and_then(Json::as_str),
+                Some("delay"),
+                "the done summary names the objective that ranked it"
+            );
+            break;
+        }
+    }
+
+    exchange(&mut writer, &mut reader, r#"{"req":"health","id":5}"#)?;
+    let bye = exchange(&mut writer, &mut reader, r#"{"req":"shutdown","id":6}"#)?;
     assert_eq!(bye.get("kind").and_then(Json::as_str), Some("bye"));
     drop(writer);
 
