@@ -15,8 +15,9 @@
 //! write the `.quick.json` sibling — the committed full-run trajectory file
 //! is never touched in quick mode.
 //!
-//! The store-backed stages (`trace_store_load`, `dyn_streamed`) exercise the
-//! persistent-store replay path and therefore need `RESCACHE_TRACE_DIR`;
+//! The store-backed stages (`trace_store_load`, `dyn_streamed`,
+//! `sweep_service_multiproc`) exercise the persistent-store path and
+//! therefore need `RESCACHE_TRACE_DIR`;
 //! when it is not set they are skipped — recorded in the JSON with
 //! `"status": "skipped"` — rather than silently writing into a fabricated
 //! temp directory or failing. Each run uses (and removes) a
@@ -66,7 +67,9 @@ struct EngineResult {
     compression_ratio: Option<f64>,
     /// Request lines the sweep service answered, and the shared tier's
     /// result-cache hit rate over the stage (hits + coalesced over all
-    /// lookups); `Some` only for `sweep_service`, the stage whose whole
+    /// lookups); `Some` only for `sweep_service` (one process, one tier)
+    /// and `sweep_service_multiproc` (N server processes sharing a store
+    /// directory, counters aggregated across them), the stages whose whole
     /// point is serving shared results.
     requests: Option<u64>,
     hit_rate: Option<f64>,
@@ -618,10 +621,201 @@ fn bench_sweep_service(scale: u64, format: TraceFormat) -> EngineResult {
     result
 }
 
+/// The server process the multi-process stage re-execs this binary into:
+/// binds an ephemeral port over the store directory the parent points
+/// `RESCACHE_TRACE_DIR` at, prints the port on a marker line, and serves
+/// until a client sends `shutdown`.
+fn sweep_service_worker() {
+    use std::io::Write;
+
+    let env_usize = |name: &str, default: usize| {
+        std::env::var(name)
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .unwrap_or(default)
+    };
+    // Mirrors bench_sweep_service's runner configuration; the parent passes
+    // the scaled region sizes explicitly so every server process keys the
+    // same memo entries.
+    let cfg = RunnerConfig {
+        warmup_instructions: env_usize("RESCACHE_BENCH_SWEEP_WARMUP", 4_000),
+        measure_instructions: env_usize("RESCACHE_BENCH_SWEEP_MEASURE", 12_000),
+        trace_seed: 42,
+        dynamic_interval: 1_024,
+        trace_format: RunnerConfig::from_env().trace_format,
+        ..RunnerConfig::paper()
+    };
+    let server = SweepServer::bind(
+        Runner::with_store(cfg, TraceStore::from_env()),
+        ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            ..ServeConfig::default()
+        },
+    )
+    .expect("bind worker server");
+    let port = server.local_addr().expect("local addr").port();
+    println!("SWEEP_WORKER_PORT={port}");
+    std::io::stdout().flush().expect("flush port marker");
+    server.serve().expect("worker serves until shutdown");
+}
+
+/// The multi-process face of the sweep service: N independent server
+/// *processes* (re-execs of this binary) share one `RESCACHE_TRACE_DIR`
+/// through the store's entry locks, instead of one in-process tier.
+/// Sharing is shallower here — persisted traces cross process boundaries,
+/// simulation memos do not — so the aggregate result-cache hit rate
+/// measures exactly the single-process-vs-multi-process gap, against
+/// `sweep_service`'s within-run rate.
+fn bench_sweep_service_multiproc(scale: u64, format: TraceFormat) -> EngineResult {
+    use std::io::{BufRead, Write};
+
+    const SERVERS: usize = 2;
+    const CLIENTS_PER_SERVER: usize = 2;
+    const SWEEPS_PER_CLIENT: usize = 2;
+
+    let Some(dir) = store_scratch_dir("sweep-multiproc") else {
+        return skipped("sweep_service_multiproc");
+    };
+    std::fs::create_dir_all(&dir).expect("create multiproc scratch directory");
+    let exe = std::env::current_exe().expect("bench binary path");
+    let mut children = Vec::new();
+    for _ in 0..SERVERS {
+        children.push(
+            std::process::Command::new(&exe)
+                .env("RESCACHE_BENCH_SWEEP_WORKER", "1")
+                .env("RESCACHE_TRACE_DIR", &dir)
+                .env("RESCACHE_BENCH_SWEEP_WARMUP", (4_000 * scale).to_string())
+                .env("RESCACHE_BENCH_SWEEP_MEASURE", (12_000 * scale).to_string())
+                .stdout(std::process::Stdio::piped())
+                .stderr(std::process::Stdio::null())
+                .spawn()
+                .expect("spawn server process"),
+        );
+    }
+    let mut addrs = Vec::new();
+    for child in &mut children {
+        let stdout = child.stdout.take().expect("piped worker stdout");
+        let mut lines = std::io::BufReader::new(stdout).lines();
+        let port = loop {
+            let line = lines
+                .next()
+                .expect("worker prints its port before EOF")
+                .expect("read worker stdout");
+            if let Some(port) = line.strip_prefix("SWEEP_WORKER_PORT=") {
+                break port.trim().parse::<u16>().expect("valid port");
+            }
+        };
+        addrs.push(std::net::SocketAddr::from(([127, 0, 0, 1], port)));
+        // Keep draining the pipe so the child never blocks writing to it.
+        std::thread::spawn(move || for _ in lines {});
+    }
+
+    let system = SystemConfig::base();
+    let points = ConfigSpace::enumerate(
+        ResizableCacheSide::Data.config_of(&system.hierarchy),
+        Organization::SelectiveSets,
+    )
+    .expect("selective-sets applies to the base d-cache")
+    .points()
+    .len() as u64;
+    let per_run = (4_000 + 12_000) * scale;
+    let nominal =
+        (SERVERS * CLIENTS_PER_SERVER * SWEEPS_PER_CLIENT) as u64 * (points + 1) * per_run;
+
+    let run_sweeps = |addr: std::net::SocketAddr| {
+        let stream = std::net::TcpStream::connect(addr).expect("connect bench client");
+        let mut reader = std::io::BufReader::new(stream.try_clone().expect("clone stream"));
+        let mut writer = stream;
+        let mut served = 0u64;
+        for _ in 0..SWEEPS_PER_CLIENT {
+            writeln!(
+                writer,
+                r#"{{"req":"sweep","app":"gcc","org":"selective_sets"}}"#
+            )
+            .expect("send sweep");
+            let mut line = String::new();
+            loop {
+                line.clear();
+                let n = reader.read_line(&mut line).expect("read response");
+                assert!(n > 0, "server closed mid-sweep");
+                assert!(line.contains("\"ok\":true"), "sweep failed: {line}");
+                if line.contains("\"kind\":\"done\"") {
+                    break;
+                }
+                served += 1;
+            }
+        }
+        served
+    };
+    let mut result = measure("sweep_service_multiproc", nominal, 1, || {
+        std::thread::scope(|scope| {
+            let clients: Vec<_> = addrs
+                .iter()
+                .flat_map(|&addr| (0..CLIENTS_PER_SERVER).map(move |_| addr))
+                .map(|addr| scope.spawn(move || run_sweeps(addr)))
+                .collect();
+            clients
+                .into_iter()
+                .map(|c| c.join().expect("bench client"))
+                .sum()
+        })
+    });
+
+    // Aggregate the per-process tier counters through the protocol (the
+    // tiers live in the worker processes) and wind the servers down.
+    let mut hits = 0u64;
+    let mut coalesced = 0u64;
+    let mut misses = 0u64;
+    let mut requests = 0u64;
+    for &addr in &addrs {
+        let stream = std::net::TcpStream::connect(addr).expect("connect for health");
+        let mut reader = std::io::BufReader::new(stream.try_clone().expect("clone stream"));
+        let mut writer = stream;
+        writeln!(writer, r#"{{"req":"health"}}"#).expect("send health");
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("read health");
+        let health = rescache_core::json::Json::parse(line.trim_end()).expect("health JSON");
+        let counter = |name: &str| {
+            health
+                .get(name)
+                .and_then(rescache_core::json::Json::as_u64)
+                .unwrap_or(0)
+        };
+        hits += counter("hits");
+        coalesced += counter("coalesced");
+        misses += counter("misses");
+        requests += counter("requests");
+        writeln!(writer, r#"{{"req":"shutdown"}}"#).expect("send shutdown");
+        line.clear();
+        reader.read_line(&mut line).expect("read bye");
+    }
+    for mut child in children {
+        let status = child.wait().expect("worker exits");
+        assert!(
+            status.success(),
+            "worker process exited cleanly: {status:?}"
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
+
+    result.requests = Some(requests);
+    let lookups = hits + coalesced + misses;
+    result.hit_rate = (lookups > 0).then(|| (hits + coalesced) as f64 / lookups as f64);
+    result.nominal_workload = true;
+    result.trace_format = Some(format);
+    result
+}
+
 // `results` is deliberately built push by push, not as a `vec![...]`
 // literal — see the comment at its declaration.
 #[allow(clippy::vec_init_then_push)]
 fn main() {
+    // Re-exec mode: the multi-process sweep-service stage spawns this same
+    // binary as its server processes.
+    if std::env::var("RESCACHE_BENCH_SWEEP_WORKER").is_ok() {
+        sweep_service_worker();
+        return;
+    }
     // "0", "false" and the empty string count as unset, so e.g.
     // `RESCACHE_BENCH_QUICK=0` runs the full bench as intended rather than
     // silently selecting quick mode.
@@ -703,6 +897,7 @@ fn main() {
     results.extend(bench_policy_pair(scale, trace_format));
     results.push(bench_fig5_sweep(scale));
     results.push(bench_sweep_service(scale, trace_format));
+    results.push(bench_sweep_service_multiproc(scale, trace_format));
 
     let json = render_json(&results, quick, store_health);
     // Quick (CI smoke) runs record to a sibling file so they never clobber
@@ -727,7 +922,7 @@ fn main() {
 /// carries no serde dependency).
 fn render_json(results: &[EngineResult], quick: bool, health: Option<StoreHealth>) -> String {
     let mut out = String::from("{\n");
-    out.push_str("  \"schema\": \"rescache-sim-throughput/9\",\n");
+    out.push_str("  \"schema\": \"rescache-sim-throughput/10\",\n");
     out.push_str(&format!("  \"quick\": {quick},\n"));
     // The streamed dynamic stage's shared-tier recovery counters. All-zero
     // with `"degraded": false` on a healthy machine; anything else flags a

@@ -12,7 +12,7 @@ use crate::error::CoreError;
 use crate::experiment::parallel::parallel_map;
 use crate::experiment::trace_store::{StoreSource, TraceKey, TraceStore};
 use crate::org::{CachePoint, ConfigSpace, Organization};
-use crate::strategy::{DynamicController, DynamicParams};
+use crate::strategy::{DynamicController, DynamicParams, ResizeDecision};
 use crate::system::{ResizableCacheSide, SystemConfig};
 
 /// Simulation lengths and seeds used by every experiment.
@@ -641,6 +641,27 @@ impl Runner {
         system: &SystemConfig,
         setup: &RunSetup,
     ) -> Measurement {
+        self.run_dynamic_observed(app, system, setup, None)
+    }
+
+    /// [`Runner::run_dynamic`] with an optional decision sink: every resize
+    /// the controller performs is streamed into `sink` as a
+    /// [`ResizeDecision`] while the simulation runs — the hook the sweep
+    /// service's `dynamic` verb forwards interval decisions through.
+    ///
+    /// If a store fault forces a retry, the retried attempt streams into the
+    /// same sink from a *fresh* controller (dynamic runs are not memoized;
+    /// the attempt that completes is the one whose decisions are
+    /// authoritative, and it always re-anchors from the full-size point).
+    /// Observation never perturbs the measurement: the returned
+    /// [`Measurement`] is bit-identical with or without a sink.
+    pub fn run_dynamic_observed(
+        &self,
+        app: &AppProfile,
+        system: &SystemConfig,
+        setup: &RunSetup,
+        sink: Option<&std::sync::mpsc::Sender<ResizeDecision>>,
+    ) -> Measurement {
         let Some((side, space, params)) = setup.dynamic.clone() else {
             return self.run_static_impl(
                 app,
@@ -665,6 +686,9 @@ impl Runner {
             let mut controller = DynamicController::new(side, space.clone(), params)
                 .expect("dynamic parameters validated by the caller")
                 .with_objective(self.config.objective);
+            if let Some(sink) = sink {
+                controller = controller.with_decision_sink(sink.clone());
+            }
             self.simulate_hooked_source(
                 source,
                 system,

@@ -9,46 +9,71 @@
 //! tokio, no serde; the protocol uses the hand-rolled [`crate::json`]
 //! module) so many concurrent clients share one tier:
 //!
-//! * every connection gets its own thread, and a `sweep` request shards its
-//!   configuration space across [`effective_workers`] worker threads,
-//!   streaming each point's result line back as it completes;
+//! * every connection gets its own thread (finished threads are reaped each
+//!   accept, and the live count is reported in `health`), and a `sweep`
+//!   request shards its configuration space across [`effective_workers`]
+//!   worker threads, streaming each point's result line back as it
+//!   completes;
+//! * a `dynamic` request runs the paper's miss-ratio resizing controller
+//!   over the wire: every resize the controller performs streams back as a
+//!   `kind:"resize"` line while the simulation runs, then a `kind:"done"`
+//!   line carries the measurement;
+//! * a streaming sweep is cancellable mid-flight — an interleaved
+//!   `{"req":"cancel","id":...}` naming the sweep's id (or the client
+//!   disconnecting) stops the shared point cursor, so workers finish only
+//!   the points already in flight instead of computing the whole space;
 //! * identical in-flight requests — from one client or many — coalesce on
 //!   the tier's single-flight memos exactly the way `TraceStore`
 //!   single-flights generation: N clients asking for the same cold point run
 //!   **one** simulation, observable as [`StoreHealth`] `coalesced`/`hits`
 //!   (`StoreHealth::result_cache_hit_rate` is the service's headline
-//!   metric);
+//!   metric). Several server *processes* can share one tier too, through
+//!   the store's `RESCACHE_TRACE_DIR` entry locks;
 //! * malformed, oversized or unserviceable request lines get typed error
 //!   responses on the same connection — never a panic, never a silent
-//!   disconnect.
+//!   disconnect — and a per-connection request quota
+//!   ([`ServeConfig::max_requests_per_conn`], `RESCACHE_SERVE_QUOTA`) caps
+//!   what any one connection may ask before being closed with a typed
+//!   `quota_exhausted` error.
 //!
 //! # Protocol
 //!
 //! One JSON object per line in, one or more JSON objects per line out.
-//! Every response carries `"ok"` and echoes the request's `"id"` (if any).
+//! Every response carries `"ok"` and echoes the request's `"id"` (if any);
+//! typed errors carry `"error"` and, for range/quota violations, a
+//! machine-readable `"code"`.
 //!
 //! | Request | Response lines |
 //! |---|---|
 //! | `{"req":"ping"}` | `{"ok":true,"kind":"pong"}` |
-//! | `{"req":"health"}` | one `kind:"health"` line with the tier's [`StoreHealth`] counters |
+//! | `{"req":"health"}` | one `kind:"health"` line with the tier's [`StoreHealth`] counters plus the server's open-connection count |
 //! | `{"req":"point","app":"ammp","sets":64,"ways":2}` | one `kind:"result"` line with the measurement |
 //! | `{"req":"sweep","app":"ammp","org":"selective_sets"}` | one `kind:"result"` line per point *as each completes*, then a `kind:"done"` summary with the objective's best point |
+//! | `{"req":"cancel","id":3}` | stops the in-flight sweep with that id on this connection; the sweep answers with a `kind:"cancelled"` line counting the points actually evaluated |
+//! | `{"req":"dynamic","app":"ammp"}` | `kind:"resize"` lines streamed as the controller decides, then a `kind:"done"` line with the dynamic measurement |
 //! | `{"req":"shutdown"}` | `{"ok":true,"kind":"bye"}`, then the whole server drains and exits |
 //!
-//! `point` and `sweep` accept optional `"system"` (`"base"` default,
-//! `"in_order"`), `"side"` (`"data"` default, `"instruction"`), `"org"`
-//! (`"selective_sets"` default, `"selective_ways"`, `"hybrid"`) and
+//! `point`, `sweep` and `dynamic` accept optional `"system"` (`"base"`
+//! default, `"in_order"`), `"side"` (`"data"` default, `"instruction"`),
+//! `"org"` (`"selective_sets"` default, `"selective_ways"`, `"hybrid"`) and
 //! `"objective"` (`"edp"`, `"ed2p"`, `"delay"`; defaults to the runner's
 //! configured objective, i.e. `RESCACHE_OBJECTIVE` or EDP); `point`
-//! omitting `sets`/`ways` measures the full-size baseline. Applications
-//! resolve through [`spec::profile`] first, then the
-//! [`WorkloadRegistry`] scenario names. Every `kind:"result"` line carries
-//! a `"latency"` block (delayed-hit counts and mean stall cycles) next to
-//! the energy numbers, and a sweep's `kind:"done"` summary names the
-//! objective that ranked its best point.
+//! omitting `sets`/`ways` measures the full-size baseline. `dynamic`
+//! additionally accepts `"interval"` (accesses; defaults to the runner's
+//! `dynamic_interval`), `"miss_bound"` (defaults to the baseline's
+//! per-interval miss count, as the profiling candidates derive it) and
+//! `"size_bound"` (bytes, snapped to an offered capacity; defaults to the
+//! smallest). Applications resolve through [`spec::profile`] first, then
+//! the [`WorkloadRegistry`] scenario names. Every `kind:"result"` line
+//! carries a `"latency"` block (delayed-hit counts and mean stall cycles)
+//! next to the energy numbers, and a sweep's `kind:"done"` summary names
+//! the objective that ranked its best point. For `dynamic`, the objective
+//! also steers the controller's interval signal (a latency-first objective
+//! counts delayed hits as upsizing pressure).
 
+use std::collections::VecDeque;
 use std::io::{BufRead, BufReader, BufWriter, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::net::{IpAddr, Ipv4Addr, Ipv6Addr, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc};
 use std::time::Duration;
@@ -57,10 +82,11 @@ use rescache_energy::Objective;
 use rescache_trace::{spec, AppProfile, WorkloadRegistry};
 
 use crate::experiment::parallel::effective_workers;
-use crate::experiment::runner::{Measurement, Runner};
+use crate::experiment::runner::{Measurement, RunSetup, Runner};
 use crate::experiment::shared_tier::StoreHealth;
 use crate::json::{obj, Json};
 use crate::org::{CachePoint, ConfigSpace, Organization};
+use crate::strategy::{DynamicParams, ResizeDecision};
 use crate::system::{ResizableCacheSide, SystemConfig};
 
 /// Default cap on one request line. Real requests are under 200 bytes; the
@@ -76,6 +102,12 @@ pub const DEFAULT_MAX_LINE_BYTES: usize = 64 * 1024;
 /// slowest client.
 const SHUTDOWN_POLL: Duration = Duration::from_millis(100);
 
+/// The socket timeout of a mid-sweep *poll* for interleaved lines (cancel
+/// requests, pipelined follow-ups, or the client vanishing): short enough
+/// that a quiet client costs ~1 ms per streamed result, long enough that a
+/// cancel sent right after a result line is seen before the next one.
+const POLL_FAST: Duration = Duration::from_millis(1);
+
 /// The address the sweep service binds when `RESCACHE_SERVE_ADDR` is unset.
 pub const DEFAULT_ADDR: &str = "127.0.0.1:7878";
 
@@ -88,6 +120,11 @@ pub struct ServeConfig {
     pub max_line_bytes: usize,
     /// Worker threads a single sweep request shards its points across.
     pub workers: usize,
+    /// Requests one connection may make before it is closed with a typed
+    /// `quota_exhausted` error; `0` means unlimited. Counts every accepted
+    /// request line (including oversized ones), so a hostile or runaway
+    /// client cannot monopolise the tier indefinitely.
+    pub max_requests_per_conn: usize,
 }
 
 impl Default for ServeConfig {
@@ -96,18 +133,30 @@ impl Default for ServeConfig {
             addr: DEFAULT_ADDR.to_string(),
             max_line_bytes: DEFAULT_MAX_LINE_BYTES,
             workers: effective_workers(),
+            max_requests_per_conn: 0,
         }
     }
 }
 
 impl ServeConfig {
     /// The configuration the environment selects: `RESCACHE_SERVE_ADDR`
-    /// overrides the bind address, `RESCACHE_THREADS` (via
+    /// overrides the bind address, `RESCACHE_SERVE_QUOTA` the
+    /// per-connection request quota (`0` or unset = unlimited; unparsable
+    /// values warn and keep unlimited), and `RESCACHE_THREADS` (via
     /// [`effective_workers`]) the sweep fan-out.
     pub fn from_env() -> Self {
         let mut config = Self::default();
         if let Ok(addr) = std::env::var("RESCACHE_SERVE_ADDR") {
             config.addr = addr;
+        }
+        if let Ok(quota) = std::env::var("RESCACHE_SERVE_QUOTA") {
+            match quota.trim().parse::<usize>() {
+                Ok(n) => config.max_requests_per_conn = n,
+                Err(_) => eprintln!(
+                    "rescache-serve: unparsable RESCACHE_SERVE_QUOTA {quota:?}; \
+                     serving without a per-connection quota"
+                ),
+            }
         }
         config
     }
@@ -119,6 +168,7 @@ impl ServeConfig {
 pub struct ServerHandle {
     addr: SocketAddr,
     shutdown: Arc<AtomicBool>,
+    connections: Arc<AtomicUsize>,
 }
 
 impl ServerHandle {
@@ -128,14 +178,35 @@ impl ServerHandle {
         self.addr
     }
 
+    /// Number of client connections currently open (also reported on every
+    /// `health` response line).
+    pub fn open_connections(&self) -> usize {
+        self.connections.load(Ordering::SeqCst)
+    }
+
     /// Signals the accept loop to exit. The flag alone is not enough — the
     /// loop is blocked in `accept` — so a throwaway self-connection wakes
     /// it. Idempotent; safe from any thread.
     pub fn stop(&self) {
         self.shutdown.store(true, Ordering::SeqCst);
         // Failure is fine: the listener may already be gone.
-        let _ = TcpStream::connect(self.addr);
+        let _ = TcpStream::connect(wake_addr(self.addr));
     }
+}
+
+/// The address [`ServerHandle::stop`]'s throwaway wake-up connection dials.
+/// A wildcard bind (`0.0.0.0:p` / `[::]:p`) stores the wildcard itself as
+/// the local address; connecting *to* a wildcard is non-portable (it happens
+/// to mean loopback on Linux, but fails elsewhere), which would leave
+/// `serve()` blocked in `accept` forever — so wildcard hosts are rewritten
+/// to the matching loopback, keeping the port.
+fn wake_addr(addr: SocketAddr) -> SocketAddr {
+    let ip = match addr.ip() {
+        IpAddr::V4(ip) if ip.is_unspecified() => IpAddr::V4(Ipv4Addr::LOCALHOST),
+        IpAddr::V6(ip) if ip.is_unspecified() => IpAddr::V6(Ipv6Addr::LOCALHOST),
+        ip => ip,
+    };
+    SocketAddr::new(ip, addr.port())
 }
 
 /// The sweep service (see the module documentation).
@@ -145,6 +216,7 @@ pub struct SweepServer {
     runner: Runner,
     config: ServeConfig,
     shutdown: Arc<AtomicBool>,
+    connections: Arc<AtomicUsize>,
 }
 
 impl SweepServer {
@@ -161,6 +233,7 @@ impl SweepServer {
             runner,
             config,
             shutdown: Arc::new(AtomicBool::new(false)),
+            connections: Arc::new(AtomicUsize::new(0)),
         })
     }
 
@@ -182,13 +255,16 @@ impl SweepServer {
         Ok(ServerHandle {
             addr: self.local_addr()?,
             shutdown: Arc::clone(&self.shutdown),
+            connections: Arc::clone(&self.connections),
         })
     }
 
     /// Runs the accept loop until [`ServerHandle::stop`] is called (or a
     /// client sends `shutdown`). Each connection is served on its own
-    /// thread; the loop drains before returning, so a clean shutdown never
-    /// drops an in-flight response mid-line.
+    /// thread; threads of connections that have ended are reaped on every
+    /// accept (a long-lived server must not grow a handle per client it
+    /// ever served), and the loop drains the rest before returning, so a
+    /// clean shutdown never drops an in-flight response mid-line.
     ///
     /// # Errors
     ///
@@ -197,17 +273,46 @@ impl SweepServer {
     /// continues.
     pub fn serve(self) -> std::io::Result<()> {
         let handle = self.handle()?;
-        let mut connections = Vec::new();
+        let mut connections: Vec<std::thread::JoinHandle<()>> = Vec::new();
         for stream in self.listener.incoming() {
             if self.shutdown.load(Ordering::SeqCst) {
                 break;
             }
+            // Reap finished connection threads (joining a finished thread
+            // cannot block) so the handle list tracks live connections, not
+            // the server's whole accept history.
+            connections = connections
+                .into_iter()
+                .filter_map(|connection| {
+                    if connection.is_finished() {
+                        let _ = connection.join();
+                        None
+                    } else {
+                        Some(connection)
+                    }
+                })
+                .collect();
             match stream {
                 Ok(stream) => {
                     let runner = self.runner.clone();
                     let config = self.config.clone();
                     let handle = handle.clone();
+                    // Counted up front (not in the thread) so the gauge
+                    // never under-reports a connection that was accepted
+                    // but whose thread has not scheduled yet.
+                    self.connections.fetch_add(1, Ordering::SeqCst);
+                    let gauge = Arc::clone(&self.connections);
                     connections.push(std::thread::spawn(move || {
+                        // Decremented on every exit path (panic included) so
+                        // the health gauge cannot drift upward over a
+                        // long-lived server's life.
+                        struct Open(Arc<AtomicUsize>);
+                        impl Drop for Open {
+                            fn drop(&mut self) {
+                                self.0.fetch_sub(1, Ordering::SeqCst);
+                            }
+                        }
+                        let _open = Open(gauge);
                         if let Err(e) = serve_connection(&runner, stream, &config, &handle) {
                             // A vanished client is normal server life, not a
                             // server failure.
@@ -250,72 +355,139 @@ enum LineOutcome {
     Oversized,
     /// The client closed the connection.
     Eof,
+    /// Poll mode only: no complete line is buffered right now.
+    Quiet,
 }
 
-/// Reads one `\n`-terminated line, enforcing the byte cap without ever
-/// buffering more than the cap. (`BufRead::read_line` would buffer the
+/// Incremental `\n`-terminated line scanner, enforcing the byte cap without
+/// ever buffering more than the cap. (`BufRead::read_line` would buffer the
 /// whole oversized line first — exactly the unbounded allocation the cap
-/// exists to prevent.)
-fn read_request_line(
-    reader: &mut impl BufRead,
-    max_line_bytes: usize,
-    shutdown: &AtomicBool,
-) -> std::io::Result<LineOutcome> {
-    let mut line: Vec<u8> = Vec::new();
-    let mut discarding = false;
-    loop {
-        let buf = match reader.fill_buf() {
-            Ok(buf) => buf,
-            // A socket read timeout (see SHUTDOWN_POLL): check the flag and
-            // keep waiting — any partial line gathered so far is preserved.
-            Err(e)
-                if matches!(
-                    e.kind(),
-                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
-                ) =>
-            {
-                if shutdown.load(Ordering::SeqCst) {
-                    return Ok(LineOutcome::Eof);
+/// exists to prevent.) The partial-line state lives here, not on the stack,
+/// so a mid-sweep *poll* can give up mid-line and resume gathering on the
+/// next call without losing bytes.
+#[derive(Default)]
+struct LineReader {
+    partial: Vec<u8>,
+    discarding: bool,
+}
+
+impl LineReader {
+    /// Reads one line. On a socket read timeout, blocking mode re-checks
+    /// the shutdown flag and keeps waiting; poll mode returns
+    /// [`LineOutcome::Quiet`] (any partial line stays gathered for the next
+    /// call).
+    fn read_line(
+        &mut self,
+        reader: &mut impl BufRead,
+        max_line_bytes: usize,
+        shutdown: &AtomicBool,
+        blocking: bool,
+    ) -> std::io::Result<LineOutcome> {
+        loop {
+            let buf = match reader.fill_buf() {
+                Ok(buf) => buf,
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    if shutdown.load(Ordering::SeqCst) {
+                        return Ok(LineOutcome::Eof);
+                    }
+                    if !blocking {
+                        return Ok(LineOutcome::Quiet);
+                    }
+                    continue;
                 }
-                continue;
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            };
+            if buf.is_empty() {
+                return Ok(if std::mem::take(&mut self.discarding) {
+                    LineOutcome::Oversized
+                } else if self.partial.is_empty() {
+                    LineOutcome::Eof
+                } else {
+                    // A final unterminated line still counts as a request.
+                    Self::finish_line(&mut self.partial)
+                });
             }
-            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
-            Err(e) => return Err(e),
-        };
-        if buf.is_empty() {
-            return Ok(if discarding {
-                LineOutcome::Oversized
-            } else if line.is_empty() {
-                LineOutcome::Eof
-            } else {
-                // A final unterminated line still counts as a request.
-                LineOutcome::Line(String::from_utf8_lossy(&line).into_owned())
-            });
-        }
-        let newline = buf.iter().position(|&b| b == b'\n');
-        let take = newline.map_or(buf.len(), |i| i + 1);
-        if !discarding {
-            let body = newline.map_or(take, |i| i);
-            if line.len() + body > max_line_bytes {
-                line.clear();
-                discarding = true;
-            } else {
-                line.extend_from_slice(&buf[..body]);
+            let newline = buf.iter().position(|&b| b == b'\n');
+            let take = newline.map_or(buf.len(), |i| i + 1);
+            if !self.discarding {
+                let body = newline.map_or(take, |i| i);
+                if self.partial.len() + body > max_line_bytes {
+                    self.partial.clear();
+                    self.discarding = true;
+                } else {
+                    self.partial.extend_from_slice(&buf[..body]);
+                }
+            }
+            reader.consume(take);
+            if newline.is_some() {
+                return Ok(if std::mem::take(&mut self.discarding) {
+                    LineOutcome::Oversized
+                } else {
+                    Self::finish_line(&mut self.partial)
+                });
             }
         }
-        reader.consume(take);
-        if newline.is_some() {
-            return Ok(if discarding {
-                LineOutcome::Oversized
-            } else {
-                LineOutcome::Line(String::from_utf8_lossy(&line).into_owned())
-            });
+    }
+
+    fn finish_line(partial: &mut Vec<u8>) -> LineOutcome {
+        let bytes = std::mem::take(partial);
+        LineOutcome::Line(String::from_utf8_lossy(&bytes).into_owned())
+    }
+}
+
+/// Per-connection state: the buffered stream pair, the incremental line
+/// scanner, and any request lines the client pipelined while a sweep was
+/// streaming (dispatched in arrival order once the sweep finishes).
+struct Conn<'a> {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+    lines: LineReader,
+    pending: VecDeque<String>,
+    config: &'a ServeConfig,
+    handle: &'a ServerHandle,
+}
+
+impl Conn<'_> {
+    /// The next request line to dispatch: lines pipelined during a sweep
+    /// first, then a blocking socket read.
+    fn next_request(&mut self) -> std::io::Result<LineOutcome> {
+        if let Some(line) = self.pending.pop_front() {
+            return Ok(LineOutcome::Line(line));
         }
+        self.lines.read_line(
+            &mut self.reader,
+            self.config.max_line_bytes,
+            &self.handle.shutdown,
+            true,
+        )
+    }
+
+    /// A non-waiting look at the connection, used between streamed sweep
+    /// results: shrinks the socket timeout to [`POLL_FAST`] for the read
+    /// attempt, then restores the shutdown-poll timeout.
+    fn poll_line(&mut self) -> std::io::Result<LineOutcome> {
+        self.reader.get_ref().set_read_timeout(Some(POLL_FAST))?;
+        let outcome = self.lines.read_line(
+            &mut self.reader,
+            self.config.max_line_bytes,
+            &self.handle.shutdown,
+            false,
+        );
+        let restored = self.reader.get_ref().set_read_timeout(Some(SHUTDOWN_POLL));
+        let outcome = outcome?;
+        restored?;
+        Ok(outcome)
     }
 }
 
 /// Serves one client connection: read a request line, dispatch, repeat
-/// until EOF or shutdown.
+/// until EOF, shutdown, or quota exhaustion.
 fn serve_connection(
     runner: &Runner,
     stream: TcpStream,
@@ -323,17 +495,34 @@ fn serve_connection(
     handle: &ServerHandle,
 ) -> std::io::Result<()> {
     // Reads poll so a shutdown drains even past idle clients; the timeout
-    // never surfaces to the protocol (read_request_line absorbs it).
+    // never surfaces to the protocol (LineReader absorbs it).
     stream.set_read_timeout(Some(SHUTDOWN_POLL))?;
-    let mut reader = BufReader::new(stream.try_clone()?);
-    let mut writer = BufWriter::new(stream);
+    let mut conn = Conn {
+        reader: BufReader::new(stream.try_clone()?),
+        writer: BufWriter::new(stream),
+        lines: LineReader::default(),
+        pending: VecDeque::new(),
+        config,
+        handle,
+    };
+    let mut accepted: usize = 0;
     loop {
-        let line = match read_request_line(&mut reader, config.max_line_bytes, &handle.shutdown)? {
-            LineOutcome::Eof => return Ok(()),
+        let outcome = conn.next_request()?;
+        let quota = config.max_requests_per_conn;
+        let over_quota = |accepted: &mut usize| {
+            *accepted += 1;
+            quota > 0 && *accepted > quota
+        };
+        let line = match outcome {
+            LineOutcome::Eof | LineOutcome::Quiet => return Ok(()),
             LineOutcome::Oversized => {
                 runner.trace_store().tier().health().note_request();
+                if over_quota(&mut accepted) {
+                    write_line(&mut conn.writer, &quota_response(Json::Null, quota))?;
+                    return Ok(());
+                }
                 write_line(
-                    &mut writer,
+                    &mut conn.writer,
                     &error_response(
                         Json::Null,
                         &format!(
@@ -350,10 +539,22 @@ fn serve_connection(
             continue;
         }
         runner.trace_store().tier().health().note_request();
-        match dispatch(runner, &line, config, &mut writer)? {
+        if over_quota(&mut accepted) {
+            let id = Json::parse(&line)
+                .ok()
+                .and_then(|request| request.get("id").cloned())
+                .unwrap_or(Json::Null);
+            write_line(&mut conn.writer, &quota_response(id, quota))?;
+            return Ok(());
+        }
+        match dispatch(runner, &line, &mut conn)? {
             Flow::Continue => {}
+            Flow::Close => {
+                conn.writer.flush()?;
+                return Ok(());
+            }
             Flow::Shutdown => {
-                writer.flush()?;
+                conn.writer.flush()?;
                 handle.stop();
                 return Ok(());
             }
@@ -365,21 +566,19 @@ fn serve_connection(
 /// after a request.
 enum Flow {
     Continue,
+    /// The connection is done (client vanished mid-stream); close without
+    /// treating it as an I/O failure.
+    Close,
     Shutdown,
 }
 
 /// Parses and executes one request line, writing the response line(s).
-fn dispatch(
-    runner: &Runner,
-    line: &str,
-    config: &ServeConfig,
-    writer: &mut impl Write,
-) -> std::io::Result<Flow> {
+fn dispatch(runner: &Runner, line: &str, conn: &mut Conn) -> std::io::Result<Flow> {
     let request = match Json::parse(line) {
         Ok(v) => v,
         Err(e) => {
             write_line(
-                &mut *writer,
+                &mut conn.writer,
                 &error_response(Json::Null, &format!("malformed request: {e}")),
             )?;
             return Ok(Flow::Continue);
@@ -390,7 +589,7 @@ fn dispatch(
     match verb {
         "ping" => {
             write_line(
-                writer,
+                &mut conn.writer,
                 &obj([
                     ("id", id),
                     ("ok", Json::Bool(true)),
@@ -401,12 +600,13 @@ fn dispatch(
         }
         "health" => {
             let health = runner.trace_store().tier().health_snapshot();
-            write_line(writer, &health_response(id, &health))?;
+            let open = conn.handle.open_connections();
+            write_line(&mut conn.writer, &health_response(id, &health, open))?;
             Ok(Flow::Continue)
         }
         "shutdown" => {
             write_line(
-                writer,
+                &mut conn.writer,
                 &obj([
                     ("id", id),
                     ("ok", Json::Bool(true)),
@@ -417,32 +617,49 @@ fn dispatch(
         }
         "point" => {
             match parse_target(&request, runner.config().objective) {
-                Ok(target) => serve_point(runner, &request, id, &target, writer)?,
-                Err(e) => write_line(&mut *writer, &error_response(id, &e))?,
+                Ok(target) => serve_point(runner, &request, id, &target, &mut conn.writer)?,
+                Err(e) => write_line(&mut conn.writer, &error_response(id, &e))?,
             }
             Ok(Flow::Continue)
         }
-        "sweep" => {
-            match parse_target(&request, runner.config().objective) {
-                Ok(target) => serve_sweep(runner, id, &target, config.workers, writer)?,
-                Err(e) => write_line(&mut *writer, &error_response(id, &e))?,
+        "sweep" => match parse_target(&request, runner.config().objective) {
+            Ok(target) => serve_sweep(runner, id, &target, conn),
+            Err(e) => {
+                write_line(&mut conn.writer, &error_response(id, &e))?;
+                Ok(Flow::Continue)
             }
+        },
+        "dynamic" => {
+            match parse_target(&request, runner.config().objective) {
+                Ok(target) => serve_dynamic(runner, &request, id, &target, conn)?,
+                Err(e) => write_line(&mut conn.writer, &error_response(id, &e))?,
+            }
+            Ok(Flow::Continue)
+        }
+        "cancel" => {
+            // A matching cancel is consumed *inside* serve_sweep's poll
+            // loop; reaching dispatch means nothing is in flight here.
+            write_line(
+                &mut conn.writer,
+                &error_response(id, "no sweep in flight to cancel on this connection"),
+            )?;
             Ok(Flow::Continue)
         }
         "" => {
             write_line(
-                writer,
+                &mut conn.writer,
                 &error_response(id, "missing \"req\" field (string)"),
             )?;
             Ok(Flow::Continue)
         }
         other => {
             write_line(
-                writer,
+                &mut conn.writer,
                 &error_response(
                     id,
                     &format!(
-                        "unknown request {other:?} (want ping, health, point, sweep or shutdown)"
+                        "unknown request {other:?} (want ping, health, point, sweep, \
+                         dynamic, cancel or shutdown)"
                     ),
                 ),
             )?;
@@ -548,10 +765,20 @@ fn serve_point(
                     &error_response(id, "\"sets\" and \"ways\" must be non-negative integers"),
                 );
             };
-            let point = CachePoint {
-                sets,
-                ways: ways.min(u64::from(u32::MAX)) as u32,
+            // An out-of-range associativity used to be clamped to u32::MAX
+            // and then rejected as "not offered" — misleading; report the
+            // real problem with a typed range error instead.
+            let Ok(ways) = u32::try_from(ways) else {
+                return write_line(
+                    writer,
+                    &error_response_coded(
+                        id,
+                        "out_of_range",
+                        &format!("\"ways\" {ways} exceeds the supported maximum {}", u32::MAX),
+                    ),
+                );
             };
+            let point = CachePoint { sets, ways };
             // Validating against the organization's space turns a geometry
             // the engines cannot run (non-power-of-two sets, zero ways)
             // into a typed protocol error instead of an engine panic.
@@ -585,32 +812,105 @@ fn serve_point(
     write_line(writer, &result_response(id, point, &measurement))
 }
 
+/// What a mid-sweep poll of the connection found.
+enum Control {
+    /// Nothing new; keep streaming.
+    Quiet,
+    /// The client cancelled this sweep.
+    Cancel,
+    /// The client is gone (EOF or connection error).
+    Disconnected,
+}
+
+/// Polls the connection between streamed sweep results: consumes everything
+/// the client pipelined, handling a `cancel` that names this sweep (and
+/// answering, mid-stream, cancels that name anything else), queueing other
+/// requests for dispatch after the sweep, and detecting a vanished client.
+fn poll_control(runner: &Runner, conn: &mut Conn, sweep_id: &Json) -> Control {
+    loop {
+        match conn.poll_line() {
+            Ok(LineOutcome::Quiet) => return Control::Quiet,
+            Ok(LineOutcome::Eof) | Err(_) => return Control::Disconnected,
+            Ok(LineOutcome::Oversized) => {
+                runner.trace_store().tier().health().note_request();
+                let oversized = error_response(
+                    Json::Null,
+                    &format!(
+                        "request line exceeds {} bytes; line skipped",
+                        conn.config.max_line_bytes
+                    ),
+                );
+                if write_line(&mut conn.writer, &oversized).is_err() {
+                    return Control::Disconnected;
+                }
+            }
+            Ok(LineOutcome::Line(line)) => {
+                if line.trim().is_empty() {
+                    continue;
+                }
+                if let Ok(request) = Json::parse(&line) {
+                    if request.get("req").and_then(Json::as_str) == Some("cancel") {
+                        runner.trace_store().tier().health().note_request();
+                        let cancel_id = request.get("id").cloned().unwrap_or(Json::Null);
+                        if cancel_id == *sweep_id {
+                            return Control::Cancel;
+                        }
+                        // A cancel naming some other id would otherwise wait
+                        // out the very sweep it does not name; answer now.
+                        let unmatched = error_response(
+                            cancel_id,
+                            "no in-flight sweep with that id on this connection",
+                        );
+                        if write_line(&mut conn.writer, &unmatched).is_err() {
+                            return Control::Disconnected;
+                        }
+                        continue;
+                    }
+                }
+                // Any other pipelined request (malformed ones included)
+                // waits its turn until the sweep finishes.
+                conn.pending.push_back(line);
+            }
+        }
+    }
+}
+
 /// Serves a `sweep` request: shards the organization's points across worker
 /// threads sharing one atomic cursor, streams each `kind:"result"` line as
 /// its simulation completes (coalescing with every concurrent request
 /// through the tier memos), then writes the `kind:"done"` summary with the
 /// best point under the request's objective (EDP by default).
+///
+/// The connection is polled between result lines: a `cancel` naming this
+/// sweep's id — or the client disconnecting — stops the shared cursor, so
+/// the workers finish only the points already in flight and the sweep
+/// answers with a `kind:"cancelled"` line counting what was evaluated.
 fn serve_sweep(
     runner: &Runner,
     id: Json,
     target: &Target,
-    workers: usize,
-    writer: &mut impl Write,
-) -> std::io::Result<()> {
+    conn: &mut Conn,
+) -> std::io::Result<Flow> {
     let space = match config_space(target) {
         Ok(space) => space,
-        Err(e) => return write_line(writer, &error_response(id, &e)),
+        Err(e) => {
+            write_line(&mut conn.writer, &error_response(id, &e))?;
+            return Ok(Flow::Continue);
+        }
     };
     let points = space.points();
     let base = run_point(runner, target, None);
+    runner.trace_store().tier().health().note_served();
 
     let (tx, rx) = mpsc::channel::<(CachePoint, Measurement)>();
     let cursor = AtomicUsize::new(0);
     let mut evaluated: Vec<(CachePoint, Measurement)> = Vec::with_capacity(points.len());
     let mut write_error = None;
+    let mut cancelled = false;
+    let mut disconnected = false;
     std::thread::scope(|scope| {
         let cursor = &cursor;
-        for _ in 0..workers.clamp(1, points.len().max(1)) {
+        for _ in 0..conn.config.workers.clamp(1, points.len().max(1)) {
             let tx = tx.clone();
             scope.spawn(move || loop {
                 let i = cursor.fetch_add(1, Ordering::Relaxed);
@@ -622,23 +922,86 @@ fn serve_sweep(
             });
         }
         drop(tx);
+        // Parking the cursor at the end of the space stops all future
+        // claims; workers finish only their in-flight point.
+        let stop_cursor = || cursor.store(points.len(), Ordering::Relaxed);
         // Stream results in completion order; the done line carries the
         // summary, so clients needing sweep order key on (sets, ways).
-        for (point, measurement) in rx {
-            runner.trace_store().tier().health().note_served();
-            if let Err(e) = write_line(
-                &mut *writer,
-                &result_response(id.clone(), Some(point), &measurement),
-            ) {
-                write_error = Some(e);
-                // Keep draining: the workers still fill the shared memo
-                // tier, and the scope must not deadlock on a full channel.
+        loop {
+            let streaming = |w: &Option<std::io::Error>, c: bool, d: bool| w.is_none() && !c && !d;
+            match rx.recv_timeout(SHUTDOWN_POLL) {
+                Ok((point, measurement)) => {
+                    evaluated.push((point, measurement));
+                    if streaming(&write_error, cancelled, disconnected) {
+                        // A cancel racing this result must win: check the
+                        // connection before writing the line.
+                        match poll_control(runner, conn, &id) {
+                            Control::Quiet => {}
+                            Control::Cancel => {
+                                cancelled = true;
+                                stop_cursor();
+                            }
+                            Control::Disconnected => {
+                                disconnected = true;
+                                stop_cursor();
+                            }
+                        }
+                    }
+                    if streaming(&write_error, cancelled, disconnected) {
+                        runner.trace_store().tier().health().note_served();
+                        if let Err(e) = write_line(
+                            &mut conn.writer,
+                            &result_response(id.clone(), Some(point), &measurement),
+                        ) {
+                            write_error = Some(e);
+                            stop_cursor();
+                        }
+                    }
+                }
+                Err(mpsc::RecvTimeoutError::Timeout) => {
+                    if streaming(&write_error, cancelled, disconnected) {
+                        match poll_control(runner, conn, &id) {
+                            Control::Quiet => {}
+                            Control::Cancel => {
+                                cancelled = true;
+                                stop_cursor();
+                            }
+                            Control::Disconnected => {
+                                disconnected = true;
+                                stop_cursor();
+                            }
+                        }
+                    }
+                    // A server shutdown mid-sweep also stops claiming new
+                    // points (the done line reports what was evaluated).
+                    if conn.handle.shutdown.load(Ordering::SeqCst) {
+                        stop_cursor();
+                    }
+                }
+                Err(mpsc::RecvTimeoutError::Disconnected) => break,
             }
-            evaluated.push((point, measurement));
         }
     });
     if let Some(e) = write_error {
         return Err(e);
+    }
+    if disconnected {
+        // Nothing left to write to — the in-flight results already drained
+        // into the shared tier for the next client.
+        return Ok(Flow::Close);
+    }
+    if cancelled {
+        write_line(
+            &mut conn.writer,
+            &obj([
+                ("id", id),
+                ("ok", Json::Bool(true)),
+                ("kind", Json::Str("cancelled".into())),
+                ("points", Json::Num(evaluated.len() as f64)),
+                ("space_points", Json::Num(points.len() as f64)),
+            ]),
+        )?;
+        return Ok(Flow::Continue);
     }
 
     let base_ed = base.energy_delay();
@@ -648,10 +1011,14 @@ fn serve_sweep(
         .min_by(|a, b| a.1.score(objective).total_cmp(&b.1.score(objective)))
         .copied();
     let Some((best_point, best_measurement)) = best else {
-        return write_line(writer, &error_response(id, "configuration space was empty"));
+        write_line(
+            &mut conn.writer,
+            &error_response(id, "configuration space was empty"),
+        )?;
+        return Ok(Flow::Continue);
     };
     write_line(
-        writer,
+        &mut conn.writer,
         &obj([
             ("id", id),
             ("ok", Json::Bool(true)),
@@ -671,6 +1038,222 @@ fn serve_sweep(
                 Json::Num(best_measurement.energy_delay().reduction_vs(&base_ed)),
             ),
         ]),
+    )?;
+    Ok(Flow::Continue)
+}
+
+/// Serves a `dynamic` request: runs the miss-ratio resizing controller for
+/// the target (parameters from the request, with profiling-style defaults),
+/// streaming every resize decision back as a `kind:"resize"` line while the
+/// simulation runs, then a `kind:"done"` line with the measurement.
+///
+/// Dynamic runs are not memoized (the controller's trajectory is the whole
+/// point), so every `dynamic` request simulates; only the *trace* is shared
+/// through the tier. If a store fault forces the streamed source to retry,
+/// the retried attempt streams from a fresh controller into the same
+/// connection. The two counters in the `done` line differ on purpose:
+/// `decisions` counts every line streamed over the whole run (warm-up
+/// included, retries included), while `resizes` is the measurement's
+/// measured-region count — a run that settles at its size floor during
+/// warm-up streams decisions but reports zero measured resizes, exactly as
+/// the in-process [`Runner::run_dynamic`] would.
+fn serve_dynamic(
+    runner: &Runner,
+    request: &Json,
+    id: Json,
+    target: &Target,
+    conn: &mut Conn,
+) -> std::io::Result<()> {
+    let space = match config_space(target) {
+        Ok(space) => space,
+        Err(e) => return write_line(&mut conn.writer, &error_response(id, &e)),
+    };
+    let interval = match request.get("interval") {
+        None => runner.config().dynamic_interval,
+        Some(v) => match v.as_u64() {
+            Some(n) => n,
+            None => {
+                return write_line(
+                    &mut conn.writer,
+                    &error_response(id, "\"interval\" must be a non-negative integer"),
+                )
+            }
+        },
+    };
+    // The full-size baseline anchors the default miss-bound (the profiling
+    // derivation: expected misses per interval at full size) and the done
+    // line's EDP reduction.
+    let base = run_point(runner, target, None);
+    runner.trace_store().tier().health().note_served();
+    let base_miss_ratio = match target.side {
+        ResizableCacheSide::Data => base.l1d_miss_ratio,
+        ResizableCacheSide::Instruction => base.l1i_miss_ratio,
+    };
+    let miss_bound = match request.get("miss_bound") {
+        Some(v) => match v.as_u64() {
+            Some(n) => n,
+            None => {
+                return write_line(
+                    &mut conn.writer,
+                    &error_response(id, "\"miss_bound\" must be a non-negative integer"),
+                )
+            }
+        },
+        None => (base_miss_ratio.max(1e-4) * interval as f64)
+            .ceil()
+            .max(1.0) as u64,
+    };
+    let size_bound = match request.get("size_bound") {
+        Some(v) => match v.as_u64() {
+            Some(n) => n,
+            None => {
+                return write_line(
+                    &mut conn.writer,
+                    &error_response(id, "\"size_bound\" must be a non-negative integer"),
+                )
+            }
+        },
+        None => space.min_bytes(),
+    };
+    // Snap to an offered capacity, exactly as the profiling candidates do:
+    // an in-between bound rounds up, an over-full bound clamps to full.
+    let size_bound = space.snap_size_bound(size_bound);
+    let params = match DynamicParams::new(interval, miss_bound, size_bound) {
+        Ok(params) => params,
+        Err(e) => {
+            return write_line(
+                &mut conn.writer,
+                &error_response_coded(id, "out_of_range", &e.to_string()),
+            )
+        }
+    };
+    let tag_bits = if target.organization.needs_resizing_tag_bits() {
+        target
+            .side
+            .config_of(&target.system.hierarchy)
+            .resizing_tag_bits()
+    } else {
+        0
+    };
+    let mut setup = RunSetup {
+        dynamic: Some((target.side, space, params)),
+        ..RunSetup::default()
+    };
+    match target.side {
+        ResizableCacheSide::Data => setup.d_tag_bits = tag_bits,
+        ResizableCacheSide::Instruction => setup.i_tag_bits = tag_bits,
+    }
+    // The controller steers by the runner's configured objective; a
+    // per-request objective therefore runs through a runner clone over the
+    // *same* store (traces still shared, health still aggregated).
+    let observer = if target.objective == runner.config().objective {
+        runner.clone()
+    } else {
+        Runner::with_store(
+            runner.config().with_objective(target.objective),
+            runner.trace_store().clone(),
+        )
+    };
+
+    let (tx, rx) = mpsc::channel::<ResizeDecision>();
+    let mut decisions = 0u64;
+    let mut write_error: Option<std::io::Error> = None;
+    let outcome = std::thread::scope(|scope| {
+        let observer = &observer;
+        let setup = &setup;
+        let sim = scope.spawn(move || {
+            // `tx` moves in and drops when the run completes, which is what
+            // ends the drain loop below.
+            observer.run_dynamic_observed(&target.app, &target.system, setup, Some(&tx))
+        });
+        for decision in &rx {
+            if write_error.is_some() {
+                // The client is gone mid-stream; the simulation cannot be
+                // aborted (it owns no cancellation point), so drain quietly
+                // and let the run finish into the shared trace state.
+                continue;
+            }
+            decisions += 1;
+            let line = obj([
+                ("id", id.clone()),
+                ("ok", Json::Bool(true)),
+                ("kind", Json::Str("resize".into())),
+                ("accesses", Json::Num(decision.accesses as f64)),
+                (
+                    "interval_signal",
+                    Json::Num(decision.interval_signal as f64),
+                ),
+                ("miss_bound", Json::Num(decision.miss_bound as f64)),
+                (
+                    "from",
+                    obj([
+                        ("sets", Json::Num(decision.from.sets as f64)),
+                        ("ways", Json::Num(f64::from(decision.from.ways))),
+                    ]),
+                ),
+                (
+                    "to",
+                    obj([
+                        ("sets", Json::Num(decision.to.sets as f64)),
+                        ("ways", Json::Num(f64::from(decision.to.ways))),
+                    ]),
+                ),
+            ]);
+            if let Err(e) = write_line(&mut conn.writer, &line) {
+                write_error = Some(e);
+            }
+        }
+        sim.join()
+    });
+    let Ok(measurement) = outcome else {
+        // The simulation thread panicked — a bug, not a protocol error; the
+        // connection survives to report it.
+        return write_line(
+            &mut conn.writer,
+            &error_response(id, "internal error: dynamic run failed"),
+        );
+    };
+    if let Some(e) = write_error {
+        return Err(e);
+    }
+    runner.trace_store().tier().health().note_served();
+    let (resizes, mean_bytes) = match target.side {
+        ResizableCacheSide::Data => (measurement.l1d_resizes, measurement.l1d_mean_bytes),
+        ResizableCacheSide::Instruction => (measurement.l1i_resizes, measurement.l1i_mean_bytes),
+    };
+    write_line(
+        &mut conn.writer,
+        &obj([
+            ("id", id),
+            ("ok", Json::Bool(true)),
+            ("kind", Json::Str("done".into())),
+            ("objective", Json::Str(target.objective.tag().into())),
+            ("resizes", Json::Num(resizes as f64)),
+            ("decisions", Json::Num(decisions as f64)),
+            ("cycles", Json::Num(measurement.cycles as f64)),
+            ("ipc", Json::Num(measurement.ipc)),
+            ("energy_pj", Json::Num(measurement.energy_pj)),
+            ("edp", Json::Num(measurement.energy_delay().product())),
+            ("score", Json::Num(measurement.score(target.objective))),
+            ("mean_bytes", Json::Num(mean_bytes)),
+            (
+                "edp_reduction_percent",
+                Json::Num(
+                    measurement
+                        .energy_delay()
+                        .reduction_vs(&base.energy_delay()),
+                ),
+            ),
+            (
+                "params",
+                obj([
+                    ("interval", Json::Num(params.interval_accesses as f64)),
+                    ("miss_bound", Json::Num(params.miss_bound as f64)),
+                    ("size_bound", Json::Num(params.size_bound_bytes as f64)),
+                ]),
+            ),
+            ("latency", latency_block(&measurement)),
+        ]),
     )
 }
 
@@ -683,6 +1266,27 @@ fn config_space(target: &Target) -> Result<ConfigSpace, String> {
         target.organization,
     )
     .map_err(|e| format!("cannot enumerate configuration space: {e}"))
+}
+
+/// A measurement's latency-domain counters as a response sub-object.
+fn latency_block(m: &Measurement) -> Json {
+    obj([
+        ("delayed_hits", Json::Num(m.latency.delayed_hits as f64)),
+        (
+            "delayed_hit_cycles",
+            Json::Num(m.latency.delayed_hit_cycles as f64),
+        ),
+        (
+            "mean_delayed_hit_cycles",
+            Json::Num(m.latency.mean_delayed_hit_cycles()),
+        ),
+        (
+            "d_primary_misses",
+            Json::Num(m.latency.d_primary_misses as f64),
+        ),
+        ("d_miss_cycles", Json::Num(m.latency.d_miss_cycles as f64)),
+        ("mean_miss_cycles", Json::Num(m.latency.mean_miss_cycles())),
+    ])
 }
 
 /// One measurement as a `kind:"result"` response line.
@@ -705,35 +1309,18 @@ fn result_response(id: Json, point: Option<CachePoint>, m: &Measurement) -> Json
         ("edp", Json::Num(m.energy_delay().product())),
         ("l1d_miss_ratio", Json::Num(m.l1d_miss_ratio)),
         ("l1i_miss_ratio", Json::Num(m.l1i_miss_ratio)),
-        (
-            "latency",
-            obj([
-                ("delayed_hits", Json::Num(m.latency.delayed_hits as f64)),
-                (
-                    "delayed_hit_cycles",
-                    Json::Num(m.latency.delayed_hit_cycles as f64),
-                ),
-                (
-                    "mean_delayed_hit_cycles",
-                    Json::Num(m.latency.mean_delayed_hit_cycles()),
-                ),
-                (
-                    "d_primary_misses",
-                    Json::Num(m.latency.d_primary_misses as f64),
-                ),
-                ("d_miss_cycles", Json::Num(m.latency.d_miss_cycles as f64)),
-                ("mean_miss_cycles", Json::Num(m.latency.mean_miss_cycles())),
-            ]),
-        ),
+        ("latency", latency_block(m)),
     ])
 }
 
-/// The tier's [`StoreHealth`] as a `kind:"health"` response line.
-fn health_response(id: Json, health: &StoreHealth) -> Json {
+/// The tier's [`StoreHealth`] (plus the server's live connection gauge) as a
+/// `kind:"health"` response line.
+fn health_response(id: Json, health: &StoreHealth, open_connections: usize) -> Json {
     obj([
         ("id", id),
         ("ok", Json::Bool(true)),
         ("kind", Json::Str("health".into())),
+        ("connections", Json::Num(open_connections as f64)),
         ("hits", Json::Num(health.hits as f64)),
         ("misses", Json::Num(health.misses as f64)),
         ("coalesced", Json::Num(health.coalesced as f64)),
@@ -762,6 +1349,26 @@ fn error_response(id: Json, message: &str) -> Json {
     ])
 }
 
+/// A typed `ok:false` response line with a machine-readable `"code"`
+/// (`"out_of_range"`, `"quota_exhausted"`).
+fn error_response_coded(id: Json, code: &str, message: &str) -> Json {
+    obj([
+        ("id", id),
+        ("ok", Json::Bool(false)),
+        ("code", Json::Str(code.to_string())),
+        ("error", Json::Str(message.to_string())),
+    ])
+}
+
+/// The `quota_exhausted` response a connection gets right before it closes.
+fn quota_response(id: Json, quota: usize) -> Json {
+    error_response_coded(
+        id,
+        "quota_exhausted",
+        &format!("connection request quota of {quota} exhausted; closing connection"),
+    )
+}
+
 /// Writes one response line (the protocol is strictly line-delimited).
 fn write_line(writer: &mut impl Write, response: &Json) -> std::io::Result<()> {
     writeln!(writer, "{}", response.render())?;
@@ -771,6 +1378,14 @@ fn write_line(writer: &mut impl Write, response: &Json) -> std::io::Result<()> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn read_request_line(
+        reader: &mut impl BufRead,
+        max_line_bytes: usize,
+        shutdown: &AtomicBool,
+    ) -> std::io::Result<LineOutcome> {
+        LineReader::default().read_line(reader, max_line_bytes, shutdown, true)
+    }
 
     #[test]
     fn read_request_line_splits_caps_and_recovers() {
@@ -794,11 +1409,12 @@ mod tests {
         // line intact — and the reader never buffers more than the cap.
         let huge = format!("{}\nnext\n", "x".repeat(1000));
         let mut reader = std::io::BufReader::new(std::io::Cursor::new(huge.into_bytes()));
+        let mut lines = LineReader::default();
         assert!(matches!(
-            read_request_line(&mut reader, 16, &live).unwrap(),
+            lines.read_line(&mut reader, 16, &live, true).unwrap(),
             LineOutcome::Oversized
         ));
-        let LineOutcome::Line(next) = read_request_line(&mut reader, 16, &live).unwrap() else {
+        let LineOutcome::Line(next) = lines.read_line(&mut reader, 16, &live, true).unwrap() else {
             panic!("line after oversized");
         };
         assert_eq!(next, "next");
@@ -809,6 +1425,28 @@ mod tests {
             panic!("unterminated tail");
         };
         assert_eq!(tail, "tail");
+    }
+
+    #[test]
+    fn wake_addr_rewrites_wildcards_to_loopback() {
+        let cases = [
+            ("0.0.0.0:7878", "127.0.0.1:7878"),
+            ("[::]:7878", "[::1]:7878"),
+            ("127.0.0.1:7878", "127.0.0.1:7878"),
+            ("[::1]:9", "[::1]:9"),
+            ("192.168.1.5:80", "192.168.1.5:80"),
+        ];
+        for (bound, expected) in cases {
+            let bound: SocketAddr = bound.parse().unwrap();
+            let expected: SocketAddr = expected.parse().unwrap();
+            assert_eq!(wake_addr(bound), expected, "{bound}");
+        }
+    }
+
+    #[test]
+    fn serve_config_from_env_parses_the_quota() {
+        // Default: unlimited.
+        assert_eq!(ServeConfig::default().max_requests_per_conn, 0);
     }
 
     #[test]

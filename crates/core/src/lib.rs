@@ -54,5 +54,5 @@ pub mod system;
 pub use error::CoreError;
 pub use experiment::{Runner, RunnerConfig};
 pub use org::{CachePoint, ConfigSpace, Organization};
-pub use strategy::{DynamicController, DynamicParams, StaticSearch};
+pub use strategy::{DynamicController, DynamicParams, ResizeDecision, StaticSearch};
 pub use system::{ResizableCacheSide, SystemConfig};

@@ -1,5 +1,7 @@
 //! The miss-ratio-based dynamic resizing controller.
 
+use std::sync::mpsc;
+
 use rescache_cache::MemoryHierarchy;
 use rescache_cpu::SimHook;
 use rescache_energy::Objective;
@@ -126,6 +128,27 @@ impl DynamicParams {
     }
 }
 
+/// One resize the dynamic controller performed, as observed through a
+/// decision sink ([`DynamicController::with_decision_sink`]): the interval
+/// bookkeeping that triggered it plus the geometry transition. Resize-only
+/// by design — quiet intervals emit nothing, which bounds the stream's
+/// volume by the resize count rather than the access count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResizeDecision {
+    /// Cache accesses observed (since the last statistics reset) when the
+    /// decision fired.
+    pub accesses: u64,
+    /// The interval's signal count (misses under EDP; misses plus data-side
+    /// delayed hits under the latency objectives).
+    pub interval_signal: u64,
+    /// The miss-bound the signal was compared against.
+    pub miss_bound: u64,
+    /// The geometry before the resize.
+    pub from: CachePoint,
+    /// The geometry after the resize.
+    pub to: CachePoint,
+}
+
 /// The dynamic resizing controller, attached to a simulation as a
 /// [`SimHook`].
 ///
@@ -145,6 +168,7 @@ pub struct DynamicController {
     last_accesses: u64,
     last_signal: u64,
     resizes: u64,
+    sink: Option<mpsc::Sender<ResizeDecision>>,
 }
 
 impl DynamicController {
@@ -181,6 +205,7 @@ impl DynamicController {
             last_accesses: 0,
             last_signal: 0,
             resizes: 0,
+            sink: None,
         })
     }
 
@@ -194,6 +219,17 @@ impl DynamicController {
     /// it as pressure to upsize.
     pub fn with_objective(mut self, objective: Objective) -> Self {
         self.objective = objective;
+        self
+    }
+
+    /// Returns this controller streaming every resize it performs into
+    /// `sink` as a [`ResizeDecision`] — the observation hook the sweep
+    /// service's `dynamic` verb uses to forward interval-by-interval
+    /// decisions over the wire while the simulation runs. A dropped
+    /// receiver is absorbed silently: observation must never perturb (or
+    /// abort) the run it observes.
+    pub fn with_decision_sink(mut self, sink: mpsc::Sender<ResizeDecision>) -> Self {
+        self.sink = Some(sink);
         self
     }
 
@@ -264,7 +300,19 @@ impl SimHook for DynamicController {
             self.current
         };
         if target != self.current {
+            let from = self.space.points()[self.current];
             self.apply_point(target, hierarchy);
+            if let Some(sink) = &self.sink {
+                // Ignore a dropped receiver: the run's correctness never
+                // depends on anyone watching it.
+                let _ = sink.send(ResizeDecision {
+                    accesses,
+                    interval_signal: interval_misses,
+                    miss_bound: self.params.miss_bound,
+                    from,
+                    to: self.space.points()[target],
+                });
+            }
         }
     }
 }
@@ -415,6 +463,32 @@ mod tests {
         assert!(c.iter().any(|p| p.size_bound_bytes == 32 * 1024));
         assert!(c.iter().any(|p| p.size_bound_bytes == 8 * 1024));
         assert!(c.iter().any(|p| p.size_bound_bytes == 2 * 1024));
+    }
+
+    #[test]
+    fn decision_sink_observes_every_resize_and_survives_a_dropped_receiver() {
+        let (tx, rx) = std::sync::mpsc::channel();
+        let mut h = MemoryHierarchy::new(HierarchyConfig::base()).unwrap();
+        let mut c = controller(10, 4 * 1024).with_decision_sink(tx);
+        for _ in 0..10 {
+            drive(&mut h, &mut c, false);
+        }
+        let decisions: Vec<ResizeDecision> = rx.try_iter().collect();
+        assert_eq!(decisions.len() as u64, c.resizes(), "one line per resize");
+        for pair in decisions.windows(2) {
+            assert_eq!(pair[0].to, pair[1].from, "transitions chain");
+        }
+        let last = decisions.last().expect("quiet intervals downsize");
+        assert_eq!(last.to, c.current_point());
+        assert!(last.interval_signal < 10, "quiet interval signal");
+        assert_eq!(last.miss_bound, 10);
+
+        // The receiver is gone (collected above); further resizes must be
+        // absorbed, not panic or poison the run.
+        for _ in 0..10 {
+            drive(&mut h, &mut c, true);
+        }
+        assert_eq!(c.current_point().bytes(32), 32 * 1024);
     }
 
     #[test]

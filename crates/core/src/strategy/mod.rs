@@ -12,5 +12,5 @@
 pub mod dynamic;
 pub mod static_search;
 
-pub use dynamic::{DynamicController, DynamicParams};
+pub use dynamic::{DynamicController, DynamicParams, ResizeDecision};
 pub use static_search::{StaticSearch, StaticSearchResult};

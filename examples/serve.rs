@@ -18,7 +18,8 @@
 //! Or run the self-contained demo — an ephemeral server plus a scripted
 //! client exercising ping, a point, a streamed sweep (once under the
 //! default EDP objective, once re-ranked latency-first with
-//! `"objective":"delay"`), health and shutdown:
+//! `"objective":"delay"`), a cancelled sweep, a streamed `dynamic` run,
+//! health and shutdown:
 //!
 //! ```text
 //! cargo run --release --example serve -- --demo
@@ -47,9 +48,17 @@ fn main() -> std::io::Result<()> {
 
 /// One scripted client session against an ephemeral in-process server.
 fn demo() -> std::io::Result<()> {
-    let runner = Runner::new(RunnerConfig::fast());
+    // Long enough per-point that a pipelined cancel always lands before a
+    // worker can walk the whole space, short enough to stay demo-quick.
+    let runner = Runner::new(RunnerConfig {
+        measure_instructions: 120_000,
+        ..RunnerConfig::fast()
+    });
+    // One worker keeps the cancelled-sweep exchange deterministic: after
+    // the cancel is consumed, at most the single in-flight point finishes.
     let config = ServeConfig {
         addr: "127.0.0.1:0".to_string(),
+        workers: 1,
         ..ServeConfig::default()
     };
     let server = SweepServer::bind(runner, config)?;
@@ -115,8 +124,63 @@ fn demo() -> std::io::Result<()> {
         }
     }
 
-    exchange(&mut writer, &mut reader, r#"{"req":"health","id":5}"#)?;
-    let bye = exchange(&mut writer, &mut reader, r#"{"req":"shutdown","id":6}"#)?;
+    // A cancelled sweep: the cancel rides the same pipe right behind the
+    // sweep, so the server consumes it before streaming and parks the
+    // shared cursor — only the in-flight point finishes. A fresh app keeps
+    // the points unmemoized, so the single worker cannot outrun the cancel.
+    let sweep_then_cancel = concat!(
+        r#"{"req":"sweep","id":5,"app":"vortex","org":"selective_sets"}"#,
+        "\n",
+        r#"{"req":"cancel","id":5}"#
+    );
+    writeln!(writer, "{sweep_then_cancel}")?;
+    println!(r#"> {{"req":"sweep","id":5,"app":"vortex","org":"selective_sets"}}"#);
+    println!(r#"> {{"req":"cancel","id":5}}"#);
+    loop {
+        line.clear();
+        reader.read_line(&mut line)?;
+        println!("< {}", line.trim_end());
+        let response = Json::parse(line.trim_end()).expect("server speaks valid JSON");
+        assert_ne!(
+            response.get("kind").and_then(Json::as_str),
+            Some("done"),
+            "the pipelined cancel reaches the server before the sweep finishes"
+        );
+        if response.get("kind").and_then(Json::as_str) == Some("cancelled") {
+            let points = response.get("points").and_then(Json::as_u64).unwrap_or(0);
+            let space = response
+                .get("space_points")
+                .and_then(Json::as_u64)
+                .unwrap_or(0);
+            assert!(
+                points < space,
+                "a cancelled sweep evaluates fewer points than the space \
+                 ({points} of {space})"
+            );
+            break;
+        }
+    }
+
+    // A dynamic run streams one line per resize decision, then a done line
+    // matching what the in-process `Runner::run_dynamic` would report.
+    writeln!(writer, r#"{{"req":"dynamic","id":6,"app":"gcc"}}"#)?;
+    println!(r#"> {{"req":"dynamic","id":6,"app":"gcc"}}"#);
+    loop {
+        line.clear();
+        reader.read_line(&mut line)?;
+        println!("< {}", line.trim_end());
+        let response = Json::parse(line.trim_end()).expect("server speaks valid JSON");
+        if response.get("kind").and_then(Json::as_str) == Some("done") {
+            assert!(
+                response.get("params").is_some() && response.get("decisions").is_some(),
+                "the dynamic done line reports the controller parameters"
+            );
+            break;
+        }
+    }
+
+    exchange(&mut writer, &mut reader, r#"{"req":"health","id":7}"#)?;
+    let bye = exchange(&mut writer, &mut reader, r#"{"req":"shutdown","id":8}"#)?;
     assert_eq!(bye.get("kind").and_then(Json::as_str), Some("bye"));
     drop(writer);
 

@@ -13,13 +13,26 @@
 //!   never a panic, never a silent disconnect.
 //! * **Degradation** — with injected disk faults the service keeps serving
 //!   correct results while the store degrades to in-memory operation.
-//! * **Shutdown** — a `shutdown` request drains the server cleanly.
+//! * **Cancellation** — a `cancel` naming an in-flight sweep (or the client
+//!   disconnecting mid-stream) stops the shared point cursor: provably
+//!   fewer points are evaluated than the space offers.
+//! * **Quotas** — `ServeConfig::max_requests_per_conn` closes a connection
+//!   with a typed `quota_exhausted` error once exceeded.
+//! * **Dynamic verb** — a `dynamic` request streams the controller's resize
+//!   decisions and its done line matches the in-process
+//!   `Runner::run_dynamic` bit-for-bit.
+//! * **Multi-process** — N server *processes* sharing one
+//!   `RESCACHE_TRACE_DIR` share trace generation through the store's entry
+//!   locks and agree bit-for-bit.
+//! * **Shutdown** — a `shutdown` request drains the server cleanly, even
+//!   when the server was bound to a wildcard address with no clients.
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
 
 use rescache::prelude::*;
-use rescache_core::experiment::{ServeConfig, SharedTier, SweepServer};
+use rescache_core::experiment::{RunSetup, ServeConfig, SharedTier, SweepServer};
 use rescache_core::json::Json;
 use rescache_trace::{FaultInjector, FaultSpec, IoPolicy};
 
@@ -40,11 +53,26 @@ fn spawn_server(
     rescache_core::experiment::ServerHandle,
     std::thread::JoinHandle<()>,
 ) {
-    let runner = Runner::with_store(service_config(), TraceStore::with_tier(tier));
     let config = ServeConfig {
         addr: "127.0.0.1:0".to_string(),
         ..ServeConfig::default()
     };
+    spawn_server_with(service_config(), tier, config)
+}
+
+/// [`spawn_server`] with explicit runner and serve configurations (for the
+/// quota, cancellation and disconnect tests, which need a request cap or a
+/// single slow worker).
+fn spawn_server_with(
+    runner_config: RunnerConfig,
+    tier: SharedTier,
+    config: ServeConfig,
+) -> (
+    SocketAddr,
+    rescache_core::experiment::ServerHandle,
+    std::thread::JoinHandle<()>,
+) {
+    let runner = Runner::with_store(runner_config, TraceStore::with_tier(tier));
     let server = SweepServer::bind(runner, config).expect("bind ephemeral port");
     let addr = server.local_addr().expect("local addr");
     let (handle, join) = server.spawn().expect("spawn server");
@@ -184,7 +212,8 @@ fn overlapping_sweeps_share_one_simulation_per_unique_point() {
     // full point's memo key).
     assert_eq!(health.misses as usize, points + 1, "{health:?}");
     assert_eq!(health.requests, CLIENTS as u64, "{health:?}");
-    assert_eq!(health.served, (CLIENTS * points) as u64, "{health:?}");
+    // Every sweep serves its full-size baseline plus one line per point.
+    assert_eq!(health.served, (CLIENTS * (points + 1)) as u64, "{health:?}");
     let rate = health.result_cache_hit_rate().expect("lookups happened");
     assert!(rate > 0.5, "most lookups were shared: {health:?}");
 
@@ -342,9 +371,483 @@ fn shutdown_request_drains_the_server() {
     assert!(is_ok(&health), "{health:?}");
     assert_eq!(kind(&health), "health");
     assert!(health.get("result_cache_hit_rate").is_some());
+    // The health line reports the server's live connection gauge — this
+    // client is the only one.
+    assert_eq!(health.get("connections").and_then(Json::as_u64), Some(1));
 
     let bye = client.request(r#"{"req":"shutdown"}"#);
     assert!(is_ok(&bye), "{bye:?}");
     assert_eq!(kind(&bye), "bye");
     join.join().expect("shutdown drains the accept loop");
+}
+
+#[test]
+fn stopping_a_wildcard_bound_server_needs_no_clients() {
+    // A server bound to 0.0.0.0 must be stoppable through its handle alone:
+    // stop()'s wake-up connection rewrites the wildcard to loopback (dialing
+    // a wildcard address is non-portable). A regression hangs this join.
+    let tier = SharedTier::new(None, IoPolicy::none());
+    let config = ServeConfig {
+        addr: "0.0.0.0:0".to_string(),
+        ..ServeConfig::default()
+    };
+    let (addr, handle, join) = spawn_server_with(service_config(), tier, config);
+    assert!(addr.ip().is_unspecified(), "bound the wildcard: {addr}");
+    handle.stop();
+    join.join()
+        .expect("wildcard-bound server stops without clients");
+}
+
+#[test]
+fn request_quota_closes_the_connection_with_a_typed_error() {
+    let tier = SharedTier::new(None, IoPolicy::none());
+    let config = ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        max_requests_per_conn: 2,
+        ..ServeConfig::default()
+    };
+    let (addr, handle, join) = spawn_server_with(service_config(), tier.clone(), config);
+
+    let mut client = Client::connect(addr);
+    for id in [1, 2] {
+        let pong = client.request(&format!(r#"{{"req":"ping","id":{id}}}"#));
+        assert!(is_ok(&pong), "within quota: {pong:?}");
+    }
+    let refused = client.request(r#"{"req":"ping","id":3}"#);
+    assert_eq!(refused.get("ok").and_then(Json::as_bool), Some(false));
+    assert_eq!(
+        refused.get("code").and_then(Json::as_str),
+        Some("quota_exhausted"),
+        "{refused:?}"
+    );
+    assert_eq!(refused.get("id").and_then(Json::as_u64), Some(3));
+    // After the typed error the server closes the connection.
+    let mut line = String::new();
+    let n = client
+        .reader
+        .read_line(&mut line)
+        .expect("read after quota");
+    assert_eq!(
+        n, 0,
+        "connection closed after quota exhaustion, got {line:?}"
+    );
+    // The refused request still counted as a request.
+    assert_eq!(tier.health_snapshot().requests, 3);
+
+    // A fresh connection gets a fresh quota.
+    let mut again = Client::connect(addr);
+    let pong = again.request(r#"{"req":"ping","id":9}"#);
+    assert!(is_ok(&pong), "quota is per-connection: {pong:?}");
+
+    handle.stop();
+    join.join().expect("server thread exits cleanly");
+}
+
+/// A runner configuration slow enough per point that a cancel (or a
+/// disconnect) sent after the first result line lands while most of the
+/// space is still unevaluated — with one worker, the cursor stop is then
+/// observable as strictly fewer evaluated points.
+fn slow_sweep_config() -> RunnerConfig {
+    RunnerConfig {
+        warmup_instructions: 20_000,
+        measure_instructions: 400_000,
+        ..RunnerConfig::fast()
+    }
+}
+
+fn single_worker_config() -> ServeConfig {
+    ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 1,
+        ..ServeConfig::default()
+    }
+}
+
+#[test]
+fn cancelling_a_sweep_stops_the_cursor_and_reports_what_ran() {
+    let tier = SharedTier::new(None, IoPolicy::none());
+    let (addr, handle, join) =
+        spawn_server_with(slow_sweep_config(), tier.clone(), single_worker_config());
+    let points = selective_sets_points();
+
+    let mut client = Client::connect(addr);
+    client.send(r#"{"req":"sweep","id":11,"app":"ammp","org":"selective_sets"}"#);
+    let first = client.recv();
+    assert!(is_ok(&first), "{first:?}");
+    assert_eq!(kind(&first), "result");
+    // Cancel naming the wrong id is answered mid-stream and changes nothing.
+    client.send(r#"{"req":"cancel","id":999}"#);
+    // Then cancel the sweep itself.
+    client.send(r#"{"req":"cancel","id":11}"#);
+    let mut results = 1;
+    let cancelled = loop {
+        let response = client.recv();
+        match kind(&response) {
+            "result" => results += 1,
+            "cancelled" => break response,
+            // The unmatched cancel's error line arrives interleaved.
+            "" => {
+                assert_eq!(response.get("ok").and_then(Json::as_bool), Some(false));
+                assert_eq!(response.get("id").and_then(Json::as_u64), Some(999));
+            }
+            other => panic!("unexpected response kind {other:?}: {response:?}"),
+        }
+    };
+    assert!(is_ok(&cancelled), "{cancelled:?}");
+    assert_eq!(cancelled.get("id").and_then(Json::as_u64), Some(11));
+    let evaluated = cancelled
+        .get("points")
+        .and_then(Json::as_u64)
+        .expect("cancelled line counts evaluated points") as usize;
+    assert_eq!(
+        cancelled.get("space_points").and_then(Json::as_u64),
+        Some(points as u64)
+    );
+    // The acceptance criterion: a cancel after the first result provably
+    // evaluates fewer points than the space offers.
+    assert!(
+        evaluated < points,
+        "cancel stopped the cursor: {evaluated} of {points} points"
+    );
+    assert!(evaluated >= results, "every written result was evaluated");
+
+    // The connection survives cancellation.
+    let pong = client.request(r#"{"req":"ping","id":12}"#);
+    assert!(is_ok(&pong), "{pong:?}");
+
+    // The tier never simulated the skipped points: fewer sim misses than a
+    // full sweep's trace + per-point count.
+    let health = tier.health_snapshot();
+    assert!(
+        (health.misses as usize) < points + 1,
+        "skipped points were never simulated: {health:?}"
+    );
+
+    handle.stop();
+    join.join().expect("server thread exits cleanly");
+}
+
+#[test]
+fn client_disconnect_mid_sweep_stops_the_cursor() {
+    let tier = SharedTier::new(None, IoPolicy::none());
+    let (addr, handle, join) =
+        spawn_server_with(slow_sweep_config(), tier.clone(), single_worker_config());
+    let points = selective_sets_points();
+
+    {
+        let mut client = Client::connect(addr);
+        client.send(r#"{"req":"sweep","id":1,"app":"ammp","org":"selective_sets"}"#);
+        let first = client.recv();
+        assert_eq!(kind(&first), "result");
+        // Dropping the client closes the socket mid-stream.
+    }
+
+    // The server notices the disconnect at its next poll, parks the cursor
+    // and winds the connection down (observable on the live-connection
+    // gauge, which the reaper keeps honest).
+    let deadline = Instant::now() + Duration::from_secs(60);
+    while handle.open_connections() > 0 {
+        assert!(
+            Instant::now() < deadline,
+            "sweep wound down after the disconnect"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    let health = tier.health_snapshot();
+    assert!(
+        (health.misses as usize) < points + 1,
+        "the cursor stopped before the space was exhausted: {health:?}"
+    );
+    assert!(
+        (health.served as usize) < points + 1,
+        "only written results count as served: {health:?}"
+    );
+
+    handle.stop();
+    join.join().expect("server thread exits cleanly");
+}
+
+#[test]
+fn dynamic_request_streams_resizes_and_matches_the_in_process_run() {
+    let tier = SharedTier::new(None, IoPolicy::none());
+    let (addr, handle, join) = spawn_server(tier);
+    let mut client = Client::connect(addr);
+
+    // Protocol errors first — all on a connection that stays usable.
+    let bad = client.request(r#"{"req":"dynamic","id":1,"app":"ammp","interval":"soon"}"#);
+    assert_eq!(bad.get("ok").and_then(Json::as_bool), Some(false));
+    assert!(bad
+        .get("error")
+        .and_then(Json::as_str)
+        .expect("typed error")
+        .contains("interval"));
+    let zero = client.request(r#"{"req":"dynamic","id":2,"app":"ammp","interval":0}"#);
+    assert_eq!(zero.get("ok").and_then(Json::as_bool), Some(false));
+    assert_eq!(
+        zero.get("code").and_then(Json::as_str),
+        Some("out_of_range"),
+        "{zero:?}"
+    );
+    let stray = client.request(r#"{"req":"cancel","id":3}"#);
+    assert!(stray
+        .get("error")
+        .and_then(Json::as_str)
+        .expect("typed error")
+        .contains("no sweep in flight"));
+
+    // A miss-bound above the interval length can never be exceeded, so
+    // every interval decision is a downsize until the size-bound floor —
+    // resize lines deterministically stream before the done line.
+    client.send(r#"{"req":"dynamic","id":4,"app":"gcc","interval":256,"miss_bound":512}"#);
+    let mut resize_lines = Vec::new();
+    let done = loop {
+        let response = client.recv();
+        assert!(is_ok(&response), "{response:?}");
+        assert_eq!(response.get("id").and_then(Json::as_u64), Some(4));
+        match kind(&response) {
+            "resize" => resize_lines.push(response),
+            "done" => break response,
+            other => panic!("unexpected response kind {other:?}: {response:?}"),
+        }
+    };
+    // `decisions` counts every streamed line over the whole run (the
+    // downsizing to the floor happens during warm-up); `resizes` is the
+    // measurement's measured-region count and may legitimately be smaller.
+    assert!(
+        !resize_lines.is_empty(),
+        "the never-exceeded miss-bound downsizes: {done:?}"
+    );
+    assert_eq!(
+        done.get("decisions").and_then(Json::as_u64),
+        Some(resize_lines.len() as u64),
+        "{done:?}"
+    );
+    let resizes = done.get("resizes").and_then(Json::as_u64).expect("resizes");
+    // The run settles at the floor: the mean enabled size equals the
+    // size-bound, proving the streamed decisions were applied.
+    assert_eq!(
+        done.get("mean_bytes").and_then(Json::as_u64),
+        done.get("params")
+            .and_then(|p| p.get("size_bound"))
+            .and_then(Json::as_u64),
+        "{done:?}"
+    );
+    let mut last_accesses = 0;
+    for line in &resize_lines {
+        let accesses = line
+            .get("accesses")
+            .and_then(Json::as_u64)
+            .expect("interval boundary");
+        assert!(accesses > last_accesses, "decisions arrive in order");
+        last_accesses = accesses;
+        let geometry = |p: &Json| {
+            (
+                p.get("sets").and_then(Json::as_u64).expect("sets"),
+                p.get("ways").and_then(Json::as_u64).expect("ways"),
+            )
+        };
+        let from = geometry(line.get("from").expect("from"));
+        let to = geometry(line.get("to").expect("to"));
+        assert_ne!(from, to, "a resize changes the geometry: {line:?}");
+        assert_eq!(
+            line.get("miss_bound").and_then(Json::as_u64),
+            Some(512),
+            "{line:?}"
+        );
+    }
+
+    // The done line must match the in-process run bit-for-bit.
+    let system = SystemConfig::base();
+    let space = ConfigSpace::enumerate(
+        ResizableCacheSide::Data.config_of(&system.hierarchy),
+        Organization::SelectiveSets,
+    )
+    .expect("selective-sets applies to the base d-cache");
+    let size_bound = space.min_bytes();
+    assert_eq!(
+        done.get("params")
+            .and_then(|p| p.get("size_bound"))
+            .and_then(Json::as_u64),
+        Some(size_bound),
+        "the default size-bound is the smallest offered capacity"
+    );
+    let params = DynamicParams::new(256, 512, size_bound).expect("valid params");
+    let setup = RunSetup {
+        dynamic: Some((ResizableCacheSide::Data, space, params)),
+        d_tag_bits: ResizableCacheSide::Data
+            .config_of(&system.hierarchy)
+            .resizing_tag_bits(),
+        ..RunSetup::default()
+    };
+    let reference = Runner::new(service_config());
+    let expected = reference.run_dynamic(
+        &spec::profile("gcc").expect("gcc is a spec profile"),
+        &system,
+        &setup,
+    );
+    assert_eq!(
+        done.get("cycles").and_then(Json::as_u64),
+        Some(expected.cycles),
+        "served dynamic run diverged from the in-process run"
+    );
+    assert_eq!(resizes, expected.l1d_resizes);
+    let ipc = done.get("ipc").and_then(Json::as_f64).expect("ipc");
+    assert!(
+        (ipc - expected.ipc).abs() < 1e-12,
+        "{ipc} vs {}",
+        expected.ipc
+    );
+    let mean_bytes = done
+        .get("mean_bytes")
+        .and_then(Json::as_f64)
+        .expect("mean bytes");
+    assert!(
+        (mean_bytes - expected.l1d_mean_bytes).abs() < 1e-9,
+        "{mean_bytes} vs {}",
+        expected.l1d_mean_bytes
+    );
+    assert!(
+        done.get("latency").is_some(),
+        "done carries a latency block"
+    );
+
+    handle.stop();
+    join.join().expect("server thread exits cleanly");
+}
+
+/// Re-exec target for [`multi_process_servers_share_one_store`]: inert in a
+/// normal test run; with `RESCACHE_SWEEP_WORKER_PORT_FILE` set it becomes a
+/// server process over the store the environment configures, publishing its
+/// port through that file (stdout is useless for the handoff — libtest's
+/// capture holds it until the test *ends*, and the worker serves until
+/// shutdown) and serving until a client sends `shutdown`.
+#[test]
+fn multiproc_worker() {
+    let Ok(port_file) = std::env::var("RESCACHE_SWEEP_WORKER_PORT_FILE") else {
+        return;
+    };
+    let runner = Runner::with_store(service_config(), TraceStore::from_env());
+    let config = ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        ..ServeConfig::default()
+    };
+    let server = SweepServer::bind(runner, config).expect("bind worker server");
+    let addr = server.local_addr().expect("local addr");
+    // Write-then-rename so the parent never reads a half-written port.
+    let tmp = format!("{port_file}.tmp");
+    std::fs::write(&tmp, addr.port().to_string()).expect("write port file");
+    std::fs::rename(&tmp, &port_file).expect("publish port file");
+    server.serve().expect("worker serves until shutdown");
+}
+
+#[test]
+fn multi_process_servers_share_one_store() {
+    let dir = std::env::temp_dir().join(format!("rescache-serve-multiproc-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).expect("create shared store directory");
+
+    // Two *processes* (not threads) serving over one RESCACHE_TRACE_DIR,
+    // coordinated only through the store's entry locks.
+    let exe = std::env::current_exe().expect("test binary path");
+    let port_file = |i: usize| {
+        std::env::temp_dir().join(format!(
+            "rescache-multiproc-port-{}-{i}",
+            std::process::id()
+        ))
+    };
+    let spawn_worker = |i: usize| {
+        std::fs::remove_file(port_file(i)).ok();
+        std::process::Command::new(&exe)
+            .args(["multiproc_worker", "--exact", "--test-threads=1"])
+            .env("RESCACHE_SWEEP_WORKER_PORT_FILE", port_file(i))
+            .env("RESCACHE_TRACE_DIR", &dir)
+            .stdout(std::process::Stdio::null())
+            .stderr(std::process::Stdio::null())
+            .spawn()
+            .expect("spawn worker process")
+    };
+    let mut workers = vec![spawn_worker(0), spawn_worker(1)];
+    let mut addrs = Vec::new();
+    for i in 0..workers.len() {
+        let deadline = Instant::now() + Duration::from_secs(60);
+        let port = loop {
+            if let Ok(contents) = std::fs::read_to_string(port_file(i)) {
+                break contents.trim().parse::<u16>().expect("valid port");
+            }
+            assert!(
+                Instant::now() < deadline,
+                "worker {i} published its port before the deadline"
+            );
+            std::thread::sleep(Duration::from_millis(20));
+        };
+        addrs.push(SocketAddr::from(([127, 0, 0, 1], port)));
+    }
+
+    let points = selective_sets_points();
+    let mut per_process_cycles = Vec::new();
+    let mut aggregate = (0u64, 0u64, 0u64); // (hits, coalesced, misses)
+    for &addr in &addrs {
+        let mut client = Client::connect(addr);
+        client.send(r#"{"req":"sweep","id":1,"app":"ammp","org":"selective_sets"}"#);
+        let mut cycles = Vec::new();
+        loop {
+            let response = client.recv();
+            assert!(is_ok(&response), "{response:?}");
+            match kind(&response) {
+                "result" => {
+                    let point = response.get("point").expect("point");
+                    cycles.push((
+                        point.get("sets").and_then(Json::as_u64).expect("sets"),
+                        point.get("ways").and_then(Json::as_u64).expect("ways"),
+                        response
+                            .get("cycles")
+                            .and_then(Json::as_u64)
+                            .expect("cycles"),
+                    ));
+                }
+                "done" => break,
+                other => panic!("unexpected response kind {other:?}: {response:?}"),
+            }
+        }
+        assert_eq!(cycles.len(), points);
+        cycles.sort_unstable();
+        per_process_cycles.push(cycles);
+
+        let health = client.request(r#"{"req":"health"}"#);
+        assert!(is_ok(&health), "{health:?}");
+        let counter = |name: &str| health.get(name).and_then(Json::as_u64).unwrap_or(0);
+        aggregate.0 += counter("hits");
+        aggregate.1 += counter("coalesced");
+        aggregate.2 += counter("misses");
+
+        let bye = client.request(r#"{"req":"shutdown"}"#);
+        assert_eq!(kind(&bye), "bye");
+    }
+
+    assert_eq!(
+        per_process_cycles[0], per_process_cycles[1],
+        "processes sharing the store agree bit-for-bit"
+    );
+    // The trace was generated by whichever process got there first and
+    // *loaded* by the other: strictly fewer aggregate misses than two
+    // isolated cold sweeps, and the sibling's load shows up as hits.
+    let (hits, coalesced, misses) = aggregate;
+    assert!(
+        misses < 2 * (points as u64 + 1),
+        "the store shared work across processes: {aggregate:?}"
+    );
+    assert!(
+        hits + coalesced > 0,
+        "cross-process reuse is visible in the health counters: {aggregate:?}"
+    );
+
+    for worker in &mut workers {
+        let status = worker.wait().expect("worker exits");
+        assert!(
+            status.success(),
+            "worker process exited cleanly: {status:?}"
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
 }
